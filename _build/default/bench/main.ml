@@ -1,0 +1,586 @@
+(* Benchmark harness: regenerates every evaluation artifact of the paper
+   (Figures 6-10) as printed tables with the same series, plus the ablations
+   called out in DESIGN.md and bechamel micro-benchmarks of the tensor
+   substrate.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig7    # one section
+     dune exec bench/main.exe -- quick   # reduced sizes
+
+   Sizes are scaled down from the paper's server-scale datasets (see
+   DESIGN.md); shapes — who wins, by roughly what factor, where crossovers
+   fall — are the object of comparison, not absolute numbers. *)
+
+module T = Galley_tensor.Tensor
+module Ir = Galley_plan.Ir
+module Op = Galley_plan.Op
+module W = Galley_workloads
+module Rel = Galley_relational.Rel_engine
+module D = Galley.Driver
+
+let quick = ref false
+
+let repeat = 1
+(* The paper reports the minimum of three runs to exclude compilation
+   overhead; our compilation is separately accounted (Fig. 9) and negligible,
+   so one run per measurement keeps the harness fast. *)
+
+let time_min (f : unit -> 'a) : 'a * float =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeat do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let header title = Printf.printf "\n=== %s ===\n%!" title
+
+let median (xs : float list) : float =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let mean (xs : float list) : float =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let fmt_time (t : float) : string =
+  if Float.is_nan t then "t/o"
+  else if t < 1e-3 then Printf.sprintf "%.0fus" (t *. 1e6)
+  else if t < 1.0 then Printf.sprintf "%.1fms" (t *. 1e3)
+  else Printf.sprintf "%.2fs" t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: ML algorithms over joins.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  header "Figure 6: ML algorithms over joins (runtime; lower is better)";
+  let scale =
+    if !quick then
+      { W.Tpch.n_lineitems = 800; n_suppliers = 40; n_parts = 100;
+        n_orders = 200; n_customers = 60 }
+    else
+      { W.Tpch.n_lineitems = 40000; n_suppliers = 400; n_parts = 1000;
+        n_orders = 3000; n_customers = 600 }
+  in
+  let star = W.Tpch.star_instance ~scale ~seed:1001 () in
+  let params = W.Ml.parameter_inputs ~seed:1002 ~d:star.W.Tpch.d ~hidden:16 in
+  let inputs = star.W.Tpch.inputs @ params in
+  Printf.printf "star join: %d lineitems x %d features\n" star.W.Tpch.n
+    star.W.Tpch.d;
+  Printf.printf "%-12s %12s %14s %14s %10s\n" "algorithm" "galley"
+    "hand(dense)" "hand(sparse)" "speedup";
+  let run_star alg =
+    let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+    let _, galley_t = time_min (fun () -> D.run ~inputs prog) in
+    let plan, out = W.Ml.baseline_plan alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+    let baseline ~dense =
+      let config =
+        { D.default_config with
+          physical = W.Ml.baseline_physical_config ~pts:1 ~dense }
+      in
+      snd
+        (time_min (fun () ->
+             D.run_logical_plan ~config ~inputs ~outputs:[ out ] plan))
+    in
+    let dense_t = baseline ~dense:true in
+    let sparse_t = baseline ~dense:false in
+    Printf.printf "%-12s %12s %14s %14s %9.1fx\n%!" (W.Ml.algorithm_name alg)
+      (fmt_time galley_t) (fmt_time dense_t) (fmt_time sparse_t)
+      (Float.min dense_t sparse_t /. galley_t)
+  in
+  List.iter run_star [ W.Ml.Linreg; W.Ml.Logreg; W.Ml.Nn ];
+  (* Covariance uses X twice; all systems slow down quadratically in row
+     density, so it runs at a reduced scale. *)
+  let cov_scale =
+    if !quick then
+      { W.Tpch.n_lineitems = 400; n_suppliers = 30; n_parts = 60;
+        n_orders = 100; n_customers = 40 }
+    else
+      { W.Tpch.n_lineitems = 6000; n_suppliers = 150; n_parts = 400;
+        n_orders = 900; n_customers = 250 }
+  in
+  let cov_star = W.Tpch.star_instance ~scale:cov_scale ~seed:1001 () in
+  let cov_params = W.Ml.parameter_inputs ~seed:1002 ~d:cov_star.W.Tpch.d ~hidden:16 in
+  let cov_inputs = cov_star.W.Tpch.inputs @ cov_params in
+  Printf.printf "(covariance at reduced scale: %d lineitems)\n" cov_star.W.Tpch.n;
+  (let alg = W.Ml.Covariance in
+   let prog = W.Ml.program_of alg ~x:cov_star.W.Tpch.x_def ~pts:[ "i" ] in
+   let _, galley_t = time_min (fun () -> D.run ~inputs:cov_inputs prog) in
+   let plan, out = W.Ml.baseline_plan alg ~x:cov_star.W.Tpch.x_def ~pts:[ "i" ] in
+   let baseline ~dense =
+     let config =
+       { D.default_config with
+         physical = W.Ml.baseline_physical_config ~pts:1 ~dense }
+     in
+     snd
+       (time_min (fun () ->
+            D.run_logical_plan ~config ~inputs:cov_inputs ~outputs:[ out ] plan))
+   in
+   let dense_t = baseline ~dense:true in
+   let sparse_t = baseline ~dense:false in
+   Printf.printf "%-12s %12s %14s %14s %9.1fx\n%!" (W.Ml.algorithm_name alg)
+     (fmt_time galley_t) (fmt_time dense_t) (fmt_time sparse_t)
+     (Float.min dense_t sparse_t /. galley_t));
+  (* Self join: the dense baseline is omitted, as in the paper (a dense
+     X[i1,i2,j] runs out of memory). *)
+  let sj_scale =
+    if !quick then
+      { W.Tpch.n_lineitems = 300; n_suppliers = 20; n_parts = 60;
+        n_orders = 1; n_customers = 1 }
+    else
+      { W.Tpch.n_lineitems = 1500; n_suppliers = 80; n_parts = 300;
+        n_orders = 1; n_customers = 1 }
+  in
+  let sj = W.Tpch.self_join_instance ~scale:sj_scale ~seed:1003 () in
+  let params = W.Ml.parameter_inputs ~seed:1004 ~d:sj.W.Tpch.sj_d ~hidden:16 in
+  let inputs = sj.W.Tpch.sj_inputs @ params in
+  Printf.printf
+    "\nself join: %d lineitems x %d features (dense omitted: OOM in paper)\n"
+    sj.W.Tpch.sj_n sj.W.Tpch.sj_d;
+  Printf.printf "%-12s %12s %14s %10s\n" "algorithm" "galley" "hand(sparse)"
+    "speedup";
+  List.iter
+    (fun alg ->
+      let prog = W.Ml.program_of alg ~x:sj.W.Tpch.sj_x_def ~pts:[ "i1"; "i2" ] in
+      let _, galley_t = time_min (fun () -> D.run ~inputs prog) in
+      let plan, out =
+        W.Ml.baseline_plan alg ~x:sj.W.Tpch.sj_x_def ~pts:[ "i1"; "i2" ]
+      in
+      let config =
+        { D.default_config with
+          physical = W.Ml.baseline_physical_config ~pts:2 ~dense:false }
+      in
+      let _, sparse_t =
+        time_min (fun () ->
+            D.run_logical_plan ~config ~inputs ~outputs:[ out ] plan)
+      in
+      Printf.printf "%-12s %12s %14s %9.1fx\n%!" (W.Ml.algorithm_name alg)
+        (fmt_time galley_t) (fmt_time sparse_t) (sparse_t /. galley_t))
+    [ W.Ml.Linreg; W.Ml.Logreg ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7-9: subgraph counting.                                      *)
+(* ------------------------------------------------------------------ *)
+
+type sg_measurement = {
+  sg_exec : float; (* nan = timeout *)
+  sg_opt : float;
+  sg_compile : float;
+  sg_compile_warm : float;
+}
+
+let sg_timeout = 6.0
+
+(* Galley on one query: execution vs optimization vs compilation, with a
+   warm second run sharing the kernel cache (Finch caches kernels, so warm
+   compilation cost is what repeat users see: Fig. 9's discussion). *)
+let measure_galley config (g : W.Graphs.t) (p : W.Subgraph.pattern) :
+    sg_measurement =
+  let prog = W.Subgraph.count_program p in
+  let inputs = W.Subgraph.bindings g p in
+  let config = { config with D.timeout = Some sg_timeout } in
+  let res = D.run ~config ~inputs prog in
+  if res.D.timed_out then
+    { sg_exec = nan; sg_opt = nan; sg_compile = nan; sg_compile_warm = nan }
+  else begin
+    let t = res.D.timings in
+    let session = D.Session.create ~config () in
+    List.iter (fun (n, tens) -> D.Session.bind session n tens) inputs;
+    let _ =
+      D.Session.run_logical_plan session ~outputs:[ "count" ] res.D.logical_plan
+    in
+    let r2 =
+      D.Session.run_logical_plan session ~outputs:[ "count" ] res.D.logical_plan
+    in
+    {
+      sg_exec = t.D.execute_seconds;
+      sg_opt = t.D.logical_seconds +. t.D.physical_seconds;
+      sg_compile = t.D.compile_seconds;
+      sg_compile_warm = r2.D.timings.D.compile_seconds;
+    }
+  end
+
+(* The relational baseline planning the whole conjunctive query itself. *)
+let measure_duckdb (g : W.Graphs.t) (p : W.Subgraph.pattern) : sg_measurement =
+  let adj = W.Graphs.adjacency g in
+  let db = Rel.create_db () in
+  Rel.register_tensor db "M" adj;
+  List.iter
+    (fun l ->
+      if l < g.W.Graphs.n_labels then
+        Rel.register_tensor db
+          (Printf.sprintf "L%d" l)
+          (W.Graphs.label_vector g l))
+    (List.sort_uniq compare (List.map snd p.W.Subgraph.plabels));
+  let atoms =
+    List.map
+      (fun (u, v) ->
+        { Rel.rel = "M"; vars = [ W.Subgraph.var u; W.Subgraph.var v ] })
+      p.W.Subgraph.pedges
+    @ List.map
+        (fun (v, l) ->
+          { Rel.rel = Printf.sprintf "L%d" l; vars = [ W.Subgraph.var v ] })
+        p.W.Subgraph.plabels
+  in
+  try
+    let deadline = Unix.gettimeofday () +. sg_timeout in
+    let r = Rel.sum_product ~deadline db ~atoms ~out_vars:[] () in
+    {
+      sg_exec = r.Rel.exec_seconds;
+      sg_opt = r.Rel.plan_seconds;
+      sg_compile = 0.0;
+      sg_compile_warm = 0.0;
+    }
+  with Rel.Timeout ->
+    { sg_exec = nan; sg_opt = nan; sg_compile = 0.0; sg_compile_warm = 0.0 }
+
+(* Galley's logical optimizer with the relational engine as executor. *)
+let measure_galley_duckdb (g : W.Graphs.t) (p : W.Subgraph.pattern) :
+    sg_measurement =
+  let prog = W.Subgraph.count_program p in
+  let inputs = W.Subgraph.bindings g p in
+  let schema = Galley_plan.Schema.create () in
+  List.iter (fun (n, t) -> Galley_plan.Schema.declare_tensor schema n t) inputs;
+  let ctx = Galley_stats.Ctx.create schema in
+  List.iter (fun (n, t) -> ctx.Galley_stats.Ctx.register_input n t) inputs;
+  let t0 = Unix.gettimeofday () in
+  let plan =
+    Galley_logical.Optimizer.optimize_program
+      Galley_logical.Optimizer.default_config ctx prog
+  in
+  let t1 = Unix.gettimeofday () in
+  let db = Rel.create_db () in
+  List.iter (fun (n, t) -> Rel.register_tensor db n t) inputs;
+  try
+    let deadline = Unix.gettimeofday () +. sg_timeout in
+    let results =
+      Rel.run_logical_plan ~deadline db ~dim_of:(fun _ -> g.W.Graphs.n) plan
+    in
+    let exec =
+      List.fold_left
+        (fun acc r -> acc +. r.Rel.plan_seconds +. r.Rel.exec_seconds)
+        0.0 results
+    in
+    { sg_exec = exec; sg_opt = t1 -. t0; sg_compile = 0.0; sg_compile_warm = 0.0 }
+  with Rel.Timeout ->
+    { sg_exec = nan; sg_opt = t1 -. t0; sg_compile = 0.0; sg_compile_warm = 0.0 }
+
+let sg_methods :
+    (string * (W.Graphs.t -> W.Subgraph.pattern -> sg_measurement)) list =
+  [
+    ("duckdb", measure_duckdb);
+    ("galley+duckdb", measure_galley_duckdb);
+    ("galley(greedy)", measure_galley D.greedy_config);
+    ("galley(exact)", measure_galley D.default_config);
+  ]
+
+let subgraph_measurements = ref None
+
+let get_subgraph_measurements () =
+  match !subgraph_measurements with
+  | Some m -> m
+  | None ->
+      let scale = if !quick then 0.08 else 0.1 in
+      let graphs = W.Graphs.benchmark_suite ~scale in
+      let m =
+        List.map
+          (fun g ->
+            Printf.eprintf "[subgraph] measuring %s...\n%!" g.W.Graphs.name;
+            let queries = W.Subgraph.suite_for g in
+            ( g.W.Graphs.name,
+              List.map
+                (fun (mname, f) -> (mname, List.map (fun p -> f g p) queries))
+                sg_methods ))
+          graphs
+      in
+      subgraph_measurements := Some m;
+      m
+
+let fig7 () =
+  header "Figure 7: subgraph counting execution time (median; t/o count)";
+  Printf.printf "%-14s %18s %18s %18s %18s\n" "workload" "duckdb"
+    "galley+duckdb" "galley(greedy)" "galley(exact)";
+  List.iter
+    (fun (gname, per_method) ->
+      Printf.printf "%-14s" gname;
+      List.iter
+        (fun (_, ms) ->
+          let execs = List.map (fun m -> m.sg_exec) ms in
+          let finished = List.filter (fun t -> not (Float.is_nan t)) execs in
+          let timeouts = List.length execs - List.length finished in
+          let cell =
+            Printf.sprintf "%s (%d t/o)" (fmt_time (median finished)) timeouts
+          in
+          Printf.printf " %18s" cell)
+        per_method;
+      Printf.printf "\n%!")
+    (get_subgraph_measurements ())
+
+let fig8 () =
+  header "Figure 8: subgraph counting optimization time (mean)";
+  Printf.printf "%-14s %18s %18s %18s %18s\n" "workload" "duckdb"
+    "galley+duckdb" "galley(greedy)" "galley(exact)";
+  List.iter
+    (fun (gname, per_method) ->
+      Printf.printf "%-14s" gname;
+      List.iter
+        (fun (_, ms) ->
+          let opts =
+            List.filter
+              (fun t -> not (Float.is_nan t))
+              (List.map (fun m -> m.sg_opt) ms)
+          in
+          Printf.printf " %18s" (fmt_time (mean opts)))
+        per_method;
+      Printf.printf "\n%!")
+    (get_subgraph_measurements ())
+
+let fig9 () =
+  header "Figure 9: subgraph counting compilation time (mean; kernel cache)";
+  Printf.printf "%-14s %16s %16s\n" "workload" "galley cold" "galley warm";
+  List.iter
+    (fun (gname, per_method) ->
+      let ms = List.assoc "galley(exact)" per_method in
+      let pick f =
+        List.filter (fun t -> not (Float.is_nan t)) (List.map f ms)
+      in
+      Printf.printf "%-14s %16s %16s\n%!" gname
+        (fmt_time (mean (pick (fun m -> m.sg_compile))))
+        (fmt_time (mean (pick (fun m -> m.sg_compile_warm)))))
+    (get_subgraph_measurements ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: BFS.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  header "Figure 10: BFS total runtime (incl. Galley's optimization time)";
+  let scale = if !quick then 0.1 else 0.5 in
+  let graphs = W.Graphs.bfs_suite ~scale in
+  Printf.printf "%-12s %10s %10s %10s %8s\n" "graph" "galley" "sparse" "dense"
+    "best";
+  List.iter
+    (fun g ->
+      let adjacency = W.Graphs.adjacency g in
+      let run v = (W.Bfs.run v ~adjacency ~source:0).W.Bfs.seconds in
+      let galley_t = run W.Bfs.Adaptive in
+      let sparse_t = run W.Bfs.All_sparse in
+      let dense_t = run W.Bfs.All_dense in
+      let best =
+        if galley_t <= sparse_t && galley_t <= dense_t then "galley"
+        else if sparse_t <= dense_t then "sparse"
+        else "dense"
+      in
+      Printf.printf "%-12s %10s %10s %10s %8s\n%!" g.W.Graphs.name
+        (fmt_time galley_t) (fmt_time sparse_t) (fmt_time dense_t) best)
+    graphs
+
+(* ------------------------------------------------------------------ *)
+(* Ablations.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  header "Ablation: sparsity estimator (uniform vs chain bound)";
+  let scale = if !quick then 0.1 else 0.15 in
+  let g = List.hd (W.Graphs.benchmark_suite ~scale) in
+  Printf.printf "graph %s: %d vertices %d edges\n" g.W.Graphs.name g.W.Graphs.n
+    (W.Graphs.edge_count g);
+  Printf.printf "%-12s %14s %14s\n" "pattern" "uniform" "chain";
+  List.iter
+    (fun p ->
+      let prog = W.Subgraph.count_program p in
+      let inputs = W.Subgraph.bindings g p in
+      let run kind =
+        let config =
+          { D.default_config with estimator = kind; timeout = Some sg_timeout }
+        in
+        let r = D.run ~config ~inputs prog in
+        if r.D.timed_out then nan else r.D.timings.D.total_seconds
+      in
+      Printf.printf "%-12s %14s %14s\n%!" p.W.Subgraph.pname
+        (fmt_time (run Galley_stats.Ctx.Uniform_kind))
+        (fmt_time (run Galley_stats.Ctx.Chain_kind)))
+    (W.Subgraph.suite_for g);
+
+  header "Ablation: JIT physical optimization";
+  let scale =
+    if !quick then
+      { W.Tpch.n_lineitems = 600; n_suppliers = 30; n_parts = 80;
+        n_orders = 150; n_customers = 50 }
+    else
+      { W.Tpch.n_lineitems = 4000; n_suppliers = 100; n_parts = 250;
+        n_orders = 600; n_customers = 150 }
+  in
+  let star = W.Tpch.star_instance ~scale ~seed:2001 () in
+  let params = W.Ml.parameter_inputs ~seed:2002 ~d:star.W.Tpch.d ~hidden:16 in
+  let inputs = star.W.Tpch.inputs @ params in
+  Printf.printf "%-12s %12s %12s\n" "algorithm" "jit" "no-jit";
+  List.iter
+    (fun alg ->
+      let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+      let t ~jit =
+        snd
+          (time_min (fun () ->
+               D.run ~config:{ D.default_config with jit } ~inputs prog))
+      in
+      Printf.printf "%-12s %12s %12s\n%!" (W.Ml.algorithm_name alg)
+        (fmt_time (t ~jit:true))
+        (fmt_time (t ~jit:false)))
+    W.Ml.all_algorithms;
+
+  header "Ablation: common sub-expression elimination";
+  let prog = W.Ml.program_of W.Ml.Covariance ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+  let run ~cse =
+    let r = D.run ~config:{ D.default_config with cse } ~inputs prog in
+    ( r.D.timings.D.total_seconds,
+      r.D.timings.D.cse_hits,
+      r.D.timings.D.kernel_count )
+  in
+  let t_on, hits, kernels_on = run ~cse:true in
+  let t_off, _, kernels_off = run ~cse:false in
+  Printf.printf "covariance with CSE:    %s (%d kernel runs, %d cache hits)\n"
+    (fmt_time t_on) kernels_on hits;
+  Printf.printf "covariance without CSE: %s (%d kernel runs)\n%!"
+    (fmt_time t_off) kernels_off;
+
+  header "Ablation: greedy vs exact elimination order";
+  let g =
+    List.nth (W.Graphs.benchmark_suite ~scale:(if !quick then 0.1 else 0.15)) 1
+  in
+  Printf.printf "graph %s\n" g.W.Graphs.name;
+  Printf.printf "%-12s %14s %14s\n" "pattern" "greedy" "exact";
+  List.iter
+    (fun p ->
+      let prog = W.Subgraph.count_program p in
+      let inputs = W.Subgraph.bindings g p in
+      let run config =
+        let r =
+          D.run ~config:{ config with D.timeout = Some sg_timeout } ~inputs prog
+        in
+        if r.D.timed_out then nan else r.D.timings.D.total_seconds
+      in
+      Printf.printf "%-12s %14s %14s\n%!" p.W.Subgraph.pname
+        (fmt_time (run D.greedy_config))
+        (fmt_time (run D.default_config)))
+    (W.Subgraph.suite_for g)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the tensor substrate.                   *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Micro-benchmarks: per-format iteration / lookup / construction";
+  let open Bechamel in
+  let prng = Galley_tensor.Prng.create 3001 in
+  let n = if !quick then 20_000 else 100_000 in
+  let mk fmt = T.random ~prng ~dims:[| n |] ~formats:[| fmt |] ~density:0.02 () in
+  let tensors =
+    List.map
+      (fun f -> (T.format_to_string f, mk f))
+      [ T.Dense; T.Sparse_list; T.Bytemap; T.Hash ]
+  in
+  let iteration_tests =
+    List.map
+      (fun (name, t) ->
+        Test.make ~name
+          (Staged.stage (fun () ->
+               let acc = ref 0.0 in
+               T.iter_nonfill t (fun _ v -> acc := !acc +. v);
+               !acc)))
+      tensors
+  in
+  let lookup_tests =
+    List.map
+      (fun (name, t) ->
+        let coords = Array.init 512 (fun k -> [| k * (n / 512) |]) in
+        Test.make ~name
+          (Staged.stage (fun () ->
+               let acc = ref 0.0 in
+               Array.iter (fun c -> acc := !acc +. T.get t c) coords;
+               !acc)))
+      tensors
+  in
+  let build_tests =
+    List.map
+      (fun fmt ->
+        let name = T.format_to_string fmt in
+        Test.make ~name
+          (Staged.stage (fun () ->
+               let b =
+                 Galley_tensor.Builder.create ~dims:[| n |] ~formats:[| fmt |]
+                   ~identity:0.0 ()
+               in
+               for k = 0 to 999 do
+                 Galley_tensor.Builder.accum b
+                   [| k * (n / 1000) |]
+                   1.0 ~combine:( +. )
+               done;
+               Galley_tensor.Builder.freeze b
+                 ~finalize:(fun v _ -> v)
+                 ~fill:0.0)))
+      [ T.Dense; T.Sparse_list; T.Bytemap; T.Hash ]
+  in
+  let test =
+    Test.make_grouped ~name:"tensor"
+      [
+        Test.make_grouped ~name:"iterate" iteration_tests;
+        Test.make_grouped ~name:"lookup" lookup_tests;
+        Test.make_grouped ~name:"build" build_tests;
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name res acc -> (name, res) :: acc) results [] in
+  List.iter
+    (fun (name, res) ->
+      match Analyze.OLS.estimates res with
+      | Some [ est ] -> Printf.printf "%-34s %14.1f ns/run\n" name est
+      | _ -> Printf.printf "%-34s (no estimate)\n" name)
+    (List.sort compare rows);
+  Printf.printf "%!"
+
+(* ------------------------------------------------------------------ *)
+(* Driver.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "quick" || a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let sections =
+    match args with
+    | [] -> [ "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "ablations"; "micro" ]
+    | some -> some
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | "fig6" -> fig6 ()
+      | "fig7" -> fig7 ()
+      | "fig8" -> fig8 ()
+      | "fig9" -> fig9 ()
+      | "fig10" -> fig10 ()
+      | "ablations" -> ablations ()
+      | "micro" -> micro ()
+      | other -> Printf.eprintf "unknown section %s\n" other)
+    sections

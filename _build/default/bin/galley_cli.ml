@@ -1,0 +1,172 @@
+(* Command-line front end.
+
+     galley_cli run prog.gly --input X=x.coo --random "E=100x100:0.01:42" \
+       --show-plans --timings
+     galley_cli demo
+
+   Programs are written in textual tensor index notation (see
+   lib/lang/parser.ml for the grammar); tensors load from plain-text COO
+   files or are generated randomly. *)
+
+module T = Galley_tensor.Tensor
+
+let parse_random_spec (spec : string) : string * T.t =
+  (* name=DIMSxDIMS:density:seed, e.g. E=100x100:0.01:42 *)
+  match String.split_on_char '=' spec with
+  | [ name; rest ] -> (
+      match String.split_on_char ':' rest with
+      | [ dims_s; density_s; seed_s ] ->
+          let dims =
+            Array.of_list
+              (List.map int_of_string (String.split_on_char 'x' dims_s))
+          in
+          let formats =
+            Array.init (Array.length dims) (fun k ->
+                if k = 0 then T.Dense else T.Sparse_list)
+          in
+          let prng = Galley_tensor.Prng.create (int_of_string seed_s) in
+          ( name,
+            T.random ~prng ~dims ~formats ~density:(float_of_string density_s)
+              () )
+      | _ -> invalid_arg ("bad --random spec: " ^ spec))
+  | _ -> invalid_arg ("bad --random spec: " ^ spec)
+
+let parse_input_spec (spec : string) : string * T.t =
+  match String.split_on_char '=' spec with
+  | [ name; path ] -> (name, Galley_tensor.Tensor_io.load path)
+  | _ -> invalid_arg ("bad --input spec: " ^ spec)
+
+let print_result ~show_plans ~timings (res : Galley.Driver.result) =
+  if show_plans then begin
+    Format.printf "== logical plan ==@.";
+    List.iter
+      (fun q -> Format.printf "%a@." Galley_plan.Logical_query.pp q)
+      res.Galley.Driver.logical_plan;
+    Format.printf "== physical plan ==@.%a@." Galley_plan.Physical.pp_plan
+      res.Galley.Driver.physical_plan
+  end;
+  List.iter
+    (fun (name, idxs, t) ->
+      Format.printf "== output %s[%s] ==@.%a@." name (String.concat "," idxs)
+        T.pp t)
+    res.Galley.Driver.outputs;
+  if timings then begin
+    let t = res.Galley.Driver.timings in
+    Format.printf
+      "timings: logical=%.4fs physical=%.4fs compile=%.4fs (%d kernels \
+       compiled) execute=%.4fs cse_hits=%d@."
+      t.Galley.Driver.logical_seconds t.Galley.Driver.physical_seconds
+      t.Galley.Driver.compile_seconds t.Galley.Driver.compile_count
+      t.Galley.Driver.execute_seconds t.Galley.Driver.cse_hits
+  end;
+  if res.Galley.Driver.timed_out then Format.printf "TIMED OUT@."
+
+let run_cmd program_file inputs randoms outputs show_plans timings greedy
+    uniform no_jit no_cse timeout =
+  let src =
+    let ic = open_in program_file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let program = Galley_lang.Parser.parse_program src in
+  let program =
+    match outputs with
+    | [] -> program
+    | outs -> { program with Galley_plan.Ir.outputs = outs }
+  in
+  let bound =
+    List.map parse_input_spec inputs @ List.map parse_random_spec randoms
+  in
+  let config =
+    {
+      (if greedy then Galley.Driver.greedy_config
+       else Galley.Driver.default_config)
+      with
+      estimator =
+        (if uniform then Galley_stats.Ctx.Uniform_kind
+         else Galley_stats.Ctx.Chain_kind);
+      jit = not no_jit;
+      cse = not no_cse;
+      timeout;
+    }
+  in
+  let res = Galley.Driver.run ~config ~inputs:bound program in
+  print_result ~show_plans ~timings res;
+  0
+
+let demo_cmd () =
+  Format.printf "Triangle counting demo: 200-vertex random graph@.";
+  let g =
+    Galley_workloads.Graphs.symmetrize
+      (Galley_workloads.Graphs.erdos_renyi ~name:"demo" ~seed:42 ~n:200 ~m:800
+         ())
+  in
+  let adj = Galley_workloads.Graphs.adjacency g in
+  let src = "t = sum[i,j,k](E[i,j] * E[j,k] * E[i,k])" in
+  Format.printf "program: %s@." src;
+  let program = Galley_lang.Parser.parse_program src in
+  let res = Galley.Driver.run ~inputs:[ ("E", adj) ] program in
+  print_result ~show_plans:true ~timings:true res;
+  0
+
+open Cmdliner
+
+let program_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PROGRAM" ~doc:"Tensor program file (.gly)")
+
+let inputs_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "input"; "i" ] ~docv:"NAME=PATH" ~doc:"Bind a tensor from a COO file")
+
+let randoms_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "random"; "r" ] ~docv:"NAME=DIMS:DENSITY:SEED"
+        ~doc:"Bind a random tensor, e.g. E=100x100:0.01:42")
+
+let outputs_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "output"; "o" ] ~docv:"NAME" ~doc:"Output tensors (default: all)")
+
+let show_plans_arg =
+  Arg.(value & flag & info [ "show-plans" ] ~doc:"Print logical and physical plans")
+
+let timings_arg = Arg.(value & flag & info [ "timings" ] ~doc:"Print timing breakdown")
+let greedy_arg = Arg.(value & flag & info [ "greedy" ] ~doc:"Greedy logical optimizer")
+
+let uniform_arg =
+  Arg.(value & flag & info [ "uniform" ] ~doc:"Uniform sparsity estimator (default: chain bound)")
+
+let no_jit_arg = Arg.(value & flag & info [ "no-jit" ] ~doc:"Disable JIT physical optimization")
+let no_cse_arg = Arg.(value & flag & info [ "no-cse" ] ~doc:"Disable common sub-expression elimination")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Execution timeout")
+
+let run_term =
+  Term.(
+    const run_cmd $ program_arg $ inputs_arg $ randoms_arg $ outputs_arg
+    $ show_plans_arg $ timings_arg $ greedy_arg $ uniform_arg $ no_jit_arg
+    $ no_cse_arg $ timeout_arg)
+
+let run_info = Cmd.info "run" ~doc:"Optimize and execute a tensor program"
+let demo_term = Term.(const demo_cmd $ const ())
+let demo_info = Cmd.info "demo" ~doc:"Run a built-in triangle-counting demo"
+
+let main =
+  Cmd.group
+    (Cmd.info "galley_cli" ~version:"1.0.0"
+       ~doc:"Galley: declarative sparse tensor programming")
+    [ Cmd.v run_info run_term; Cmd.v demo_info demo_term ]
+
+let () = exit (Cmd.eval' main)

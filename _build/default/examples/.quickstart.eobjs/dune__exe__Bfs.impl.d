@@ -1,0 +1,1 @@
+examples/bfs.ml: Format Galley_tensor Galley_workloads List

@@ -1,0 +1,1 @@
+examples/ml_over_joins.ml: Format Galley Galley_tensor Galley_workloads List Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Galley Galley_lang Galley_plan Galley_tensor Galley_workloads List

@@ -1,0 +1,1 @@
+examples/subgraph_counting.ml: Float Format Galley Galley_relational Galley_tensor Galley_workloads List Unix

@@ -1,0 +1,1 @@
+examples/subgraph_counting.mli:

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Galley_engine Galley_logical Galley_physical Galley_plan Galley_stats Galley_tensor Hashtbl Ir List Logical_query Physical Printf Schema Unix

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Galley_logical Galley_physical Galley_plan Galley_stats Galley_tensor Ir Logical_query Physical

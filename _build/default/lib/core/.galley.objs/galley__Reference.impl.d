@@ -1,0 +1,1 @@
+lib/core/reference.ml: Array Galley_plan Galley_tensor Hashtbl Ir List Op Schema

@@ -1,0 +1,371 @@
+(* End-to-end Galley driver (paper Fig. 3):
+
+   input program --[logical optimizer]--> logical plan
+                 --[physical optimizer]--> physical plan
+                 --[engine]--> tensors
+
+   Just-in-time physical optimization (paper Sec. 8.1) is the default: each
+   logical query is physically optimized only after all of its aliases have
+   executed, with alias statistics refreshed from the materialized tensors.
+   Setting [jit = false] plans the whole physical program up front from
+   inferred statistics. *)
+
+open Galley_plan
+module T = Galley_tensor.Tensor
+module Ctx = Galley_stats.Ctx
+
+type config = {
+  estimator : Ctx.kind;
+  logical : Galley_logical.Optimizer.config;
+  physical : Galley_physical.Optimizer.config;
+  jit : bool;
+  cse : bool;
+  timeout : float option; (* seconds; execution aborts past this *)
+}
+
+let default_config =
+  {
+    estimator = Ctx.Chain_kind;
+    logical = Galley_logical.Optimizer.default_config;
+    physical = Galley_physical.Optimizer.default_config;
+    jit = true;
+    cse = true;
+    timeout = None;
+  }
+
+let greedy_config =
+  {
+    default_config with
+    logical =
+      {
+        Galley_logical.Optimizer.default_config with
+        search = Galley_logical.Optimizer.Greedy;
+      };
+  }
+
+type timings = {
+  logical_seconds : float;
+  physical_seconds : float;
+  compile_seconds : float;
+  execute_seconds : float;
+  total_seconds : float;
+  compile_count : int;
+  kernel_count : int;
+  cse_hits : int;
+}
+
+type result = {
+  outputs : (string * Ir.idx list * T.t) list; (* name, dim order, tensor *)
+  logical_plan : Logical_query.t list;
+  physical_plan : Physical.plan;
+  timings : timings;
+  timed_out : bool;
+}
+
+let output_of (r : result) (name : string) : T.t =
+  match List.find_opt (fun (n, _, _) -> n = name) r.outputs with
+  | Some (_, _, t) -> t
+  | None -> invalid_arg ("Galley: no output named " ^ name)
+
+(* Replace Input leaves that actually refer to earlier query outputs with
+   Alias leaves, so programs can be written without distinguishing them. *)
+let resolve_names (p : Ir.program) : Ir.program =
+  let defined = Hashtbl.create 8 in
+  let queries =
+    List.map
+      (fun (q : Ir.query) ->
+        let rec fix (e : Ir.expr) : Ir.expr =
+          match e with
+          | Ir.Input (n, idxs) when Hashtbl.mem defined n -> Ir.Alias (n, idxs)
+          | Ir.Input _ | Ir.Alias _ | Ir.Literal _ -> e
+          | Ir.Map (op, args) -> Ir.Map (op, List.map fix args)
+          | Ir.Agg (op, idxs, body) -> Ir.Agg (op, idxs, fix body)
+        in
+        let q = { q with Ir.expr = fix q.Ir.expr } in
+        Hashtbl.replace defined q.Ir.name ();
+        q)
+      p.Ir.queries
+  in
+  { p with Ir.queries }
+
+let now = Unix.gettimeofday
+
+(* Refresh alias statistics from materialized tensors before physically
+   optimizing [q] (JIT adaptive optimization).  [refreshed] remembers names
+   already measured this run: bindings are immutable within a run, so one
+   measurement per intermediate suffices. *)
+let refresh_alias_stats ?(refreshed = Hashtbl.create 16) (ctx : Ctx.t)
+    (exec : Galley_engine.Exec.t) (q : Logical_query.t) : unit =
+  List.iter
+    (fun (name, kind) ->
+      match kind with
+      | `Alias when not (Hashtbl.mem refreshed name) -> (
+          match Galley_engine.Exec.lookup_opt exec name with
+          | Some t ->
+              Hashtbl.replace refreshed name ();
+              Schema.declare_tensor ctx.Ctx.schema name t;
+              ctx.Ctx.register_alias_tensor name t
+          | None -> ())
+      | `Alias | `Input -> ())
+    (Ir.referenced_names q.Logical_query.body)
+
+let make_ctx (config : config) (inputs : (string * T.t) list) : Ctx.t =
+  let schema = Schema.create () in
+  List.iter (fun (name, t) -> Schema.declare_tensor schema name t) inputs;
+  let ctx = Ctx.create ~kind:config.estimator schema in
+  List.iter (fun (name, t) -> ctx.Ctx.register_input name t) inputs;
+  ctx
+
+(* Physical optimization + execution of an already-logical plan. *)
+let execute_logical ~(config : config) ~(ctx : Ctx.t)
+    ~(inputs : (string * T.t) list) ~(logical_plan : Logical_query.t list)
+    ~(outputs : string list) ~(logical_seconds : float) : result =
+  let exec = Galley_engine.Exec.create ~cse:config.cse () in
+  List.iter (fun (name, t) -> Galley_engine.Exec.bind exec name t) inputs;
+  (match config.timeout with
+  | Some s -> Galley_engine.Exec.set_timeout exec s
+  | None -> ());
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "#p%d" !counter
+  in
+  let physical_seconds = ref 0.0 in
+  let all_steps = ref [] in
+  let timed_out = ref false in
+  (try
+     if config.jit then begin
+       (* Plan each query right before running it, with fresh statistics. *)
+       let refreshed = Hashtbl.create 16 in
+       List.iter
+         (fun q ->
+           let t0 = now () in
+           refresh_alias_stats ~refreshed ctx exec q;
+           let plan =
+             Galley_physical.Optimizer.plan_query ~config:config.physical ctx
+               ~fresh q
+           in
+           physical_seconds := !physical_seconds +. (now () -. t0);
+           all_steps := !all_steps @ plan;
+           Galley_engine.Exec.run_plan exec plan)
+         logical_plan
+     end
+     else begin
+       let t0 = now () in
+       let plan =
+         List.concat_map
+           (fun q ->
+             Galley_physical.Optimizer.plan_query ~config:config.physical ctx
+               ~fresh q)
+           logical_plan
+       in
+       physical_seconds := now () -. t0;
+       all_steps := plan;
+       Galley_engine.Exec.run_plan exec plan
+     end
+   with Galley_engine.Exec.Timeout -> timed_out := true);
+  let timings = exec.Galley_engine.Exec.timings in
+  let outputs =
+    if !timed_out then []
+    else
+      List.filter_map
+        (fun name ->
+          match
+            List.find_opt
+              (fun (q : Logical_query.t) -> q.Logical_query.name = name)
+              logical_plan
+          with
+          | Some q -> (
+              match Galley_engine.Exec.lookup_opt exec name with
+              | Some t -> Some (name, q.Logical_query.output_idxs, t)
+              | None -> None)
+          | None -> None)
+        outputs
+  in
+  {
+    outputs;
+    logical_plan;
+    physical_plan = !all_steps;
+    timings =
+      {
+        logical_seconds;
+        physical_seconds = !physical_seconds;
+        compile_seconds = timings.Galley_engine.Exec.compile_time;
+        execute_seconds = timings.Galley_engine.Exec.exec_time;
+        total_seconds =
+          logical_seconds +. !physical_seconds
+          +. timings.Galley_engine.Exec.compile_time
+          +. timings.Galley_engine.Exec.exec_time;
+        compile_count = timings.Galley_engine.Exec.compile_count;
+        kernel_count = timings.Galley_engine.Exec.kernel_count;
+        cse_hits = timings.Galley_engine.Exec.cse_hits;
+      };
+    timed_out = !timed_out;
+  }
+
+let run ?(config = default_config) ~(inputs : (string * T.t) list)
+    (program : Ir.program) : result =
+  let program = resolve_names program in
+  let ctx = make_ctx config inputs in
+  let t0 = now () in
+  let logical_plan =
+    Galley_logical.Optimizer.optimize_program config.logical ctx program
+  in
+  let logical_seconds = now () -. t0 in
+  execute_logical ~config ~ctx ~inputs ~logical_plan
+    ~outputs:program.Ir.outputs ~logical_seconds
+
+(* Run a hand-written logical plan directly, bypassing the logical
+   optimizer: this is how the "hand-coded kernel" baselines of the
+   evaluation are expressed, so that they execute on the same engine. *)
+let run_logical_plan ?(config = default_config)
+    ~(inputs : (string * T.t) list) ~(outputs : string list)
+    (logical_plan : Logical_query.t list) : result =
+  let ctx = make_ctx config inputs in
+  (* Register every query's output so estimation can see the aliases. *)
+  List.iter
+    (fun (q : Logical_query.t) ->
+      let full = (Logical_query.to_query q).Ir.expr in
+      let dims = Schema.index_dims ctx.Ctx.schema full in
+      let out_dims =
+        Array.of_list
+          (List.map
+             (fun i -> Schema.dim_of_idx dims i)
+             q.Logical_query.output_idxs)
+      in
+      let fill = Schema.expr_fill ctx.Ctx.schema dims full in
+      Schema.declare ctx.Ctx.schema q.Logical_query.name ~dims:out_dims ~fill;
+      ctx.Ctx.register_alias_estimated q.Logical_query.name
+        ~output_idxs:q.Logical_query.output_idxs full)
+    logical_plan;
+  execute_logical ~config ~ctx ~inputs ~logical_plan ~outputs
+    ~logical_seconds:0.0
+
+(* Convenience wrapper for single-query programs. *)
+let run_query ?config ~inputs (q : Ir.query) : result =
+  run ?config ~inputs { Ir.queries = [ q ]; outputs = [ q.Ir.name ] }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions.                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A session keeps the statistics context and the engine (kernel cache, CSE
+   cache) alive across calls: input statistics are computed once per
+   binding, and re-running a structurally identical plan (e.g. one BFS
+   iteration at a time, paper Sec. 9.3) reuses compiled kernels — the same
+   amortization Finch's kernel cache provides. *)
+module Session = struct
+  type session = {
+    s_config : config;
+    s_ctx : Ctx.t;
+    s_exec : Galley_engine.Exec.t;
+    mutable s_inputs : (string * T.t) list;
+    mutable s_counter : int;
+  }
+
+  let create ?(config = default_config) () : session =
+    let schema = Schema.create () in
+    {
+      s_config = config;
+      s_ctx = Ctx.create ~kind:config.estimator schema;
+      s_exec = Galley_engine.Exec.create ~cse:config.cse ();
+      s_inputs = [];
+      s_counter = 0;
+    }
+
+  (* Bind or rebind an input tensor; statistics are (re)computed here, not
+     per run. *)
+  let bind (s : session) (name : string) (tensor : T.t) : unit =
+    Schema.declare_tensor s.s_ctx.Ctx.schema name tensor;
+    s.s_ctx.Ctx.register_input name tensor;
+    Galley_engine.Exec.bind s.s_exec name tensor;
+    s.s_inputs <- (name, tensor) :: List.remove_assoc name s.s_inputs
+
+  let fresh (s : session) () =
+    s.s_counter <- s.s_counter + 1;
+    Printf.sprintf "#s%d" s.s_counter
+
+  (* Run a hand-written logical plan against the session state. *)
+  let run_logical_plan (s : session) ~(outputs : string list)
+      (logical_plan : Logical_query.t list) : result =
+    let config = s.s_config in
+    let ctx = s.s_ctx in
+    let exec = s.s_exec in
+    (match config.timeout with
+    | Some sec -> Galley_engine.Exec.set_timeout exec sec
+    | None -> ());
+    let physical_seconds = ref 0.0 in
+    let all_steps = ref [] in
+    let timed_out = ref false in
+    let t_before = exec.Galley_engine.Exec.timings in
+    let compile0 = t_before.Galley_engine.Exec.compile_time in
+    let exec0 = t_before.Galley_engine.Exec.exec_time in
+    (try
+       List.iter
+         (fun (q : Logical_query.t) ->
+           let t0 = now () in
+           (* Alias statistics: measured when materialized (JIT), else
+              inferred. *)
+           let full = (Logical_query.to_query q).Ir.expr in
+           let dims = Schema.index_dims ctx.Ctx.schema full in
+           let out_dims =
+             Array.of_list
+               (List.map
+                  (fun i -> Schema.dim_of_idx dims i)
+                  q.Logical_query.output_idxs)
+           in
+           let fill = Schema.expr_fill ctx.Ctx.schema dims full in
+           Schema.declare ctx.Ctx.schema q.Logical_query.name ~dims:out_dims
+             ~fill;
+           ctx.Ctx.register_alias_estimated q.Logical_query.name
+             ~output_idxs:q.Logical_query.output_idxs full;
+           if config.jit then refresh_alias_stats ctx exec q;
+           let plan =
+             Galley_physical.Optimizer.plan_query ~config:config.physical ctx
+               ~fresh:(fresh s) q
+           in
+           physical_seconds := !physical_seconds +. (now () -. t0);
+           all_steps := !all_steps @ plan;
+           Galley_engine.Exec.run_plan exec plan)
+         logical_plan
+     with Galley_engine.Exec.Timeout -> timed_out := true);
+    let t_after = exec.Galley_engine.Exec.timings in
+    let outputs =
+      if !timed_out then []
+      else
+        List.filter_map
+          (fun name ->
+            match
+              ( List.find_opt
+                  (fun (q : Logical_query.t) -> q.Logical_query.name = name)
+                  logical_plan,
+                Galley_engine.Exec.lookup_opt exec name )
+            with
+            | Some q, Some t -> Some (name, q.Logical_query.output_idxs, t)
+            | _ -> None)
+          outputs
+    in
+    {
+      outputs;
+      logical_plan;
+      physical_plan = !all_steps;
+      timings =
+        {
+          logical_seconds = 0.0;
+          physical_seconds = !physical_seconds;
+          compile_seconds = t_after.Galley_engine.Exec.compile_time -. compile0;
+          execute_seconds = t_after.Galley_engine.Exec.exec_time -. exec0;
+          total_seconds =
+            !physical_seconds
+            +. t_after.Galley_engine.Exec.compile_time -. compile0
+            +. t_after.Galley_engine.Exec.exec_time -. exec0;
+          compile_count = t_after.Galley_engine.Exec.compile_count;
+          kernel_count = t_after.Galley_engine.Exec.kernel_count;
+          cse_hits = t_after.Galley_engine.Exec.cse_hits;
+        };
+      timed_out = !timed_out;
+    }
+
+  let lookup (s : session) (name : string) : T.t option =
+    Galley_engine.Exec.lookup_opt s.s_exec name
+end

@@ -1,0 +1,86 @@
+(** End-to-end Galley driver (paper Fig. 3):
+
+    input program → logical optimizer → physical optimizer → engine.
+
+    Just-in-time physical optimization (paper Sec. 8.1) is the default:
+    each logical query is physically optimized only after its aliases have
+    executed, with statistics refreshed from the materialized tensors. *)
+
+open Galley_plan
+module T = Galley_tensor.Tensor
+module Ctx = Galley_stats.Ctx
+
+type config = {
+  estimator : Ctx.kind;  (** sparsity estimator (default: chain bound) *)
+  logical : Galley_logical.Optimizer.config;
+  physical : Galley_physical.Optimizer.config;
+  jit : bool;  (** just-in-time physical optimization (Sec. 8.1) *)
+  cse : bool;  (** common sub-expression elimination (Sec. 8.2) *)
+  timeout : float option;  (** execution wall-clock budget in seconds *)
+}
+
+(** Chain-bound estimator, branch-and-bound logical search, JIT, CSE. *)
+val default_config : config
+
+(** [default_config] with the greedy logical optimizer. *)
+val greedy_config : config
+
+type timings = {
+  logical_seconds : float;
+  physical_seconds : float;
+  compile_seconds : float;  (** kernel-cache misses only *)
+  execute_seconds : float;
+  total_seconds : float;
+  compile_count : int;
+  kernel_count : int;
+  cse_hits : int;
+}
+
+type result = {
+  outputs : (string * Ir.idx list * T.t) list;
+      (** program outputs: name, dimension order, tensor *)
+  logical_plan : Logical_query.t list;
+  physical_plan : Physical.plan;
+  timings : timings;
+  timed_out : bool;  (** true = aborted; [outputs] is empty *)
+}
+
+(** Look up an output tensor by name; raises [Invalid_argument] if absent. *)
+val output_of : result -> string -> T.t
+
+(** Rewrite [Input] leaves that refer to earlier query outputs into
+    [Alias] leaves (applied automatically by {!run}). *)
+val resolve_names : Ir.program -> Ir.program
+
+(** Optimize and execute a whole program against the given input tensors. *)
+val run : ?config:config -> inputs:(string * T.t) list -> Ir.program -> result
+
+(** Execute a hand-written logical plan, bypassing the logical optimizer:
+    how the paper's hand-coded kernel baselines are expressed, so they run
+    on the same engine. *)
+val run_logical_plan :
+  ?config:config ->
+  inputs:(string * T.t) list ->
+  outputs:string list ->
+  Logical_query.t list ->
+  result
+
+(** Single-query convenience wrapper around {!run}. *)
+val run_query : ?config:config -> inputs:(string * T.t) list -> Ir.query -> result
+
+(** Incremental sessions: keep input statistics and the engine's kernel
+    cache alive across calls (e.g. one BFS iteration at a time, paper
+    Sec. 9.3). *)
+module Session : sig
+  type session
+
+  val create : ?config:config -> unit -> session
+
+  (** Bind or rebind an input; statistics are (re)computed here. *)
+  val bind : session -> string -> T.t -> unit
+
+  val run_logical_plan :
+    session -> outputs:string list -> Logical_query.t list -> result
+
+  val lookup : session -> string -> T.t option
+end

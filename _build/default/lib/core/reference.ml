@@ -1,0 +1,110 @@
+(* Brute-force reference evaluator.
+
+   Evaluates tensor-index-notation programs directly over the dense
+   coordinate space, with no optimization and no sparsity: the semantic
+   ground truth against which the optimizer + engine pipeline is tested.
+   Exponential in the number of indices — only suitable for small tests. *)
+
+open Galley_plan
+module T = Galley_tensor.Tensor
+
+type env = { tensors : (string, T.t) Hashtbl.t; schema : Schema.t }
+
+let create_env (inputs : (string * T.t) list) : env =
+  let tensors = Hashtbl.create 16 in
+  let schema = Schema.create () in
+  List.iter
+    (fun (name, t) ->
+      Hashtbl.replace tensors name t;
+      Schema.declare_tensor schema name t)
+    inputs;
+  { tensors; schema }
+
+(* Evaluate [e] at a full index assignment. *)
+let rec eval_at (env : env) (dims : int Ir.Idx_map.t)
+    (assign : (Ir.idx, int) Hashtbl.t) (e : Ir.expr) : float =
+  match e with
+  | Ir.Input (name, idxs) | Ir.Alias (name, idxs) ->
+      let t =
+        match Hashtbl.find_opt env.tensors name with
+        | Some t -> t
+        | None -> invalid_arg ("Reference: unbound tensor " ^ name)
+      in
+      let coords =
+        Array.of_list (List.map (fun i -> Hashtbl.find assign i) idxs)
+      in
+      T.get t coords
+  | Ir.Literal v -> v
+  | Ir.Map (op, args) ->
+      Op.apply op (Array.of_list (List.map (eval_at env dims assign) args))
+  | Ir.Agg (op, idxs, body) ->
+      let identity =
+        match Op.identity op with
+        | Some e -> e
+        | None -> (
+            match op with
+            | Op.Ident -> 0.0
+            | _ -> invalid_arg "Reference: aggregate without identity")
+      in
+      let rec loop rem acc =
+        match rem with
+        | [] ->
+            let v = eval_at env dims assign body in
+            if op = Op.Ident then v else Op.apply2 op acc v
+        | i :: rest ->
+            let n = Schema.dim_of_idx dims i in
+            (* Save any outer binding: binders may shadow. *)
+            let saved = Hashtbl.find_opt assign i in
+            let acc = ref acc in
+            for x = 0 to n - 1 do
+              Hashtbl.replace assign i x;
+              acc := loop rest !acc
+            done;
+            (match saved with
+            | Some v -> Hashtbl.replace assign i v
+            | None -> Hashtbl.remove assign i);
+            !acc
+      in
+      loop idxs identity
+
+(* Evaluate one query into a dense-format tensor with explicit output
+   order. *)
+let eval_query (env : env) (q : Ir.query) : Ir.idx list * T.t =
+  let dims = Schema.index_dims env.schema q.Ir.expr in
+  let free = Ir.Idx_set.elements (Ir.free_indices q.Ir.expr) in
+  let out_order = match q.Ir.out_order with Some o -> o | None -> free in
+  let out_dims =
+    Array.of_list (List.map (fun i -> Schema.dim_of_idx dims i) out_order)
+  in
+  let assign = Hashtbl.create 8 in
+  let formats = Array.map (fun _ -> T.Dense) out_dims in
+  let result =
+    if Array.length out_dims = 0 then
+      T.scalar (eval_at env dims assign q.Ir.expr)
+    else
+      T.of_fun ~dims:out_dims ~formats (fun coords ->
+          List.iteri
+            (fun k i -> Hashtbl.replace assign i coords.(k))
+            out_order;
+          eval_at env dims assign q.Ir.expr)
+  in
+  (out_order, result)
+
+(* Evaluate a whole program; returns every query's result by name. *)
+let eval_program (inputs : (string * T.t) list) (p : Ir.program) :
+    (string * T.t) list =
+  let env = create_env inputs in
+  List.map
+    (fun q ->
+      let out_order, t = eval_query env q in
+      Hashtbl.replace env.tensors q.Ir.name t;
+      let out_dims =
+        Array.of_list
+          (List.map
+             (fun i ->
+               Schema.dim_of_idx (Schema.index_dims env.schema q.Ir.expr) i)
+             out_order)
+      in
+      Schema.declare env.schema q.Ir.name ~dims:out_dims ~fill:0.0;
+      (q.Ir.name, t))
+    p.Ir.queries

@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Array Galley_plan Galley_tensor Hashtbl Kernel_exec List Physical Printf String Unix

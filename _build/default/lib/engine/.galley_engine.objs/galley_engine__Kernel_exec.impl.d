@@ -1,0 +1,1 @@
+lib/engine/kernel_exec.ml: Array Galley_physical Galley_plan Galley_tensor Hashtbl List Op Physical Printf Unix

@@ -1,0 +1,171 @@
+(* Plan execution (paper Sec. 4.3, 8.2, Fig. 9).
+
+   The executor owns a tensor dictionary (inputs + intermediates), a kernel
+   cache keyed by the kernel's structural signature (formats, protocols,
+   fills — names stripped), and a common-sub-expression cache keyed by the
+   physical step plus the identities of the tensors it reads.  Compiling a
+   kernel on a cache miss is timed separately from running it so the
+   compilation-latency experiment (Fig. 9) can report cold vs warm costs. *)
+
+open Galley_plan
+module T = Galley_tensor.Tensor
+
+exception Timeout = Kernel_exec.Timeout
+
+type timings = {
+  mutable compile_time : float; (* seconds spent compiling kernels *)
+  mutable compile_count : int; (* cache misses *)
+  mutable kernel_count : int; (* kernel invocations *)
+  mutable exec_time : float; (* seconds spent running kernels/transposes *)
+  mutable cse_hits : int;
+}
+
+let fresh_timings () =
+  {
+    compile_time = 0.0;
+    compile_count = 0;
+    kernel_count = 0;
+    exec_time = 0.0;
+    cse_hits = 0;
+  }
+
+type t = {
+  tensors : (string, T.t) Hashtbl.t;
+  versions : (string, int) Hashtbl.t;
+      (* bumped on every (re)bind: CSE keys name a specific binding, so
+         rebinding a name (e.g. the BFS frontier each iteration) cannot hit
+         a stale cached result *)
+  kernel_cache : (string, Kernel_exec.compiled) Hashtbl.t;
+  cse_cache : (string, T.t) Hashtbl.t;
+  cse_enabled : bool;
+  timings : timings;
+  mutable deadline : float option;
+}
+
+let create ?(cse = true) () =
+  {
+    tensors = Hashtbl.create 32;
+    versions = Hashtbl.create 32;
+    kernel_cache = Hashtbl.create 32;
+    cse_cache = Hashtbl.create 32;
+    cse_enabled = cse;
+    timings = fresh_timings ();
+    deadline = None;
+  }
+
+let set_timeout (t : t) (seconds : float) : unit =
+  t.deadline <- Some (Unix.gettimeofday () +. seconds)
+
+let clear_timeout (t : t) : unit = t.deadline <- None
+
+let bind (t : t) (name : string) (tensor : T.t) : unit =
+  let v = match Hashtbl.find_opt t.versions name with Some v -> v + 1 | None -> 0 in
+  Hashtbl.replace t.versions name v;
+  Hashtbl.replace t.tensors name tensor
+
+let version (t : t) (name : string) : int =
+  match Hashtbl.find_opt t.versions name with Some v -> v | None -> 0
+
+let lookup (t : t) (name : string) : T.t =
+  match Hashtbl.find_opt t.tensors name with
+  | Some tensor -> tensor
+  | None -> invalid_arg ("Exec: unbound tensor " ^ name)
+
+let lookup_opt (t : t) (name : string) : T.t option =
+  Hashtbl.find_opt t.tensors name
+
+(* Reset per-program state but keep the kernel cache (kernels are reused
+   across programs with the same structure, as Finch does). *)
+let reset_tensors (t : t) : unit =
+  Hashtbl.reset t.tensors;
+  Hashtbl.reset t.cse_cache
+
+let now = Unix.gettimeofday
+
+(* CSE key: a physical step is a pure function of the tensors it reads, and
+   tensor bindings are immutable within an execution, so step-signature plus
+   read-tensor names identifies the result (paper Sec. 8.2). *)
+let cse_key_kernel (t : t) (k : Physical.kernel) ~(signature : string) : string =
+  signature ^ "#"
+  ^ String.concat ","
+      (Array.to_list
+         (Array.map
+            (fun a ->
+              Printf.sprintf "%s@%d" a.Physical.tensor
+                (version t a.Physical.tensor))
+            k.Physical.accesses))
+
+let run_kernel (t : t) (k : Physical.kernel) : T.t =
+  let tensors =
+    Array.map (fun a -> lookup t a.Physical.tensor) k.Physical.accesses
+  in
+  let access_fills = Array.map T.fill tensors in
+  let access_formats = Array.map T.formats tensors in
+  let signature =
+    Physical.signature k ~access_formats
+    ^ "|fills:"
+    ^ String.concat ","
+        (Array.to_list (Array.map (Printf.sprintf "%h") access_fills))
+  in
+  let cse_key = cse_key_kernel t k ~signature in
+  match
+    if t.cse_enabled then Hashtbl.find_opt t.cse_cache cse_key else None
+  with
+  | Some result ->
+      t.timings.cse_hits <- t.timings.cse_hits + 1;
+      result
+  | None ->
+      let compiled =
+        match Hashtbl.find_opt t.kernel_cache signature with
+        | Some c -> c
+        | None ->
+            let t0 = now () in
+            let c = { (Kernel_exec.compile k ~access_fills) with signature } in
+            t.timings.compile_time <- t.timings.compile_time +. (now () -. t0);
+            t.timings.compile_count <- t.timings.compile_count + 1;
+            Hashtbl.replace t.kernel_cache signature c;
+            c
+      in
+      let t0 = now () in
+      let result = compiled.Kernel_exec.run ?deadline:t.deadline k tensors in
+      t.timings.exec_time <- t.timings.exec_time +. (now () -. t0);
+      t.timings.kernel_count <- t.timings.kernel_count + 1;
+      if t.cse_enabled then Hashtbl.replace t.cse_cache cse_key result;
+      result
+
+let run_transpose (t : t) ~(source : string) ~(perm : int array)
+    ~(formats : T.format array option) : T.t =
+  let src = lookup t source in
+  let t0 = now () in
+  let result = T.transpose ?formats src perm in
+  t.timings.exec_time <- t.timings.exec_time +. (now () -. t0);
+  result
+
+let run_step (t : t) (step : Physical.step) : string * T.t =
+  match step with
+  | Physical.Kernel k ->
+      let result = run_kernel t k in
+      bind t k.Physical.name result;
+      (k.Physical.name, result)
+  | Physical.Transpose { name; source; perm; formats; _ } ->
+      let key =
+        Printf.sprintf "transpose:%s@%d:%s" source (version t source)
+          (String.concat "," (Array.to_list (Array.map string_of_int perm)))
+      in
+      let result =
+        match
+          if t.cse_enabled then Hashtbl.find_opt t.cse_cache key else None
+        with
+        | Some r ->
+            t.timings.cse_hits <- t.timings.cse_hits + 1;
+            r
+        | None ->
+            let r = run_transpose t ~source ~perm ~formats:(Some formats) in
+            if t.cse_enabled then Hashtbl.replace t.cse_cache key r;
+            r
+      in
+      bind t name result;
+      (name, result)
+
+let run_plan (t : t) (plan : Physical.plan) : unit =
+  List.iter (fun step -> ignore (run_step t step)) plan

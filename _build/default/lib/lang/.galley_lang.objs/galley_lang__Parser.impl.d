@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Galley_plan Ir Lexer List Op Printf

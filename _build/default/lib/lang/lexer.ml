@@ -1,0 +1,137 @@
+(* Lexer for the textual tensor-index-notation front end.
+
+   Token stream over a small expression language:
+
+     Y[i] = sigmoid(sum[j](X[i,j] * theta[j]))
+     t    = sum[i,j,k](E[i,j] * E[j,k] * E[i,k])
+
+   Identifiers, numbers, brackets, commas, arithmetic/comparison operators,
+   and '=' for query definition. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | LT
+  | LEQ
+  | GT
+  | GEQ
+  | EQEQ
+  | NEQ
+  | NEWLINE
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "ident(%s)" s
+  | NUMBER v -> Printf.sprintf "number(%g)" v
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | EQUALS -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | CARET -> "^"
+  | LT -> "<"
+  | LEQ -> "<="
+  | GT -> ">"
+  | GEQ -> ">="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | NEWLINE -> "\\n"
+  | EOF -> "eof"
+
+exception Lex_error of string * int (* message, position *)
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '\n' || c = ';' then begin
+      emit NEWLINE;
+      incr pos
+    end
+    else if c = '#' then begin
+      (* comment to end of line *)
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      emit (IDENT (String.sub src start (!pos - start)))
+    end
+    else if is_digit c || (c = '.' && (match peek 1 with Some d -> is_digit d | None -> false))
+    then begin
+      let start = !pos in
+      while
+        !pos < n
+        && (is_digit src.[!pos] || src.[!pos] = '.' || src.[!pos] = 'e'
+           || src.[!pos] = 'E'
+           || ((src.[!pos] = '-' || src.[!pos] = '+')
+              && !pos > start
+              && (src.[!pos - 1] = 'e' || src.[!pos - 1] = 'E')))
+      do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      match float_of_string_opt text with
+      | Some v -> emit (NUMBER v)
+      | None -> raise (Lex_error ("bad number " ^ text, start))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      match two with
+      | "<=" -> emit LEQ; pos := !pos + 2
+      | ">=" -> emit GEQ; pos := !pos + 2
+      | "==" -> emit EQEQ; pos := !pos + 2
+      | "!=" -> emit NEQ; pos := !pos + 2
+      | _ -> (
+          (match c with
+          | '(' -> emit LPAREN
+          | ')' -> emit RPAREN
+          | '[' -> emit LBRACKET
+          | ']' -> emit RBRACKET
+          | ',' -> emit COMMA
+          | '=' -> emit EQUALS
+          | '+' -> emit PLUS
+          | '-' -> emit MINUS
+          | '*' -> emit STAR
+          | '/' -> emit SLASH
+          | '^' -> emit CARET
+          | '<' -> emit LT
+          | '>' -> emit GT
+          | c -> raise (Lex_error (Printf.sprintf "unexpected character %c" c, !pos)));
+          incr pos)
+    end
+  done;
+  emit EOF;
+  List.rev !tokens

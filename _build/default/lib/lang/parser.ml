@@ -1,0 +1,230 @@
+(* Recursive-descent parser for textual tensor index notation.
+
+   Grammar (one query per line; '#' comments):
+
+     program  := ( query NEWLINE* )*  (with * outside the parens)
+     query    := IDENT [ "[" idxs "]" ] "=" expr
+     expr     := cmp
+     cmp      := additive (("<" | "<=" | ">" | ">=" | "==" | "!=") additive)?
+     additive := mult (("+" | "-") mult)*
+     mult     := unary (("*" | "/") unary)*
+     unary    := "-" unary | power
+     power    := atom ("^" unary)?
+     atom     := NUMBER
+               | agg "[" idxs "]" "(" expr ")"         aggregates
+               | func "(" expr ")"                     unary functions
+               | IDENT "[" idxs "]"                    tensor access
+               | IDENT                                 scalar tensor
+               | "(" expr ")"
+     agg      := "sum" | "prod" | "maxof" | "minof" | "orof" | "andof"
+     func     := "sigmoid" | "relu" | "exp" | "log" | "sqrt" | "abs" | "sq"
+
+   Accesses to names defined by earlier queries become [Alias]es when the
+   program is run (the driver resolves them). *)
+
+open Galley_plan
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek (st : state) : Lexer.token =
+  match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance (st : state) : Lexer.token =
+  match st.toks with
+  | [] -> Lexer.EOF
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect (st : state) (t : Lexer.token) : unit =
+  let got = advance st in
+  if got <> t then
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s, got %s" (Lexer.token_to_string t)
+            (Lexer.token_to_string got)))
+
+let agg_ops =
+  [
+    ("sum", Op.Add);
+    ("prod", Op.Mul);
+    ("maxof", Op.Max);
+    ("minof", Op.Min);
+    ("orof", Op.Or);
+    ("andof", Op.And);
+  ]
+
+let unary_funcs =
+  [
+    ("sigmoid", Op.Sigmoid);
+    ("relu", Op.Relu);
+    ("exp", Op.Exp);
+    ("log", Op.Log);
+    ("sqrt", Op.Sqrt);
+    ("abs", Op.Abs);
+    ("sq", Op.Square);
+    ("sign", Op.Sign);
+  ]
+
+let parse_idx_list (st : state) : string list =
+  expect st Lexer.LBRACKET;
+  let rec go acc =
+    match advance st with
+    | Lexer.IDENT i -> (
+        match advance st with
+        | Lexer.COMMA -> go (i :: acc)
+        | Lexer.RBRACKET -> List.rev (i :: acc)
+        | t ->
+            raise
+              (Parse_error
+                 ("expected , or ] in index list, got " ^ Lexer.token_to_string t)))
+    | Lexer.RBRACKET -> List.rev acc
+    | t ->
+        raise
+          (Parse_error ("expected index name, got " ^ Lexer.token_to_string t))
+  in
+  go []
+
+let rec parse_expr (st : state) : Ir.expr = parse_cmp st
+
+and parse_cmp (st : state) : Ir.expr =
+  let lhs = parse_additive st in
+  let op =
+    match peek st with
+    | Lexer.LT -> Some Op.Lt
+    | Lexer.LEQ -> Some Op.Leq
+    | Lexer.GT -> Some Op.Gt
+    | Lexer.GEQ -> Some Op.Geq
+    | Lexer.EQEQ -> Some Op.Eq
+    | Lexer.NEQ -> Some Op.Neq
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      ignore (advance st);
+      let rhs = parse_additive st in
+      Ir.Map (op, [ lhs; rhs ])
+
+and parse_additive (st : state) : Ir.expr =
+  let lhs = parse_mult st in
+  let rec go acc =
+    match peek st with
+    | Lexer.PLUS ->
+        ignore (advance st);
+        go (Ir.Map (Op.Add, [ acc; parse_mult st ]))
+    | Lexer.MINUS ->
+        ignore (advance st);
+        go (Ir.Map (Op.Sub, [ acc; parse_mult st ]))
+    | _ -> acc
+  in
+  go lhs
+
+and parse_mult (st : state) : Ir.expr =
+  let lhs = parse_unary st in
+  let rec go acc =
+    match peek st with
+    | Lexer.STAR ->
+        ignore (advance st);
+        go (Ir.Map (Op.Mul, [ acc; parse_unary st ]))
+    | Lexer.SLASH ->
+        ignore (advance st);
+        go (Ir.Map (Op.Div, [ acc; parse_unary st ]))
+    | _ -> acc
+  in
+  go lhs
+
+and parse_unary (st : state) : Ir.expr =
+  match peek st with
+  | Lexer.MINUS ->
+      ignore (advance st);
+      Ir.Map (Op.Neg, [ parse_unary st ])
+  | _ -> parse_power st
+
+and parse_power (st : state) : Ir.expr =
+  let base = parse_atom st in
+  match peek st with
+  | Lexer.CARET ->
+      ignore (advance st);
+      Ir.Map (Op.Pow, [ base; parse_unary st ])
+  | _ -> base
+
+and parse_atom (st : state) : Ir.expr =
+  match advance st with
+  | Lexer.NUMBER v -> Ir.Literal v
+  | Lexer.LPAREN ->
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.IDENT name -> (
+      match List.assoc_opt name agg_ops with
+      | Some op ->
+          let idxs = parse_idx_list st in
+          expect st Lexer.LPAREN;
+          let body = parse_expr st in
+          expect st Lexer.RPAREN;
+          Ir.Agg (op, idxs, body)
+      | None -> (
+          match List.assoc_opt name unary_funcs with
+          | Some op ->
+              expect st Lexer.LPAREN;
+              let arg = parse_expr st in
+              expect st Lexer.RPAREN;
+              Ir.Map (op, [ arg ])
+          | None -> (
+              match peek st with
+              | Lexer.LBRACKET -> Ir.Input (name, parse_idx_list st)
+              | _ -> Ir.Input (name, []))))
+  | t -> raise (Parse_error ("unexpected token " ^ Lexer.token_to_string t))
+
+let parse_query (st : state) : Ir.query =
+  match advance st with
+  | Lexer.IDENT name ->
+      let out_order =
+        match peek st with
+        | Lexer.LBRACKET -> Some (parse_idx_list st)
+        | _ -> None
+      in
+      expect st Lexer.EQUALS;
+      let expr = parse_expr st in
+      Ir.query ?out_order name expr
+  | t ->
+      raise (Parse_error ("expected query name, got " ^ Lexer.token_to_string t))
+
+(* Parse a whole program; outputs default to every query name (callers can
+   narrow). *)
+let parse_program (src : string) : Ir.program =
+  let st = { toks = Lexer.tokenize src } in
+  let rec skip_newlines () =
+    match peek st with
+    | Lexer.NEWLINE ->
+        ignore (advance st);
+        skip_newlines ()
+    | _ -> ()
+  in
+  let rec go acc =
+    skip_newlines ();
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | _ ->
+        let q = parse_query st in
+        (match peek st with
+        | Lexer.NEWLINE | Lexer.EOF -> ()
+        | t ->
+            raise
+              (Parse_error
+                 ("expected end of query, got " ^ Lexer.token_to_string t)));
+        go (q :: acc)
+  in
+  let queries = go [] in
+  { Ir.queries; outputs = List.map (fun (q : Ir.query) -> q.Ir.name) queries }
+
+let parse_expr_string (src : string) : Ir.expr =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr st in
+  (match peek st with
+  | Lexer.EOF | Lexer.NEWLINE -> ()
+  | t -> raise (Parse_error ("trailing tokens: " ^ Lexer.token_to_string t)));
+  e

@@ -1,0 +1,1 @@
+lib/logical/distribute.ml: Canonical Galley_plan Ir List Op Schema

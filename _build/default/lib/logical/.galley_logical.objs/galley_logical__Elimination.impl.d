@@ -1,0 +1,1 @@
+lib/logical/elimination.ml: Galley_plan Ir List Logical_query Op Schema

@@ -1,0 +1,1 @@
+lib/logical/optimizer.ml: Array Canonical Distribute Elimination Galley_plan Galley_stats Hashtbl Ir List Logical_query Op Printf Schema String

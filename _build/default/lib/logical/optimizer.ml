@@ -1,0 +1,311 @@
+(* The logical optimizer (paper Sec. 5): converts each input query into a
+   sequence of logical queries by searching for the cheapest variable
+   elimination order, optionally comparing against the pointwise-distributed
+   form of the expression.
+
+   Two search strategies (paper Sec. 5.6):
+   - [Greedy]: eliminate the cheapest available index at each step;
+   - [Branch_and_bound]: seed a bound with the greedy plan, then run dynamic
+     programming over *sets* of eliminated indices, pruning states whose
+     cost exceeds the bound (costs increase monotonically). *)
+
+open Galley_plan
+
+type search = Greedy | Branch_and_bound
+
+type config = {
+  search : search;
+  try_distribute : bool;
+  weights : Galley_stats.Cost.weights;
+  max_bnb_indices : int; (* fall back to greedy past this many indices *)
+}
+
+let default_config =
+  {
+    search = Branch_and_bound;
+    try_distribute = true;
+    weights = Galley_stats.Cost.default_weights;
+    max_bnb_indices = 12;
+  }
+
+type result = { queries : Logical_query.t list; cost : float }
+
+(* Estimated cost of one logical query (paper Sec. 5.2). *)
+let query_cost (cfg : config) (ctx : Galley_stats.Ctx.t) (q : Logical_query.t)
+    : float =
+  let nnz_body = ctx.Galley_stats.Ctx.estimate_expr q.Logical_query.body in
+  let nnz_out =
+    ctx.Galley_stats.Ctx.estimate_expr
+      (Logical_query.to_query q).Ir.expr
+  in
+  Galley_stats.Cost.logical_query_cost ~weights:cfg.weights ~nnz_body ~nnz_out
+    ()
+
+(* Register a committed logical query's output as an alias for subsequent
+   estimation: schema entry (dims in output order + fill) and statistics. *)
+let register_alias (ctx : Galley_stats.Ctx.t) (q : Logical_query.t) : unit =
+  let full = (Logical_query.to_query q).Ir.expr in
+  let dims = Schema.index_dims ctx.Galley_stats.Ctx.schema full in
+  let out_dims =
+    Array.of_list
+      (List.map (fun i -> Schema.dim_of_idx dims i) q.Logical_query.output_idxs)
+  in
+  let fill = Schema.expr_fill ctx.Galley_stats.Ctx.schema dims full in
+  Schema.declare ctx.Galley_stats.Ctx.schema q.Logical_query.name
+    ~dims:out_dims ~fill;
+  ctx.Galley_stats.Ctx.register_alias_estimated q.Logical_query.name
+    ~output_idxs:q.Logical_query.output_idxs full
+
+(* Commit one elimination step: register every emitted query and return the
+   accumulated cost. *)
+let commit_step (cfg : config) (ctx : Galley_stats.Ctx.t)
+    (queries : Logical_query.t list) : float =
+  List.fold_left
+    (fun acc q ->
+      let c = query_cost cfg ctx q in
+      register_alias ctx q;
+      acc +. c)
+    0.0 queries
+
+(* Wrap up: the remaining aggregate-free expression becomes the final
+   logical query (or, when it is exactly the alias of the last emitted
+   query in the right order, that query is renamed instead). *)
+let finish (cfg : config) (ctx : Galley_stats.Ctx.t) ~(name : string)
+    ~(out_order : Ir.idx list option) (expr : Ir.expr)
+    (queries : Logical_query.t list) : result * float =
+  assert (not (Ir.contains_agg expr));
+  let free = Ir.Idx_set.elements (Ir.free_indices expr) in
+  let output_idxs = match out_order with Some o -> o | None -> free in
+  match (expr, List.rev queries) with
+  | Ir.Alias (a, idxs), last :: earlier
+    when a = last.Logical_query.name && idxs = output_idxs ->
+      let renamed = { last with Logical_query.name } in
+      register_alias ctx renamed;
+      ({ queries = List.rev (renamed :: earlier); cost = 0.0 }, 0.0)
+  | _ ->
+      let q =
+        Logical_query.make ~output_idxs ~name ~agg_op:Op.Ident ~agg_idxs:[]
+          ~body:expr ()
+      in
+      let c = query_cost cfg ctx q in
+      register_alias ctx q;
+      ({ queries = queries @ [ q ]; cost = c }, c)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy search.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let greedy (cfg : config) (ctx : Galley_stats.Ctx.t) ~(fresh : unit -> string)
+    ~(name : string) ~(out_order : Ir.idx list option) (expr : Ir.expr) :
+    result =
+  let dims = Schema.index_dims ctx.Galley_stats.Ctx.schema expr in
+  let rec loop expr queries total =
+    match Elimination.available_indices expr with
+    | [] ->
+        let r, final_cost = finish cfg ctx ~name ~out_order expr queries in
+        { r with cost = total +. final_cost }
+    | avail ->
+        (* Pick the index whose minimal sub-queries are cheapest.  Trial
+           extractions share [fresh]; only the chosen one is committed. *)
+        let scored =
+          List.map
+            (fun v ->
+              let ext = Elimination.eliminate ~dims ~fresh expr v in
+              let cost =
+                List.fold_left
+                  (fun acc q -> acc +. query_cost cfg ctx q)
+                  0.0 ext.Elimination.queries
+              in
+              (v, ext, cost))
+            avail
+        in
+        let _, best_ext, best_cost =
+          List.fold_left
+            (fun (bv, be, bc) (v, e, c) ->
+              if c < bc then (v, e, c) else (bv, be, bc))
+            (List.hd scored |> fun (v, e, c) -> (v, e, c))
+            (List.tl scored)
+        in
+        List.iter (register_alias ctx) best_ext.Elimination.queries;
+        loop best_ext.Elimination.rewritten
+          (queries @ best_ext.Elimination.queries)
+          (total +. best_cost)
+  in
+  loop expr [] 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Branch-and-bound dynamic programming over eliminated-index sets.     *)
+(* ------------------------------------------------------------------ *)
+
+type dp_entry = {
+  dp_expr : Ir.expr;
+  dp_queries : Logical_query.t list;
+  dp_cost : float;
+  dp_ctx : Galley_stats.Ctx.t;
+}
+
+let branch_and_bound (cfg : config) (ctx : Galley_stats.Ctx.t)
+    ~(fresh : unit -> string) ~(name : string)
+    ~(out_order : Ir.idx list option) (expr : Ir.expr) : result =
+  (* Step 1: greedy upper bound (on a cloned context so trial alias
+     statistics do not pollute the search). *)
+  let greedy_result =
+    greedy cfg (ctx.Galley_stats.Ctx.clone ()) ~fresh ~name ~out_order expr
+  in
+  let all_indices = Elimination.remaining_agg_indices expr in
+  let k = List.length all_indices in
+  if k = 0 || k > cfg.max_bnb_indices then begin
+    (* Re-run greedy against the real context to commit its aliases. *)
+    greedy cfg ctx ~fresh ~name ~out_order expr
+  end
+  else begin
+    let bound = ref greedy_result.cost in
+    let dims = Schema.index_dims ctx.Galley_stats.Ctx.schema expr in
+    let key (eliminated : Ir.Idx_set.t) : string =
+      String.concat "," (Ir.Idx_set.elements eliminated)
+    in
+    let table : (string, dp_entry) Hashtbl.t = Hashtbl.create 64 in
+    let init =
+      {
+        dp_expr = expr;
+        dp_queries = [];
+        dp_cost = 0.0;
+        dp_ctx = ctx.Galley_stats.Ctx.clone ();
+      }
+    in
+    Hashtbl.replace table (key Ir.Idx_set.empty) init;
+    let best_final : dp_entry option ref = ref None in
+    (* Expand level by level: states at level L have eliminated L indices. *)
+    let current = ref [ (Ir.Idx_set.empty, init) ] in
+    for _level = 1 to k do
+      let next = Hashtbl.create 32 in
+      List.iter
+        (fun (eliminated, entry) ->
+          if entry.dp_cost <= !bound then
+            List.iter
+              (fun v ->
+                let ext =
+                  Elimination.eliminate ~dims ~fresh entry.dp_expr v
+                in
+                (* Score against the parent context: the new queries only
+                   reference aliases registered along this path.  Clone and
+                   register only for entries that survive the bound and
+                   dominate their DP cell. *)
+                let step_cost =
+                  List.fold_left
+                    (fun acc q -> acc +. query_cost cfg entry.dp_ctx q)
+                    0.0 ext.Elimination.queries
+                in
+                let cost = entry.dp_cost +. step_cost in
+                if cost <= !bound then begin
+                  let eliminated' = Ir.Idx_set.add v eliminated in
+                  let k' = key eliminated' in
+                  let better =
+                    match Hashtbl.find_opt next k' with
+                    | Some old -> cost < old.dp_cost
+                    | None -> true
+                  in
+                  if better then begin
+                    let trial_ctx = entry.dp_ctx.Galley_stats.Ctx.clone () in
+                    List.iter (register_alias trial_ctx) ext.Elimination.queries;
+                    let entry' =
+                      {
+                        dp_expr = ext.Elimination.rewritten;
+                        dp_queries = entry.dp_queries @ ext.Elimination.queries;
+                        dp_cost = cost;
+                        dp_ctx = trial_ctx;
+                      }
+                    in
+                    Hashtbl.replace next k' entry';
+                    if Ir.Idx_set.cardinal eliminated' = k then begin
+                      best_final := Some entry';
+                      bound := cost
+                    end
+                  end
+                end)
+              (Elimination.available_indices entry.dp_expr))
+        !current;
+      current :=
+        Hashtbl.fold
+          (fun ks e acc ->
+            ( Ir.Idx_set.of_list
+                (if ks = "" then [] else String.split_on_char ',' ks),
+              e )
+            :: acc)
+          next []
+    done;
+    match !best_final with
+    | None ->
+        (* Greedy was optimal; replay it against the real context. *)
+        greedy cfg ctx ~fresh ~name ~out_order expr
+    | Some entry ->
+        (* Replay the DP winner's queries against the real context. *)
+        let replay_cost =
+          List.fold_left
+            (fun acc q ->
+              let c = query_cost cfg ctx q in
+              register_alias ctx q;
+              acc +. c)
+            0.0 entry.dp_queries
+        in
+        let r, final_cost =
+          finish cfg ctx ~name ~out_order entry.dp_expr entry.dp_queries
+        in
+        { r with cost = replay_cost +. final_cost }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-query and per-program drivers.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_expr (cfg : config) (ctx : Galley_stats.Ctx.t)
+    ~(fresh : unit -> string) ~(name : string)
+    ~(out_order : Ir.idx list option) (expr : Ir.expr) : result =
+  let run ctx expr =
+    match cfg.search with
+    | Greedy -> greedy cfg ctx ~fresh ~name ~out_order expr
+    | Branch_and_bound -> branch_and_bound cfg ctx ~fresh ~name ~out_order expr
+  in
+  let canon = Canonical.canonicalize ctx.Galley_stats.Ctx.schema expr in
+  let variants =
+    canon
+    ::
+    (if cfg.try_distribute then
+       match Distribute.distributed_variant ctx.Galley_stats.Ctx.schema canon with
+       | Some d -> [ d ]
+       | None -> []
+     else [])
+  in
+  (* Score every variant on a cloned context, then replay the winner on the
+     real context so its alias statistics are committed. *)
+  let scored =
+    List.map
+      (fun variant ->
+        let r = run (ctx.Galley_stats.Ctx.clone ()) variant in
+        (variant, r.cost))
+      variants
+  in
+  let best_variant, _ =
+    List.fold_left
+      (fun (bv, bc) (v, c) -> if c < bc then (v, c) else (bv, bc))
+      (List.hd scored) (List.tl scored)
+  in
+  run ctx best_variant
+
+let optimize_query (cfg : config) (ctx : Galley_stats.Ctx.t)
+    ~(fresh : unit -> string) (q : Ir.query) : result =
+  optimize_expr cfg ctx ~fresh ~name:q.Ir.name ~out_order:q.Ir.out_order
+    q.Ir.expr
+
+(* Optimize a whole program: queries are processed in order; each query's
+   output is registered as an alias usable by later queries. *)
+let optimize_program (cfg : config) (ctx : Galley_stats.Ctx.t)
+    (p : Ir.program) : Logical_query.t list =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "#t%d" !counter
+  in
+  List.concat_map
+    (fun q -> (optimize_query cfg ctx ~fresh q).queries)
+    p.Ir.queries

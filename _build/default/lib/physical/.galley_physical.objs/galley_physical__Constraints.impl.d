@@ -1,0 +1,1 @@
+lib/physical/constraints.ml: Array Format Galley_plan Ir List Op Physical

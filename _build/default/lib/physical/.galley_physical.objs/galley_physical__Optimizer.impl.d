@@ -1,0 +1,1 @@
+lib/physical/optimizer.ml: Array Constraints Float Galley_plan Galley_stats Galley_tensor Hashtbl Ir List Logical_query Op Option Physical Schema String

@@ -1,0 +1,102 @@
+(* Per-loop-level iteration constraints.
+
+   For a loop index [x], the set of candidate positions that can produce a
+   non-fill value of the kernel body is described by an and/or tree over the
+   accesses that bind [x]:
+
+   - a Map whose operator has annihilator [a], with at least one child whose
+     fill is [a], deviates from its fill only where *every* such child
+     deviates: an AND over those children (children with other fills are
+     unconstrained);
+   - any other Map deviates only where *some* child deviates: an OR;
+   - an access that does not bind [x] is cylindrical in [x] (C_all);
+   - a literal never deviates (C_empty).
+
+   The tree always describes a *superset* of the true non-fill positions, so
+   it affects performance, never correctness.  The physical optimizer uses
+   the tree to assign access protocols (who leads an intersection); the
+   engine evaluates it at every loop level. *)
+
+open Galley_plan
+
+type t =
+  | C_all
+  | C_empty
+  | C_access of int
+  | C_and of t list
+  | C_or of t list
+
+(* Fill value of each pexpr node, bottom-up. *)
+let rec pexpr_fill (accesses_fill : int -> float) (e : Physical.pexpr) : float
+    =
+  match e with
+  | Physical.P_access a -> accesses_fill a
+  | Physical.P_literal v -> v
+  | Physical.P_map (op, args) ->
+      Op.apply op
+        (Array.of_list (List.map (pexpr_fill accesses_fill) args))
+
+let simplify_and (cs : t list) : t =
+  let cs = List.filter (fun c -> c <> C_all) cs in
+  if List.exists (fun c -> c = C_empty) cs then C_empty
+  else
+    match cs with [] -> C_all | [ c ] -> c | cs -> C_and cs
+
+let simplify_or (cs : t list) : t =
+  let cs = List.filter (fun c -> c <> C_empty) cs in
+  if List.exists (fun c -> c = C_all) cs then C_all
+  else match cs with [] -> C_empty | [ c ] -> c | cs -> C_or cs
+
+let derive ~(accesses : Physical.access array) ~(fills : int -> float)
+    ~(idx : Ir.idx) (body : Physical.pexpr) : t =
+  let rec go (e : Physical.pexpr) : t =
+    match e with
+    | Physical.P_access a ->
+        if List.mem idx accesses.(a).Physical.idxs then C_access a else C_all
+    | Physical.P_literal _ -> C_empty
+    | Physical.P_map (op, args) -> (
+        match Op.annihilator op with
+        | Some ann
+          when List.exists (fun c -> pexpr_fill fills c = ann) args ->
+            simplify_and
+              (List.filter_map
+                 (fun c ->
+                   if pexpr_fill fills c = ann then Some (go c) else None)
+                 args)
+        | _ -> simplify_or (List.map go args))
+  in
+  go body
+
+(* Accesses appearing as direct members of a top-level AND (including the
+   singleton case): the candidates for a leader / probe protocol split. *)
+let and_members (c : t) : int list =
+  match c with
+  | C_access a -> [ a ]
+  | C_and cs ->
+      List.filter_map (fun c -> match c with C_access a -> Some a | _ -> None) cs
+  | C_all | C_empty | C_or _ -> []
+
+(* Accesses mentioned anywhere in the tree. *)
+let rec all_accesses (c : t) : int list =
+  match c with
+  | C_access a -> [ a ]
+  | C_and cs | C_or cs -> List.concat_map all_accesses cs
+  | C_all | C_empty -> []
+
+let rec pp fmt (c : t) =
+  match c with
+  | C_all -> Format.pp_print_string fmt "all"
+  | C_empty -> Format.pp_print_string fmt "empty"
+  | C_access a -> Format.fprintf fmt "a%d" a
+  | C_and cs ->
+      Format.fprintf fmt "and(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+           pp)
+        cs
+  | C_or cs ->
+      Format.fprintf fmt "or(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+           pp)
+        cs

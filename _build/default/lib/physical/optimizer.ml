@@ -1,0 +1,527 @@
+(* The physical optimizer (paper Sec. 6): lowers one logical query to
+   physical steps by deciding
+
+   (1) the loop order — branch-and-bound + Selinger-style dynamic
+       programming over (index-set, transposed-inputs) states, where the
+       cost of a state is the estimated number of loop iterations incurred
+       by each level plus a linear cost for every discordant input that must
+       be transposed (Sec. 6.1);
+   (2) the output format of every output dimension — by estimated sparsity
+       cutoffs and the write pattern, sequential (output indices form a
+       prefix of the loop order) vs random (Sec. 6.2);
+   (3) the merge algorithm of every loop index — one input iterates, the
+       others are probed, chosen by estimated conditional branching
+       (Sec. 6.3). *)
+
+open Galley_plan
+module Ctx = Galley_stats.Ctx
+module Cost = Galley_stats.Cost
+
+type config = {
+  weights : Cost.weights;
+  dense_cutoff : float; (* estimated density above which a level is dense *)
+  bytemap_cutoff : float; (* density above which random writes use bytemap *)
+  max_dp_indices : int; (* loop orders: exact DP up to this many indices *)
+  exact : bool; (* false = greedy loop order only *)
+  format_override : string -> Galley_tensor.Tensor.format array option;
+      (* pin the output formats of named queries (hand-coded baselines) *)
+}
+
+let default_config =
+  {
+    weights = Cost.default_weights;
+    dense_cutoff = 0.25;
+    bytemap_cutoff = 0.01;
+    max_dp_indices = 10;
+    exact = true;
+    format_override = (fun _ -> None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Flattening the logical body into accesses + a physical expression.   *)
+(* ------------------------------------------------------------------ *)
+
+type flat = {
+  accesses : Physical.access array; (* protocols not yet assigned *)
+  pexpr : Physical.pexpr;
+  fills : float array; (* fill of each access *)
+}
+
+let flatten (schema : Schema.t) (body : Ir.expr) : flat =
+  let accs = ref [] and fills = ref [] and n = ref 0 in
+  let add tensor kind idxs =
+    let id = !n in
+    incr n;
+    accs :=
+      { Physical.tensor; kind; idxs; protocols = List.map (fun _ -> Physical.Lookup) idxs }
+      :: !accs;
+    fills := Schema.fill_of schema tensor :: !fills;
+    id
+  in
+  let rec go (e : Ir.expr) : Physical.pexpr =
+    match e with
+    | Ir.Input (name, idxs) -> Physical.P_access (add name `Input idxs)
+    | Ir.Alias (name, idxs) -> Physical.P_access (add name `Alias idxs)
+    | Ir.Literal v -> Physical.P_literal v
+    | Ir.Map (op, args) -> Physical.P_map (op, List.map go args)
+    | Ir.Agg _ -> invalid_arg "Physical.flatten: aggregate in logical body"
+  in
+  let pexpr = go body in
+  {
+    accesses = Array.of_list (List.rev !accs);
+    pexpr;
+    fills = Array.of_list (List.rev !fills);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Loop-order search.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Estimated iterations of the loop level reached when the prefix set is
+   [s]: the non-fill count of the body projected onto [s]. *)
+let level_iters (ctx : Ctx.t) (body : Ir.expr) (all : Ir.Idx_set.t)
+    (memo : (string, float) Hashtbl.t) (s : Ir.Idx_set.t) : float =
+  let k = String.concat "," (Ir.Idx_set.elements s) in
+  match Hashtbl.find_opt memo k with
+  | Some v -> v
+  | None ->
+      let others = Ir.Idx_set.elements (Ir.Idx_set.diff all s) in
+      let proj = if others = [] then body else Ir.Agg (Op.Max, others, body) in
+      let v = ctx.Ctx.estimate_expr proj in
+      Hashtbl.replace memo k v;
+      v
+
+(* Estimated size of an access, for transposition costs. *)
+let access_nnz (ctx : Ctx.t) (a : Physical.access) : float =
+  match a.Physical.idxs with
+  | [] -> 1.0
+  | idxs ->
+      ctx.Ctx.estimate_access_projected a.Physical.tensor idxs
+        (Ir.Idx_set.of_list idxs)
+
+(* Does access [a] remain concordant when [v] is appended to a prefix that
+   contains [placed_of_a] of its indices (in order)?  Concordant accesses
+   always have their first [placed_of_a] indices placed, so [v] must be the
+   next one. *)
+let stays_concordant (a : Physical.access) (placed : Ir.Idx_set.t)
+    (v : Ir.idx) : bool =
+  if not (List.mem v a.Physical.idxs) then true
+  else begin
+    let placed_count =
+      List.length (List.filter (fun i -> Ir.Idx_set.mem i placed) a.Physical.idxs)
+    in
+    match List.nth_opt a.Physical.idxs placed_count with
+    | Some next -> next = v
+    | None -> false
+  end
+
+type order_state = {
+  os_order : Ir.idx list; (* reversed *)
+  os_set : Ir.Idx_set.t;
+  os_broken : int list; (* sorted access ids needing transposition *)
+  os_cost : float;
+}
+
+let order_step (cfg : config) (ctx : Ctx.t) (flat : flat) (iters : Ir.Idx_set.t -> float)
+    (st : order_state) (v : Ir.idx) : order_state =
+  let set' = Ir.Idx_set.add v st.os_set in
+  let newly_broken =
+    List.filter
+      (fun a ->
+        (not (List.mem a st.os_broken))
+        && not (stays_concordant flat.accesses.(a) st.os_set v))
+      (List.init (Array.length flat.accesses) (fun i -> i))
+  in
+  let transpose_cost =
+    List.fold_left
+      (fun acc a ->
+        acc
+        +. Cost.transpose_cost ~weights:cfg.weights
+             ~nnz:(access_nnz ctx flat.accesses.(a))
+             ())
+      0.0 newly_broken
+  in
+  {
+    os_order = v :: st.os_order;
+    os_set = set';
+    os_broken = List.sort compare (st.os_broken @ newly_broken);
+    os_cost = st.os_cost +. iters set' +. transpose_cost;
+  }
+
+let greedy_order (cfg : config) (ctx : Ctx.t) (flat : flat)
+    (iters : Ir.Idx_set.t -> float) (all : Ir.idx list) : order_state =
+  let init =
+    { os_order = []; os_set = Ir.Idx_set.empty; os_broken = []; os_cost = 0.0 }
+  in
+  let rec loop st remaining =
+    match remaining with
+    | [] -> st
+    | _ ->
+        let best =
+          List.fold_left
+            (fun acc v ->
+              let st' = order_step cfg ctx flat iters st v in
+              match acc with
+              | Some (bv, b) when b.os_cost <= st'.os_cost -> Some (bv, b)
+              | _ -> Some (v, st'))
+            None remaining
+        in
+        let v, st' = Option.get best in
+        loop st' (List.filter (fun i -> i <> v) remaining)
+  in
+  loop init all
+
+let dp_order (cfg : config) (ctx : Ctx.t) (flat : flat)
+    (iters : Ir.Idx_set.t -> float) (all : Ir.idx list) : order_state =
+  let greedy = greedy_order cfg ctx flat iters all in
+  let k = List.length all in
+  if (not cfg.exact) || k > cfg.max_dp_indices || k <= 1 then greedy
+  else begin
+    let bound = ref greedy.os_cost in
+    let best = ref greedy in
+    let key st =
+      String.concat "," (Ir.Idx_set.elements st.os_set)
+      ^ "|"
+      ^ String.concat "," (List.map string_of_int st.os_broken)
+    in
+    let init =
+      { os_order = []; os_set = Ir.Idx_set.empty; os_broken = []; os_cost = 0.0 }
+    in
+    let current = ref [ init ] in
+    for _level = 1 to k do
+      let next : (string, order_state) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun st ->
+          if st.os_cost <= !bound then
+            List.iter
+              (fun v ->
+                if not (Ir.Idx_set.mem v st.os_set) then begin
+                  let st' = order_step cfg ctx flat iters st v in
+                  if st'.os_cost <= !bound then begin
+                    let kk = key st' in
+                    let better =
+                      match Hashtbl.find_opt next kk with
+                      | Some old -> st'.os_cost < old.os_cost
+                      | None -> true
+                    in
+                    if better then begin
+                      Hashtbl.replace next kk st';
+                      if Ir.Idx_set.cardinal st'.os_set = k
+                         && st'.os_cost <= !bound
+                      then begin
+                        bound := st'.os_cost;
+                        best := st'
+                      end
+                    end
+                  end
+                end)
+              all)
+        !current;
+      current := Hashtbl.fold (fun _ st acc -> st :: acc) next []
+    done;
+    !best
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Output format selection (paper Sec. 6.2).                            *)
+(* ------------------------------------------------------------------ *)
+
+let choose_formats (cfg : config) (ctx : Ctx.t) (body : Ir.expr)
+    ~(all : Ir.Idx_set.t) ~(output_idxs : Ir.idx list)
+    ~(output_dims : int array) ~(sequential : bool) :
+    Galley_tensor.Tensor.format array =
+  let n_out = List.length output_idxs in
+  (* Estimated number of non-fill prefixes at each level of the output's
+     fiber tree. *)
+  let prefix_est level =
+    let prefix = List.filteri (fun k _ -> k < level) output_idxs in
+    if prefix = [] then 1.0
+    else begin
+      let others =
+        Ir.Idx_set.elements (Ir.Idx_set.diff all (Ir.Idx_set.of_list prefix))
+      in
+      let proj = if others = [] then body else Ir.Agg (Op.Max, others, body) in
+      ctx.Ctx.estimate_expr proj
+    end
+  in
+  Array.init n_out (fun level ->
+      (* Conditional density: children per parent node over the dimension —
+         the sparsity "at this index level" of the fiber tree (Sec. 6.2). *)
+      let parents = Float.max 1.0 (prefix_est level) in
+      let here = prefix_est (level + 1) in
+      let density = here /. (parents *. float_of_int output_dims.(level)) in
+      let density = Float.min 1.0 density in
+      if density >= cfg.dense_cutoff then Galley_tensor.Tensor.Dense
+      else if sequential then Galley_tensor.Tensor.Sparse_list
+      else if density >= cfg.bytemap_cutoff then Galley_tensor.Tensor.Bytemap
+      else Galley_tensor.Tensor.Hash)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol (merge algorithm) selection (paper Sec. 6.3).               *)
+(* ------------------------------------------------------------------ *)
+
+(* Expected branching of access [a] at loop index [x] given the indices
+   already bound by outer loops. *)
+let conditional_branching (ctx : Ctx.t) (a : Physical.access) ~(x : Ir.idx)
+    ~(bound : Ir.Idx_set.t) : float =
+  let idxs = a.Physical.idxs in
+  let keep_with =
+    Ir.Idx_set.inter (Ir.Idx_set.add x bound) (Ir.Idx_set.of_list idxs)
+  in
+  let keep_without = Ir.Idx_set.remove x keep_with in
+  let with_x = ctx.Ctx.estimate_access_projected a.Physical.tensor idxs keep_with in
+  let without_x =
+    if Ir.Idx_set.is_empty keep_without then 1.0
+    else ctx.Ctx.estimate_access_projected a.Physical.tensor idxs keep_without
+  in
+  with_x /. Float.max 1.0 without_x
+
+let assign_protocols (ctx : Ctx.t) (flat : flat) (loop_order : Ir.idx list) :
+    Physical.access array =
+  let n = Array.length flat.accesses in
+  let protocols = Array.map (fun a -> Array.of_list a.Physical.protocols) flat.accesses in
+  let bound = ref Ir.Idx_set.empty in
+  List.iter
+    (fun x ->
+      let tree =
+        Constraints.derive ~accesses:flat.accesses
+          ~fills:(fun a -> flat.fills.(a))
+          ~idx:x flat.pexpr
+      in
+      let binding =
+        List.filter
+          (fun a -> List.mem x flat.accesses.(a).Physical.idxs)
+          (List.init n (fun i -> i))
+      in
+      let set_protocol a p =
+        let pos =
+          let rec find k = function
+            | [] -> invalid_arg "assign_protocols: index not in access"
+            | i :: rest -> if i = x then k else find (k + 1) rest
+          in
+          find 0 flat.accesses.(a).Physical.idxs
+        in
+        protocols.(a).(pos) <- p
+      in
+      (match Constraints.and_members tree with
+      | _ :: _ as members ->
+          (* Intersection: the access with the smallest expected branching
+             iterates; everything else is probed. *)
+          let leader =
+            List.fold_left
+              (fun (bl, bc) a ->
+                let c =
+                  conditional_branching ctx flat.accesses.(a) ~x ~bound:!bound
+                in
+                if c < bc then (a, c) else (bl, bc))
+              (List.hd members |> fun a ->
+               (a, conditional_branching ctx flat.accesses.(a) ~x ~bound:!bound))
+              (List.tl members)
+            |> fst
+          in
+          List.iter
+            (fun a ->
+              set_protocol a (if a = leader then Physical.Iterate else Physical.Lookup))
+            binding
+      | [] ->
+          (* Union (or unconstrained): every constrained access iterates so
+             the merge can enumerate the union; the rest are probed. *)
+          let constrained = Constraints.all_accesses tree in
+          List.iter
+            (fun a ->
+              set_protocol a
+                (if List.mem a constrained then Physical.Iterate
+                 else Physical.Lookup))
+            binding);
+      bound := Ir.Idx_set.add x !bound)
+    loop_order;
+  Array.mapi
+    (fun i a -> { a with Physical.protocols = Array.to_list protocols.(i) })
+    flat.accesses
+
+(* ------------------------------------------------------------------ *)
+(* Driver: logical query -> physical steps.                             *)
+(* ------------------------------------------------------------------ *)
+
+let plan_query ?(config = default_config) (ctx : Ctx.t)
+    ~(fresh : unit -> string) (q : Logical_query.t) : Physical.plan =
+  let schema = ctx.Ctx.schema in
+  let body = q.Logical_query.body in
+  let dims = Schema.index_dims schema body in
+  let flat = flatten schema body in
+  let all_list =
+    Ir.Idx_set.elements (Ir.free_indices body)
+  in
+  let all = Ir.Idx_set.of_list all_list in
+  let memo = Hashtbl.create 64 in
+  let iters = level_iters ctx body all memo in
+  (* (1) Loop order. *)
+  let st = dp_order config ctx flat iters all_list in
+  let loop_order = List.rev st.os_order in
+  (* (2) Transposition steps for discordant accesses. *)
+  let transposes = Hashtbl.create 4 in
+  let steps = ref [] in
+  let accesses =
+    Array.map
+      (fun (a : Physical.access) ->
+        if Physical.is_subsequence a.Physical.idxs loop_order then a
+        else begin
+          (* Reorder this access's indices to follow the loop order. *)
+          let sorted_idxs =
+            List.filter (fun x -> List.mem x a.Physical.idxs) loop_order
+          in
+          let perm =
+            Array.of_list
+              (List.map
+                 (fun x ->
+                   let rec find k = function
+                     | [] -> assert false
+                     | i :: rest -> if i = x then k else find (k + 1) rest
+                   in
+                   find 0 a.Physical.idxs)
+                 sorted_idxs)
+          in
+          let key =
+            a.Physical.tensor ^ "/"
+            ^ String.concat "," (Array.to_list (Array.map string_of_int perm))
+          in
+          let name =
+            match Hashtbl.find_opt transposes key with
+            | Some name -> name
+            | None ->
+                let name = fresh () in
+                Hashtbl.replace transposes key name;
+                let src_info = Schema.info_exn schema a.Physical.tensor in
+                let formats =
+                  Array.map (fun _ -> Galley_tensor.Tensor.Sparse_list) perm
+                in
+                steps :=
+                  Physical.Transpose
+                    {
+                      name;
+                      source = a.Physical.tensor;
+                      source_kind = a.Physical.kind;
+                      perm;
+                      formats;
+                    }
+                  :: !steps;
+                (* Make the transposed tensor known to the schema and give
+                   it the source's statistics under the permuted order. *)
+                Schema.declare schema name
+                  ~dims:(Array.map (fun k -> src_info.Schema.dims.(k)) perm)
+                  ~fill:src_info.Schema.fill;
+                ctx.Ctx.register_alias_estimated name ~output_idxs:sorted_idxs
+                  (Ir.Alias (a.Physical.tensor, a.Physical.idxs));
+                name
+          in
+          { a with Physical.tensor = name; kind = `Alias; idxs = sorted_idxs }
+        end)
+      flat.accesses
+  in
+  let flat = { flat with accesses } in
+  (* (3) Output order, formats, protocols. *)
+  let kernel_out_idxs =
+    List.filter (fun x -> List.mem x q.Logical_query.output_idxs) loop_order
+  in
+  let output_dims =
+    Array.of_list (List.map (fun i -> Schema.dim_of_idx dims i) kernel_out_idxs)
+  in
+  let sequential =
+    (* Sequential construction iff the output indices are the leading loops. *)
+    let rec prefix out loops =
+      match (out, loops) with
+      | [], _ -> true
+      | o :: out', l :: loops' -> o = l && prefix out' loops'
+      | _ -> false
+    in
+    prefix kernel_out_idxs loop_order
+  in
+  let output_formats =
+    match config.format_override q.Logical_query.name with
+    | Some formats ->
+        if Array.length formats <> List.length kernel_out_idxs then
+          invalid_arg ("format_override arity mismatch for " ^ q.Logical_query.name);
+        (* A pinned sorted-list format is only valid for sequential writes;
+           fall back to hash otherwise. *)
+        Array.map
+          (fun f ->
+            if f = Galley_tensor.Tensor.Sparse_list && not sequential then
+              Galley_tensor.Tensor.Hash
+            else f)
+          formats
+    | None ->
+        choose_formats config ctx body ~all ~output_idxs:kernel_out_idxs
+          ~output_dims ~sequential
+  in
+  let accesses = assign_protocols ctx flat loop_order in
+  let body_fill = Constraints.pexpr_fill (fun a -> flat.fills.(a)) flat.pexpr in
+  let agg_space = Schema.space dims q.Logical_query.agg_idxs in
+  let output_fill =
+    if q.Logical_query.agg_op = Op.Ident then body_fill
+    else Op.repeat q.Logical_query.agg_op body_fill (int_of_float agg_space)
+  in
+  let needs_final_transpose = kernel_out_idxs <> q.Logical_query.output_idxs in
+  let kernel_name =
+    if needs_final_transpose then fresh () else q.Logical_query.name
+  in
+  let kernel =
+    {
+      Physical.name = kernel_name;
+      loop_order;
+      agg_op = q.Logical_query.agg_op;
+      agg_idxs = q.Logical_query.agg_idxs;
+      output_idxs = kernel_out_idxs;
+      output_dims;
+      output_formats;
+      loop_dims =
+        Array.of_list (List.map (fun i -> Schema.dim_of_idx dims i) loop_order);
+      body = flat.pexpr;
+      accesses;
+      body_fill;
+      output_fill;
+      agg_space;
+    }
+  in
+  Physical.validate_kernel kernel;
+  let final_steps =
+    if needs_final_transpose then begin
+      Schema.declare schema kernel_name ~dims:output_dims ~fill:output_fill;
+      let perm =
+        Array.of_list
+          (List.map
+             (fun x ->
+               let rec find k = function
+                 | [] -> assert false
+                 | i :: rest -> if i = x then k else find (k + 1) rest
+               in
+               find 0 kernel_out_idxs)
+             q.Logical_query.output_idxs)
+      in
+      (* The transposed copy gets formats chosen for *its* dimension order:
+         permuting the kernel's formats can nest dense levels under sparse
+         parents, multiplying explicit storage.  Transposes build bottom-up
+         from sorted coordinates, so sequential formats are always valid. *)
+      let transpose_formats =
+        match config.format_override q.Logical_query.name with
+        | Some formats -> formats
+        | None ->
+            choose_formats config ctx body ~all
+              ~output_idxs:q.Logical_query.output_idxs
+              ~output_dims:(Array.map (fun k -> output_dims.(k)) perm)
+              ~sequential:true
+      in
+      [
+        Physical.Kernel kernel;
+        Physical.Transpose
+          {
+            name = q.Logical_query.name;
+            source = kernel_name;
+            source_kind = `Alias;
+            perm;
+            formats = transpose_formats;
+          };
+      ]
+    end
+    else [ Physical.Kernel kernel ]
+  in
+  List.rev !steps @ final_steps

@@ -1,0 +1,1 @@
+lib/plan/canonical.ml: Array Hashtbl Ir List Op Printf Schema String

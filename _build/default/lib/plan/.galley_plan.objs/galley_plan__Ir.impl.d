@@ -1,0 +1,1 @@
+lib/plan/ir.ml: Format List Map Op Printf Set String

@@ -1,0 +1,1 @@
+lib/plan/logical_query.ml: Format Hashtbl Ir List Op Printf String

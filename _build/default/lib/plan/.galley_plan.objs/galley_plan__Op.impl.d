@@ -1,0 +1,1 @@
+lib/plan/op.ml: Array Float Format List Printf

@@ -1,0 +1,1 @@
+lib/plan/physical.ml: Array Buffer Format Galley_tensor Hashtbl Ir List Op Printf String

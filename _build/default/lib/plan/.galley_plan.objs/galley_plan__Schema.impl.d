@@ -1,0 +1,1 @@
+lib/plan/schema.ml: Array Galley_tensor Hashtbl Ir List Op Printf

@@ -1,0 +1,210 @@
+(* Canonicalization of input programs (paper Sec. 5.1) and canonical hashing
+   for common sub-expression elimination (paper Sec. 8.2).
+
+   The canonicalization rules, applied exhaustively:
+     1. merge nested Map operators with the same associative operator;
+     2. merge nested Agg operators with the same operator;
+     3. lift Agg operators above Map operators when the pointwise operator
+        distributes over the aggregate and no other Map argument mentions
+        the aggregated indices;
+     4. rename aggregate-bound indices to be globally unique;
+   plus housekeeping: drop empty aggregates, unwrap singleton variadic maps,
+   fold all-literal maps, and turn aggregates over indices absent from their
+   body into an explicit repeated-application Map. *)
+
+let fresh_counter = ref 0
+
+let fresh_idx (base : Ir.idx) : Ir.idx =
+  incr fresh_counter;
+  Printf.sprintf "%s#%d" base !fresh_counter
+
+(* Rule 4: make every Agg binder unique and distinct from free indices. *)
+let uniquify (e : Ir.expr) : Ir.expr =
+  let free = Ir.free_indices e in
+  let seen_binders = ref free in
+  let rename subst i =
+    match Ir.Idx_map.find_opt i subst with Some j -> j | None -> i
+  in
+  let rec go (subst : Ir.idx Ir.Idx_map.t) (e : Ir.expr) : Ir.expr =
+    match e with
+    | Ir.Input (n, idxs) -> Ir.Input (n, List.map (rename subst) idxs)
+    | Ir.Alias (n, idxs) -> Ir.Alias (n, List.map (rename subst) idxs)
+    | Ir.Literal _ -> e
+    | Ir.Map (op, args) -> Ir.Map (op, List.map (go subst) args)
+    | Ir.Agg (op, idxs, body) ->
+        let subst, idxs =
+          List.fold_left_map
+            (fun subst i ->
+              if Ir.Idx_set.mem i !seen_binders then begin
+                let j = fresh_idx i in
+                seen_binders := Ir.Idx_set.add j !seen_binders;
+                (Ir.Idx_map.add i j subst, j)
+              end
+              else begin
+                seen_binders := Ir.Idx_set.add i !seen_binders;
+                (subst, i)
+              end)
+            subst idxs
+        in
+        Ir.Agg (op, idxs, go subst body)
+  in
+  go Ir.Idx_map.empty e
+
+(* One bottom-up simplification pass; [dims] is needed to rewrite aggregates
+   over absent indices into repeated application. *)
+let rec simplify_once (dims : int Ir.Idx_map.t) (e : Ir.expr) : Ir.expr =
+  match e with
+  | Ir.Input _ | Ir.Alias _ | Ir.Literal _ -> e
+  | Ir.Map (op, args) -> (
+      let args = List.map (simplify_once dims) args in
+      (* Rule 1: flatten nested variadic maps with the same operator. *)
+      let args =
+        if Op.is_associative op then
+          List.concat_map
+            (fun a ->
+              match a with Ir.Map (op', args') when op' = op -> args' | _ -> [ a ])
+            args
+        else args
+      in
+      (* Fold literals. *)
+      let lits, rest =
+        List.partition (fun a -> match a with Ir.Literal _ -> true | _ -> false) args
+      in
+      let args =
+        if Op.is_commutative op && List.length lits >= 2 then begin
+          let v =
+            Op.apply op
+              (Array.of_list
+                 (List.map
+                    (fun a -> match a with Ir.Literal v -> v | _ -> assert false)
+                    lits))
+          in
+          Ir.Literal v :: rest
+        end
+        else args
+      in
+      match args with
+      | [ a ] when Op.arity op = Op.Variadic || op = Op.Ident -> a
+      | [ Ir.Literal v ] when Op.arity op = Op.Unary -> Ir.Literal (Op.apply1 op v)
+      | [ Ir.Literal a; Ir.Literal b ] when Op.arity op = Op.Binary ->
+          Ir.Literal (Op.apply2 op a b)
+      | args -> lift_aggregates dims op args)
+  | Ir.Agg (op, idxs, body) -> (
+      let body = simplify_once dims body in
+      if idxs = [] then body
+      else
+        (* Split indices into those present in the body and those absent;
+           absent ones contribute a repeated application g(x, n). *)
+        let free = Ir.free_indices body in
+        let present, absent = List.partition (fun i -> Ir.Idx_set.mem i free) idxs in
+        let wrap_absent e =
+          List.fold_left
+            (fun e i ->
+              let n = Schema.dim_of_idx dims i in
+              match op with
+              | Op.Add -> Ir.Map (Op.Mul, [ e; Ir.Literal (float_of_int n) ])
+              | Op.Mul -> Ir.Map (Op.Pow, [ e; Ir.Literal (float_of_int n) ])
+              | _ when Op.is_idempotent op -> e
+              | Op.Ident -> e
+              | _ -> Ir.Agg (op, [ i ], e) (* keep: no closed form *))
+            e absent
+        in
+        let core =
+          if present = [] then body
+          else
+            (* Rule 2: merge directly nested aggregates with the same op. *)
+            match body with
+            | Ir.Agg (op', idxs', body') when op' = op ->
+                Ir.Agg (op, present @ idxs', body')
+            | _ -> Ir.Agg (op, present, body)
+        in
+        wrap_absent core)
+
+(* Rule 3: given Map (op, args) where some argument is an aggregate that op
+   distributes over (or where op is the same commutative operator), lift the
+   aggregate above the map when no *other* argument mentions its indices. *)
+and lift_aggregates (dims : int Ir.Idx_map.t) (op : Op.t)
+    (args : Ir.expr list) : Ir.expr =
+  let try_lift () =
+    let rec split before = function
+      | [] -> None
+      | Ir.Agg (agg_op, idxs, body) :: after
+        when Op.distributes_over ~pointwise:op ~aggregate:agg_op
+             && List.for_all
+                  (fun other ->
+                    List.for_all (fun i -> not (Ir.mentions other i)) idxs)
+                  (List.rev_append before after) ->
+          Some (List.rev before, (agg_op, idxs, body), after)
+      | a :: after -> split (a :: before) after
+    in
+    split [] args
+  in
+  match try_lift () with
+  | Some (before, (agg_op, idxs, body), after) ->
+      simplify_once dims
+        (Ir.Agg (agg_op, idxs, Ir.Map (op, before @ (body :: after))))
+  | None -> Ir.Map (op, args)
+
+let rec simplify (dims : int Ir.Idx_map.t) (e : Ir.expr) : Ir.expr =
+  let e' = simplify_once dims e in
+  if e' = e then e else simplify dims e'
+
+(* Full canonicalization of a query expression. *)
+let canonicalize (schema : Schema.t) (e : Ir.expr) : Ir.expr =
+  let e = uniquify e in
+  let dims = Schema.index_dims schema e in
+  simplify dims e
+
+(* ------------------------------------------------------------------ *)
+(* Canonical keys for common sub-expression elimination.                *)
+(* ------------------------------------------------------------------ *)
+
+(* A canonical string for an expression: indices are renamed in first-
+   occurrence order of a canonical traversal, and the children of
+   commutative operators are sorted by their canonical strings.  Two
+   expressions with equal keys denote the same tensor (given equal input
+   bindings), up to index naming. *)
+let canonical_key ?(resolve_alias = fun (n : string) -> n) (e : Ir.expr) :
+    string =
+  let rec key (env : (Ir.idx, int) Hashtbl.t) (next : int ref) (e : Ir.expr) :
+      string =
+    let idx_key i =
+      match Hashtbl.find_opt env i with
+      | Some k -> Printf.sprintf "$%d" k
+      | None ->
+          let k = !next in
+          incr next;
+          Hashtbl.add env i k;
+          Printf.sprintf "$%d" k
+    in
+    match e with
+    | Ir.Input (n, idxs) ->
+        Printf.sprintf "I:%s[%s]" n (String.concat "," (List.map idx_key idxs))
+    | Ir.Alias (n, idxs) ->
+        Printf.sprintf "A:{%s}[%s]" (resolve_alias n)
+          (String.concat "," (List.map idx_key idxs))
+    | Ir.Literal v -> Printf.sprintf "L:%h" v
+    | Ir.Map (op, args) ->
+        let keys =
+          if Op.is_commutative op then
+            (* Sort by a naming-independent preliminary key so the final
+               index numbering does not depend on the original order. *)
+            let pre =
+              List.map
+                (fun a ->
+                  let k = key (Hashtbl.create 8) (ref 0) a in
+                  (k, a))
+                args
+            in
+            let sorted = List.sort (fun (k1, _) (k2, _) -> compare k1 k2) pre in
+            List.map (fun (_, a) -> key env next a) sorted
+          else List.map (key env next) args
+        in
+        Printf.sprintf "M:%s(%s)" (Op.to_string op) (String.concat ";" keys)
+    | Ir.Agg (op, idxs, body) ->
+        let bound = List.map idx_key idxs in
+        Printf.sprintf "G:%s[%s](%s)" (Op.to_string op)
+          (String.concat "," bound)
+          (key env next body)
+  in
+  key (Hashtbl.create 16) (ref 0) e

@@ -1,0 +1,248 @@
+(* The operator algebra (paper Sec. 3.1, 5.4).
+
+   Galley supports arbitrary functions for both pointwise operations and
+   aggregates; what the optimizer needs from each operator is a small set of
+   algebraic facts: identity, annihilator, commutativity, distributivity over
+   aggregate operators, idempotence, and the repeated-application function
+   [g(x, n) = f(x, ..., x)] used to fold fill values into aggregates.
+
+   Booleans are encoded as floats with truthiness [x <> 0]; comparison and
+   logical operators return 0.0 / 1.0. *)
+
+type t =
+  (* variadic, commutative, associative *)
+  | Add
+  | Mul
+  | Max
+  | Min
+  | Or
+  | And
+  (* binary, non-commutative *)
+  | Sub
+  | Div
+  | Pow
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+  (* unary *)
+  | Sigmoid
+  | Relu
+  | Exp
+  | Log
+  | Sqrt
+  | Abs
+  | Neg
+  | Sign
+  | Square
+  (* unary identity; also the "no-op" aggregate of the logical dialect *)
+  | Ident
+
+let to_string = function
+  | Add -> "+"
+  | Mul -> "*"
+  | Max -> "max"
+  | Min -> "min"
+  | Or -> "or"
+  | And -> "and"
+  | Sub -> "-"
+  | Div -> "/"
+  | Pow -> "^"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+  | Sigmoid -> "sigmoid"
+  | Relu -> "relu"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Sqrt -> "sqrt"
+  | Abs -> "abs"
+  | Neg -> "neg"
+  | Sign -> "sign"
+  | Square -> "sq"
+  | Ident -> "id"
+
+let pp fmt op = Format.pp_print_string fmt (to_string op)
+
+let of_string s =
+  let all =
+    [
+      Add; Mul; Max; Min; Or; And; Sub; Div; Pow; Eq; Neq; Lt; Leq; Gt; Geq;
+      Sigmoid; Relu; Exp; Log; Sqrt; Abs; Neg; Sign; Square; Ident;
+    ]
+  in
+  match List.find_opt (fun op -> to_string op = s) all with
+  | Some op -> op
+  | None -> invalid_arg ("Op.of_string: unknown operator " ^ s)
+
+type arity = Unary | Binary | Variadic
+
+let arity = function
+  | Add | Mul | Max | Min | Or | And -> Variadic
+  | Sub | Div | Pow | Eq | Neq | Lt | Leq | Gt | Geq -> Binary
+  | Sigmoid | Relu | Exp | Log | Sqrt | Abs | Neg | Sign | Square | Ident ->
+      Unary
+
+let is_commutative op = arity op = Variadic
+let is_associative op = arity op = Variadic
+
+(* Identity element: [f(x, identity) = x].  This is also the initial value of
+   an aggregate accumulator. *)
+let identity = function
+  | Add | Or -> Some 0.0
+  | Mul | And -> Some 1.0
+  | Max -> Some neg_infinity
+  | Min -> Some infinity
+  | Sub -> Some 0.0 (* right identity only *)
+  | Div | Pow -> Some 1.0 (* right identity only *)
+  | Ident -> None
+  | Eq | Neq | Lt | Leq | Gt | Geq -> None
+  | Sigmoid | Relu | Exp | Log | Sqrt | Abs | Neg | Sign | Square -> None
+
+(* Annihilator: [f(..., a, ...) = a].  A Map node is *annihilating* when all
+   of its children's fill values equal the annihilator of its operator
+   (paper Sec. 7.2): then any fill input forces a fill output, and iteration
+   is an intersection. *)
+let annihilator = function
+  | Mul | And -> Some 0.0
+  | Or -> Some 1.0
+  | Max -> Some infinity
+  | Min -> Some neg_infinity
+  | Add | Sub | Div | Pow | Eq | Neq | Lt | Leq | Gt | Geq | Sigmoid | Relu
+  | Exp | Log | Sqrt | Abs | Neg | Sign | Square | Ident ->
+      None
+
+let truthy x = x <> 0.0
+let bool_float b = if b then 1.0 else 0.0
+
+let apply2 op a b =
+  match op with
+  | Add -> a +. b
+  | Mul -> a *. b
+  | Max -> Float.max a b
+  | Min -> Float.min a b
+  | Or -> bool_float (truthy a || truthy b)
+  | And -> bool_float (truthy a && truthy b)
+  | Sub -> a -. b
+  | Div -> a /. b
+  | Pow -> a ** b
+  | Eq -> bool_float (a = b)
+  | Neq -> bool_float (a <> b)
+  | Lt -> bool_float (a < b)
+  | Leq -> bool_float (a <= b)
+  | Gt -> bool_float (a > b)
+  | Geq -> bool_float (a >= b)
+  | Sigmoid | Relu | Exp | Log | Sqrt | Abs | Neg | Sign | Square | Ident ->
+      invalid_arg ("Op.apply2: unary operator " ^ to_string op)
+
+let apply1 op a =
+  match op with
+  | Sigmoid -> 1.0 /. (1.0 +. exp (-.a))
+  | Relu -> Float.max 0.0 a
+  | Exp -> exp a
+  | Log -> log a
+  | Sqrt -> sqrt a
+  | Abs -> abs_float a
+  | Neg -> -.a
+  | Sign -> if a > 0.0 then 1.0 else if a < 0.0 then -1.0 else 0.0
+  | Square -> a *. a
+  | Ident -> a
+  | Add | Mul | Max | Min | Or | And -> a (* variadic over a singleton *)
+  | Sub | Div | Pow | Eq | Neq | Lt | Leq | Gt | Geq ->
+      invalid_arg ("Op.apply1: binary operator " ^ to_string op)
+
+let apply op (args : float array) : float =
+  match (arity op, Array.length args) with
+  | Unary, 1 -> apply1 op args.(0)
+  | Binary, 2 -> apply2 op args.(0) args.(1)
+  | Variadic, 0 -> (
+      match identity op with
+      | Some e -> e
+      | None -> invalid_arg "Op.apply: empty application")
+  | Variadic, _ ->
+      let acc = ref args.(0) in
+      for i = 1 to Array.length args - 1 do
+        acc := apply2 op !acc args.(i)
+      done;
+      !acc
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Op.apply: %s applied to %d arguments" (to_string op)
+           (Array.length args))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate-operator algebra.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Operators usable as aggregates (commutative monoids, plus the no-op). *)
+let is_aggregate = function
+  | Add | Mul | Max | Min | Or | And | Ident -> true
+  | _ -> false
+
+let is_idempotent = function
+  | Max | Min | Or | And -> true
+  | _ -> false
+
+(* Repeated application g(x, n) = f(x, ..., x) (n copies), paper Sec 5.4.
+   Used to account for aggregate contributions of fill entries. *)
+let repeat op (x : float) (n : int) : float =
+  if n <= 0 then
+    match identity op with
+    | Some e -> e
+    | None -> invalid_arg ("Op.repeat: no identity for " ^ to_string op)
+  else
+    match op with
+    | Add -> x *. float_of_int n
+    | Mul -> x ** float_of_int n
+    | Max | Min -> x
+    (* Or/And normalize to 0/1 on application, so g(x, n>=1) does too. *)
+    | Or | And -> bool_float (truthy x)
+    | Ident -> x
+    | _ -> invalid_arg ("Op.repeat: not an aggregate: " ^ to_string op)
+
+(* Does pointwise operator [f] distribute over aggregate operator [g], i.e.
+   f(a, g(b1..bn)) = g(f(a,b1) .. f(a,bn))?  Conservative table: we only
+   declare algebraically unconditional pairs (e.g. Mul over Max holds only
+   for non-negative multipliers, so it is excluded). *)
+let distributes_over ~(pointwise : t) ~(aggregate : t) : bool =
+  match (pointwise, aggregate) with
+  | Mul, Add -> true
+  | And, Or -> true
+  | Add, Max | Add, Min -> true
+  | Max, Max | Min, Min | Or, Or | And, And -> true
+  | Neg, Add -> true (* -(Σx) = Σ(-x) *)
+  | _ -> false
+
+(* Does pointwise [f] distribute over pointwise [g], i.e.
+   f(g(a,b), c) = g(f(a,c), f(b,c))?  Used by the logical optimizer's
+   pointwise-distributivity expansion (paper Sec. 5.1, Example 3). *)
+let pointwise_distributes ~(outer : t) ~(inner : t) : bool =
+  match (outer, inner) with
+  | Mul, Add | Mul, Sub -> true
+  | And, Or -> true
+  | _ -> false
+
+(* Do two aggregate operators commute: agg_f over i of agg_g over j equals
+   agg_g over j of agg_f over i?  True when identical (and commutative
+   associative); Max/Min commute with each other as well. *)
+let aggregates_commute a b =
+  if not (is_aggregate a && is_aggregate b) then false
+  else if a = b then true
+  else
+    match (a, b) with
+    | Ident, _ | _, Ident -> true
+    | Max, Min | Min, Max -> false
+    | Max, Or | Or, Max -> false
+    | _ -> false
+
+(* Monotone-increasing unary functions commute with Max/Min aggregation;
+   used nowhere critical but exposed for the physical optimizer's sanity
+   checks. *)
+let is_monotone_unary = function
+  | Sigmoid | Relu | Exp | Sqrt | Ident -> true
+  | _ -> false

@@ -1,0 +1,202 @@
+(* The physical dialect (paper Sec. 4.2): fully determined kernels.
+
+   Each logical query becomes one or more physical steps: optional
+   [Transpose] steps that permute inputs whose stored index order is not
+   concordant with the chosen loop order, followed by one [Kernel] step
+   that fixes the loop order, the output format for every output dimension,
+   and an access protocol (iterate / lookup) for every index of every
+   input. *)
+
+type protocol = Iterate | Lookup
+
+let protocol_to_string = function Iterate -> "it" | Lookup -> "lu"
+
+type access = {
+  tensor : string;
+  kind : [ `Input | `Alias ];
+  idxs : Ir.idx list; (* in the tensor's stored dimension order *)
+  protocols : protocol list; (* parallel to [idxs] *)
+}
+
+(* Pointwise expression over numbered accesses. *)
+type pexpr =
+  | P_access of int (* position in [accesses] *)
+  | P_literal of float
+  | P_map of Op.t * pexpr list
+
+type kernel = {
+  name : string;
+  loop_order : Ir.idx list;
+  agg_op : Op.t; (* [Op.Ident] for a pure map *)
+  agg_idxs : Ir.idx list;
+  output_idxs : Ir.idx list; (* subsequence of [loop_order] *)
+  output_dims : int array;
+  output_formats : Galley_tensor.Tensor.format array;
+  loop_dims : int array; (* size of each loop index, parallel to loop_order *)
+  body : pexpr;
+  accesses : access array;
+  body_fill : float; (* body evaluated at every leaf's fill *)
+  output_fill : float; (* = g(body_fill, agg-space) *)
+  agg_space : float; (* product of aggregated dimension sizes *)
+}
+
+type step =
+  | Kernel of kernel
+  | Transpose of {
+      name : string; (* result name *)
+      source : string;
+      source_kind : [ `Input | `Alias ];
+      perm : int array;
+      formats : Galley_tensor.Tensor.format array;
+    }
+
+type plan = step list
+
+(* ------------------------------------------------------------------ *)
+(* Validation.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_subsequence (sub : 'a list) (full : 'a list) : bool =
+  let rec go sub full =
+    match (sub, full) with
+    | [], _ -> true
+    | _, [] -> false
+    | s :: sub', f :: full' -> if s = f then go sub' full' else go sub full'
+  in
+  go sub full
+
+let validate_kernel (k : kernel) : unit =
+  let loop_set = Ir.Idx_set.of_list k.loop_order in
+  if List.length k.loop_order <> Ir.Idx_set.cardinal loop_set then
+    invalid_arg ("Physical: duplicate loop index in " ^ k.name);
+  if not (is_subsequence k.output_idxs k.loop_order) then
+    invalid_arg ("Physical: output indices not concordant with loops in " ^ k.name);
+  Array.iter
+    (fun (a : access) ->
+      if not (is_subsequence a.idxs k.loop_order) then
+        invalid_arg
+          (Printf.sprintf
+             "Physical: access %s[%s] not concordant with loop order [%s] in %s"
+             a.tensor (String.concat "," a.idxs)
+             (String.concat "," k.loop_order)
+             k.name);
+      if List.length a.protocols <> List.length a.idxs then
+        invalid_arg ("Physical: protocol arity mismatch on " ^ a.tensor))
+    k.accesses;
+  List.iter
+    (fun i ->
+      if not (Ir.Idx_set.mem i loop_set) then
+        invalid_arg ("Physical: aggregate index not in loop order: " ^ i))
+    k.agg_idxs
+
+(* ------------------------------------------------------------------ *)
+(* Kernel signatures: the cache key for "compilation" (paper Sec. 9,      *)
+(* Fig. 9).  Structure, formats, and protocols matter; names do not.     *)
+(* ------------------------------------------------------------------ *)
+
+let signature (k : kernel) ~(access_formats : Galley_tensor.Tensor.format array array) : string =
+  let buf = Buffer.create 128 in
+  (* Canonical index numbering by loop position. *)
+  let pos = Hashtbl.create 8 in
+  List.iteri (fun p i -> Hashtbl.replace pos i p) k.loop_order;
+  let idx_id i =
+    match Hashtbl.find_opt pos i with Some p -> string_of_int p | None -> "?"
+  in
+  Buffer.add_string buf (Op.to_string k.agg_op);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (String.concat "," (List.map idx_id k.agg_idxs));
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (String.concat "," (List.map idx_id k.output_idxs));
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun f ->
+      Buffer.add_string buf (Galley_tensor.Tensor.format_to_string f);
+      Buffer.add_char buf ',')
+    k.output_formats;
+  Buffer.add_char buf '|';
+  let rec pe (e : pexpr) =
+    match e with
+    | P_access a ->
+        let acc = k.accesses.(a) in
+        Buffer.add_char buf 'a';
+        Buffer.add_string buf (string_of_int a);
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun p i ->
+            Buffer.add_string buf (idx_id i);
+            Buffer.add_char buf ':';
+            Buffer.add_string buf
+              (protocol_to_string (List.nth acc.protocols p));
+            Buffer.add_char buf ':';
+            Buffer.add_string buf
+              (Galley_tensor.Tensor.format_to_string access_formats.(a).(p));
+            Buffer.add_char buf ';')
+          acc.idxs;
+        Buffer.add_char buf ']'
+    | P_literal v ->
+        Buffer.add_char buf 'l';
+        Buffer.add_string buf (Printf.sprintf "%h" v)
+    | P_map (op, args) ->
+        Buffer.add_string buf (Op.to_string op);
+        Buffer.add_char buf '(';
+        List.iter
+          (fun a ->
+            pe a;
+            Buffer.add_char buf ',')
+          args;
+        Buffer.add_char buf ')'
+  in
+  pe k.body;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_pexpr (accesses : access array) fmt (e : pexpr) =
+  match e with
+  | P_access a ->
+      let acc = accesses.(a) in
+      Format.fprintf fmt "%s[%s]" acc.tensor
+        (String.concat ","
+           (List.map2
+              (fun i p -> Printf.sprintf "%s::%s" i (protocol_to_string p))
+              acc.idxs acc.protocols))
+  | P_literal v -> Format.fprintf fmt "%g" v
+  | P_map (op, args) ->
+      Format.fprintf fmt "@[<hov 2>Map(%s,@ %a)@]" (Op.to_string op)
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+           (pp_pexpr accesses))
+        args
+
+let pp_kernel fmt (k : kernel) =
+  Format.fprintf fmt
+    "@[<v 2>Kernel %s:@,loops: %s@,agg: %s[%s]@,out: [%s] formats [%s]@,body: %a@]"
+    k.name
+    (String.concat " " k.loop_order)
+    (Op.to_string k.agg_op)
+    (String.concat "," k.agg_idxs)
+    (String.concat "," k.output_idxs)
+    (String.concat ","
+       (Array.to_list
+          (Array.map Galley_tensor.Tensor.format_to_string k.output_formats)))
+    (pp_pexpr k.accesses) k.body
+
+let pp_step fmt = function
+  | Kernel k -> pp_kernel fmt k
+  | Transpose t ->
+      Format.fprintf fmt "Transpose %s <- %s perm [%s] formats [%s]" t.name
+        t.source
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int t.perm)))
+        (String.concat ","
+           (Array.to_list
+              (Array.map Galley_tensor.Tensor.format_to_string t.formats)))
+
+let pp_plan fmt (p : plan) =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_step)
+    p
+
+let plan_to_string p = Format.asprintf "%a" pp_plan p

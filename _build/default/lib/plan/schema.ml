@@ -1,0 +1,97 @@
+(* Schema environment: what the optimizer knows about every named tensor
+   (inputs and aliases) — dimension sizes and fill values — plus the
+   per-index dimension sizes inferred from how tensors are accessed.
+
+   The same tensor may be accessed with different index variables at
+   different places (e.g. [E[i,j]] and [E[j,k]] in triangle counting); the
+   index environment checks that every variable is bound to a single
+   consistent size. *)
+
+type info = { dims : int array; fill : float }
+
+type t = { tensors : (string, info) Hashtbl.t }
+
+let create () = { tensors = Hashtbl.create 16 }
+
+let declare t name ~dims ~fill =
+  Hashtbl.replace t.tensors name { dims; fill }
+
+let declare_tensor t name (tensor : Galley_tensor.Tensor.t) =
+  declare t name ~dims:(Galley_tensor.Tensor.dims tensor)
+    ~fill:(Galley_tensor.Tensor.fill tensor)
+
+let find t name = Hashtbl.find_opt t.tensors name
+
+let info_exn t name =
+  match find t name with
+  | Some i -> i
+  | None -> invalid_arg ("Schema: unknown tensor " ^ name)
+
+let fill_of t name = (info_exn t name).fill
+let dims_of t name = (info_exn t name).dims
+
+let copy t = { tensors = Hashtbl.copy t.tensors }
+
+(* Infer the dimension size of every index variable used in [e], checking
+   consistency across accesses. *)
+let index_dims (t : t) (e : Ir.expr) : int Ir.Idx_map.t =
+  let bind acc idx n =
+    match Ir.Idx_map.find_opt idx acc with
+    | Some m when m <> n ->
+        invalid_arg
+          (Printf.sprintf "Schema: index %s bound to both %d and %d" idx m n)
+    | _ -> Ir.Idx_map.add idx n acc
+  in
+  let rec go acc (e : Ir.expr) =
+    match e with
+    | Ir.Input (name, idxs) | Ir.Alias (name, idxs) ->
+        let info = info_exn t name in
+        if Array.length info.dims <> List.length idxs then
+          invalid_arg
+            (Printf.sprintf "Schema: %s accessed with %d indices but has %d"
+               name (List.length idxs)
+               (Array.length info.dims));
+        List.fold_left
+          (fun acc (k, idx) -> bind acc idx info.dims.(k))
+          acc
+          (List.mapi (fun k idx -> (k, idx)) idxs)
+    | Ir.Literal _ -> acc
+    | Ir.Map (_, args) -> List.fold_left go acc args
+    | Ir.Agg (_, _, body) -> go acc body
+  in
+  go Ir.Idx_map.empty e
+
+let dim_of_idx (dims : int Ir.Idx_map.t) (i : Ir.idx) : int =
+  match Ir.Idx_map.find_opt i dims with
+  | Some n -> n
+  | None -> invalid_arg ("Schema: index with unknown dimension " ^ i)
+
+let space (dims : int Ir.Idx_map.t) (idxs : Ir.idx list) : float =
+  List.fold_left (fun acc i -> acc *. float_of_int (dim_of_idx dims i)) 1.0 idxs
+
+(* Fill value of the tensor denoted by [e]: evaluate the expression with
+   every leaf at its fill.  Aggregates fold the fill of their body over the
+   whole aggregated subspace via the repeated-application function g. *)
+let expr_fill (t : t) (dims : int Ir.Idx_map.t) (e : Ir.expr) : float =
+  let rec go (e : Ir.expr) : float =
+    match e with
+    | Ir.Input (name, _) | Ir.Alias (name, _) -> fill_of t name
+    | Ir.Literal v -> v
+    | Ir.Map (op, args) -> Op.apply op (Array.of_list (List.map go args))
+    | Ir.Agg (op, idxs, body) ->
+        let n = int_of_float (space dims idxs) in
+        Op.repeat op (go body) n
+  in
+  go e
+
+(* Register the alias produced by a query: its output dims follow from the
+   free indices of its expression (sorted index-name order for a bare
+   expression; callers that fix an output order should use [declare]). *)
+let declare_query_output (t : t) (q : Ir.query) ~(output_idxs : Ir.idx list) :
+    unit =
+  let dims = index_dims t q.expr in
+  let out_dims =
+    Array.of_list (List.map (fun i -> dim_of_idx dims i) output_idxs)
+  in
+  let fill = expr_fill t dims q.expr in
+  declare t q.name ~dims:out_dims ~fill

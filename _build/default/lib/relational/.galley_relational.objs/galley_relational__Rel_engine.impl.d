@@ -1,0 +1,1 @@
+lib/relational/rel_engine.ml: Array Float Galley_plan Galley_tensor Hashtbl Ir List Logical_query Op Option Printf Relation Unix

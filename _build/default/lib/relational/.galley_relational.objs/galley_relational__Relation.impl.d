@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Buffer Galley_tensor Hashtbl List Unix

@@ -1,0 +1,233 @@
+(* The DuckDB-substitute OLAP engine: sum-product (conjunctive aggregate)
+   queries executed with binary hash joins under a cost-based, left-deep
+   greedy join order, with eager aggregation (group-by SUM pushdown) after
+   every join.
+
+   Used two ways in the evaluation (paper Sec. 9.2):
+   - as the standalone baseline, planning the whole query itself;
+   - as an alternative execution engine for Galley's logical plans
+     ("Galley + DuckDB"), one sum-product query per logical query. *)
+
+open Galley_plan
+
+exception Timeout = Relation.Timeout
+
+exception Unsupported of string
+
+type stored = { rel : Relation.t; dims : int array }
+
+type db = { rels : (string, stored) Hashtbl.t }
+
+let create_db () = { rels = Hashtbl.create 16 }
+
+let register_tensor (db : db) (name : string)
+    (tensor : Galley_tensor.Tensor.t) : unit =
+  let nd = Array.length (Galley_tensor.Tensor.dims tensor) in
+  let vars = List.init nd (fun k -> Printf.sprintf "%%%d" k) in
+  Hashtbl.replace db.rels name
+    {
+      rel = Relation.of_tensor tensor ~vars;
+      dims = Galley_tensor.Tensor.dims tensor;
+    }
+
+let register_relation (db : db) (name : string) (rel : Relation.t)
+    ~(dims : int array) : unit =
+  Hashtbl.replace db.rels name { rel; dims }
+
+let find_exn (db : db) (name : string) : stored =
+  match Hashtbl.find_opt db.rels name with
+  | Some s -> s
+  | None -> invalid_arg ("Rel_engine: unknown relation " ^ name)
+
+type atom = { rel : string; vars : string list }
+
+(* ------------------------------------------------------------------ *)
+(* Static planning: greedy left-deep join order from base statistics.   *)
+(* ------------------------------------------------------------------ *)
+
+type base_stats = {
+  card : float;
+  distinct : (string * float) list; (* per variable *)
+}
+
+let atom_stats (db : db) (a : atom) : base_stats =
+  let s = find_exn db a.rel in
+  let rel = Relation.with_attrs s.rel a.vars in
+  {
+    card = float_of_int (Relation.cardinality rel);
+    distinct =
+      List.map
+        (fun v -> (v, float_of_int (Relation.distinct_count rel v)))
+        a.vars;
+  }
+
+let est_distinct (st : base_stats) (v : string) : float option =
+  List.assoc_opt v st.distinct
+
+(* System-R style join size estimate. *)
+let est_join (a : base_stats) (b : base_stats) : float =
+  let shared =
+    List.filter (fun (v, _) -> est_distinct b v <> None) a.distinct
+  in
+  let denom =
+    List.fold_left
+      (fun acc (v, da) ->
+        match est_distinct b v with
+        | Some db_ -> acc *. Float.max da db_
+        | None -> acc)
+      1.0 shared
+  in
+  a.card *. b.card /. Float.max 1.0 denom
+
+let merge_stats (a : base_stats) (b : base_stats) (card : float) : base_stats =
+  let distinct =
+    List.map
+      (fun (v, da) ->
+        match est_distinct b v with
+        | Some db_ -> (v, Float.min da db_)
+        | None -> (v, Float.min da card))
+      a.distinct
+    @ List.filter_map
+        (fun (v, db_) ->
+          if est_distinct a v = None then Some (v, Float.min db_ card)
+          else None)
+        b.distinct
+  in
+  { card; distinct }
+
+(* Greedy plan: the sequence of atom indices to join, cheapest first. *)
+let plan_order (db : db) (atoms : atom list) : int list =
+  let stats = Array.of_list (List.map (atom_stats db) atoms) in
+  let n = Array.length stats in
+  if n = 0 then []
+  else begin
+    let used = Array.make n false in
+    (* Start from the smallest atom. *)
+    let start = ref 0 in
+    for i = 1 to n - 1 do
+      if stats.(i).card < stats.(!start).card then start := i
+    done;
+    used.(!start) <- true;
+    let order = ref [ !start ] in
+    let current = ref stats.(!start) in
+    for _step = 2 to n do
+      let best = ref None in
+      for i = 0 to n - 1 do
+        if not used.(i) then begin
+          let shares =
+            List.exists
+              (fun (v, _) -> est_distinct stats.(i) v <> None)
+              !current.distinct
+          in
+          let size = est_join !current stats.(i) in
+          (* Prefer connected joins over cross products. *)
+          let penalized = if shares then size else size *. 1e12 in
+          match !best with
+          | Some (_, b) when b <= penalized -> ()
+          | _ -> best := Some (i, penalized)
+        end
+      done;
+      let i, _ = Option.get !best in
+      used.(i) <- true;
+      order := i :: !order;
+      current := merge_stats !current stats.(i) (est_join !current stats.(i))
+    done;
+    List.rev !order
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute a sum-product query: SELECT out_vars, SUM(Π payloads) FROM atoms
+   GROUP BY out_vars, in the given join order, with eager aggregation. *)
+let execute_sum_product ?deadline (db : db) ~(atoms : atom list)
+    ~(order : int list) ~(out_vars : string list) ~(scale : float) :
+    Relation.t =
+  let atom_arr = Array.of_list atoms in
+  let instantiate (a : atom) : Relation.t =
+    Relation.with_attrs (find_exn db a.rel).rel a.vars
+  in
+  let needed_later (remaining : int list) : string list =
+    List.concat_map (fun i -> atom_arr.(i).vars) remaining
+  in
+  match order with
+  | [] -> Relation.create ~attrs:[||] ~cols:[||] ~vals:[| scale |]
+  | first :: rest ->
+      let rec loop acc remaining =
+        match remaining with
+        | [] -> acc
+        | i :: rest ->
+            let joined = Relation.join ?deadline acc (instantiate atom_arr.(i)) in
+            (* Eager aggregation: keep only variables still needed. *)
+            let keep =
+              List.filter
+                (fun v -> List.mem v out_vars || List.mem v (needed_later rest))
+                (Array.to_list joined.Relation.attrs)
+            in
+            let acc =
+              if List.length keep < Relation.arity joined then
+                Relation.project_sum ?deadline joined ~keep
+              else joined
+            in
+            loop acc rest
+      in
+      let result = loop (instantiate atom_arr.(first)) rest in
+      let result = Relation.project_sum ?deadline result ~keep:out_vars in
+      if scale = 1.0 then result else Relation.scale result scale
+
+type timed_result = {
+  relation : Relation.t;
+  plan_seconds : float;
+  exec_seconds : float;
+}
+
+let sum_product ?deadline (db : db) ~(atoms : atom list)
+    ~(out_vars : string list) ?(scale = 1.0) () : timed_result =
+  let t0 = Unix.gettimeofday () in
+  let order = plan_order db atoms in
+  let t1 = Unix.gettimeofday () in
+  let relation = execute_sum_product ?deadline db ~atoms ~order ~out_vars ~scale in
+  let t2 = Unix.gettimeofday () in
+  { relation; plan_seconds = t1 -. t0; exec_seconds = t2 -. t1 }
+
+(* ------------------------------------------------------------------ *)
+(* Bridge: run Galley logical plans on this engine.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten a logical body into atoms + a scalar factor.  Only sum-product
+   shapes are supported: Mul trees over accesses and literals, aggregated
+   with Add (or the no-op aggregate). *)
+let atoms_of_body (body : Ir.expr) : atom list * float =
+  let atoms = ref [] and scale = ref 1.0 in
+  let rec go (e : Ir.expr) : unit =
+    match e with
+    | Ir.Input (name, idxs) | Ir.Alias (name, idxs) ->
+        atoms := { rel = name; vars = idxs } :: !atoms
+    | Ir.Literal v -> scale := !scale *. v
+    | Ir.Map (Op.Mul, args) -> List.iter go args
+    | Ir.Map (op, _) ->
+        raise (Unsupported ("relational engine: operator " ^ Op.to_string op))
+    | Ir.Agg _ -> raise (Unsupported "relational engine: nested aggregate")
+  in
+  go body;
+  (List.rev !atoms, !scale)
+
+(* Execute one logical query, storing its result as a relation usable by
+   later queries.  Dimension sizes for the output come from [dim_of]. *)
+let run_logical_query ?deadline (db : db) ~(dim_of : Ir.idx -> int)
+    (q : Logical_query.t) : timed_result =
+  (match q.Logical_query.agg_op with
+  | Op.Add | Op.Ident -> ()
+  | op ->
+      raise (Unsupported ("relational engine: aggregate " ^ Op.to_string op)));
+  let atoms, scale = atoms_of_body q.Logical_query.body in
+  let out_vars = q.Logical_query.output_idxs in
+  let r = sum_product ?deadline db ~atoms ~out_vars ~scale () in
+  let dims = Array.of_list (List.map dim_of out_vars) in
+  register_relation db q.Logical_query.name r.relation ~dims;
+  r
+
+let run_logical_plan ?deadline (db : db) ~(dim_of : Ir.idx -> int)
+    (plan : Logical_query.t list) : timed_result list =
+  List.map (run_logical_query ?deadline db ~dim_of) plan

@@ -1,0 +1,205 @@
+(* In-memory relations over integer keys with a float payload per row.
+
+   This is the data model of the DuckDB-substitute engine: a sparse tensor's
+   non-fill entries become rows R(i1, ..., ik; v), sum-product queries
+   become joins (payloads multiply) followed by group-by SUM.  Attributes
+   are identified by variable names, so the same stored relation can be
+   used with different bindings (self-joins). *)
+
+type t = {
+  attrs : string array; (* variable names, one per key column *)
+  cols : int array array; (* column-major keys: cols.(a).(row) *)
+  vals : float array; (* payload per row *)
+}
+
+let cardinality (r : t) = Array.length r.vals
+let arity (r : t) = Array.length r.attrs
+
+let create ~attrs ~cols ~vals =
+  let n = Array.length vals in
+  Array.iter
+    (fun c ->
+      if Array.length c <> n then invalid_arg "Relation.create: ragged columns")
+    cols;
+  if Array.length attrs <> Array.length cols then
+    invalid_arg "Relation.create: attrs/cols mismatch";
+  { attrs; cols; vals }
+
+(* The non-fill entries of a tensor, bound to variables [vars]. *)
+let of_tensor (tensor : Galley_tensor.Tensor.t) ~(vars : string list) : t =
+  let nd = Array.length (Galley_tensor.Tensor.dims tensor) in
+  if List.length vars <> nd then invalid_arg "Relation.of_tensor: arity";
+  let entries = Galley_tensor.Tensor.to_coo tensor in
+  let n = Array.length entries in
+  let cols = Array.init nd (fun _ -> Array.make n 0) in
+  let vals = Array.make n 0.0 in
+  Array.iteri
+    (fun row (coords, v) ->
+      for a = 0 to nd - 1 do
+        cols.(a).(row) <- coords.(a)
+      done;
+      vals.(row) <- v)
+    entries;
+  { attrs = Array.of_list vars; cols; vals }
+
+let attr_pos (r : t) (attr : string) : int option =
+  let rec go k =
+    if k >= Array.length r.attrs then None
+    else if r.attrs.(k) = attr then Some k
+    else go (k + 1)
+  in
+  go 0
+
+(* Rename attributes (positional). *)
+let with_attrs (r : t) (vars : string list) : t =
+  if List.length vars <> arity r then invalid_arg "Relation.with_attrs: arity";
+  { r with attrs = Array.of_list vars }
+
+(* Number of distinct values in one attribute (used by the planner). *)
+let distinct_count (r : t) (attr : string) : int =
+  match attr_pos r attr with
+  | None -> 1
+  | Some a ->
+      let seen = Hashtbl.create 256 in
+      Array.iter (fun v -> Hashtbl.replace seen v ()) r.cols.(a);
+      Hashtbl.length seen
+
+(* Encode the key of a row over column positions [ps]. *)
+let key_of (r : t) (ps : int array) (row : int) : string =
+  let b = Buffer.create 16 in
+  Array.iter
+    (fun p ->
+      Buffer.add_string b (string_of_int r.cols.(p).(row));
+      Buffer.add_char b ',')
+    ps;
+  Buffer.contents b
+
+exception Timeout
+
+let check_deadline deadline count =
+  match deadline with
+  | None -> ()
+  | Some d ->
+      if count land 8191 = 0 && Unix.gettimeofday () > d then raise Timeout
+
+(* Hash join on shared attribute names; payloads multiply.  Output
+   attributes: left's, then right's non-shared. *)
+let join ?deadline (l : t) (r : t) : t =
+  let shared =
+    Array.to_list l.attrs
+    |> List.filter (fun a -> attr_pos r a <> None)
+  in
+  let l_shared = Array.of_list (List.filter_map (attr_pos l) shared) in
+  let r_shared = Array.of_list (List.filter_map (attr_pos r) shared) in
+  let r_extra =
+    Array.to_list r.attrs
+    |> List.mapi (fun p a -> (p, a))
+    |> List.filter (fun (_, a) -> not (List.mem a shared))
+  in
+  (* Build on the smaller side. *)
+  let build, probe, build_shared, probe_shared, build_is_left =
+    if cardinality l <= cardinality r then (l, r, l_shared, r_shared, true)
+    else (r, l, r_shared, l_shared, false)
+  in
+  let table : (string, int list) Hashtbl.t =
+    Hashtbl.create (max 16 (2 * cardinality build))
+  in
+  for row = 0 to cardinality build - 1 do
+    check_deadline deadline row;
+    let k = key_of build build_shared row in
+    let prev = try Hashtbl.find table k with Not_found -> [] in
+    Hashtbl.replace table k (row :: prev)
+  done;
+  let out_attrs =
+    Array.append l.attrs (Array.of_list (List.map snd r_extra))
+  in
+  let out_l_cols = Array.length l.attrs in
+  let l_positions = Array.init out_l_cols (fun p -> p) in
+  let r_extra_positions = Array.of_list (List.map fst r_extra) in
+  let acc_cols =
+    Array.init (Array.length out_attrs) (fun _ -> Galley_tensor.Vec.Int.create ())
+  in
+  let acc_vals = Galley_tensor.Vec.Float.create () in
+  let emitted = ref 0 in
+  for prow = 0 to cardinality probe - 1 do
+    check_deadline deadline prow;
+    let k = key_of probe probe_shared prow in
+    match Hashtbl.find_opt table k with
+    | None -> ()
+    | Some rows ->
+        List.iter
+          (fun brow ->
+            incr emitted;
+            check_deadline deadline !emitted;
+            let lrow, rrow =
+              if build_is_left then (brow, prow) else (prow, brow)
+            in
+            Array.iteri
+              (fun o p ->
+                Galley_tensor.Vec.Int.push acc_cols.(o) l.cols.(p).(lrow))
+              l_positions;
+            Array.iteri
+              (fun o p ->
+                Galley_tensor.Vec.Int.push acc_cols.(out_l_cols + o)
+                  r.cols.(p).(rrow))
+              r_extra_positions;
+            Galley_tensor.Vec.Float.push acc_vals
+              (l.vals.(lrow) *. r.vals.(rrow)))
+          rows
+  done;
+  {
+    attrs = out_attrs;
+    cols = Array.map Galley_tensor.Vec.Int.to_array acc_cols;
+    vals = Galley_tensor.Vec.Float.to_array acc_vals;
+  }
+
+(* Group by [keep] attributes, summing payloads (π with SUM). *)
+let project_sum ?deadline (r : t) ~(keep : string list) : t =
+  let ps = Array.of_list (List.filter_map (attr_pos r) keep) in
+  let kept_attrs = Array.map (fun p -> r.attrs.(p)) ps in
+  let groups : (string, int * float) Hashtbl.t = Hashtbl.create 1024 in
+  let order = Galley_tensor.Vec.Poly.create ~dummy:"" () in
+  for row = 0 to cardinality r - 1 do
+    check_deadline deadline row;
+    let k = key_of r ps row in
+    match Hashtbl.find_opt groups k with
+    | Some (first_row, acc) ->
+        Hashtbl.replace groups k (first_row, acc +. r.vals.(row))
+    | None ->
+        Hashtbl.replace groups k (row, r.vals.(row));
+        Galley_tensor.Vec.Poly.push order k
+  done;
+  let n = Galley_tensor.Vec.Poly.length order in
+  let cols = Array.map (fun _ -> Array.make n 0) ps in
+  let vals = Array.make n 0.0 in
+  for g = 0 to n - 1 do
+    let k = Galley_tensor.Vec.Poly.get order g in
+    let first_row, acc = Hashtbl.find groups k in
+    Array.iteri (fun o p -> cols.(o).(g) <- r.cols.(p).(first_row)) ps;
+    vals.(g) <- acc
+  done;
+  { attrs = kept_attrs; cols; vals }
+
+(* Multiply every payload by a scalar. *)
+let scale (r : t) (c : float) : t =
+  { r with vals = Array.map (fun v -> c *. v) r.vals }
+
+let total (r : t) : float = Array.fold_left ( +. ) 0.0 r.vals
+
+(* Materialize as a sparse tensor with the given dimension sizes (one per
+   attribute, in attribute order). *)
+let to_tensor (r : t) ~(dims : int array) : Galley_tensor.Tensor.t =
+  if Array.length dims <> arity r then invalid_arg "Relation.to_tensor: arity";
+  let n = cardinality r in
+  let entries =
+    Array.init n (fun row ->
+        (Array.map (fun col -> col.(row)) r.cols, r.vals.(row)))
+  in
+  let formats =
+    Array.mapi
+      (fun k _ ->
+        if k = 0 && Array.length dims = 1 then Galley_tensor.Tensor.Sparse_list
+        else Galley_tensor.Tensor.Sparse_list)
+      dims
+  in
+  Galley_tensor.Tensor.of_coo ~dims ~formats entries

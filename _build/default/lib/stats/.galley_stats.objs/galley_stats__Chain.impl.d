@@ -1,0 +1,1 @@
+lib/stats/chain.ml: Array Buffer Float Format Galley_plan Galley_tensor Hashtbl Ir List String

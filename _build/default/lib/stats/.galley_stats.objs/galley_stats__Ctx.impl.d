@@ -1,0 +1,1 @@
+lib/stats/ctx.ml: Array Canonical Chain Estimator_sig Galley_plan Galley_tensor Hashtbl Ir List Op Printf Schema String Uniform

@@ -1,0 +1,1 @@
+lib/stats/estimator_sig.ml: Format Galley_plan Galley_tensor Ir

@@ -1,0 +1,1 @@
+lib/stats/uniform.ml: Array Float Format Galley_plan Galley_tensor Ir List String

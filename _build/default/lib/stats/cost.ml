@@ -1,0 +1,28 @@
+(* Cost models (paper Sec. 5.2, 6.1).
+
+   Logical cost: [a * nnz(Agg) + b * nnz(MapExpr)] — materialization of the
+   aggregate's output plus the compute proportional to the pointwise
+   expression's non-fill entries.  The constants come from the paper's
+   simple regression idea; their ratio (materialization is more expensive
+   per entry than a fused FLOP) is what matters for plan choice.
+
+   Physical loop-order cost: the sum over loop-nest levels of the estimated
+   iteration count of each level (Example 6), plus a transposition cost
+   linear in the size of every discordant input. *)
+
+type weights = {
+  agg_weight : float; (* cost per materialized output entry *)
+  map_weight : float; (* cost per pointwise non-fill entry *)
+  transpose_weight : float; (* cost per entry of a transposed input *)
+}
+
+let default_weights = { agg_weight = 10.0; map_weight = 1.0; transpose_weight = 5.0 }
+
+(* Cost of one logical query: the body is the map expression, the output is
+   the aggregate's result. *)
+let logical_query_cost ?(weights = default_weights) ~(nnz_body : float)
+    ~(nnz_out : float) () : float =
+  (weights.agg_weight *. nnz_out) +. (weights.map_weight *. nnz_body)
+
+let transpose_cost ?(weights = default_weights) ~(nnz : float) () : float =
+  weights.transpose_weight *. nnz

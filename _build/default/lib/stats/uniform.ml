@@ -1,0 +1,124 @@
+(* The uniform estimator (paper Sec. 7.3.1): keeps only the non-fill count
+   and assumes non-fill entries are uniformly distributed over the dimension
+   space.  This is System-R's cardinality model with active domain = full
+   dimension. *)
+
+open Galley_plan
+
+type t = {
+  idxs : Ir.Idx_set.t;
+  dims : int Ir.Idx_map.t; (* sizes of [idxs] *)
+  nnz : float;
+}
+
+let name = "uniform"
+
+let idxs t = t.idxs
+
+let space_of (dims : int Ir.Idx_map.t) (s : Ir.Idx_set.t) : float =
+  Ir.Idx_set.fold
+    (fun i acc ->
+      match Ir.Idx_map.find_opt i dims with
+      | Some n -> acc *. float_of_int n
+      | None -> invalid_arg ("Uniform: unknown dim for index " ^ i))
+    s 1.0
+
+let of_tensor ?cheap:_ tensor ~idxs:idx_list =
+  let dims_arr = Galley_tensor.Tensor.dims tensor in
+  if Array.length dims_arr <> List.length idx_list then
+    invalid_arg "Uniform.of_tensor: arity mismatch";
+  let dims =
+    List.fold_left
+      (fun acc (k, i) -> Ir.Idx_map.add i dims_arr.(k) acc)
+      Ir.Idx_map.empty
+      (List.mapi (fun k i -> (k, i)) idx_list)
+  in
+  {
+    idxs = Ir.Idx_set.of_list idx_list;
+    dims;
+    nnz = float_of_int (Galley_tensor.Tensor.nnz tensor);
+  }
+
+let of_literal _v = { idxs = Ir.Idx_set.empty; dims = Ir.Idx_map.empty; nnz = 0.0 }
+
+let union_dims ~(dims : int Ir.Idx_map.t) (children : t list) :
+    Ir.Idx_set.t * int Ir.Idx_map.t =
+  let all =
+    List.fold_left (fun acc c -> Ir.Idx_set.union acc c.idxs) Ir.Idx_set.empty
+      children
+  in
+  let d =
+    Ir.Idx_set.fold
+      (fun i acc ->
+        let n =
+          match Ir.Idx_map.find_opt i dims with
+          | Some n -> n
+          | None ->
+              (* Fall back to any child that knows this index. *)
+              let rec find = function
+                | [] -> invalid_arg ("Uniform: unknown dim for " ^ i)
+                | c :: rest -> (
+                    match Ir.Idx_map.find_opt i c.dims with
+                    | Some n -> n
+                    | None -> find rest)
+              in
+              find children
+        in
+        Ir.Idx_map.add i n acc)
+      all Ir.Idx_map.empty
+  in
+  (all, d)
+
+(* Probability that a random point of a child's index subspace is non-fill. *)
+let density (c : t) : float =
+  let sp = space_of c.dims c.idxs in
+  if sp <= 0.0 then 0.0 else Float.min 1.0 (c.nnz /. sp)
+
+let map_annihilating ~dims children =
+  let all, d = union_dims ~dims children in
+  let out_space = space_of d all in
+  let p = List.fold_left (fun acc c -> acc *. density c) 1.0 children in
+  { idxs = all; dims = d; nnz = out_space *. p }
+
+let map_non_annihilating ~dims children =
+  let all, d = union_dims ~dims children in
+  let out_space = space_of d all in
+  let p_fill = List.fold_left (fun acc c -> acc *. (1.0 -. density c)) 1.0 children in
+  { idxs = all; dims = d; nnz = out_space *. (1.0 -. p_fill) }
+
+(* nnz(C) = (Π_{i ∈ I∖I'} n_i) · (1 − (1 − p)^(Π_{i ∈ I'} n_i)) *)
+let aggregate ~dims:_ (c : t) ~over =
+  let over_set = Ir.Idx_set.inter (Ir.Idx_set.of_list over) c.idxs in
+  if Ir.Idx_set.is_empty over_set then c
+  else begin
+    let keep = Ir.Idx_set.diff c.idxs over_set in
+    let keep_space = space_of c.dims keep in
+    let over_space = space_of c.dims over_set in
+    let p = density c in
+    (* Numerically stable 1 - (1-p)^m. *)
+    let p_any =
+      if p >= 1.0 then 1.0
+      else -.Float.expm1 (over_space *. Float.log1p (-.p))
+    in
+    let dims' =
+      Ir.Idx_map.filter (fun i _ -> Ir.Idx_set.mem i keep) c.dims
+    in
+    { idxs = keep; dims = dims'; nnz = keep_space *. p_any }
+  end
+
+let estimate (c : t) : float = c.nnz
+
+let rename (c : t) (f : Ir.idx -> Ir.idx) : t =
+  {
+    c with
+    idxs = Ir.Idx_set.map f c.idxs;
+    dims =
+      Ir.Idx_map.fold
+        (fun i n acc -> Ir.Idx_map.add (f i) n acc)
+        c.dims Ir.Idx_map.empty;
+  }
+
+let pp fmt (c : t) =
+  Format.fprintf fmt "uniform{[%s] nnz=%.3g}"
+    (String.concat "," (Ir.Idx_set.elements c.idxs))
+    c.nnz

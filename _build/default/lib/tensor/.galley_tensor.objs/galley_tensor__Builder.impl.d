@@ -1,0 +1,1 @@
+lib/tensor/builder.ml: Array Bytes Hashtbl Tensor Vec

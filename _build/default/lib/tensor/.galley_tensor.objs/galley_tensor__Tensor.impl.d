@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Bytes Format Hashtbl Prng String Vec

@@ -1,0 +1,1 @@
+lib/tensor/tensor_io.ml: Array List Printf String Tensor Vec

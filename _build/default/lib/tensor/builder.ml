@@ -1,0 +1,240 @@
+(* Mutable per-format output builders used by the execution engine.
+
+   A builder mirrors the fiber-tree structure of the output tensor: one
+   builder level per output dimension, in the output's chosen formats.
+   Sorted-list levels only support *sequential* construction (non-decreasing
+   index writes) — the physical optimizer guarantees this by only choosing
+   them when the output indices form a prefix of the loop order.  Dense,
+   bytemap, and hash levels support random writes.
+
+   Each leaf cell tracks (value, count): the count is the number of
+   accumulations into the cell, which the engine needs to correct aggregates
+   whose map-expression fill is not the aggregate's neutral element
+   (see DESIGN.md "Fill-value propagation"). *)
+
+type cell = { mutable v : float; mutable cnt : int }
+
+type bnode =
+  | B_inner_dense of bnode array
+  | B_inner_sparse of { crd : Vec.Int.t; children : bnode Vec.Poly.t }
+  | B_inner_hash of (int, bnode) Hashtbl.t
+  | B_inner_bytemap of { mask : Bytes.t; tbl : (int, bnode) Hashtbl.t }
+  | B_leaf_dense of { vals : float array; cnts : int array }
+  | B_leaf_sparse of { crd : Vec.Int.t; cells : cell Vec.Poly.t }
+  | B_leaf_hash of (int, cell) Hashtbl.t
+  | B_leaf_bytemap of { mask : Bytes.t; tbl : (int, cell) Hashtbl.t }
+  | B_scalar of cell
+
+type t = {
+  dims : int array;
+  formats : Tensor.format array;
+  identity : float; (* initial accumulator value (aggregate identity) *)
+  root : bnode;
+}
+
+let dummy_bnode = B_scalar { v = 0.0; cnt = 0 }
+
+let rec make_node (dims : int array) (formats : Tensor.format array)
+    (identity : float) (depth : int) : bnode =
+  let nd = Array.length dims in
+  if nd = 0 then B_scalar { v = identity; cnt = 0 }
+  else begin
+    let leaf = depth = nd - 1 in
+    let n = dims.(depth) in
+    match formats.(depth) with
+    | Tensor.Dense ->
+        if leaf then
+          B_leaf_dense { vals = Array.make n identity; cnts = Array.make n 0 }
+        else
+          (* Dense levels materialize every child eagerly: this is the real
+             cost of choosing a dense intermediate, and the optimizer's
+             format decision trades it against iteration speed. *)
+          B_inner_dense
+            (Array.init n (fun _ -> make_node dims formats identity (depth + 1)))
+    | Tensor.Sparse_list ->
+        if leaf then
+          B_leaf_sparse
+            { crd = Vec.Int.create (); cells = Vec.Poly.create ~dummy:{ v = 0.0; cnt = 0 } () }
+        else
+          B_inner_sparse
+            { crd = Vec.Int.create (); children = Vec.Poly.create ~dummy:dummy_bnode () }
+    | Tensor.Hash ->
+        if leaf then B_leaf_hash (Hashtbl.create 16)
+        else B_inner_hash (Hashtbl.create 16)
+    | Tensor.Bytemap ->
+        if leaf then
+          B_leaf_bytemap { mask = Bytes.make n '\000'; tbl = Hashtbl.create 16 }
+        else
+          B_inner_bytemap { mask = Bytes.make n '\000'; tbl = Hashtbl.create 16 }
+  end
+
+let create ~dims ~formats ~identity () =
+  if Array.length formats <> Array.length dims then
+    invalid_arg "Builder.create: formats/dims mismatch";
+  { dims; formats; identity; root = make_node dims formats identity 0 }
+
+let seq_error () =
+  invalid_arg "Builder: non-sequential write into a sorted-list level"
+
+(* Accumulate [value] into the cell at [coords] with [combine]. *)
+let accum (b : t) (coords : int array) (value : float)
+    ~(combine : float -> float -> float) : unit =
+  let nd = Array.length b.dims in
+  let touch_cell (c : cell) =
+    c.v <- combine c.v value;
+    c.cnt <- c.cnt + 1
+  in
+  let rec go node depth =
+    if depth = nd then
+      match node with
+      | B_scalar c -> touch_cell c
+      | _ -> assert false
+    else begin
+      let i = coords.(depth) in
+      let leaf = depth = nd - 1 in
+      if leaf then
+        match node with
+        | B_leaf_dense { vals; cnts } ->
+            vals.(i) <- combine vals.(i) value;
+            cnts.(i) <- cnts.(i) + 1
+        | B_leaf_sparse { crd; cells } ->
+            let len = Vec.Int.length crd in
+            if len = 0 || Vec.Int.last crd < i then begin
+              Vec.Int.push crd i;
+              Vec.Poly.push cells { v = combine b.identity value; cnt = 1 }
+            end
+            else if Vec.Int.last crd = i then
+              touch_cell (Vec.Poly.get cells (len - 1))
+            else seq_error ()
+        | B_leaf_hash tbl -> (
+            match Hashtbl.find_opt tbl i with
+            | Some c -> touch_cell c
+            | None -> Hashtbl.add tbl i { v = combine b.identity value; cnt = 1 })
+        | B_leaf_bytemap { mask; tbl } -> (
+            match Hashtbl.find_opt tbl i with
+            | Some c -> touch_cell c
+            | None ->
+                Bytes.set mask i '\001';
+                Hashtbl.add tbl i { v = combine b.identity value; cnt = 1 })
+        | _ -> assert false
+      else
+        match node with
+        | B_inner_dense children -> go children.(i) (depth + 1)
+        | B_inner_sparse { crd; children } ->
+            let len = Vec.Int.length crd in
+            if len = 0 || Vec.Int.last crd < i then begin
+              let child = make_node b.dims b.formats b.identity (depth + 1) in
+              Vec.Int.push crd i;
+              Vec.Poly.push children child;
+              go child (depth + 1)
+            end
+            else if Vec.Int.last crd = i then
+              go (Vec.Poly.get children (len - 1)) (depth + 1)
+            else seq_error ()
+        | B_inner_hash tbl ->
+            let child =
+              match Hashtbl.find_opt tbl i with
+              | Some c -> c
+              | None ->
+                  let c = make_node b.dims b.formats b.identity (depth + 1) in
+                  Hashtbl.add tbl i c;
+                  c
+            in
+            go child (depth + 1)
+        | B_inner_bytemap { mask; tbl } ->
+            let child =
+              match Hashtbl.find_opt tbl i with
+              | Some c -> c
+              | None ->
+                  Bytes.set mask i '\001';
+                  let c = make_node b.dims b.formats b.identity (depth + 1) in
+                  Hashtbl.add tbl i c;
+                  c
+            in
+            go child (depth + 1)
+        | _ -> assert false
+    end
+  in
+  go b.root 0
+
+let sorted_keys tbl =
+  let keys = Array.make (Hashtbl.length tbl) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k _ ->
+      keys.(!i) <- k;
+      incr i)
+    tbl;
+  Array.sort compare keys;
+  keys
+
+(* Freeze the builder into an immutable tensor.  [finalize v cnt] maps the
+   accumulated value and count of every explicit cell to its final value;
+   [fill] is the fill value of the result (= finalize identity 0 when the
+   query aggregates, so untouched cells are consistent by construction). *)
+let freeze (b : t) ~(finalize : float -> int -> float) ~(fill : float) :
+    Tensor.t =
+  let rec go node depth : Tensor.node =
+    match node with
+    | B_scalar c -> Tensor.Scalar (finalize c.v c.cnt)
+    | B_leaf_dense { vals; cnts } ->
+        Tensor.Leaf_dense (Array.mapi (fun i v -> finalize v cnts.(i)) vals)
+    | B_leaf_sparse { crd; cells } ->
+        let n = Vec.Int.length crd in
+        Tensor.Leaf_sparse
+          {
+            crd = Vec.Int.to_array crd;
+            vals =
+              Array.init n (fun p ->
+                  let c = Vec.Poly.get cells p in
+                  finalize c.v c.cnt);
+          }
+    | B_leaf_hash tbl ->
+        let crd = sorted_keys tbl in
+        let out = Hashtbl.create (max 4 (2 * Array.length crd)) in
+        Array.iter
+          (fun i ->
+            let c = Hashtbl.find tbl i in
+            Hashtbl.replace out i (finalize c.v c.cnt))
+          crd;
+        Tensor.Leaf_hash { tbl = out; sorted = Some crd }
+    | B_leaf_bytemap { mask; tbl } ->
+        let crd = sorted_keys tbl in
+        Tensor.Leaf_bytemap
+          {
+            mask;
+            crd;
+            vals =
+              Array.map
+                (fun i ->
+                  let c = Hashtbl.find tbl i in
+                  finalize c.v c.cnt)
+                crd;
+          }
+    | B_inner_dense children ->
+        Tensor.Inner_dense (Array.map (fun c -> go c (depth + 1)) children)
+    | B_inner_sparse { crd; children } ->
+        Tensor.Inner_sparse
+          {
+            crd = Vec.Int.to_array crd;
+            children =
+              Array.init (Vec.Poly.length children) (fun p ->
+                  go (Vec.Poly.get children p) (depth + 1));
+          }
+    | B_inner_hash tbl ->
+        let crd = sorted_keys tbl in
+        let out = Hashtbl.create (max 4 (2 * Array.length crd)) in
+        Array.iter
+          (fun i -> Hashtbl.replace out i (go (Hashtbl.find tbl i) (depth + 1)))
+          crd;
+        Tensor.Inner_hash { tbl = out; sorted = Some crd }
+    | B_inner_bytemap { mask; tbl } ->
+        let crd = sorted_keys tbl in
+        Tensor.Inner_bytemap
+          {
+            mask;
+            crd;
+            children = Array.map (fun i -> go (Hashtbl.find tbl i) (depth + 1)) crd;
+          }
+  in
+  { Tensor.dims = b.dims; formats = b.formats; fill; root = go b.root 0; nnz_cache = None }

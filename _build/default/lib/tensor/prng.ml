@@ -1,0 +1,92 @@
+(* Deterministic splitmix64 PRNG.  All synthetic data in the repository is
+   generated through this module so that every experiment is reproducible
+   bit-for-bit, independent of the stdlib [Random] implementation. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(* Uniform float in [0, 1). *)
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+(* Uniform float in [lo, hi). *)
+let float_range t lo hi = lo +. ((hi -. lo) *. float t)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Standard normal via Box-Muller. *)
+let gaussian t =
+  let u1 = max 1e-12 (float t) in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(* Zipf-like skewed integer in [0, bound): index i drawn with probability
+   proportional to 1/(i+1)^alpha, via rejection-free inverse-CDF on a
+   precomputed table would be heavy, so we use the classic approximation
+   x = floor(bound * u^(1/(1-alpha))) for alpha < 1, clamped. *)
+let skewed t ~alpha bound =
+  assert (bound > 0);
+  if alpha <= 0.0 then int t bound
+  else begin
+    let u = max 1e-12 (float t) in
+    let x =
+      if alpha >= 0.999 then
+        (* near alpha=1: exponential-ish tail *)
+        int_of_float (float_of_int bound ** u) - 1
+      else int_of_float (float_of_int bound *. (u ** (1.0 /. (1.0 -. alpha))))
+    in
+    let x = if x < 0 then 0 else x in
+    if x >= bound then bound - 1 else x
+  end
+
+(* Fisher-Yates shuffle in place. *)
+let shuffle t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Sample [k] distinct ints from [0, bound) (k <= bound). *)
+let sample_distinct t ~k bound =
+  assert (k <= bound);
+  if k * 3 >= bound then begin
+    let all = Array.init bound (fun i -> i) in
+    shuffle t all;
+    Array.sub all 0 k
+  end
+  else begin
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let x = int t bound in
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        out.(!filled) <- x;
+        incr filled
+      end
+    done;
+    out
+  end

@@ -1,0 +1,574 @@
+(* Fiber-tree sparse tensors (paper Sec. 3.2, Fig. 2).
+
+   A tensor is a nested data structure: each level stores the explicit
+   (potentially non-fill) indices of one dimension, conditioned on the outer
+   dimensions, together with pointers to the next level.  Every level can be
+   stored in one of four formats — dense vector, sorted list, bytemap, or
+   hash table — each with different iteration / lookup / memory trade-offs.
+   The innermost level stores scalar values directly (unboxed float arrays
+   where the format allows), and a 0-dimensional tensor is a bare scalar. *)
+
+type format = Dense | Sparse_list | Bytemap | Hash
+
+let format_to_string = function
+  | Dense -> "dense"
+  | Sparse_list -> "sparse"
+  | Bytemap -> "bytemap"
+  | Hash -> "hash"
+
+let pp_format fmt f = Format.pp_print_string fmt (format_to_string f)
+
+type node =
+  | Inner_dense of node array
+  | Inner_sparse of { crd : int array; children : node array }
+  | Inner_bytemap of { mask : Bytes.t; crd : int array; children : node array }
+  | Inner_hash of {
+      tbl : (int, node) Hashtbl.t;
+      mutable sorted : int array option;
+    }
+  | Leaf_dense of float array
+  | Leaf_sparse of { crd : int array; vals : float array }
+  | Leaf_bytemap of { mask : Bytes.t; crd : int array; vals : float array }
+  | Leaf_hash of {
+      tbl : (int, float) Hashtbl.t;
+      mutable sorted : int array option;
+    }
+  | Scalar of float
+
+type t = {
+  dims : int array;
+  formats : format array;
+  fill : float;
+  root : node;
+  mutable nnz_cache : int option;
+      (* lazily computed non-fill count: tensors are immutable after
+         construction, so one traversal serves every caller *)
+}
+
+let ndims t = Array.length t.dims
+let dims t = t.dims
+let fill t = t.fill
+let formats t = t.formats
+let root t = t.root
+
+let dim_space dims = Array.fold_left (fun acc n -> acc * n) 1 dims
+
+(* ------------------------------------------------------------------ *)
+(* Binary search over a sorted coordinate array.                        *)
+(* ------------------------------------------------------------------ *)
+
+let bsearch (crd : int array) (x : int) : int option =
+  let lo = ref 0 and hi = ref (Array.length crd - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = crd.(mid) in
+    if c = x then found := Some mid
+    else if c < x then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let hash_sorted_keys tbl sorted set_sorted =
+  match sorted with
+  | Some s -> s
+  | None ->
+      let keys = Array.make (Hashtbl.length tbl) 0 in
+      let i = ref 0 in
+      Hashtbl.iter
+        (fun k _ ->
+          keys.(!i) <- k;
+          incr i)
+        tbl;
+      Array.sort compare keys;
+      set_sorted keys;
+      keys
+
+(* ------------------------------------------------------------------ *)
+(* Node accessors used by the execution engine.                         *)
+(* ------------------------------------------------------------------ *)
+
+module Node = struct
+  type t = node
+
+  (* Sorted explicit indices of a level.  Dense levels return [None] so the
+     caller can iterate the full dimension range without materializing it. *)
+  let explicit_indices (n : node) : int array option =
+    match n with
+    | Inner_dense _ | Leaf_dense _ -> None
+    | Inner_sparse { crd; _ } | Leaf_sparse { crd; _ } -> Some crd
+    | Inner_bytemap { crd; _ } | Leaf_bytemap { crd; _ } -> Some crd
+    | Inner_hash h -> Some (hash_sorted_keys h.tbl h.sorted (fun s -> h.sorted <- Some s))
+    | Leaf_hash h -> Some (hash_sorted_keys h.tbl h.sorted (fun s -> h.sorted <- Some s))
+    | Scalar _ -> invalid_arg "Node.explicit_indices: scalar"
+
+  let explicit_count (n : node) : int =
+    match n with
+    | Inner_dense cs -> Array.length cs
+    | Leaf_dense vs -> Array.length vs
+    | Inner_sparse { crd; _ } | Leaf_sparse { crd; _ } -> Array.length crd
+    | Inner_bytemap { crd; _ } | Leaf_bytemap { crd; _ } -> Array.length crd
+    | Inner_hash { tbl; _ } -> Hashtbl.length tbl
+    | Leaf_hash { tbl; _ } -> Hashtbl.length tbl
+    | Scalar _ -> 1
+
+  (* Lookup of a child node at an inner level. *)
+  let find (n : node) (i : int) : node option =
+    match n with
+    | Inner_dense cs -> if i >= 0 && i < Array.length cs then Some cs.(i) else None
+    | Inner_sparse { crd; children } -> (
+        match bsearch crd i with Some p -> Some children.(p) | None -> None)
+    | Inner_bytemap { mask; crd; children } ->
+        if i >= 0 && i < Bytes.length mask && Bytes.get mask i <> '\000' then
+          match bsearch crd i with
+          | Some p -> Some children.(p)
+          | None -> None
+        else None
+    | Inner_hash { tbl; _ } -> Hashtbl.find_opt tbl i
+    | Leaf_dense _ | Leaf_sparse _ | Leaf_bytemap _ | Leaf_hash _ | Scalar _ ->
+        invalid_arg "Node.find: leaf level"
+
+  (* Lookup of a value at a leaf level. *)
+  let find_value (n : node) (i : int) : float option =
+    match n with
+    | Leaf_dense vs -> if i >= 0 && i < Array.length vs then Some vs.(i) else None
+    | Leaf_sparse { crd; vals } -> (
+        match bsearch crd i with Some p -> Some vals.(p) | None -> None)
+    | Leaf_bytemap { mask; crd; vals } ->
+        if i >= 0 && i < Bytes.length mask && Bytes.get mask i <> '\000' then
+          match bsearch crd i with Some p -> Some vals.(p) | None -> None
+        else None
+    | Leaf_hash { tbl; _ } -> Hashtbl.find_opt tbl i
+    | Scalar _ | Inner_dense _ | Inner_sparse _ | Inner_bytemap _ | Inner_hash _
+      ->
+        invalid_arg "Node.find_value: inner level"
+
+  let scalar_value (n : node) : float =
+    match n with
+    | Scalar v -> v
+    | _ -> invalid_arg "Node.scalar_value: not a scalar"
+
+  (* Iterate children of an inner level in ascending index order. *)
+  let iter_sorted (n : node) (f : int -> node -> unit) : unit =
+    match n with
+    | Inner_dense cs -> Array.iteri f cs
+    | Inner_sparse { crd; children } | Inner_bytemap { crd; children; _ } ->
+        Array.iteri (fun p i -> f i children.(p)) crd
+    | Inner_hash h ->
+        let keys = hash_sorted_keys h.tbl h.sorted (fun s -> h.sorted <- Some s) in
+        Array.iter (fun k -> f k (Hashtbl.find h.tbl k)) keys
+    | Leaf_dense _ | Leaf_sparse _ | Leaf_bytemap _ | Leaf_hash _ | Scalar _ ->
+        invalid_arg "Node.iter_sorted: leaf level"
+
+  (* Iterate values of a leaf level in ascending index order. *)
+  let iter_values (n : node) (f : int -> float -> unit) : unit =
+    match n with
+    | Leaf_dense vs -> Array.iteri f vs
+    | Leaf_sparse { crd; vals } | Leaf_bytemap { crd; vals; _ } ->
+        Array.iteri (fun p i -> f i vals.(p)) crd
+    | Leaf_hash h ->
+        let keys = hash_sorted_keys h.tbl h.sorted (fun s -> h.sorted <- Some s) in
+        Array.iter (fun k -> f k (Hashtbl.find h.tbl k)) keys
+    | Scalar _ | Inner_dense _ | Inner_sparse _ | Inner_bytemap _ | Inner_hash _
+      ->
+        invalid_arg "Node.iter_values: inner level"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let scalar v =
+  { dims = [||]; formats = [||]; fill = 0.0; root = Scalar v; nnz_cache = None }
+
+let scalar_value t =
+  match t.root with
+  | Scalar v -> v
+  | _ -> invalid_arg "Tensor.scalar_value: not 0-dimensional"
+
+(* Canonical empty node for a level stack: used as the shared child of
+   untouched positions in dense levels. *)
+let rec empty_node (formats : format array) (dims : int array) (depth : int)
+    (fill : float) : node =
+  let leaf = depth = Array.length dims - 1 in
+  match formats.(depth) with
+  | Dense ->
+      let n = dims.(depth) in
+      if leaf then Leaf_dense (Array.make n fill)
+      else begin
+        let child = empty_node formats dims (depth + 1) fill in
+        Inner_dense (Array.make n child)
+      end
+  | Sparse_list ->
+      if leaf then Leaf_sparse { crd = [||]; vals = [||] }
+      else Inner_sparse { crd = [||]; children = [||] }
+  | Bytemap ->
+      let n = dims.(depth) in
+      if leaf then
+        Leaf_bytemap { mask = Bytes.make n '\000'; crd = [||]; vals = [||] }
+      else
+        Inner_bytemap { mask = Bytes.make n '\000'; crd = [||]; children = [||] }
+  | Hash ->
+      if leaf then Leaf_hash { tbl = Hashtbl.create 4; sorted = Some [||] }
+      else Inner_hash { tbl = Hashtbl.create 4; sorted = Some [||] }
+
+(* Lexicographic comparison of two coordinate tuples. *)
+let compare_coords (a : int array) (b : int array) : int =
+  let n = Array.length a in
+  let rec go i =
+    if i = n then 0
+    else
+      let c = compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* Build a fiber tree from sorted, deduplicated COO entries.
+   [entries] is an array of (coords, value); [lo, hi) is the active slice. *)
+let rec build_node (formats : format array) (dims : int array) (fill : float)
+    (entries : (int array * float) array) (lo : int) (hi : int) (depth : int) :
+    node =
+  let leaf = depth = Array.length dims - 1 in
+  let n = dims.(depth) in
+  (* Compute runs of equal coordinate at this depth. *)
+  let runs = Vec.Poly.create ~dummy:(0, 0, 0) () in
+  let i = ref lo in
+  while !i < hi do
+    let c = (fst entries.(!i)).(depth) in
+    let j = ref !i in
+    while !j < hi && (fst entries.(!j)).(depth) = c do
+      incr j
+    done;
+    Vec.Poly.push runs (c, !i, !j);
+    i := !j
+  done;
+  let nruns = Vec.Poly.length runs in
+  if leaf then begin
+    match formats.(depth) with
+    | Dense ->
+        let vals = Array.make n fill in
+        for r = 0 to nruns - 1 do
+          let c, rlo, _ = Vec.Poly.get runs r in
+          vals.(c) <- snd entries.(rlo)
+        done;
+        Leaf_dense vals
+    | Sparse_list ->
+        let crd = Array.make nruns 0 and vals = Array.make nruns 0.0 in
+        for r = 0 to nruns - 1 do
+          let c, rlo, _ = Vec.Poly.get runs r in
+          crd.(r) <- c;
+          vals.(r) <- snd entries.(rlo)
+        done;
+        Leaf_sparse { crd; vals }
+    | Bytemap ->
+        let mask = Bytes.make n '\000' in
+        let crd = Array.make nruns 0 and vals = Array.make nruns 0.0 in
+        for r = 0 to nruns - 1 do
+          let c, rlo, _ = Vec.Poly.get runs r in
+          Bytes.set mask c '\001';
+          crd.(r) <- c;
+          vals.(r) <- snd entries.(rlo)
+        done;
+        Leaf_bytemap { mask; crd; vals }
+    | Hash ->
+        let tbl = Hashtbl.create (max 4 (2 * nruns)) in
+        for r = 0 to nruns - 1 do
+          let c, rlo, _ = Vec.Poly.get runs r in
+          Hashtbl.replace tbl c (snd entries.(rlo))
+        done;
+        Leaf_hash { tbl; sorted = None }
+  end
+  else begin
+    let child_of r =
+      let _, rlo, rhi = Vec.Poly.get runs r in
+      build_node formats dims fill entries rlo rhi (depth + 1)
+    in
+    match formats.(depth) with
+    | Dense ->
+        (* Untouched positions share one canonical empty child. *)
+        let empty = empty_node formats dims (depth + 1) fill in
+        let children = Array.make n empty in
+        for r = 0 to nruns - 1 do
+          let c, _, _ = Vec.Poly.get runs r in
+          children.(c) <- child_of r
+        done;
+        Inner_dense children
+    | Sparse_list ->
+        let crd = Array.make nruns 0 in
+        let children = Array.init nruns child_of in
+        for r = 0 to nruns - 1 do
+          let c, _, _ = Vec.Poly.get runs r in
+          crd.(r) <- c
+        done;
+        Inner_sparse { crd; children }
+    | Bytemap ->
+        let mask = Bytes.make n '\000' in
+        let crd = Array.make nruns 0 in
+        let children = Array.init nruns child_of in
+        for r = 0 to nruns - 1 do
+          let c, _, _ = Vec.Poly.get runs r in
+          Bytes.set mask c '\001';
+          crd.(r) <- c
+        done;
+        Inner_bytemap { mask; crd; children }
+    | Hash ->
+        let tbl = Hashtbl.create (max 4 (2 * nruns)) in
+        for r = 0 to nruns - 1 do
+          let c, _, _ = Vec.Poly.get runs r in
+          Hashtbl.replace tbl c (child_of r)
+        done;
+        Inner_hash { tbl; sorted = None }
+  end
+
+let of_coo ?(fill = 0.0) ?(combine = ( +. )) ?(prune = true) ~dims ~formats
+    entries =
+  let nd = Array.length dims in
+  if Array.length formats <> nd then
+    invalid_arg "Tensor.of_coo: formats/dims length mismatch";
+  Array.iter
+    (fun (c, _) ->
+      if Array.length c <> nd then invalid_arg "Tensor.of_coo: bad coord arity")
+    entries;
+  if nd = 0 then begin
+    let v = Array.fold_left (fun acc (_, x) -> combine acc x) fill entries in
+    let v = if Array.length entries = 0 then fill else v in
+    { dims = [||]; formats = [||]; fill; root = Scalar v; nnz_cache = None }
+  end
+  else begin
+    let entries = Array.copy entries in
+    Array.sort (fun (a, _) (b, _) -> compare_coords a b) entries;
+    (* Deduplicate, combining values of equal coordinates. *)
+    let dedup = Vec.Poly.create ~dummy:([||], 0.0) () in
+    let n = Array.length entries in
+    let i = ref 0 in
+    while !i < n do
+      let c, v = entries.(!i) in
+      let acc = ref v in
+      let j = ref (!i + 1) in
+      while !j < n && compare_coords (fst entries.(!j)) c = 0 do
+        acc := combine !acc (snd entries.(!j));
+        incr j
+      done;
+      if (not prune) || !acc <> fill then Vec.Poly.push dedup (c, !acc);
+      i := !j
+    done;
+    let entries = Vec.Poly.to_array dedup in
+    let root =
+      if Array.length entries = 0 then empty_node formats dims 0 fill
+      else build_node formats dims fill entries 0 (Array.length entries) 0
+    in
+    { dims; formats; fill; root; nnz_cache = None }
+  end
+
+let get (t : t) (coords : int array) : float =
+  let nd = ndims t in
+  if Array.length coords <> nd then invalid_arg "Tensor.get: bad coord arity";
+  if nd = 0 then scalar_value t
+  else begin
+    let rec go node depth =
+      if depth = nd - 1 then
+        match Node.find_value node coords.(depth) with
+        | Some v -> v
+        | None -> t.fill
+      else
+        match Node.find node coords.(depth) with
+        | Some child -> go child (depth + 1)
+        | None -> t.fill
+    in
+    go t.root 0
+  end
+
+(* Iterate all explicit entries with their full coordinates. *)
+let iter_explicit (t : t) (f : int array -> float -> unit) : unit =
+  let nd = ndims t in
+  if nd = 0 then f [||] (scalar_value t)
+  else begin
+    let coords = Array.make nd 0 in
+    let rec go node depth =
+      if depth = nd - 1 then
+        Node.iter_values node (fun i v ->
+            coords.(depth) <- i;
+            f (Array.copy coords) v)
+      else
+        Node.iter_sorted node (fun i child ->
+            coords.(depth) <- i;
+            go child (depth + 1))
+    in
+    go t.root 0
+  end
+
+(* Like [iter_explicit] but skips entries whose value equals the fill. *)
+let iter_nonfill (t : t) (f : int array -> float -> unit) : unit =
+  iter_explicit t (fun c v -> if v <> t.fill then f c v)
+
+let to_coo (t : t) : (int array * float) array =
+  let acc = Vec.Poly.create ~dummy:([||], 0.0) () in
+  iter_nonfill t (fun c v -> Vec.Poly.push acc (c, v));
+  Vec.Poly.to_array acc
+
+(* Number of explicitly stored positions (dense counts everything). *)
+let explicit_count (t : t) : int =
+  let nd = ndims t in
+  if nd = 0 then 1
+  else begin
+    let total = ref 0 in
+    let rec go node depth =
+      if depth = nd - 1 then total := !total + Node.explicit_count node
+      else Node.iter_sorted node (fun _ child -> go child (depth + 1))
+    in
+    go t.root 0;
+    !total
+  end
+
+(* Number of entries whose value differs from the fill (cached). *)
+let nnz (t : t) : int =
+  match t.nnz_cache with
+  | Some n -> n
+  | None ->
+      let n = ref 0 in
+      iter_nonfill t (fun _ _ -> incr n);
+      t.nnz_cache <- Some !n;
+      !n
+
+let reformat ?fill (t : t) (formats : format array) : t =
+  let fill = match fill with Some f -> f | None -> t.fill in
+  of_coo ~fill ~dims:t.dims ~formats (to_coo t)
+
+(* Transpose: [perm.(k)] is the source dimension that lands at position [k]
+   of the output, i.e. out_dims.(k) = dims.(perm.(k)) and
+   out[c0..] = in[c_{perm^-1}...]. *)
+let transpose ?formats (t : t) (perm : int array) : t =
+  let nd = ndims t in
+  if Array.length perm <> nd then invalid_arg "Tensor.transpose: bad perm";
+  let out_dims = Array.map (fun k -> t.dims.(k)) perm in
+  let out_formats =
+    match formats with
+    | Some fs -> fs
+    | None -> Array.map (fun k -> t.formats.(k)) perm
+  in
+  let entries = to_coo t in
+  let permuted =
+    Array.map
+      (fun (c, v) -> (Array.map (fun k -> c.(k)) perm, v))
+      entries
+  in
+  of_coo ~fill:t.fill ~dims:out_dims ~formats:out_formats permuted
+
+(* ------------------------------------------------------------------ *)
+(* Dense interop, mostly for tests and the reference evaluator.         *)
+(* ------------------------------------------------------------------ *)
+
+let flat_index (dims : int array) (coords : int array) : int =
+  let nd = Array.length dims in
+  let idx = ref 0 in
+  for d = 0 to nd - 1 do
+    idx := (!idx * dims.(d)) + coords.(d)
+  done;
+  !idx
+
+let unflatten (dims : int array) (flat : int) : int array =
+  let nd = Array.length dims in
+  let coords = Array.make nd 0 in
+  let rem = ref flat in
+  for d = nd - 1 downto 0 do
+    coords.(d) <- !rem mod dims.(d);
+    rem := !rem / dims.(d)
+  done;
+  coords
+
+(* Row-major flattening; cells never touched explicitly get the fill. *)
+let to_flat_dense (t : t) : float array =
+  let nd = ndims t in
+  if nd = 0 then [| scalar_value t |]
+  else begin
+    let out = Array.make (dim_space t.dims) t.fill in
+    iter_explicit t (fun c v -> out.(flat_index t.dims c) <- v);
+    out
+  end
+
+let of_fun ?(fill = 0.0) ~dims ~formats f =
+  let total = dim_space dims in
+  let entries = Vec.Poly.create ~dummy:([||], 0.0) () in
+  for flat = 0 to total - 1 do
+    let c = unflatten dims flat in
+    let v = f c in
+    if v <> fill then Vec.Poly.push entries (c, v)
+  done;
+  of_coo ~fill ~dims ~formats (Vec.Poly.to_array entries)
+
+let of_flat_dense ?(fill = 0.0) ~dims ~formats data =
+  if Array.length data <> dim_space dims then
+    invalid_arg "Tensor.of_flat_dense: size mismatch";
+  of_fun ~fill ~dims ~formats (fun c -> data.(flat_index dims c))
+
+(* Random sparse tensor: each cell is non-fill independently with
+   probability [density]; values are uniform in [value_lo, value_hi). *)
+let random ?(fill = 0.0) ?(value_lo = 0.5) ?(value_hi = 1.5) ~prng ~dims
+    ~formats ~density () =
+  let entries = Vec.Poly.create ~dummy:([||], 0.0) () in
+  let total = dim_space dims in
+  if density >= 0.3 || total <= 4096 then begin
+    for flat = 0 to total - 1 do
+      if Prng.float prng < density then begin
+        let v = Prng.float_range prng value_lo value_hi in
+        let v = if v = fill then v +. 1e-9 else v in
+        Vec.Poly.push entries (unflatten dims flat, v)
+      end
+    done
+  end
+  else begin
+    (* Sparse regime: sample expected-count cells without full scan. *)
+    let expected = int_of_float (float_of_int total *. density) in
+    let expected = max 1 expected in
+    let seen = Hashtbl.create (2 * expected) in
+    let tries = ref 0 in
+    while Hashtbl.length seen < expected && !tries < 20 * expected do
+      incr tries;
+      let flat = Prng.int prng total in
+      if not (Hashtbl.mem seen flat) then Hashtbl.add seen flat ()
+    done;
+    Hashtbl.iter
+      (fun flat () ->
+        let v = Prng.float_range prng value_lo value_hi in
+        let v = if v = fill then v +. 1e-9 else v in
+        Vec.Poly.push entries (unflatten dims flat, v))
+      seen
+  end;
+  of_coo ~fill ~dims ~formats (Vec.Poly.to_array entries)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison and printing.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let equal_approx ?(eps = 1e-9) (a : t) (b : t) : bool =
+  a.dims = b.dims
+  &&
+  let fa = to_flat_dense a and fb = to_flat_dense b in
+  let ok = ref true in
+  Array.iteri
+    (fun i va ->
+      let vb = fb.(i) in
+      let scale = max 1.0 (max (abs_float va) (abs_float vb)) in
+      if abs_float (va -. vb) > eps *. scale then ok := false)
+    fa;
+  !ok
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "@[<v 2>tensor dims=[%s] formats=[%s] fill=%g nnz=%d"
+    (String.concat "," (Array.to_list (Array.map string_of_int t.dims)))
+    (String.concat ","
+       (Array.to_list (Array.map format_to_string t.formats)))
+    t.fill (nnz t);
+  let shown = ref 0 in
+  (try
+     iter_nonfill t (fun c v ->
+         if !shown >= 20 then raise Exit;
+         incr shown;
+         Format.fprintf fmt "@,[%s] = %g"
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int c)))
+           v)
+   with Exit -> Format.fprintf fmt "@,...");
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,116 @@
+(* Growable vectors specialized for the tensor substrate.  OCaml 5.1's stdlib
+   has no [Dynarray]; these are the minimal flavours we need: unboxed float
+   payloads, int coordinates, and a polymorphic variant for node children. *)
+
+module Float = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create ?(capacity = 8) () =
+    { data = Array.make (max capacity 1) 0.0; len = 0 }
+
+  let length v = v.len
+
+  let ensure v n =
+    if n > Array.length v.data then begin
+      let cap = ref (Array.length v.data) in
+      while !cap < n do
+        cap := !cap * 2
+      done;
+      let data = Array.make !cap 0.0 in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end
+
+  let push v x =
+    ensure v (v.len + 1);
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i =
+    assert (i >= 0 && i < v.len);
+    v.data.(i)
+
+  let set v i x =
+    assert (i >= 0 && i < v.len);
+    v.data.(i) <- x
+
+  let to_array v = Array.sub v.data 0 v.len
+
+  let clear v = v.len <- 0
+end
+
+module Int = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create ?(capacity = 8) () =
+    { data = Array.make (max capacity 1) 0; len = 0 }
+
+  let length v = v.len
+
+  let ensure v n =
+    if n > Array.length v.data then begin
+      let cap = ref (Array.length v.data) in
+      while !cap < n do
+        cap := !cap * 2
+      done;
+      let data = Array.make !cap 0 in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end
+
+  let push v x =
+    ensure v (v.len + 1);
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i =
+    assert (i >= 0 && i < v.len);
+    v.data.(i)
+
+  let set v i x =
+    assert (i >= 0 && i < v.len);
+    v.data.(i) <- x
+
+  let last v =
+    assert (v.len > 0);
+    v.data.(v.len - 1)
+
+  let to_array v = Array.sub v.data 0 v.len
+
+  let clear v = v.len <- 0
+end
+
+module Poly = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create ?(capacity = 8) ~dummy () =
+    { data = Array.make (max capacity 1) dummy; len = 0; dummy }
+
+  let length v = v.len
+
+  let ensure v n =
+    if n > Array.length v.data then begin
+      let cap = ref (Array.length v.data) in
+      while !cap < n do
+        cap := !cap * 2
+      done;
+      let data = Array.make !cap v.dummy in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end
+
+  let push v x =
+    ensure v (v.len + 1);
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i =
+    assert (i >= 0 && i < v.len);
+    v.data.(i)
+
+  let set v i x =
+    assert (i >= 0 && i < v.len);
+    v.data.(i) <- x
+
+  let to_array v = Array.sub v.data 0 v.len
+end

@@ -1,0 +1,1 @@
+lib/workloads/bfs.ml: Array Galley Galley_physical Galley_plan Galley_tensor Ir Logical_query Op Queue Unix

@@ -1,0 +1,1 @@
+lib/workloads/graphs.ml: Array Galley_tensor Hashtbl List

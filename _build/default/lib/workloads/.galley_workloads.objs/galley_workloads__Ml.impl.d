@@ -1,0 +1,1 @@
+lib/workloads/ml.ml: Array Galley_physical Galley_plan Galley_tensor Ir Logical_query Op

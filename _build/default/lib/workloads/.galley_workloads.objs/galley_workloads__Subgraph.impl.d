@@ -1,0 +1,1 @@
+lib/workloads/subgraph.ml: Array Galley_plan Galley_tensor Graphs Hashtbl Ir List Printf

@@ -1,0 +1,1 @@
+lib/workloads/tpch.ml: Array Galley_plan Galley_tensor Ir List

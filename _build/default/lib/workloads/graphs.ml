@@ -1,0 +1,131 @@
+(* Deterministic random-graph generators standing in for the G-Care and
+   "In-Memory Subgraph Matching" benchmark graphs (DESIGN.md Sec. 2).
+
+   Two families:
+   - Erdős–Rényi: m edges uniform over n² pairs (low skew, like `yeast`);
+   - power-law: endpoint sampled with a Zipf-like distribution (high skew,
+     like `youtube`/`dblp` crawls).
+
+   Graphs carry optional vertex labels (for labelled subgraph queries) and
+   are materialized as sparse boolean adjacency tensors. *)
+
+module T = Galley_tensor.Tensor
+module Prng = Galley_tensor.Prng
+
+type t = {
+  name : string;
+  n : int; (* vertices *)
+  edges : (int * int) array; (* directed edge list, deduplicated *)
+  labels : int array; (* vertex label ids; [| |] when unlabelled *)
+  n_labels : int;
+}
+
+let edge_count (g : t) = Array.length g.edges
+
+let dedup_edges (edges : (int * int) list) : (int * int) array =
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun (u, v) -> if u <> v then Hashtbl.replace seen (u, v) ())
+    edges;
+  let out = Array.make (Hashtbl.length seen) (0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun e () ->
+      out.(!i) <- e;
+      incr i)
+    seen;
+  Array.sort compare out;
+  out
+
+let assign_labels prng n n_labels =
+  if n_labels <= 1 then [||] else Array.init n (fun _ -> Prng.int prng n_labels)
+
+let erdos_renyi ?(name = "er") ?(n_labels = 1) ~seed ~n ~m () : t =
+  let prng = Prng.create seed in
+  let edges = ref [] in
+  for _ = 1 to m do
+    let u = Prng.int prng n and v = Prng.int prng n in
+    edges := (u, v) :: !edges
+  done;
+  {
+    name;
+    n;
+    edges = dedup_edges !edges;
+    labels = assign_labels prng n n_labels;
+    n_labels = max 1 n_labels;
+  }
+
+let power_law ?(name = "pl") ?(n_labels = 1) ?(alpha = 0.75) ~seed ~n ~m () : t
+    =
+  let prng = Prng.create seed in
+  (* Random vertex permutation so that hubs are spread over the id space. *)
+  let ids = Array.init n (fun i -> i) in
+  Prng.shuffle prng ids;
+  let edges = ref [] in
+  for _ = 1 to m do
+    let u = ids.(Prng.skewed prng ~alpha n) in
+    let v = ids.(Prng.skewed prng ~alpha n) in
+    edges := (u, v) :: !edges
+  done;
+  {
+    name;
+    n;
+    edges = dedup_edges !edges;
+    labels = assign_labels prng n n_labels;
+    n_labels = max 1 n_labels;
+  }
+
+(* Make the edge relation symmetric (undirected view). *)
+let symmetrize (g : t) : t =
+  let both =
+    Array.to_list g.edges @ List.map (fun (u, v) -> (v, u)) (Array.to_list g.edges)
+  in
+  { g with edges = dedup_edges both }
+
+(* Adjacency matrix as a sparse boolean tensor. *)
+let adjacency ?(formats = [| T.Dense; T.Sparse_list |]) (g : t) : T.t =
+  let entries =
+    Array.map (fun (u, v) -> ([| u; v |], 1.0)) g.edges
+  in
+  T.of_coo ~dims:[| g.n; g.n |] ~formats entries
+
+(* Indicator vector of the vertices with label [l]. *)
+let label_vector ?(formats = [| T.Sparse_list |]) (g : t) (l : int) : T.t =
+  let entries =
+    Array.of_list
+      (List.filter_map
+         (fun v -> if g.labels.(v) = l then Some ([| v |], 1.0) else None)
+         (List.init g.n (fun v -> v)))
+  in
+  T.of_coo ~dims:[| g.n |] ~formats entries
+
+(* Scaled-down stand-ins for the paper's benchmark graph families:
+   name, generator kind, vertices, edges, labels. *)
+let benchmark_suite ~(scale : float) : t list =
+  let s x = max 20 (int_of_float (float_of_int x *. scale)) in
+  [
+    symmetrize
+      (erdos_renyi ~name:"aids" ~seed:101 ~n:(s 2000) ~m:(s 4000) ~n_labels:8 ());
+    symmetrize
+      (power_law ~name:"human" ~seed:102 ~n:(s 1000) ~m:(s 8000) ~n_labels:12
+         ~alpha:0.55 ());
+    symmetrize
+      (erdos_renyi ~name:"yeast" ~seed:103 ~n:(s 3000) ~m:(s 6000) ~n_labels:16 ());
+    symmetrize
+      (power_law ~name:"dblp_lite" ~seed:104 ~n:(s 5000) ~m:(s 15000)
+         ~n_labels:1 ~alpha:0.7 ());
+    symmetrize
+      (power_law ~name:"youtube_lite" ~seed:105 ~n:(s 8000) ~m:(s 24000)
+         ~n_labels:1 ~alpha:0.8 ());
+  ]
+
+(* Graphs for the BFS experiment (Fig. 10): a spread of sizes and skews. *)
+let bfs_suite ~(scale : float) : t list =
+  let s x = max 20 (int_of_float (float_of_int x *. scale)) in
+  [
+    symmetrize (erdos_renyi ~name:"er_sparse" ~seed:201 ~n:(s 20000) ~m:(s 40000) ());
+    symmetrize (erdos_renyi ~name:"er_dense" ~seed:202 ~n:(s 4000) ~m:(s 60000) ());
+    symmetrize (power_law ~name:"pl_hub" ~seed:203 ~n:(s 20000) ~m:(s 60000) ~alpha:0.8 ());
+    symmetrize (power_law ~name:"pl_mild" ~seed:204 ~n:(s 10000) ~m:(s 30000) ~alpha:0.5 ());
+    symmetrize (erdos_renyi ~name:"er_chain" ~seed:205 ~n:(s 30000) ~m:(s 33000) ());
+  ]

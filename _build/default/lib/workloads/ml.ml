@@ -1,0 +1,180 @@
+(* Machine-learning algorithms over join-structured feature matrices
+   (paper Sec. 9.1, Fig. 6), in two flavours:
+
+   - [fused_*]: the composite definition of X is inlined into the algorithm,
+     so Galley's logical optimizer can push computation into the join;
+   - [baseline_*]: a hand-written logical plan that first materializes X
+     (in a caller-chosen format, via the physical format override) and then
+     runs a fixed kernel — the shape of the paper's hand-coded Finch
+     baselines, executed on the same engine. *)
+
+module T = Galley_tensor.Tensor
+module Prng = Galley_tensor.Prng
+open Galley_plan
+
+type algorithm = Linreg | Logreg | Covariance | Nn
+
+let algorithm_name = function
+  | Linreg -> "linreg"
+  | Logreg -> "logreg"
+  | Covariance -> "covariance"
+  | Nn -> "nn"
+
+let all_algorithms = [ Linreg; Logreg; Covariance; Nn ]
+
+(* Model parameters: θ for the regressions, W1/w2 for the 2-layer net. *)
+let parameter_inputs ~seed ~(d : int) ~(hidden : int) : (string * T.t) list =
+  let prng = Prng.create seed in
+  let dense1 n =
+    T.of_fun ~dims:[| n |] ~formats:[| T.Dense |] (fun _ ->
+        Prng.float_range prng (-0.5) 0.5)
+  in
+  let dense2 m n =
+    T.of_fun ~dims:[| m; n |] ~formats:[| T.Dense; T.Dense |] (fun _ ->
+        Prng.float_range prng (-0.3) 0.3)
+  in
+  [ ("theta", dense1 d); ("W1", dense2 d hidden); ("w2", dense1 hidden) ]
+
+(* ------------------------------------------------------------------ *)
+(* Programs over a feature matrix given by definition [x] with point
+   indices [pts] (["i"] for the star query, ["i1";"i2"] for the self join)
+   and feature index "j".                                              *)
+(* ------------------------------------------------------------------ *)
+
+let feature_expr (x : Ir.expr) : Ir.expr = x
+
+(* Rename the feature index of a second copy of X from "j" to [k]. *)
+let x_with_feature (x : Ir.expr) (k : Ir.idx) : Ir.expr =
+  Ir.rename_indices (Ir.Idx_map.singleton "j" k) x
+
+let program_of (alg : algorithm) ~(x : Ir.expr) ~(pts : Ir.idx list) :
+    Ir.program =
+  match alg with
+  | Linreg ->
+      let q =
+        Ir.query ~out_order:pts "Y"
+          (Ir.sum [ "j" ] (Ir.mul [ feature_expr x; Ir.input "theta" [ "j" ] ]))
+      in
+      { Ir.queries = [ q ]; outputs = [ "Y" ] }
+  | Logreg ->
+      let q =
+        Ir.query ~out_order:pts "Prob"
+          (Ir.map Op.Sigmoid
+             [ Ir.sum [ "j" ] (Ir.mul [ feature_expr x; Ir.input "theta" [ "j" ] ]) ])
+      in
+      { Ir.queries = [ q ]; outputs = [ "Prob" ] }
+  | Covariance ->
+      let q =
+        Ir.query ~out_order:[ "j"; "k" ] "Cov"
+          (Ir.sum pts
+             (Ir.mul [ feature_expr x; x_with_feature x "k" ]))
+      in
+      { Ir.queries = [ q ]; outputs = [ "Cov" ] }
+  | Nn ->
+      let h =
+        Ir.query
+          ~out_order:(pts @ [ "k" ])
+          "H"
+          (Ir.map Op.Relu
+             [ Ir.sum [ "j" ] (Ir.mul [ feature_expr x; Ir.input "W1" [ "j"; "k" ] ]) ])
+      in
+      let out =
+        Ir.query ~out_order:pts "Out"
+          (Ir.map Op.Sigmoid
+             [
+               Ir.sum [ "k" ]
+                 (Ir.mul
+                    [ Ir.input "H" (pts @ [ "k" ]); Ir.input "w2" [ "k" ] ]);
+             ])
+      in
+      { Ir.queries = [ h; out ]; outputs = [ "Out" ] }
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written baseline plans: materialize X, then fixed kernels.      *)
+(* ------------------------------------------------------------------ *)
+
+(* X as one logical query (a single kernel: loop over the join tensor and
+   accumulate feature rows), exactly what a hand-written implementation
+   does.  [x] must be Agg over an aggregate-free body. *)
+let x_query ~(x : Ir.expr) ~(pts : Ir.idx list) : Logical_query.t =
+  match x with
+  | Ir.Agg (op, idxs, body) ->
+      Logical_query.make
+        ~output_idxs:(pts @ [ "j" ])
+        ~name:"X" ~agg_op:op ~agg_idxs:idxs ~body ()
+  | body ->
+      Logical_query.make
+        ~output_idxs:(pts @ [ "j" ])
+        ~name:"X" ~agg_op:Op.Ident ~agg_idxs:[] ~body ()
+
+let baseline_plan (alg : algorithm) ~(x : Ir.expr) ~(pts : Ir.idx list) :
+    Logical_query.t list * string =
+  let xq = x_query ~x ~pts in
+  let x_access = Ir.alias "X" (pts @ [ "j" ]) in
+  match alg with
+  | Linreg ->
+      ( [
+          xq;
+          Logical_query.make ~output_idxs:pts ~name:"Y" ~agg_op:Op.Add
+            ~agg_idxs:[ "j" ]
+            ~body:(Ir.mul [ x_access; Ir.input "theta" [ "j" ] ])
+            ();
+        ],
+        "Y" )
+  | Logreg ->
+      ( [
+          xq;
+          Logical_query.make ~output_idxs:pts ~name:"Z" ~agg_op:Op.Add
+            ~agg_idxs:[ "j" ]
+            ~body:(Ir.mul [ x_access; Ir.input "theta" [ "j" ] ])
+            ();
+          Logical_query.make ~output_idxs:pts ~name:"Prob" ~agg_op:Op.Ident
+            ~agg_idxs:[]
+            ~body:(Ir.map Op.Sigmoid [ Ir.alias "Z" pts ])
+            ();
+        ],
+        "Prob" )
+  | Covariance ->
+      ( [
+          xq;
+          Logical_query.make ~output_idxs:[ "j"; "k" ] ~name:"Cov"
+            ~agg_op:Op.Add ~agg_idxs:pts
+            ~body:(Ir.mul [ x_access; Ir.alias "X" (pts @ [ "k" ]) ])
+            ();
+        ],
+        "Cov" )
+  | Nn ->
+      ( [
+          xq;
+          Logical_query.make
+            ~output_idxs:(pts @ [ "k" ])
+            ~name:"Z" ~agg_op:Op.Add ~agg_idxs:[ "j" ]
+            ~body:(Ir.mul [ x_access; Ir.input "W1" [ "j"; "k" ] ])
+            ();
+          Logical_query.make
+            ~output_idxs:(pts @ [ "k" ])
+            ~name:"H" ~agg_op:Op.Ident ~agg_idxs:[]
+            ~body:(Ir.map Op.Relu [ Ir.alias "Z" (pts @ [ "k" ]) ])
+            ();
+          Logical_query.make ~output_idxs:pts ~name:"O2" ~agg_op:Op.Add
+            ~agg_idxs:[ "k" ]
+            ~body:(Ir.mul [ Ir.alias "H" (pts @ [ "k" ]); Ir.input "w2" [ "k" ] ])
+            ();
+          Logical_query.make ~output_idxs:pts ~name:"Out" ~agg_op:Op.Ident
+            ~agg_idxs:[]
+            ~body:(Ir.map Op.Sigmoid [ Ir.alias "O2" pts ])
+            ();
+        ],
+        "Out" )
+
+(* Physical configuration pinning X's materialization format. *)
+let baseline_physical_config ~(pts : int) ~(dense : bool) :
+    Galley_physical.Optimizer.config =
+  let formats =
+    if dense then Array.make (pts + 1) T.Dense
+    else Array.append (Array.make pts T.Dense) [| T.Sparse_list |]
+  in
+  {
+    Galley_physical.Optimizer.default_config with
+    format_override = (fun name -> if name = "X" then Some formats else None);
+  }

@@ -1,0 +1,169 @@
+(* Subgraph counting as sparse tensor algebra (paper Sec. 9.2):
+
+     c = Σ_{v_i ∈ V}  Π_{(v_i, v_j) ∈ E}  M[v_i, v_j]  ·  Π_labels  L_l[v_i]
+
+   Query graphs come in suites mimicking the G-Care benchmark and the
+   "In-Memory Subgraph Matching" study, restricted to ≤ 8 pattern vertices
+   (the paper's "_lite" restriction). *)
+
+module T = Galley_tensor.Tensor
+open Galley_plan
+
+type pattern = {
+  pname : string;
+  vertices : int;
+  pedges : (int * int) list; (* pattern edges over vertex ids 0..vertices-1 *)
+  plabels : (int * int) list; (* (pattern vertex, required label) *)
+}
+
+let var v = Printf.sprintf "v%d" v
+
+(* The tensor-index-notation program counting [p] in a graph bound to
+   adjacency input "M" and label inputs "L<l>". *)
+let count_program (p : pattern) : Ir.program =
+  let factors =
+    List.map
+      (fun (u, v) -> Ir.input "M" [ var u; var v ])
+      p.pedges
+    @ List.map (fun (v, l) -> Ir.input (Printf.sprintf "L%d" l) [ var v ]) p.plabels
+  in
+  let body = match factors with [ f ] -> f | fs -> Ir.mul fs in
+  let idxs = List.init p.vertices var in
+  let q = Ir.query "count" (Ir.sum idxs body) in
+  { Ir.queries = [ q ]; outputs = [ "count" ] }
+
+(* Input bindings for a pattern over a graph. *)
+let bindings (g : Graphs.t) (p : pattern) : (string * T.t) list =
+  let adj = Graphs.adjacency g in
+  ("M", adj)
+  :: List.filter_map
+       (fun l ->
+         if l < g.Graphs.n_labels then
+           Some (Printf.sprintf "L%d" l, Graphs.label_vector g l)
+         else None)
+       (List.sort_uniq compare (List.map snd p.plabels))
+
+(* ------------------------------------------------------------------ *)
+(* Query suites.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let path n =
+  {
+    pname = Printf.sprintf "path%d" n;
+    vertices = n;
+    pedges = List.init (n - 1) (fun i -> (i, i + 1));
+    plabels = [];
+  }
+
+let cycle n =
+  {
+    pname = Printf.sprintf "cycle%d" n;
+    vertices = n;
+    pedges = List.init n (fun i -> (i, (i + 1) mod n));
+    plabels = [];
+  }
+
+let star n =
+  {
+    pname = Printf.sprintf "star%d" n;
+    vertices = n + 1;
+    pedges = List.init n (fun i -> (0, i + 1));
+    plabels = [];
+  }
+
+let clique n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && i < j then edges := (i, j) :: (j, i) :: !edges
+    done
+  done;
+  {
+    pname = Printf.sprintf "clique%d" n;
+    vertices = n;
+    pedges = !edges;
+    plabels = [];
+  }
+
+let triangle = { (cycle 3) with pname = "triangle" }
+
+(* Triangle with a pendant edge ("tailed triangle"). *)
+let tailed_triangle =
+  { pname = "tailed_tri"; vertices = 4; pedges = [ (0, 1); (1, 2); (2, 0); (2, 3) ]; plabels = [] }
+
+(* Two triangles sharing an edge ("diamond"). *)
+let diamond =
+  {
+    pname = "diamond";
+    vertices = 4;
+    pedges = [ (0, 1); (1, 2); (2, 0); (1, 3); (3, 2) ];
+    plabels = [];
+  }
+
+let with_labels name labels p = { p with pname = name; plabels = labels }
+
+(* A suite of queries per benchmark family.  Labelled benchmarks (aids,
+   human, yeast) constrain pattern vertices to labels; the crawl-style
+   graphs (dblp, youtube) use unlabelled structural patterns, which is what
+   makes them the hard workloads in the paper. *)
+let suite_for (g : Graphs.t) : pattern list =
+  let labelled = g.Graphs.n_labels > 1 in
+  (* Clamp label ids to the graph's label universe. *)
+  let with_labels name labels p =
+    with_labels name
+      (List.map (fun (v, l) -> (v, l mod g.Graphs.n_labels)) labels)
+      p
+  in
+  if labelled then
+    [
+      with_labels "l_edge" [ (0, 0); (1, 1) ] (path 2);
+      with_labels "l_path3" [ (0, 0); (2, 2) ] (path 3);
+      with_labels "l_path4" [ (0, 1); (3, 3) ] (path 4);
+      with_labels "l_star3" [ (0, 0) ] (star 3);
+      with_labels "l_star4" [ (0, 2) ] (star 4);
+      with_labels "l_tri" [ (0, 0) ] triangle;
+      with_labels "l_tailed" [ (3, 1) ] tailed_triangle;
+      with_labels "l_cycle4" [ (0, 0); (2, 1) ] (cycle 4);
+    ]
+  else
+    [
+      path 3;
+      path 4;
+      star 3;
+      star 4;
+      triangle;
+      tailed_triangle;
+      diamond;
+      cycle 4;
+      clique 4;
+    ]
+
+(* Ground truth by explicit enumeration (only for small test graphs). *)
+let count_by_enumeration (g : Graphs.t) (p : pattern) : float =
+  let adj = Hashtbl.create (4 * Array.length g.Graphs.edges) in
+  Array.iter (fun (u, v) -> Hashtbl.replace adj (u, v) ()) g.Graphs.edges;
+  let has u v = Hashtbl.mem adj (u, v) in
+  let label_ok v l =
+    Array.length g.Graphs.labels = 0 || g.Graphs.labels.(v) = l
+  in
+  let assignment = Array.make p.vertices 0 in
+  let rec go k acc =
+    if k = p.vertices then acc +. 1.0
+    else begin
+      let acc = ref acc in
+      for cand = 0 to g.Graphs.n - 1 do
+        assignment.(k) <- cand;
+        let ok =
+          List.for_all
+            (fun (u, v) -> u > k || v > k || has assignment.(u) assignment.(v))
+            p.pedges
+          && List.for_all
+               (fun (v, l) -> v > k || label_ok assignment.(v) l)
+               p.plabels
+        in
+        if ok then acc := go (k + 1) !acc
+      done;
+      !acc
+    end
+  in
+  go 0 0.0

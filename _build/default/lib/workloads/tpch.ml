@@ -1,0 +1,214 @@
+(* TPC-H-like synthetic data for the ML-over-joins experiments (paper
+   Sec. 9.1).
+
+   The star query joins the lineitems tensor L[i,s,p,o,c] (one non-zero per
+   lineitem) with per-entity feature matrices whose columns occupy disjoint
+   ranges of a shared feature axis j (numeric features plus one-hot encoded
+   categoricals; 139 features in total, as in the paper):
+
+       X[i,j] = Σ_{s,p,o,c} L[i,s,p,o,c] · (S[s,j] + P[p,j] + O[o,j] + C[c,j])
+
+   The self-join query compares lineitems sharing a part:
+
+       X[i1,i2,j] = Σ_{s1,s2,p} L3[i1,s1,p] · L3[i2,s2,p]
+                                · (S[s1,j] + S[s2,j] + P[p,j])         *)
+
+module T = Galley_tensor.Tensor
+module Prng = Galley_tensor.Prng
+open Galley_plan
+
+type scale = {
+  n_lineitems : int;
+  n_suppliers : int;
+  n_parts : int;
+  n_orders : int;
+  n_customers : int;
+}
+
+let default_scale =
+  {
+    n_lineitems = 20000;
+    n_suppliers = 400;
+    n_parts = 1000;
+    n_orders = 3000;
+    n_customers = 600;
+  }
+
+let small_scale =
+  {
+    n_lineitems = 400;
+    n_suppliers = 20;
+    n_parts = 40;
+    n_orders = 60;
+    n_customers = 30;
+  }
+
+(* Small enough for the brute-force reference evaluator. *)
+let tiny_scale =
+  {
+    n_lineitems = 30;
+    n_suppliers = 5;
+    n_parts = 6;
+    n_orders = 7;
+    n_customers = 5;
+  }
+
+(* Feature layout per entity table: (numeric columns, one-hot categories).
+   Totals 139 feature columns, matching the paper's star schema. *)
+let feature_layout =
+  [
+    ("S", 4, [ 5; 10 ]); (* supplier: 4 numeric + 15 one-hot = 19 *)
+    ("P", 6, [ 25; 8 ]); (* part: 6 numeric + 33 one-hot = 39 *)
+    ("O", 5, [ 12; 20 ]); (* orders: 5 numeric + 32 one-hot = 37 *)
+    ("C", 7, [ 30; 7 ]); (* customer: 7 numeric + 37 one-hot = 44 *)
+  ]
+
+(* Minimal layout for brute-force-checked correctness tests. *)
+let tiny_layout =
+  [ ("S", 1, [ 2 ]); ("P", 1, [ 3 ]); ("O", 1, [ 2 ]); ("C", 1, [ 2 ]) ]
+
+let features_of layout =
+  List.fold_left
+    (fun acc (_, numeric, cats) -> acc + numeric + List.fold_left ( + ) 0 cats)
+    0 layout
+
+let total_features = features_of feature_layout
+
+(* Feature matrix of one entity table: rows are entities, columns live in
+   [col_lo, col_lo + width) of the shared feature axis. *)
+let feature_matrix prng ~rows ~col_lo ~numeric ~cats ~d : T.t * int =
+  let entries = ref [] in
+  let width = numeric + List.fold_left ( + ) 0 cats in
+  for r = 0 to rows - 1 do
+    for f = 0 to numeric - 1 do
+      entries := ([| r; col_lo + f |], Prng.float_range prng 0.1 1.0) :: !entries
+    done;
+    let off = ref (col_lo + numeric) in
+    List.iter
+      (fun card ->
+        let choice = Prng.int prng card in
+        entries := ([| r; !off + choice |], 1.0) :: !entries;
+        off := !off + card)
+      cats
+  done;
+  ( T.of_coo ~dims:[| rows; d |]
+      ~formats:[| T.Dense; T.Sparse_list |]
+      (Array.of_list !entries),
+    col_lo + width )
+
+type star = {
+  inputs : (string * T.t) list; (* L, S, P, O, C *)
+  x_def : Ir.expr; (* the composite definition of X[i,j] *)
+  n : int; (* data points (lineitems) *)
+  d : int; (* features *)
+}
+
+let star_instance ?(scale = default_scale) ?(layout = feature_layout) ~seed
+    () : star =
+  let prng = Prng.create seed in
+  let d = features_of layout in
+  let sc = scale in
+  (* Lineitems: one (s,p,o,c) combination per lineitem, skewed on parts. *)
+  let l_entries =
+    Array.init sc.n_lineitems (fun i ->
+        let s = Prng.int prng sc.n_suppliers in
+        let p = Prng.skewed prng ~alpha:0.4 sc.n_parts in
+        let o = Prng.int prng sc.n_orders in
+        let c = Prng.int prng sc.n_customers in
+        ([| i; s; p; o; c |], 1.0))
+  in
+  let l =
+    T.of_coo
+      ~dims:
+        [| sc.n_lineitems; sc.n_suppliers; sc.n_parts; sc.n_orders; sc.n_customers |]
+      ~formats:[| T.Dense; T.Sparse_list; T.Sparse_list; T.Sparse_list; T.Sparse_list |]
+      l_entries
+  in
+  let col = ref 0 in
+  let mats =
+    List.map
+      (fun (name, numeric, cats) ->
+        let rows =
+          match name with
+          | "S" -> sc.n_suppliers
+          | "P" -> sc.n_parts
+          | "O" -> sc.n_orders
+          | "C" -> sc.n_customers
+          | _ -> assert false
+        in
+        let m, col' = feature_matrix prng ~rows ~col_lo:!col ~numeric ~cats ~d in
+        col := col';
+        (name, m))
+      layout
+  in
+  let x_def =
+    Ir.sum [ "s"; "p"; "o"; "c" ]
+      (Ir.mul
+         [
+           Ir.input "L" [ "i"; "s"; "p"; "o"; "c" ];
+           Ir.add
+             [
+               Ir.input "S" [ "s"; "j" ];
+               Ir.input "P" [ "p"; "j" ];
+               Ir.input "O" [ "o"; "j" ];
+               Ir.input "C" [ "c"; "j" ];
+             ];
+         ])
+  in
+  { inputs = ("L", l) :: mats; x_def; n = sc.n_lineitems; d }
+
+type self_join = {
+  sj_inputs : (string * T.t) list; (* L3, S, P *)
+  sj_x_def : Ir.expr; (* X[i1,i2,j] *)
+  sj_n : int;
+  sj_d : int;
+}
+
+let self_join_instance ?(scale = default_scale) ?(s_layout = (4, [ 5; 10 ]))
+    ?(p_layout = (6, [ 25; 8 ])) ~seed () : self_join =
+  let prng = Prng.create seed in
+  let sc = scale in
+  let width (numeric, cats) = numeric + List.fold_left ( + ) 0 cats in
+  let d_s = width s_layout and d_p = width p_layout in
+  let d = d_s + d_p in
+  let l_entries =
+    Array.init sc.n_lineitems (fun i ->
+        let s = Prng.int prng sc.n_suppliers in
+        let p = Prng.skewed prng ~alpha:0.4 sc.n_parts in
+        ([| i; s; p |], 1.0))
+  in
+  let l3 =
+    T.of_coo
+      ~dims:[| sc.n_lineitems; sc.n_suppliers; sc.n_parts |]
+      ~formats:[| T.Dense; T.Sparse_list; T.Sparse_list |]
+      l_entries
+  in
+  let s_numeric, s_cats = s_layout and p_numeric, p_cats = p_layout in
+  let s_mat, _ =
+    feature_matrix prng ~rows:sc.n_suppliers ~col_lo:0 ~numeric:s_numeric
+      ~cats:s_cats ~d
+  in
+  let p_mat, _ =
+    feature_matrix prng ~rows:sc.n_parts ~col_lo:d_s ~numeric:p_numeric
+      ~cats:p_cats ~d
+  in
+  let sj_x_def =
+    Ir.sum [ "s1"; "s2"; "p" ]
+      (Ir.mul
+         [
+           Ir.input "L3" [ "i1"; "s1"; "p" ];
+           Ir.input "L3" [ "i2"; "s2"; "p" ];
+           Ir.add
+             [
+               Ir.input "S" [ "s1"; "j" ];
+               Ir.input "S" [ "s2"; "j" ];
+               Ir.input "P" [ "p"; "j" ];
+             ];
+         ])
+  in
+  {
+    sj_inputs = [ ("L3", l3); ("S", s_mat); ("P", p_mat) ];
+    sj_x_def;
+    sj_n = sc.n_lineitems;
+    sj_d = d;
+  }

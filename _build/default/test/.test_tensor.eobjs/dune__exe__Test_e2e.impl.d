@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Array Galley Galley_logical Galley_physical Galley_plan Galley_stats Galley_tensor List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Galley Galley_engine Galley_physical Galley_plan Galley_stats Galley_tensor List Printf QCheck QCheck_alcotest Unix

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Galley_plan Galley_tensor List QCheck QCheck_alcotest

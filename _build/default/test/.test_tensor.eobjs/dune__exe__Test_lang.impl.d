@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Galley Galley_lang Galley_plan Galley_tensor List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_logical.ml: Alcotest Array Galley_logical Galley_plan Galley_stats Galley_tensor List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Filename Fun Galley Galley_logical Galley_plan Galley_tensor List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_op.ml: Alcotest Float Galley_plan List Option Printf QCheck QCheck_alcotest

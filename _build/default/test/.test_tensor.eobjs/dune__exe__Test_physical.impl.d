@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Array Format Galley_physical Galley_plan Galley_stats Galley_tensor List Printf

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Galley Galley_plan Galley_relational Galley_tensor Hashtbl List Option Printf QCheck QCheck_alcotest Unix

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Galley_plan Galley_stats Galley_tensor List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Galley_tensor List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Galley Galley_plan Galley_tensor Galley_workloads Hashtbl List Printf

@@ -1,0 +1,194 @@
+(* Tests for the textual front end: lexer tokens, parser shapes, operator
+   precedence, aggregates, multi-query programs, error reporting, and a
+   parse/evaluate integration check. *)
+
+module Ir = Galley_plan.Ir
+module Op = Galley_plan.Op
+module Lexer = Galley_lang.Lexer
+module Parser = Galley_lang.Parser
+module T = Galley_tensor.Tensor
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse_e = Parser.parse_expr_string
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "Y[i] = sum[j](X[i,j] * 2.5e-1) # comment" in
+  check_bool "has ident" true (List.mem (Lexer.IDENT "Y") toks);
+  check_bool "has number" true (List.mem (Lexer.NUMBER 0.25) toks);
+  check_bool "comment stripped" true
+    (not
+       (List.exists
+          (function Lexer.IDENT "comment" -> true | _ -> false)
+          toks))
+
+let test_lexer_operators () =
+  let toks = Lexer.tokenize "a <= b >= c == d != e < f > g" in
+  check_bool "leq" true (List.mem Lexer.LEQ toks);
+  check_bool "geq" true (List.mem Lexer.GEQ toks);
+  check_bool "eqeq" true (List.mem Lexer.EQEQ toks);
+  check_bool "neq" true (List.mem Lexer.NEQ toks)
+
+let test_lexer_error () =
+  check_bool "bad char" true
+    (try
+       ignore (Lexer.tokenize "a ? b");
+       false
+     with Lexer.Lex_error _ -> true)
+
+let test_parse_access () =
+  match parse_e "X[i,j]" with
+  | Ir.Input ("X", [ "i"; "j" ]) -> ()
+  | e -> Alcotest.failf "unexpected %s" (Ir.expr_to_string e)
+
+let test_parse_scalar_access () =
+  match parse_e "c" with
+  | Ir.Input ("c", []) -> ()
+  | e -> Alcotest.failf "unexpected %s" (Ir.expr_to_string e)
+
+let test_parse_precedence () =
+  (* a + b * c parses as a + (b * c) *)
+  match parse_e "a[i] + b[i] * c[i]" with
+  | Ir.Map (Op.Add, [ Ir.Input ("a", _); Ir.Map (Op.Mul, _) ]) -> ()
+  | e -> Alcotest.failf "unexpected %s" (Ir.expr_to_string e)
+
+let test_parse_parens () =
+  match parse_e "(a[i] + b[i]) * c[i]" with
+  | Ir.Map (Op.Mul, [ Ir.Map (Op.Add, _); Ir.Input ("c", _) ]) -> ()
+  | e -> Alcotest.failf "unexpected %s" (Ir.expr_to_string e)
+
+let test_parse_unary_minus () =
+  match parse_e "-a[i]" with
+  | Ir.Map (Op.Neg, [ Ir.Input ("a", _) ]) -> ()
+  | e -> Alcotest.failf "unexpected %s" (Ir.expr_to_string e)
+
+let test_parse_power_right_assoc () =
+  match parse_e "a[i] ^ 2 ^ 3" with
+  | Ir.Map (Op.Pow, [ Ir.Input _; Ir.Map (Op.Pow, [ Ir.Literal 2.0; Ir.Literal 3.0 ]) ]) -> ()
+  | e -> Alcotest.failf "unexpected %s" (Ir.expr_to_string e)
+
+let test_parse_aggregate () =
+  match parse_e "sum[i,j](A[i,j])" with
+  | Ir.Agg (Op.Add, [ "i"; "j" ], Ir.Input ("A", _)) -> ()
+  | e -> Alcotest.failf "unexpected %s" (Ir.expr_to_string e)
+
+let test_parse_all_aggregates () =
+  List.iter
+    (fun (kw, op) ->
+      match parse_e (kw ^ "[i](A[i])") with
+      | Ir.Agg (op', [ "i" ], _) when op' = op -> ()
+      | e -> Alcotest.failf "%s: unexpected %s" kw (Ir.expr_to_string e))
+    [ ("sum", Op.Add); ("prod", Op.Mul); ("maxof", Op.Max); ("minof", Op.Min);
+      ("orof", Op.Or); ("andof", Op.And) ]
+
+let test_parse_functions () =
+  List.iter
+    (fun (kw, op) ->
+      match parse_e (kw ^ "(A[i])") with
+      | Ir.Map (op', [ _ ]) when op' = op -> ()
+      | e -> Alcotest.failf "%s: unexpected %s" kw (Ir.expr_to_string e))
+    [ ("sigmoid", Op.Sigmoid); ("relu", Op.Relu); ("sqrt", Op.Sqrt);
+      ("exp", Op.Exp); ("log", Op.Log); ("abs", Op.Abs); ("sq", Op.Square) ]
+
+let test_parse_comparison () =
+  match parse_e "sigmoid(x[i]) > 0.5" with
+  | Ir.Map (Op.Gt, [ Ir.Map (Op.Sigmoid, _); Ir.Literal 0.5 ]) -> ()
+  | e -> Alcotest.failf "unexpected %s" (Ir.expr_to_string e)
+
+let test_parse_program_multi () =
+  let p =
+    Parser.parse_program
+      "R[i] = sum[j](X[i,j] * theta[j])\nP[i] = sigmoid(R[i])\n"
+  in
+  check_int "two queries" 2 (List.length p.Ir.queries);
+  Alcotest.(check (list string)) "outputs" [ "R"; "P" ] p.Ir.outputs;
+  let q1 = List.hd p.Ir.queries in
+  check_bool "out order" true (q1.Ir.out_order = Some [ "i" ])
+
+let test_parse_program_semicolons () =
+  let p = Parser.parse_program "a = b[i] ; c = d[j]" in
+  check_int "two queries" 2 (List.length p.Ir.queries)
+
+let test_parse_error_reports () =
+  check_bool "missing rhs" true
+    (try
+       ignore (Parser.parse_program "Y[i] = ");
+       false
+     with Parser.Parse_error _ -> true);
+  check_bool "unbalanced" true
+    (try
+       ignore (Parser.parse_program "Y = sum[i](A[i]");
+       false
+     with Parser.Parse_error _ -> true)
+
+(* Parse then run end-to-end; compare with the combinator-built program. *)
+let test_parse_and_run () =
+  let prng = Galley_tensor.Prng.create 11 in
+  let x =
+    T.random ~prng ~dims:[| 6; 5 |] ~formats:[| T.Dense; T.Sparse_list |]
+      ~density:0.4 ()
+  in
+  let theta =
+    T.random ~prng ~dims:[| 5 |] ~formats:[| T.Dense |] ~density:1.0 ()
+  in
+  let program =
+    Parser.parse_program "P[i] = sigmoid(sum[j](X[i,j] * theta[j]))"
+  in
+  let inputs = [ ("X", x); ("theta", theta) ] in
+  let res = Galley.Driver.run ~inputs program in
+  let got = Galley.Driver.output_of res "P" in
+  let want = List.assoc "P" (Galley.Reference.eval_program inputs program) in
+  check_bool "matches reference" true (T.equal_approx ~eps:1e-9 got want)
+
+(* Property: pretty-printing names survives a parse of simple expressions
+   (free indices preserved). *)
+let prop_parse_preserves_indices =
+  QCheck.Test.make ~name:"parsed expressions have expected indices" ~count:50
+    (QCheck.int_range 0 10_000)
+    (fun seed ->
+      let prng = Galley_tensor.Prng.create seed in
+      let leaves = [ "A[i,j]"; "B[j,k]"; "v[i]"; "w[k]" ] in
+      let rec gen depth =
+        if depth = 0 || Galley_tensor.Prng.int prng 3 = 0 then
+          List.nth leaves (Galley_tensor.Prng.int prng 4)
+        else
+          match Galley_tensor.Prng.int prng 3 with
+          | 0 -> Printf.sprintf "(%s + %s)" (gen (depth - 1)) (gen (depth - 1))
+          | 1 -> Printf.sprintf "(%s * %s)" (gen (depth - 1)) (gen (depth - 1))
+          | _ -> Printf.sprintf "sigmoid(%s)" (gen (depth - 1))
+      in
+      let src = gen 3 in
+      let e = parse_e src in
+      Ir.Idx_set.subset (Ir.free_indices e)
+        (Ir.Idx_set.of_list [ "i"; "j"; "k" ]))
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "errors" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "access" `Quick test_parse_access;
+          Alcotest.test_case "scalar access" `Quick test_parse_scalar_access;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "parens" `Quick test_parse_parens;
+          Alcotest.test_case "unary minus" `Quick test_parse_unary_minus;
+          Alcotest.test_case "power assoc" `Quick test_parse_power_right_assoc;
+          Alcotest.test_case "aggregate" `Quick test_parse_aggregate;
+          Alcotest.test_case "all aggregates" `Quick test_parse_all_aggregates;
+          Alcotest.test_case "functions" `Quick test_parse_functions;
+          Alcotest.test_case "comparison" `Quick test_parse_comparison;
+          Alcotest.test_case "multi-query" `Quick test_parse_program_multi;
+          Alcotest.test_case "semicolons" `Quick test_parse_program_semicolons;
+          Alcotest.test_case "errors" `Quick test_parse_error_reports;
+        ] );
+      ("integration", [ Alcotest.test_case "parse and run" `Quick test_parse_and_run ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_parse_preserves_indices ] );
+    ]

@@ -1,0 +1,215 @@
+(* Tests for the operator algebra: evaluation, identities, annihilators,
+   the repeated-application function g, distributivity facts, and algebraic
+   property checks over random values. *)
+
+module Op = Galley_plan.Op
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+let variadic_ops = [ Op.Add; Op.Mul; Op.Max; Op.Min; Op.Or; Op.And ]
+
+let test_apply2 () =
+  check_float "add" 5.0 (Op.apply2 Op.Add 2.0 3.0);
+  check_float "mul" 6.0 (Op.apply2 Op.Mul 2.0 3.0);
+  check_float "max" 3.0 (Op.apply2 Op.Max 2.0 3.0);
+  check_float "min" 2.0 (Op.apply2 Op.Min 2.0 3.0);
+  check_float "sub" (-1.0) (Op.apply2 Op.Sub 2.0 3.0);
+  check_float "div" 2.0 (Op.apply2 Op.Div 6.0 3.0);
+  check_float "pow" 8.0 (Op.apply2 Op.Pow 2.0 3.0);
+  check_float "or true" 1.0 (Op.apply2 Op.Or 0.0 2.0);
+  check_float "or false" 0.0 (Op.apply2 Op.Or 0.0 0.0);
+  check_float "and" 1.0 (Op.apply2 Op.And 2.0 3.0);
+  check_float "and false" 0.0 (Op.apply2 Op.And 2.0 0.0);
+  check_float "lt" 1.0 (Op.apply2 Op.Lt 2.0 3.0);
+  check_float "geq" 0.0 (Op.apply2 Op.Geq 2.0 3.0)
+
+let test_apply1 () =
+  check_float "sigmoid 0" 0.5 (Op.apply1 Op.Sigmoid 0.0);
+  check_bool "sigmoid large" true (Op.apply1 Op.Sigmoid 100.0 > 0.999);
+  check_float "relu neg" 0.0 (Op.apply1 Op.Relu (-3.0));
+  check_float "relu pos" 3.0 (Op.apply1 Op.Relu 3.0);
+  check_float "neg" (-2.0) (Op.apply1 Op.Neg 2.0);
+  check_float "abs" 2.0 (Op.apply1 Op.Abs (-2.0));
+  check_float "square" 9.0 (Op.apply1 Op.Square 3.0);
+  check_float "sign" (-1.0) (Op.apply1 Op.Sign (-0.5));
+  check_float "ident" 7.0 (Op.apply1 Op.Ident 7.0)
+
+let test_apply_variadic () =
+  check_float "sum" 10.0 (Op.apply Op.Add [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "prod" 24.0 (Op.apply Op.Mul [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "max" 4.0 (Op.apply Op.Max [| 1.0; 4.0; 3.0 |]);
+  check_float "singleton" 5.0 (Op.apply Op.Add [| 5.0 |])
+
+let test_identity_law () =
+  List.iter
+    (fun op ->
+      (* Or/And operate on booleans; their identities hold on {0,1}. *)
+      let domain =
+        match op with
+        | Op.Or | Op.And -> [ 0.0; 1.0 ]
+        | _ -> [ -2.5; 0.0; 3.0 ]
+      in
+      match Op.identity op with
+      | Some e ->
+          List.iter
+            (fun x ->
+              check_float
+                (Op.to_string op ^ " identity")
+                x (Op.apply2 op x e))
+            domain
+      | None -> ())
+    variadic_ops
+
+let test_annihilator_law () =
+  List.iter
+    (fun op ->
+      match Op.annihilator op with
+      | Some a ->
+          List.iter
+            (fun x ->
+              check_float
+                (Op.to_string op ^ " annihilator")
+                a (Op.apply2 op x a))
+            [ -2.5; 0.5; 3.0 ]
+      | None -> ())
+    variadic_ops
+
+let test_repeat_matches_fold () =
+  (* g(x, n) must equal folding n copies of x into the identity, which is
+     exactly how the engine accumulates. *)
+  List.iter
+    (fun op ->
+      List.iter
+        (fun x ->
+          List.iter
+            (fun n ->
+              let acc = ref (Option.get (Op.identity op)) in
+              for _ = 1 to n do
+                acc := Op.apply2 op !acc x
+              done;
+              check_float
+                (Printf.sprintf "g(%s, %g, %d)" (Op.to_string op) x n)
+                !acc (Op.repeat op x n))
+            [ 0; 1; 2; 5 ])
+        [ 0.5; 2.0 ])
+    variadic_ops
+
+let test_repeat_idempotent () =
+  check_float "max idempotent" 3.0 (Op.repeat Op.Max 3.0 1000);
+  check_float "add scales" 3000.0 (Op.repeat Op.Add 3.0 1000)
+
+let test_distributivity_facts () =
+  check_bool "mul over add" true
+    (Op.distributes_over ~pointwise:Op.Mul ~aggregate:Op.Add);
+  check_bool "and over or" true
+    (Op.distributes_over ~pointwise:Op.And ~aggregate:Op.Or);
+  check_bool "add over max" true
+    (Op.distributes_over ~pointwise:Op.Add ~aggregate:Op.Max);
+  check_bool "mul over max excluded (sign)" false
+    (Op.distributes_over ~pointwise:Op.Mul ~aggregate:Op.Max);
+  check_bool "sigmoid blocks" false
+    (Op.distributes_over ~pointwise:Op.Sigmoid ~aggregate:Op.Add)
+
+(* Verify the declared distributivity facts semantically:
+   f(a, g(b,c)) = g(f(a,b), f(a,c)). *)
+let prop_distributivity_sound =
+  QCheck.Test.make ~name:"declared distributivity holds on values" ~count:200
+    QCheck.(triple (float_range (-10.0) 10.0) (float_range (-10.0) 10.0) (float_range (-10.0) 10.0))
+    (fun (a, b, c) ->
+      List.for_all
+        (fun (f, g) ->
+          if Op.distributes_over ~pointwise:f ~aggregate:g then begin
+            let lhs = Op.apply2 f a (Op.apply2 g b c) in
+            let rhs = Op.apply2 g (Op.apply2 f a b) (Op.apply2 f a c) in
+            abs_float (lhs -. rhs) <= 1e-6 *. Float.max 1.0 (abs_float lhs)
+          end
+          else true)
+        [
+          (Op.Mul, Op.Add); (Op.Add, Op.Max); (Op.Add, Op.Min);
+          (Op.Max, Op.Max); (Op.Min, Op.Min);
+        ])
+
+let prop_commutative =
+  QCheck.Test.make ~name:"variadic operators commute" ~count:200
+    QCheck.(pair (float_range (-10.0) 10.0) (float_range (-10.0) 10.0))
+    (fun (a, b) ->
+      List.for_all
+        (fun op -> Op.apply2 op a b = Op.apply2 op b a)
+        variadic_ops)
+
+let prop_associative =
+  QCheck.Test.make ~name:"variadic operators associate" ~count:200
+    QCheck.(triple (float_range (-4.0) 4.0) (float_range (-4.0) 4.0) (float_range (-4.0) 4.0))
+    (fun (a, b, c) ->
+      List.for_all
+        (fun op ->
+          let lhs = Op.apply2 op (Op.apply2 op a b) c in
+          let rhs = Op.apply2 op a (Op.apply2 op b c) in
+          abs_float (lhs -. rhs) <= 1e-9 *. Float.max 1.0 (abs_float lhs))
+        variadic_ops)
+
+let prop_aggregates_commute_sound =
+  (* If declared commuting, aggregating a 2x2 grid row-first equals
+     column-first. *)
+  QCheck.Test.make ~name:"declared aggregate commutation holds" ~count:200
+    QCheck.(
+      quad (float_range (-5.0) 5.0) (float_range (-5.0) 5.0)
+        (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
+    (fun (a, b, c, d) ->
+      List.for_all
+        (fun (f, g) ->
+          if Op.aggregates_commute f g && f <> Op.Ident && g <> Op.Ident then begin
+            let rows = Op.apply2 f (Op.apply2 g a b) (Op.apply2 g c d) in
+            let cols = Op.apply2 g (Op.apply2 f a c) (Op.apply2 f b d) in
+            (* only same-op pairs are declared, where both orders agree *)
+            abs_float (rows -. cols) <= 1e-9 *. Float.max 1.0 (abs_float rows)
+          end
+          else true)
+        [ (Op.Add, Op.Add); (Op.Max, Op.Max); (Op.Max, Op.Min); (Op.Add, Op.Max) ])
+
+let test_of_string_roundtrip () =
+  List.iter
+    (fun op ->
+      Alcotest.(check string)
+        "roundtrip" (Op.to_string op)
+        (Op.to_string (Op.of_string (Op.to_string op))))
+    [
+      Op.Add; Op.Mul; Op.Max; Op.Min; Op.Or; Op.And; Op.Sub; Op.Div; Op.Pow;
+      Op.Sigmoid; Op.Relu; Op.Ident; Op.Square;
+    ]
+
+let test_is_aggregate () =
+  check_bool "add" true (Op.is_aggregate Op.Add);
+  check_bool "ident" true (Op.is_aggregate Op.Ident);
+  check_bool "sigmoid" false (Op.is_aggregate Op.Sigmoid);
+  check_bool "sub" false (Op.is_aggregate Op.Sub)
+
+let () =
+  Alcotest.run "op"
+    [
+      ( "evaluation",
+        [
+          Alcotest.test_case "binary" `Quick test_apply2;
+          Alcotest.test_case "unary" `Quick test_apply1;
+          Alcotest.test_case "variadic" `Quick test_apply_variadic;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "identity law" `Quick test_identity_law;
+          Alcotest.test_case "annihilator law" `Quick test_annihilator_law;
+          Alcotest.test_case "repeat = fold" `Quick test_repeat_matches_fold;
+          Alcotest.test_case "repeat idempotent" `Quick test_repeat_idempotent;
+          Alcotest.test_case "distributivity table" `Quick test_distributivity_facts;
+          Alcotest.test_case "aggregate predicate" `Quick test_is_aggregate;
+          Alcotest.test_case "of_string" `Quick test_of_string_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_distributivity_sound;
+            prop_commutative;
+            prop_associative;
+            prop_aggregates_commute_sound;
+          ] );
+    ]

@@ -1,0 +1,384 @@
+(* Tests for the relational engine (DuckDB substitute): relation
+   construction, hash join against a nested-loop oracle, group-by SUM,
+   self-joins via attribute renaming, the greedy planner, timeouts, and the
+   Galley-logical-plan bridge. *)
+
+module T = Galley_tensor.Tensor
+module Prng = Galley_tensor.Prng
+module Rel = Galley_relational.Relation
+module Eng = Galley_relational.Rel_engine
+module Ir = Galley_plan.Ir
+module Op = Galley_plan.Op
+module LQ = Galley_plan.Logical_query
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+let sparse ~prng ~dims ~density =
+  T.random ~prng ~dims
+    ~formats:
+      (Array.init (Array.length dims) (fun k ->
+           if k = 0 then T.Dense else T.Sparse_list))
+    ~density ()
+
+(* Nested-loop join oracle over (coords, value) rows. *)
+let oracle_join (l : (int list * float) list) (lv : string list)
+    (r : (int list * float) list) (rv : string list) :
+    (int list * float) list * string list =
+  let shared = List.filter (fun a -> List.mem a rv) lv in
+  let pos vars a =
+    let rec go k = function
+      | [] -> None
+      | v :: rest -> if v = a then Some k else go (k + 1) rest
+    in
+    go 0 vars
+  in
+  let out_vars = lv @ List.filter (fun a -> not (List.mem a lv)) rv in
+  let rows =
+    List.concat_map
+      (fun (lc, lval) ->
+        List.filter_map
+          (fun (rc, rval) ->
+            let ok =
+              List.for_all
+                (fun a ->
+                  List.nth lc (Option.get (pos lv a))
+                  = List.nth rc (Option.get (pos rv a)))
+                shared
+            in
+            if ok then
+              Some
+                ( lc
+                  @ List.filter_map
+                      (fun (k, a) ->
+                        if List.mem a lv then None else Some (List.nth rc k))
+                      (List.mapi (fun k a -> (k, a)) rv),
+                  lval *. rval )
+            else None)
+          r)
+      l
+  in
+  (rows, out_vars)
+
+let rel_of_rows (rows : (int list * float) list) (vars : string list) : Rel.t =
+  let n = List.length rows in
+  let arity = List.length vars in
+  let cols = Array.init arity (fun _ -> Array.make n 0) in
+  let vals = Array.make n 0.0 in
+  List.iteri
+    (fun row (coords, v) ->
+      List.iteri (fun a c -> cols.(a).(row) <- c) coords;
+      vals.(row) <- v)
+    rows;
+  Rel.create ~attrs:(Array.of_list vars) ~cols ~vals
+
+let rows_of_rel (r : Rel.t) : (int list * float) list =
+  List.init (Rel.cardinality r) (fun row ->
+      ( List.init (Rel.arity r) (fun a -> r.Rel.cols.(a).(row)),
+        r.Rel.vals.(row) ))
+
+(* Compare two relations up to row order, aggregating duplicates. *)
+let same_relation (a : (int list * float) list) (b : (int list * float) list) :
+    bool =
+  let norm rows =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (c, v) ->
+        let prev = try Hashtbl.find tbl c with Not_found -> 0.0 in
+        Hashtbl.replace tbl c (prev +. v))
+      rows;
+    tbl
+  in
+  let ta = norm a and tb = norm b in
+  Hashtbl.length ta = Hashtbl.length tb
+  && Hashtbl.fold
+       (fun c v ok ->
+         ok
+         &&
+         match Hashtbl.find_opt tb c with
+         | Some v' -> abs_float (v -. v') < 1e-6
+         | None -> false)
+       ta true
+
+(* -------------------------------------------------------------- *)
+(* Relation basics.                                                 *)
+(* -------------------------------------------------------------- *)
+
+let test_of_tensor () =
+  let prng = Prng.create 1 in
+  let t = sparse ~prng ~dims:[| 5; 6 |] ~density:0.4 in
+  let r = Rel.of_tensor t ~vars:[ "i"; "j" ] in
+  check_int "cardinality = nnz" (T.nnz t) (Rel.cardinality r);
+  check_float "total = sum" (Array.fold_left ( +. ) 0.0 (T.to_flat_dense t)) (Rel.total r)
+
+let test_to_tensor_roundtrip () =
+  let prng = Prng.create 2 in
+  let t = sparse ~prng ~dims:[| 5; 6 |] ~density:0.4 in
+  let r = Rel.of_tensor t ~vars:[ "i"; "j" ] in
+  let t2 = Rel.to_tensor r ~dims:[| 5; 6 |] in
+  check_bool "roundtrip" true (T.equal_approx t t2)
+
+let test_distinct_count () =
+  let r =
+    rel_of_rows [ ([ 0; 1 ], 1.0); ([ 0; 2 ], 1.0); ([ 1; 1 ], 1.0) ] [ "a"; "b" ]
+  in
+  check_int "distinct a" 2 (Rel.distinct_count r "a");
+  check_int "distinct b" 2 (Rel.distinct_count r "b");
+  check_int "absent" 1 (Rel.distinct_count r "z")
+
+(* -------------------------------------------------------------- *)
+(* Join and aggregation.                                            *)
+(* -------------------------------------------------------------- *)
+
+let random_rows prng ~n ~arity ~dom =
+  List.init n (fun _ ->
+      ( List.init arity (fun _ -> Prng.int prng dom),
+        Prng.float_range prng 0.5 1.5 ))
+
+let test_join_against_oracle () =
+  let prng = Prng.create 3 in
+  for _ = 1 to 20 do
+    let l = random_rows prng ~n:15 ~arity:2 ~dom:5 in
+    let r = random_rows prng ~n:15 ~arity:2 ~dom:5 in
+    let lv = [ "x"; "y" ] and rv = [ "y"; "z" ] in
+    let joined = Rel.join (rel_of_rows l lv) (rel_of_rows r rv) in
+    let want, _ = oracle_join l lv r rv in
+    check_bool "join matches oracle" true
+      (same_relation (rows_of_rel joined) want)
+  done
+
+let test_join_no_shared_is_cross () =
+  let l = rel_of_rows [ ([ 0 ], 2.0); ([ 1 ], 3.0) ] [ "a" ] in
+  let r = rel_of_rows [ ([ 5 ], 10.0) ] [ "b" ] in
+  let j = Rel.join l r in
+  check_int "cross size" 2 (Rel.cardinality j);
+  check_float "payload product" 50.0 (Rel.total j)
+
+let test_project_sum () =
+  let r =
+    rel_of_rows
+      [ ([ 0; 1 ], 1.0); ([ 0; 2 ], 2.0); ([ 1; 1 ], 4.0) ]
+      [ "a"; "b" ]
+  in
+  let p = Rel.project_sum r ~keep:[ "a" ] in
+  check_int "groups" 2 (Rel.cardinality p);
+  check_bool "sums" true
+    (same_relation (rows_of_rel p) [ ([ 0 ], 3.0); ([ 1 ], 4.0) ])
+
+let test_project_sum_empty_keep () =
+  let r = rel_of_rows [ ([ 0 ], 1.5); ([ 1 ], 2.5) ] [ "a" ] in
+  let p = Rel.project_sum r ~keep:[] in
+  check_int "single group" 1 (Rel.cardinality p);
+  check_float "total" 4.0 (Rel.total p)
+
+(* -------------------------------------------------------------- *)
+(* Engine: planning and sum-product execution.                      *)
+(* -------------------------------------------------------------- *)
+
+let test_triangle_vs_bruteforce () =
+  let prng = Prng.create 5 in
+  let adj = sparse ~prng ~dims:[| 12; 12 |] ~density:0.25 in
+  let db = Eng.create_db () in
+  Eng.register_tensor db "M" adj;
+  let atoms =
+    [
+      { Eng.rel = "M"; vars = [ "i"; "j" ] };
+      { Eng.rel = "M"; vars = [ "j"; "k" ] };
+      { Eng.rel = "M"; vars = [ "i"; "k" ] };
+    ]
+  in
+  let r = Eng.sum_product db ~atoms ~out_vars:[] () in
+  let want = ref 0.0 in
+  for i = 0 to 11 do
+    for j = 0 to 11 do
+      for k = 0 to 11 do
+        want :=
+          !want
+          +. T.get adj [| i; j |] *. T.get adj [| j; k |] *. T.get adj [| i; k |]
+      done
+    done
+  done;
+  check_float "triangle sum-product" !want (Rel.total r.Eng.relation)
+
+let test_group_by_output () =
+  let prng = Prng.create 6 in
+  let a = sparse ~prng ~dims:[| 6; 6 |] ~density:0.4 in
+  let b = sparse ~prng ~dims:[| 6 |] ~density:0.6 in
+  let db = Eng.create_db () in
+  Eng.register_tensor db "A" a;
+  Eng.register_tensor db "b" b;
+  let r =
+    Eng.sum_product db
+      ~atoms:[ { Eng.rel = "A"; vars = [ "i"; "j" ] }; { Eng.rel = "b"; vars = [ "j" ] } ]
+      ~out_vars:[ "i" ] ()
+  in
+  let t = Rel.to_tensor r.Eng.relation ~dims:[| 6 |] in
+  for i = 0 to 5 do
+    let want = ref 0.0 in
+    for j = 0 to 5 do
+      want := !want +. (T.get a [| i; j |] *. T.get b [| j |])
+    done;
+    check_float (Printf.sprintf "row %d" i) !want (T.get t [| i |])
+  done
+
+let test_scale_factor () =
+  let prng = Prng.create 7 in
+  let b = sparse ~prng ~dims:[| 6 |] ~density:0.6 in
+  let db = Eng.create_db () in
+  Eng.register_tensor db "b" b;
+  let r =
+    Eng.sum_product db ~atoms:[ { Eng.rel = "b"; vars = [ "j" ] } ] ~out_vars:[]
+      ~scale:3.0 ()
+  in
+  let want = 3.0 *. Array.fold_left ( +. ) 0.0 (T.to_flat_dense b) in
+  check_float "scaled" want (Rel.total r.Eng.relation)
+
+let test_planner_prefers_connected () =
+  let db = Eng.create_db () in
+  let small = rel_of_rows [ ([ 0 ], 1.0) ] [ "%0" ] in
+  Eng.register_relation db "S" small ~dims:[| 10 |];
+  let big =
+    rel_of_rows (List.init 50 (fun k -> ([ k mod 10; k / 10 ], 1.0))) [ "%0"; "%1" ]
+  in
+  Eng.register_relation db "B" big ~dims:[| 10; 10 |];
+  let order =
+    Eng.plan_order db
+      [
+        { Eng.rel = "B"; vars = [ "x"; "y" ] };
+        { Eng.rel = "S"; vars = [ "x" ] };
+        { Eng.rel = "B"; vars = [ "y"; "z" ] };
+      ]
+  in
+  (* starts from the smallest atom (index 1: S) *)
+  check_int "starts small" 1 (List.hd order)
+
+let test_timeout () =
+  let prng = Prng.create 8 in
+  let a = sparse ~prng ~dims:[| 60; 60 |] ~density:0.5 in
+  let db = Eng.create_db () in
+  Eng.register_tensor db "A" a;
+  let atoms =
+    [
+      { Eng.rel = "A"; vars = [ "a"; "b" ] };
+      { Eng.rel = "A"; vars = [ "b"; "c" ] };
+      { Eng.rel = "A"; vars = [ "c"; "d" ] };
+      { Eng.rel = "A"; vars = [ "d"; "e" ] };
+    ]
+  in
+  check_bool "times out" true
+    (try
+       let deadline = Unix.gettimeofday () -. 1.0 in
+       ignore (Eng.sum_product ~deadline db ~atoms ~out_vars:[] ());
+       false
+     with Eng.Timeout -> true)
+
+(* -------------------------------------------------------------- *)
+(* Bridge from Galley logical plans.                                *)
+(* -------------------------------------------------------------- *)
+
+let test_run_logical_plan_matches_galley () =
+  let prng = Prng.create 9 in
+  let adj = sparse ~prng ~dims:[| 10; 10 |] ~density:0.3 in
+  let dim_of _ = 10 in
+  let plan =
+    [
+      LQ.make ~output_idxs:[ "j"; "k" ] ~name:"W" ~agg_op:Op.Add
+        ~agg_idxs:[ "i" ]
+        ~body:(Ir.mul [ Ir.input "M" [ "i"; "j" ]; Ir.input "M" [ "i"; "k" ] ])
+        ();
+      LQ.make ~output_idxs:[] ~name:"count" ~agg_op:Op.Add
+        ~agg_idxs:[ "j"; "k" ]
+        ~body:(Ir.mul [ Ir.alias "W" [ "j"; "k" ]; Ir.input "M" [ "j"; "k" ] ])
+        ();
+    ]
+  in
+  let db = Eng.create_db () in
+  Eng.register_tensor db "M" adj;
+  let _ = Eng.run_logical_plan db ~dim_of plan in
+  let rel_count = Rel.total (Eng.find_exn db "count").Eng.rel in
+  (* Galley's engine on the same plan *)
+  let res =
+    Galley.Driver.run_logical_plan ~inputs:[ ("M", adj) ] ~outputs:[ "count" ]
+      plan
+  in
+  let galley_count = T.get (Galley.Driver.output_of res "count") [||] in
+  check_float "engines agree" galley_count rel_count
+
+let test_bridge_rejects_non_sum_product () =
+  let db = Eng.create_db () in
+  let plan =
+    LQ.make ~output_idxs:[ "i" ] ~name:"bad" ~agg_op:Op.Max ~agg_idxs:[ "j" ]
+      ~body:(Ir.input "M" [ "i"; "j" ]) ()
+  in
+  check_bool "unsupported aggregate" true
+    (try
+       ignore (Eng.run_logical_query db ~dim_of:(fun _ -> 4) plan);
+       false
+     with Eng.Unsupported _ -> true)
+
+(* Property: sum-product via the relational engine equals the reference for
+   random 2-3 atom queries. *)
+let prop_sum_product_matches_reference =
+  QCheck.Test.make ~name:"sum-product matches reference" ~count:60
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let n = 4 + Prng.int prng 4 in
+      let a = sparse ~prng ~dims:[| n; n |] ~density:0.4 in
+      let b = sparse ~prng ~dims:[| n; n |] ~density:0.4 in
+      let db = Eng.create_db () in
+      Eng.register_tensor db "A" a;
+      Eng.register_tensor db "B" b;
+      let r =
+        Eng.sum_product db
+          ~atoms:
+            [ { Eng.rel = "A"; vars = [ "i"; "j" ] };
+              { Eng.rel = "B"; vars = [ "j"; "k" ] } ]
+          ~out_vars:[ "i" ] ()
+      in
+      let t = Rel.to_tensor r.Eng.relation ~dims:[| n |] in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let want = ref 0.0 in
+        for j = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            want := !want +. (T.get a [| i; j |] *. T.get b [| j; k |])
+          done
+        done;
+        if abs_float (!want -. T.get t [| i |]) > 1e-6 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "of_tensor" `Quick test_of_tensor;
+          Alcotest.test_case "to_tensor" `Quick test_to_tensor_roundtrip;
+          Alcotest.test_case "distinct" `Quick test_distinct_count;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "join oracle" `Quick test_join_against_oracle;
+          Alcotest.test_case "cross product" `Quick test_join_no_shared_is_cross;
+          Alcotest.test_case "project sum" `Quick test_project_sum;
+          Alcotest.test_case "project to scalar" `Quick test_project_sum_empty_keep;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "triangles" `Quick test_triangle_vs_bruteforce;
+          Alcotest.test_case "group by" `Quick test_group_by_output;
+          Alcotest.test_case "scale" `Quick test_scale_factor;
+          Alcotest.test_case "planner" `Quick test_planner_prefers_connected;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+        ] );
+      ( "bridge",
+        [
+          Alcotest.test_case "matches galley" `Quick test_run_logical_plan_matches_galley;
+          Alcotest.test_case "rejects non-sum-product" `Quick test_bridge_rejects_non_sum_product;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_sum_product_matches_reference ] );
+    ]

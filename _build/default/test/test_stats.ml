@@ -1,0 +1,313 @@
+(* Tests for the sparsity-estimation framework: the uniform estimator's
+   closed-form cases, the chain bound's soundness as an upper bound
+   (property-checked against true non-fill counts), aggregation projections,
+   renaming, and the estimation context. *)
+
+module T = Galley_tensor.Tensor
+module Prng = Galley_tensor.Prng
+module Ir = Galley_plan.Ir
+module Op = Galley_plan.Op
+module Schema = Galley_plan.Schema
+module Uniform = Galley_stats.Uniform
+module Chain = Galley_stats.Chain
+module Ctx = Galley_stats.Ctx
+
+let check_float = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+
+let dims_of (l : (string * int) list) : int Ir.Idx_map.t =
+  List.fold_left (fun acc (i, n) -> Ir.Idx_map.add i n acc) Ir.Idx_map.empty l
+
+let sparse_matrix ~prng ~rows ~cols ~density =
+  T.random ~prng ~dims:[| rows; cols |]
+    ~formats:[| T.Dense; T.Sparse_list |]
+    ~density ()
+
+(* -------------------------------------------------------------- *)
+(* Uniform estimator.                                               *)
+(* -------------------------------------------------------------- *)
+
+let test_uniform_of_tensor () =
+  let prng = Prng.create 1 in
+  let t = sparse_matrix ~prng ~rows:10 ~cols:10 ~density:0.3 in
+  let s = Uniform.of_tensor t ~idxs:[ "i"; "j" ] in
+  check_float "nnz" (float_of_int (T.nnz t)) (Uniform.estimate s)
+
+let test_uniform_annihilating () =
+  (* A[i,j] (30 nnz over 100) * B[j,k] (20 nnz over 100):
+     expected = 100*100/... : out space 10*10*10, p = .3 * .2 *)
+  let dims = dims_of [ ("i", 10); ("j", 10); ("k", 10) ] in
+  let a = { Uniform.idxs = Ir.Idx_set.of_list [ "i"; "j" ];
+            dims = dims_of [ ("i", 10); ("j", 10) ]; nnz = 30.0 } in
+  let b = { Uniform.idxs = Ir.Idx_set.of_list [ "j"; "k" ];
+            dims = dims_of [ ("j", 10); ("k", 10) ]; nnz = 20.0 } in
+  let c = Uniform.map_annihilating ~dims [ a; b ] in
+  check_float "product density" (1000.0 *. 0.3 *. 0.2) (Uniform.estimate c)
+
+let test_uniform_non_annihilating () =
+  let dims = dims_of [ ("i", 10); ("j", 10) ] in
+  let a = { Uniform.idxs = Ir.Idx_set.of_list [ "i"; "j" ]; dims; nnz = 30.0 } in
+  let b = { Uniform.idxs = Ir.Idx_set.of_list [ "i"; "j" ]; dims; nnz = 20.0 } in
+  let c = Uniform.map_non_annihilating ~dims [ a; b ] in
+  (* 100 * (1 - 0.7*0.8) = 44 *)
+  check_float "union density" 44.0 (Uniform.estimate c)
+
+let test_uniform_aggregate () =
+  let dims = dims_of [ ("i", 10); ("j", 10) ] in
+  let a = { Uniform.idxs = Ir.Idx_set.of_list [ "i"; "j" ]; dims; nnz = 30.0 } in
+  let c = Uniform.aggregate ~dims a ~over:[ "j" ] in
+  (* 10 * (1 - 0.7^10) *)
+  check_float "projection" (10.0 *. (1.0 -. (0.7 ** 10.0))) (Uniform.estimate c);
+  check_bool "idxs shrink" true
+    (Ir.Idx_set.equal (Uniform.idxs c) (Ir.Idx_set.singleton "i"))
+
+let test_uniform_rename () =
+  let dims = dims_of [ ("i", 10); ("j", 20) ] in
+  let a = { Uniform.idxs = Ir.Idx_set.of_list [ "i"; "j" ]; dims; nnz = 30.0 } in
+  let r = Uniform.rename a (fun x -> if x = "i" then "p" else x) in
+  check_bool "renamed" true (Ir.Idx_set.mem "p" (Uniform.idxs r));
+  check_float "same estimate" 30.0 (Uniform.estimate r)
+
+let test_uniform_literal () =
+  check_float "literal deviates nowhere" 0.0 (Uniform.estimate (Uniform.of_literal 2.0))
+
+(* -------------------------------------------------------------- *)
+(* Chain bound.                                                     *)
+(* -------------------------------------------------------------- *)
+
+let test_chain_of_tensor_exact_total () =
+  let prng = Prng.create 2 in
+  let t = sparse_matrix ~prng ~rows:8 ~cols:8 ~density:0.4 in
+  let s = Chain.of_tensor t ~idxs:[ "i"; "j" ] in
+  check_float "total exact" (float_of_int (T.nnz t)) (Chain.estimate s)
+
+let test_chain_degree_bound_matrix () =
+  (* A matrix with one dense row: D(j|i) = cols, D(i|j) small. *)
+  let entries = Array.init 6 (fun j -> ([| 2; j |], 1.0)) in
+  let t = T.of_coo ~dims:[| 6; 6 |] ~formats:[| T.Dense; T.Sparse_list |] entries in
+  let s = Chain.of_tensor t ~idxs:[ "i"; "j" ] in
+  check_float "estimate = nnz" 6.0 (Chain.estimate s)
+
+let test_chain_triangle_bound () =
+  (* nnz(A_ij * B_jk) <= chain bound; check the bound is no tighter than
+     the true count on a concrete instance. *)
+  let prng = Prng.create 3 in
+  let a = sparse_matrix ~prng ~rows:8 ~cols:8 ~density:0.3 in
+  let b = sparse_matrix ~prng ~rows:8 ~cols:8 ~density:0.3 in
+  let dims = dims_of [ ("i", 8); ("j", 8); ("k", 8) ] in
+  let sa = Chain.of_tensor a ~idxs:[ "i"; "j" ] in
+  let sb = Chain.of_tensor b ~idxs:[ "j"; "k" ] in
+  let sc = Chain.map_annihilating ~dims [ sa; sb ] in
+  let true_count = ref 0 in
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      for k = 0 to 7 do
+        if T.get a [| i; j |] <> 0.0 && T.get b [| j; k |] <> 0.0 then
+          incr true_count
+      done
+    done
+  done;
+  check_bool "upper bound" true
+    (Chain.estimate sc +. 1e-9 >= float_of_int !true_count)
+
+let test_chain_aggregate_drops_conditioned () =
+  let prng = Prng.create 4 in
+  let t = sparse_matrix ~prng ~rows:8 ~cols:8 ~density:0.4 in
+  let s = Chain.of_tensor t ~idxs:[ "i"; "j" ] in
+  let dims = dims_of [ ("i", 8); ("j", 8) ] in
+  let p = Chain.aggregate ~dims s ~over:[ "j" ] in
+  check_bool "projection bounded by rows" true (Chain.estimate p <= 8.0);
+  (* and it is a sound upper bound on the number of non-empty rows *)
+  let nonempty = ref 0 in
+  for i = 0 to 7 do
+    let any = ref false in
+    for j = 0 to 7 do
+      if T.get t [| i; j |] <> 0.0 then any := true
+    done;
+    if !any then incr nonempty
+  done;
+  check_bool "sound" true (Chain.estimate p +. 1e-9 >= float_of_int !nonempty)
+
+(* Property: the chain bound is an upper bound on the true non-fill count of
+   random sum-product expressions. *)
+let prop_chain_upper_bound =
+  QCheck.Test.make ~name:"chain bound is an upper bound" ~count:80
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let n = 4 + Prng.int prng 4 in
+      let a = sparse_matrix ~prng ~rows:n ~cols:n ~density:0.4 in
+      let b = sparse_matrix ~prng ~rows:n ~cols:n ~density:0.4 in
+      let dims = dims_of [ ("i", n); ("j", n); ("k", n) ] in
+      let sa = Chain.of_tensor a ~idxs:[ "i"; "j" ] in
+      let sb = Chain.of_tensor b ~idxs:[ "j"; "k" ] in
+      (* product then project: matrix multiplication pattern *)
+      let prod = Chain.map_annihilating ~dims [ sa; sb ] in
+      let proj = Chain.aggregate ~dims prod ~over:[ "j" ] in
+      let true_prod = ref 0 and true_proj = ref 0 in
+      for i = 0 to n - 1 do
+        for k = 0 to n - 1 do
+          let any = ref false in
+          for j = 0 to n - 1 do
+            if T.get a [| i; j |] <> 0.0 && T.get b [| j; k |] <> 0.0 then begin
+              incr true_prod;
+              any := true
+            end
+          done;
+          if !any then incr true_proj
+        done
+      done;
+      Chain.estimate prod +. 1e-9 >= float_of_int !true_prod
+      && Chain.estimate proj +. 1e-9 >= float_of_int !true_proj)
+
+(* Property: non-annihilating merges bound the union pattern. *)
+let prop_chain_union_upper_bound =
+  QCheck.Test.make ~name:"chain bound covers unions" ~count:80
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let n = 4 + Prng.int prng 4 in
+      let a = sparse_matrix ~prng ~rows:n ~cols:n ~density:0.3 in
+      let b = sparse_matrix ~prng ~rows:n ~cols:n ~density:0.3 in
+      let dims = dims_of [ ("i", n); ("j", n) ] in
+      let sa = Chain.of_tensor a ~idxs:[ "i"; "j" ] in
+      let sb = Chain.of_tensor b ~idxs:[ "i"; "j" ] in
+      let sum = Chain.map_non_annihilating ~dims [ sa; sb ] in
+      let true_union = ref 0 in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if T.get a [| i; j |] <> 0.0 || T.get b [| i; j |] <> 0.0 then
+            incr true_union
+        done
+      done;
+      Chain.estimate sum +. 1e-9 >= float_of_int !true_union)
+
+(* -------------------------------------------------------------- *)
+(* Estimation context.                                              *)
+(* -------------------------------------------------------------- *)
+
+let make_ctx ?(kind = Ctx.Chain_kind) (inputs : (string * T.t) list) : Ctx.t =
+  let schema = Schema.create () in
+  List.iter (fun (n, t) -> Schema.declare_tensor schema n t) inputs;
+  let ctx = Ctx.create ~kind schema in
+  List.iter (fun (n, t) -> ctx.Ctx.register_input n t) inputs;
+  ctx
+
+let test_ctx_estimates_input () =
+  let prng = Prng.create 6 in
+  let t = sparse_matrix ~prng ~rows:10 ~cols:10 ~density:0.3 in
+  List.iter
+    (fun kind ->
+      let ctx = make_ctx ~kind [ ("A", t) ] in
+      check_float
+        (Ctx.kind_to_string kind)
+        (float_of_int (T.nnz t))
+        (ctx.Ctx.estimate_expr (Ir.input "A" [ "i"; "j" ])))
+    [ Ctx.Uniform_kind; Ctx.Chain_kind ]
+
+let test_ctx_sigmoid_fill_flip () =
+  (* sigmoid makes everything non-fill w.r.t. the *new* fill only where the
+     input deviates: pattern size is preserved. *)
+  let prng = Prng.create 7 in
+  let t = sparse_matrix ~prng ~rows:10 ~cols:10 ~density:0.3 in
+  let ctx = make_ctx [ ("A", t) ] in
+  let est =
+    ctx.Ctx.estimate_expr (Ir.map Op.Sigmoid [ Ir.input "A" [ "i"; "j" ] ])
+  in
+  check_bool "pattern preserved" true (est >= float_of_int (T.nnz t) -. 1e-6)
+
+let test_ctx_alias_estimated () =
+  let prng = Prng.create 8 in
+  let a = sparse_matrix ~prng ~rows:10 ~cols:10 ~density:0.3 in
+  let ctx = make_ctx [ ("A", a) ] in
+  let def = Ir.(sum [ "j" ] (input "A" [ "i"; "j" ])) in
+  Schema.declare ctx.Ctx.schema "V" ~dims:[| 10 |] ~fill:0.0;
+  ctx.Ctx.register_alias_estimated "V" ~output_idxs:[ "i" ] def;
+  check_bool "alias registered" true (ctx.Ctx.has_stats "V");
+  let est = ctx.Ctx.estimate_expr (Ir.alias "V" [ "q" ]) in
+  check_bool "estimate sane" true (est >= 0.0 && est <= 10.0)
+
+let test_ctx_alias_measured_overrides () =
+  let prng = Prng.create 9 in
+  let a = sparse_matrix ~prng ~rows:10 ~cols:10 ~density:0.3 in
+  let ctx = make_ctx [ ("A", a) ] in
+  Schema.declare ctx.Ctx.schema "V" ~dims:[| 10 |] ~fill:0.0;
+  ctx.Ctx.register_alias_estimated "V" ~output_idxs:[ "i" ]
+    Ir.(sum [ "j" ] (input "A" [ "i"; "j" ]));
+  let measured =
+    T.of_coo ~dims:[| 10 |] ~formats:[| T.Sparse_list |] [| ([| 3 |], 1.0) |]
+  in
+  ctx.Ctx.register_alias_tensor "V" measured;
+  check_float "measured wins" 1.0 (ctx.Ctx.estimate_expr (Ir.alias "V" [ "i" ]))
+
+let test_ctx_clone_isolated () =
+  let prng = Prng.create 10 in
+  let a = sparse_matrix ~prng ~rows:10 ~cols:10 ~density:0.3 in
+  let ctx = make_ctx [ ("A", a) ] in
+  let clone = ctx.Ctx.clone () in
+  Schema.declare clone.Ctx.schema "W" ~dims:[| 10 |] ~fill:0.0;
+  clone.Ctx.register_alias_estimated "W" ~output_idxs:[ "i" ]
+    Ir.(sum [ "j" ] (input "A" [ "i"; "j" ]));
+  check_bool "clone has it" true (clone.Ctx.has_stats "W");
+  check_bool "original does not" false (ctx.Ctx.has_stats "W")
+
+let test_ctx_access_projected () =
+  let entries = Array.init 6 (fun j -> ([| 2; j |], 1.0)) in
+  let t = T.of_coo ~dims:[| 6; 6 |] ~formats:[| T.Dense; T.Sparse_list |] entries in
+  let ctx = make_ctx [ ("A", t) ] in
+  let total =
+    ctx.Ctx.estimate_access_projected "A" [ "i"; "j" ]
+      (Ir.Idx_set.of_list [ "i"; "j" ])
+  in
+  check_float "full" 6.0 total;
+  let rows =
+    ctx.Ctx.estimate_access_projected "A" [ "i"; "j" ] (Ir.Idx_set.singleton "i")
+  in
+  check_bool "rows >= 1" true (rows >= 1.0 && rows <= 6.0)
+
+(* -------------------------------------------------------------- *)
+(* Cost model.                                                      *)
+(* -------------------------------------------------------------- *)
+
+let test_cost_model () =
+  let open Galley_stats.Cost in
+  let c = logical_query_cost ~nnz_body:100.0 ~nnz_out:10.0 () in
+  check_bool "positive" true (c > 0.0);
+  let c2 = logical_query_cost ~nnz_body:100.0 ~nnz_out:1000.0 () in
+  check_bool "bigger output costs more" true (c2 > c);
+  check_float "transpose linear" (2.0 *. transpose_cost ~nnz:50.0 ())
+    (transpose_cost ~nnz:100.0 ())
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "uniform",
+        [
+          Alcotest.test_case "of_tensor" `Quick test_uniform_of_tensor;
+          Alcotest.test_case "annihilating" `Quick test_uniform_annihilating;
+          Alcotest.test_case "non-annihilating" `Quick test_uniform_non_annihilating;
+          Alcotest.test_case "aggregate" `Quick test_uniform_aggregate;
+          Alcotest.test_case "rename" `Quick test_uniform_rename;
+          Alcotest.test_case "literal" `Quick test_uniform_literal;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "exact total" `Quick test_chain_of_tensor_exact_total;
+          Alcotest.test_case "degree bound" `Quick test_chain_degree_bound_matrix;
+          Alcotest.test_case "triangle bound" `Quick test_chain_triangle_bound;
+          Alcotest.test_case "aggregate" `Quick test_chain_aggregate_drops_conditioned;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "input estimate" `Quick test_ctx_estimates_input;
+          Alcotest.test_case "sigmoid fill" `Quick test_ctx_sigmoid_fill_flip;
+          Alcotest.test_case "alias estimated" `Quick test_ctx_alias_estimated;
+          Alcotest.test_case "alias measured" `Quick test_ctx_alias_measured_overrides;
+          Alcotest.test_case "clone isolation" `Quick test_ctx_clone_isolated;
+          Alcotest.test_case "projected access" `Quick test_ctx_access_projected;
+        ] );
+      ("cost", [ Alcotest.test_case "weights" `Quick test_cost_model ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_chain_upper_bound; prop_chain_union_upper_bound ] );
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the workload generators: determinism, structural properties of
+   the graphs, subgraph counting against explicit enumeration, the TPC-H
+   generator's schema, ML baselines vs fused programs, and BFS vs a
+   classical reference. *)
+
+module T = Galley_tensor.Tensor
+module W = Galley_workloads
+module Ir = Galley_plan.Ir
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* -------------------------------------------------------------- *)
+(* Graphs.                                                          *)
+(* -------------------------------------------------------------- *)
+
+let test_graph_determinism () =
+  let g1 = W.Graphs.erdos_renyi ~name:"g" ~seed:5 ~n:100 ~m:300 () in
+  let g2 = W.Graphs.erdos_renyi ~name:"g" ~seed:5 ~n:100 ~m:300 () in
+  check_bool "same edges" true (g1.W.Graphs.edges = g2.W.Graphs.edges);
+  let g3 = W.Graphs.erdos_renyi ~name:"g" ~seed:6 ~n:100 ~m:300 () in
+  check_bool "different seed differs" true (g1.W.Graphs.edges <> g3.W.Graphs.edges)
+
+let test_graph_no_self_loops () =
+  let g = W.Graphs.power_law ~name:"g" ~seed:7 ~n:200 ~m:600 () in
+  Array.iter (fun (u, v) -> check_bool "no loop" true (u <> v)) g.W.Graphs.edges
+
+let test_symmetrize () =
+  let g = W.Graphs.symmetrize (W.Graphs.erdos_renyi ~name:"g" ~seed:8 ~n:50 ~m:100 ()) in
+  let has = Hashtbl.create 64 in
+  Array.iter (fun e -> Hashtbl.replace has e ()) g.W.Graphs.edges;
+  Array.iter
+    (fun (u, v) -> check_bool "symmetric" true (Hashtbl.mem has (v, u)))
+    g.W.Graphs.edges
+
+let test_adjacency_tensor () =
+  let g = W.Graphs.erdos_renyi ~name:"g" ~seed:9 ~n:30 ~m:80 () in
+  let adj = W.Graphs.adjacency g in
+  check_int "nnz = edges" (W.Graphs.edge_count g) (T.nnz adj);
+  Array.iter
+    (fun (u, v) -> check_float "edge present" 1.0 (T.get adj [| u; v |]))
+    g.W.Graphs.edges
+
+let test_labels_partition () =
+  let g = W.Graphs.erdos_renyi ~name:"g" ~seed:10 ~n:60 ~m:100 ~n_labels:4 () in
+  let total =
+    List.fold_left
+      (fun acc l -> acc + T.nnz (W.Graphs.label_vector g l))
+      0 [ 0; 1; 2; 3 ]
+  in
+  check_int "labels partition vertices" g.W.Graphs.n total
+
+let test_power_law_skew () =
+  (* a power-law graph should have a much larger max degree than an ER graph
+     of the same size *)
+  let deg_max g =
+    let deg = Array.make g.W.Graphs.n 0 in
+    Array.iter (fun (u, _) -> deg.(u) <- deg.(u) + 1) g.W.Graphs.edges;
+    Array.fold_left max 0 deg
+  in
+  let er = W.Graphs.erdos_renyi ~name:"er" ~seed:11 ~n:2000 ~m:6000 () in
+  let pl = W.Graphs.power_law ~name:"pl" ~seed:11 ~n:2000 ~m:6000 ~alpha:0.8 () in
+  check_bool "skew" true (deg_max pl > 2 * deg_max er)
+
+(* -------------------------------------------------------------- *)
+(* Subgraph counting.                                               *)
+(* -------------------------------------------------------------- *)
+
+let small_graph () =
+  W.Graphs.symmetrize
+    (W.Graphs.erdos_renyi ~name:"t" ~seed:12 ~n:25 ~m:70 ~n_labels:3 ())
+
+let test_patterns_vs_enumeration () =
+  let g = small_graph () in
+  List.iter
+    (fun p ->
+      let prog = W.Subgraph.count_program p in
+      let inputs = W.Subgraph.bindings g p in
+      let res = Galley.Driver.run ~inputs prog in
+      let got = T.get (Galley.Driver.output_of res "count") [||] in
+      let want = W.Subgraph.count_by_enumeration g p in
+      check_float p.W.Subgraph.pname want got)
+    (W.Subgraph.suite_for g)
+
+let test_unlabelled_patterns () =
+  let g =
+    W.Graphs.symmetrize (W.Graphs.erdos_renyi ~name:"u" ~seed:13 ~n:20 ~m:60 ())
+  in
+  List.iter
+    (fun p ->
+      let prog = W.Subgraph.count_program p in
+      let inputs = W.Subgraph.bindings g p in
+      let res = Galley.Driver.run ~inputs prog in
+      let got = T.get (Galley.Driver.output_of res "count") [||] in
+      check_float p.W.Subgraph.pname (W.Subgraph.count_by_enumeration g p) got)
+    [ W.Subgraph.path 3; W.Subgraph.triangle; W.Subgraph.cycle 4; W.Subgraph.star 3 ]
+
+let test_pattern_shapes () =
+  check_int "path edges" 3 (List.length (W.Subgraph.path 4).W.Subgraph.pedges);
+  check_int "cycle edges" 4 (List.length (W.Subgraph.cycle 4).W.Subgraph.pedges);
+  check_int "star edges" 4 (List.length (W.Subgraph.star 4).W.Subgraph.pedges);
+  check_int "clique4 directed edges" 12
+    (List.length (W.Subgraph.clique 4).W.Subgraph.pedges)
+
+(* -------------------------------------------------------------- *)
+(* TPC-H-like generator.                                            *)
+(* -------------------------------------------------------------- *)
+
+let test_star_schema () =
+  let star = W.Tpch.star_instance ~scale:W.Tpch.tiny_scale ~seed:14 () in
+  check_int "feature count" 139 star.W.Tpch.d;
+  let l = List.assoc "L" star.W.Tpch.inputs in
+  check_int "one nonzero per lineitem" star.W.Tpch.n (T.nnz l);
+  let s = List.assoc "S" star.W.Tpch.inputs in
+  let p = List.assoc "P" star.W.Tpch.inputs in
+  (* disjoint feature columns *)
+  let cols t =
+    let set = Hashtbl.create 32 in
+    T.iter_nonfill t (fun c _ -> Hashtbl.replace set c.(1) ());
+    set
+  in
+  let sc = cols s and pc = cols p in
+  Hashtbl.iter (fun c () -> check_bool "disjoint" false (Hashtbl.mem pc c)) sc
+
+let test_self_join_schema () =
+  let sj = W.Tpch.self_join_instance ~scale:W.Tpch.tiny_scale ~seed:15 () in
+  let l3 = List.assoc "L3" sj.W.Tpch.sj_inputs in
+  check_int "one nonzero per lineitem" sj.W.Tpch.sj_n (T.nnz l3);
+  check_int "features" (19 + 39) sj.W.Tpch.sj_d
+
+(* -------------------------------------------------------------- *)
+(* ML programs: fused and baseline agree with the reference.         *)
+(* -------------------------------------------------------------- *)
+
+let test_ml_algorithms_correct () =
+  let star =
+    W.Tpch.star_instance ~scale:W.Tpch.tiny_scale ~layout:W.Tpch.tiny_layout
+      ~seed:16 ()
+  in
+  let params = W.Ml.parameter_inputs ~seed:17 ~d:star.W.Tpch.d ~hidden:4 in
+  let inputs = star.W.Tpch.inputs @ params in
+  List.iter
+    (fun alg ->
+      let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+      let out_name = List.hd prog.Ir.outputs in
+      let want = List.assoc out_name (Galley.Reference.eval_program inputs prog) in
+      (* fused *)
+      let res = Galley.Driver.run ~inputs prog in
+      check_bool
+        (W.Ml.algorithm_name alg ^ " fused")
+        true
+        (T.equal_approx ~eps:1e-6 (Galley.Driver.output_of res out_name) want);
+      (* baselines, dense and sparse X *)
+      let plan, out = W.Ml.baseline_plan alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+      List.iter
+        (fun dense ->
+          let config =
+            {
+              Galley.Driver.default_config with
+              physical = W.Ml.baseline_physical_config ~pts:1 ~dense;
+            }
+          in
+          let bres =
+            Galley.Driver.run_logical_plan ~config ~inputs ~outputs:[ out ] plan
+          in
+          check_bool
+            (Printf.sprintf "%s baseline dense=%b" (W.Ml.algorithm_name alg) dense)
+            true
+            (T.equal_approx ~eps:1e-6 (Galley.Driver.output_of bres out) want))
+        [ true; false ])
+    W.Ml.all_algorithms
+
+let test_self_join_linreg_correct () =
+  let sj =
+    W.Tpch.self_join_instance ~scale:W.Tpch.tiny_scale ~s_layout:(1, [ 2 ])
+      ~p_layout:(1, [ 3 ]) ~seed:18 ()
+  in
+  let params = W.Ml.parameter_inputs ~seed:19 ~d:sj.W.Tpch.sj_d ~hidden:4 in
+  let inputs = sj.W.Tpch.sj_inputs @ params in
+  let prog = W.Ml.program_of W.Ml.Linreg ~x:sj.W.Tpch.sj_x_def ~pts:[ "i1"; "i2" ] in
+  let want = List.assoc "Y" (Galley.Reference.eval_program inputs prog) in
+  let res = Galley.Driver.run ~inputs prog in
+  check_bool "self-join linreg" true
+    (T.equal_approx ~eps:1e-6 (Galley.Driver.output_of res "Y") want)
+
+(* -------------------------------------------------------------- *)
+(* BFS.                                                             *)
+(* -------------------------------------------------------------- *)
+
+let test_bfs_variants_agree () =
+  let g =
+    W.Graphs.symmetrize (W.Graphs.erdos_renyi ~name:"b" ~seed:20 ~n:150 ~m:320 ())
+  in
+  let adjacency = W.Graphs.adjacency g in
+  let want = W.Bfs.reference_visited ~adjacency ~source:3 in
+  List.iter
+    (fun v ->
+      let s = W.Bfs.run v ~adjacency ~source:3 in
+      check_int (W.Bfs.variant_name v) want s.W.Bfs.visited)
+    [ W.Bfs.Adaptive; W.Bfs.All_sparse; W.Bfs.All_dense ]
+
+let test_bfs_disconnected () =
+  (* two cliques, no path between them *)
+  let edges = ref [] in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      if i <> j then begin
+        edges := ([| i; j |], 1.0) :: !edges;
+        edges := ([| i + 5; j + 5 |], 1.0) :: !edges
+      end
+    done
+  done;
+  let adjacency =
+    T.of_coo ~dims:[| 10; 10 |] ~formats:[| T.Dense; T.Sparse_list |]
+      (Array.of_list !edges)
+  in
+  let s = W.Bfs.run W.Bfs.Adaptive ~adjacency ~source:0 in
+  check_int "half reachable" 5 s.W.Bfs.visited
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "graphs",
+        [
+          Alcotest.test_case "determinism" `Quick test_graph_determinism;
+          Alcotest.test_case "no self loops" `Quick test_graph_no_self_loops;
+          Alcotest.test_case "symmetrize" `Quick test_symmetrize;
+          Alcotest.test_case "adjacency" `Quick test_adjacency_tensor;
+          Alcotest.test_case "labels" `Quick test_labels_partition;
+          Alcotest.test_case "power-law skew" `Quick test_power_law_skew;
+        ] );
+      ( "subgraph",
+        [
+          Alcotest.test_case "labelled suite" `Slow test_patterns_vs_enumeration;
+          Alcotest.test_case "unlabelled" `Quick test_unlabelled_patterns;
+          Alcotest.test_case "pattern shapes" `Quick test_pattern_shapes;
+        ] );
+      ( "tpch",
+        [
+          Alcotest.test_case "star schema" `Quick test_star_schema;
+          Alcotest.test_case "self-join schema" `Quick test_self_join_schema;
+        ] );
+      ( "ml",
+        [
+          Alcotest.test_case "algorithms correct" `Slow test_ml_algorithms_correct;
+          Alcotest.test_case "self-join linreg" `Slow test_self_join_linreg_correct;
+        ] );
+      ( "bfs",
+        [
+          Alcotest.test_case "variants agree" `Quick test_bfs_variants_agree;
+          Alcotest.test_case "disconnected" `Quick test_bfs_disconnected;
+        ] );
+    ]
