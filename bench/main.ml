@@ -472,6 +472,50 @@ let ablations () =
     (W.Subgraph.suite_for g)
 
 (* ------------------------------------------------------------------ *)
+(* Degradation ladder: per-tier plan counts and cost of degrading.      *)
+(* ------------------------------------------------------------------ *)
+
+let tiers () =
+  header "Degradation ladder: plans served per optimizer tier";
+  (* Naive-tier plans are deliberately unoptimized (that is the point of
+     the comparison), so the instance stays small enough for them. *)
+  let scale =
+    if !quick then
+      { W.Tpch.n_lineitems = 60; n_suppliers = 8; n_parts = 12;
+        n_orders = 15; n_customers = 10 }
+    else
+      { W.Tpch.n_lineitems = 150; n_suppliers = 12; n_parts = 25;
+        n_orders = 40; n_customers = 20 }
+  in
+  let star =
+    W.Tpch.star_instance ~scale ~layout:W.Tpch.tiny_layout ~seed:2101 ()
+  in
+  let params = W.Ml.parameter_inputs ~seed:2102 ~d:star.W.Tpch.d ~hidden:16 in
+  let inputs = star.W.Tpch.inputs @ params in
+  let fmt_counts (tiers : (string * Galley_plan.Tier.t) list) =
+    let e, g, n = Galley_plan.Tier.counts tiers in
+    Printf.sprintf "e=%d g=%d n=%d" e g n
+  in
+  Printf.printf "%-12s %-22s %-22s %10s %10s\n" "algorithm"
+    "default (log/phys)" "0s deadline (log/phys)" "default" "degraded";
+  List.iter
+    (fun alg ->
+      let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+      let run config = time_min (fun () -> D.run ~config ~inputs prog) in
+      let r_def, t_def = run D.default_config in
+      let r_deg, t_deg =
+        run { D.default_config with optimizer_timeout = Some 0.0 }
+      in
+      Printf.printf "%-12s %-22s %-22s %10s %10s\n%!"
+        (W.Ml.algorithm_name alg)
+        (fmt_counts r_def.D.logical_tiers ^ " / "
+        ^ fmt_counts r_def.D.physical_tiers)
+        (fmt_counts r_deg.D.logical_tiers ^ " / "
+        ^ fmt_counts r_deg.D.physical_tiers)
+        (fmt_time t_def) (fmt_time t_deg))
+    W.Ml.all_algorithms
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the tensor substrate.                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -581,6 +625,7 @@ let () =
       | "fig9" -> fig9 ()
       | "fig10" -> fig10 ()
       | "ablations" -> ablations ()
+      | "tiers" -> tiers ()
       | "micro" -> micro ()
       | other -> Printf.eprintf "unknown section %s\n" other)
     sections

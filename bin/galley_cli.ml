@@ -6,7 +6,8 @@
 
    Programs are written in textual tensor index notation (see
    lib/lang/parser.ml for the grammar); tensors load from plain-text COO
-   files or are generated randomly. *)
+   files or are generated randomly.  Failures surface as classified Galley
+   errors: parse errors exit with 2, everything else with 1. *)
 
 module T = Galley_tensor.Tensor
 
@@ -36,6 +37,25 @@ let parse_input_spec (spec : string) : string * T.t =
   | [ name; path ] -> (name, Galley_tensor.Tensor_io.load path)
   | _ -> invalid_arg ("bad --input spec: " ^ spec)
 
+let pp_tier_summary label (tiers : (string * Galley_plan.Tier.t) list) =
+  match tiers with
+  | [] -> ()
+  | _ ->
+      let exact, greedy, naive = Galley_plan.Tier.counts tiers in
+      Format.printf "%s tiers: exact=%d greedy=%d naive=%d%s@." label exact
+        greedy naive
+        (match
+           List.filter (fun (_, t) -> t <> Galley_plan.Tier.Exact) tiers
+         with
+        | [] -> ""
+        | degraded ->
+            " ["
+            ^ String.concat ", "
+                (List.map
+                   (fun (n, t) -> n ^ ":" ^ Galley_plan.Tier.to_string t)
+                   degraded)
+            ^ "]")
+
 let print_result ~show_plans ~timings (res : Galley.Driver.result) =
   if show_plans then begin
     Format.printf "== logical plan ==@.";
@@ -57,12 +77,27 @@ let print_result ~show_plans ~timings (res : Galley.Driver.result) =
        compiled) execute=%.4fs cse_hits=%d@."
       t.Galley.Driver.logical_seconds t.Galley.Driver.physical_seconds
       t.Galley.Driver.compile_seconds t.Galley.Driver.compile_count
-      t.Galley.Driver.execute_seconds t.Galley.Driver.cse_hits
+      t.Galley.Driver.execute_seconds t.Galley.Driver.cse_hits;
+    pp_tier_summary "logical" res.Galley.Driver.logical_tiers;
+    pp_tier_summary "physical" res.Galley.Driver.physical_tiers;
+    if res.Galley.Driver.nnz_guard_retries > 0 then
+      Format.printf "nnz guardrail: %d corrective re-optimization(s)@."
+        res.Galley.Driver.nnz_guard_retries
   end;
-  if res.Galley.Driver.timed_out then Format.printf "TIMED OUT@."
+  if res.Galley.Driver.timed_out then
+    Format.printf "TIMED OUT (incomplete outputs: %s)@."
+      (match res.Galley.Driver.incomplete_outputs with
+      | [] -> "none"
+      | inc -> String.concat ", " inc)
+
+(* Exit codes: 0 ok, 1 classified Galley failure, 2 parse error. *)
+let report_error (e : Galley.Errors.t) : int =
+  Format.eprintf "galley: %s@." (Galley.Errors.to_string e);
+  match e with Galley.Errors.Parse_error _ -> 2 | _ -> 1
 
 let run_cmd program_file inputs randoms outputs show_plans timings greedy
-    uniform no_jit no_cse timeout =
+    uniform no_jit no_cse timeout opt_timeout faults_spec no_validate
+    no_degrade nnz_guard =
   let src =
     let ic = open_in program_file in
     let n = in_channel_length ic in
@@ -70,14 +105,12 @@ let run_cmd program_file inputs randoms outputs show_plans timings greedy
     close_in ic;
     s
   in
-  let program = Galley_lang.Parser.parse_program src in
-  let program =
-    match outputs with
-    | [] -> program
-    | outs -> { program with Galley_plan.Ir.outputs = outs }
-  in
-  let bound =
-    List.map parse_input_spec inputs @ List.map parse_random_spec randoms
+  let faults =
+    match Galley.Faults.of_spec faults_spec with
+    | Ok f -> f
+    | Error msg ->
+        Format.eprintf "galley: bad --faults spec: %s@." msg;
+        exit 2
   in
   let config =
     {
@@ -90,11 +123,29 @@ let run_cmd program_file inputs randoms outputs show_plans timings greedy
       jit = not no_jit;
       cse = not no_cse;
       timeout;
+      optimizer_timeout = opt_timeout;
+      degrade = not no_degrade;
+      validate = not no_validate;
+      faults;
+      nnz_guard;
     }
   in
-  let res = Galley.Driver.run ~config ~inputs:bound program in
-  print_result ~show_plans ~timings res;
-  0
+  match Galley.Driver.parse_checked src with
+  | Error e -> report_error e
+  | Ok program -> (
+      let program =
+        match outputs with
+        | [] -> program
+        | outs -> { program with Galley_plan.Ir.outputs = outs }
+      in
+      let bound =
+        List.map parse_input_spec inputs @ List.map parse_random_spec randoms
+      in
+      match Galley.Driver.run_checked ~config ~inputs:bound program with
+      | Ok res ->
+          print_result ~show_plans ~timings res;
+          0
+      | Error e -> report_error e)
 
 let demo_cmd () =
   Format.printf "Triangle counting demo: 200-vertex random graph@.";
@@ -106,10 +157,11 @@ let demo_cmd () =
   let adj = Galley_workloads.Graphs.adjacency g in
   let src = "t = sum[i,j,k](E[i,j] * E[j,k] * E[i,k])" in
   Format.printf "program: %s@." src;
-  let program = Galley_lang.Parser.parse_program src in
-  let res = Galley.Driver.run ~inputs:[ ("E", adj) ] program in
-  print_result ~show_plans:true ~timings:true res;
-  0
+  match Galley.Driver.run_source_checked ~inputs:[ ("E", adj) ] src with
+  | Ok res ->
+      print_result ~show_plans:true ~timings:true res;
+      0
+  | Error e -> report_error e
 
 open Cmdliner
 
@@ -153,11 +205,47 @@ let timeout_arg =
     & opt (some float) None
     & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Execution timeout")
 
+let opt_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "opt-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-query optimizer budget; past it the optimizer degrades \
+           (exact, then greedy, then naive)")
+
+let faults_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault injection, comma-separated: estimator-nan, estimator-inf, \
+           estimator-scale=F, opt-delay=S, kernel-fail=N")
+
+let no_validate_arg =
+  Arg.(value & flag & info [ "no-validate" ] ~doc:"Skip inter-phase plan validation")
+
+let no_degrade_arg =
+  Arg.(
+    value & flag
+    & info [ "no-degrade" ]
+        ~doc:"Treat an exhausted optimizer budget as an error instead of degrading")
+
+let nnz_guard_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "nnz-guard" ] ~docv:"FACTOR"
+        ~doc:
+          "Flag intermediates whose materialized nnz exceeds FACTOR times \
+           the estimate; re-optimize once with measured statistics")
+
 let run_term =
   Term.(
     const run_cmd $ program_arg $ inputs_arg $ randoms_arg $ outputs_arg
     $ show_plans_arg $ timings_arg $ greedy_arg $ uniform_arg $ no_jit_arg
-    $ no_cse_arg $ timeout_arg)
+    $ no_cse_arg $ timeout_arg $ opt_timeout_arg $ faults_arg
+    $ no_validate_arg $ no_degrade_arg $ nnz_guard_arg)
 
 let run_info = Cmd.info "run" ~doc:"Optimize and execute a tensor program"
 let demo_term = Term.(const demo_cmd $ const ())

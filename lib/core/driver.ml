@@ -8,7 +8,15 @@
    logical query is physically optimized only after all of its aliases have
    executed, with alias statistics refreshed from the materialized tensors.
    Setting [jit = false] plans the whole physical program up front from
-   inferred statistics. *)
+   inferred statistics.
+
+   Resilience (see DESIGN.md "Failure model"): both optimizers run under an
+   optional per-query deadline with a degradation ladder (exact → greedy →
+   naive), plans are validated between phases, failures are classified into
+   [Errors.t] (surfaced by [run_checked]), fault injection is driven by
+   [config.faults], and an optional nnz guardrail compares estimated
+   vs. materialized intermediate sizes, forcing one corrective JIT
+   re-optimization before giving up with [Budget_exceeded]. *)
 
 open Galley_plan
 module T = Galley_tensor.Tensor
@@ -21,6 +29,14 @@ type config = {
   jit : bool;
   cse : bool;
   timeout : float option; (* seconds; execution aborts past this *)
+  optimizer_timeout : float option; (* per-query optimizer budget, seconds *)
+  degrade : bool; (* false = optimizer deadline is an error, not a ladder *)
+  validate : bool; (* run the inter-phase plan validator *)
+  faults : Faults.t; (* fault injection; [Faults.none] = off *)
+  nnz_guard : float option;
+      (* flag an intermediate whose materialized nnz exceeds this factor
+         times its estimate; one corrective re-optimization, then
+         [Budget_exceeded] *)
 }
 
 let default_config =
@@ -31,6 +47,11 @@ let default_config =
     jit = true;
     cse = true;
     timeout = None;
+    optimizer_timeout = None;
+    degrade = true;
+    validate = true;
+    faults = Faults.none;
+    nnz_guard = None;
   }
 
 let greedy_config =
@@ -56,16 +77,31 @@ type timings = {
 
 type result = {
   outputs : (string * Ir.idx list * T.t) list; (* name, dim order, tensor *)
+  incomplete_outputs : string list;
+      (* requested outputs not materialized (e.g. past the deadline) *)
   logical_plan : Logical_query.t list;
   physical_plan : Physical.plan;
+  logical_tiers : (string * Tier.t) list; (* per input query *)
+  physical_tiers : (string * Tier.t) list; (* per logical query *)
   timings : timings;
   timed_out : bool;
+  nnz_guard_retries : int; (* corrective re-optimizations triggered *)
 }
 
-let output_of (r : result) (name : string) : T.t =
+let output_res (r : result) (name : string) : (T.t, string) Stdlib.result =
   match List.find_opt (fun (n, _, _) -> n = name) r.outputs with
-  | Some (_, _, t) -> t
-  | None -> invalid_arg ("Galley: no output named " ^ name)
+  | Some (_, _, t) -> Ok t
+  | None ->
+      let have = List.map (fun (n, _, _) -> n) r.outputs in
+      Error
+        (Printf.sprintf "no output named %s (have: %s%s)" name
+           (match have with [] -> "none" | _ -> String.concat ", " have)
+           (match r.incomplete_outputs with
+           | [] -> ""
+           | inc -> "; incomplete: " ^ String.concat ", " inc))
+
+let output_of (r : result) (name : string) : T.t =
+  match output_res r name with Ok t -> t | Error msg -> invalid_arg ("Galley: " ^ msg)
 
 (* Replace Input leaves that actually refer to earlier query outputs with
    Alias leaves, so programs can be written without distinguishing them. *)
@@ -89,6 +125,13 @@ let resolve_names (p : Ir.program) : Ir.program =
   { p with Ir.queries }
 
 let now = Unix.gettimeofday
+
+(* Phase/query breadcrumbs for classifying stray exceptions in
+   [run_checked] (single-threaded; best-effort context only). *)
+let cur_phase : Errors.phase ref = ref Errors.Execution
+let cur_query : string option ref = ref None
+
+let error_context () = Errors.context ?query:!cur_query !cur_phase
 
 (* Refresh alias statistics from materialized tensors before physically
    optimizing [q] (JIT adaptive optimization).  [refreshed] remembers names
@@ -114,106 +157,294 @@ let make_ctx (config : config) (inputs : (string * T.t) list) : Ctx.t =
   List.iter (fun (name, t) -> Schema.declare_tensor schema name t) inputs;
   let ctx = Ctx.create ~kind:config.estimator schema in
   List.iter (fun (name, t) -> ctx.Ctx.register_input name t) inputs;
-  ctx
+  Faults.wrap_ctx config.faults ctx
+
+let opt_budget (config : config) : float =
+  match config.optimizer_timeout with Some s -> s | None -> 0.0
+
+let collect_outputs (exec : Galley_engine.Exec.t)
+    (logical_plan : Logical_query.t list) (outputs : string list) :
+    (string * Ir.idx list * T.t) list * string list =
+  let found =
+    List.filter_map
+      (fun name ->
+        match
+          ( List.find_opt
+              (fun (q : Logical_query.t) -> q.Logical_query.name = name)
+              logical_plan,
+            Galley_engine.Exec.lookup_opt exec name )
+        with
+        | Some q, Some t -> Some (name, q.Logical_query.output_idxs, t)
+        | _ -> None)
+      outputs
+  in
+  let incomplete =
+    List.filter
+      (fun n -> not (List.exists (fun (m, _, _) -> m = n) found))
+      outputs
+  in
+  (found, incomplete)
+
+let validate_logical ~(config : config) ~(known : string -> bool)
+    ~(outputs : string list) (logical_plan : Logical_query.t list) : unit =
+  if config.validate then begin
+    cur_phase := Errors.Validation;
+    match Validate.logical_plan ~known ~outputs logical_plan with
+    | Ok () -> ()
+    | Error { Validate.v_query; v_message } ->
+        Errors.raise_error
+          (Errors.Plan_invalid
+             {
+               context = Errors.context ?query:v_query Errors.Validation;
+               message = v_message;
+             })
+  end
+
+(* Core physical-planning + execution loop, shared by [run],
+   [run_logical_plan], and [Session.run_logical_plan].
+
+   [before_plan] runs per query before planning (sessions register alias
+   statistics there).  Returns the completed outputs even when execution
+   hits the wall-clock deadline; queries past it are reported in
+   [incomplete_outputs]. *)
+let execute_queries ~(config : config) ~(ctx : Ctx.t)
+    ~(exec : Galley_engine.Exec.t) ~(fresh : unit -> string)
+    ~(before_plan : Logical_query.t -> unit)
+    ~(logical_plan : Logical_query.t list) ~(outputs : string list) :
+    (string * Ir.idx list * T.t) list
+    * string list
+    * Physical.plan
+    * (string * Tier.t) list
+    * float
+    * bool
+    * int =
+  Faults.install_exec config.faults exec;
+  (match config.timeout with
+  | Some s -> Galley_engine.Exec.set_timeout exec s
+  | None -> ());
+  let physical_seconds = ref 0.0 in
+  let all_steps = ref [] in
+  let timed_out = ref false in
+  let physical_tiers = ref [] in
+  let guard_retries = ref 0 in
+  let refreshed = Hashtbl.create 16 in
+  let planned_names = Hashtbl.create 16 in
+  let known n =
+    Galley_engine.Exec.lookup_opt exec n <> None || Hashtbl.mem planned_names n
+  in
+  let plan_one ~refresh (q : Logical_query.t) : Physical.plan =
+    let name = q.Logical_query.name in
+    cur_phase := Errors.Physical;
+    cur_query := Some name;
+    let t0 = now () in
+    if refresh then refresh_alias_stats ~refreshed ctx exec q;
+    let deadline = Option.map (fun s -> now () +. s) config.optimizer_timeout in
+    let plan, tier =
+      try
+        Galley_physical.Optimizer.plan_query_tiered ?deadline
+          ~degrade:config.degrade ~config:config.physical ctx ~fresh q
+      with Tier.Exhausted ->
+        Errors.raise_error
+          (Errors.Optimizer_deadline
+             {
+               context = Errors.context ~query:name Errors.Physical;
+               budget = opt_budget config;
+             })
+    in
+    physical_seconds := !physical_seconds +. (now () -. t0);
+    if config.validate then begin
+      cur_phase := Errors.Validation;
+      match Validate.physical_plan ~known plan with
+      | Ok () -> ()
+      | Error { Validate.v_query; v_message } ->
+          Errors.raise_error
+            (Errors.Plan_invalid
+               {
+                 context = Errors.context ?query:v_query Errors.Validation;
+                 message = v_message;
+               })
+    end;
+    Hashtbl.replace planned_names name ();
+    physical_tiers := (name, tier) :: !physical_tiers;
+    plan
+  in
+  let run_one (q : Logical_query.t) (plan : Physical.plan) : unit =
+    let name = q.Logical_query.name in
+    cur_phase := Errors.Execution;
+    cur_query := Some name;
+    all_steps := !all_steps @ plan;
+    try Galley_engine.Exec.run_plan exec plan with
+    | Galley_engine.Exec.Timeout -> raise Galley_engine.Exec.Timeout
+    | Errors.Galley_error _ as e -> raise e
+    | Faults.Injected_kernel_failure n ->
+        Errors.raise_error
+          (Errors.Kernel_failure
+             {
+               context = Errors.context ~query:name Errors.Execution;
+               invocation = Some n;
+               message = "injected kernel fault";
+             })
+    | (Stack_overflow | Out_of_memory) as e -> raise e
+    | exn ->
+        Errors.raise_error
+          (Errors.Kernel_failure
+             {
+               context = Errors.context ~query:name Errors.Execution;
+               invocation = None;
+               message = Printexc.to_string exn;
+             })
+  in
+  (* The nnz guardrail (estimated vs. materialized intermediate size).
+     First trip: register measured statistics for the offender and force
+     JIT-style re-planning of the remaining queries.  Second trip: give
+     up with [Budget_exceeded]. *)
+  let use_jit = ref config.jit in
+  let queries = Array.of_list logical_plan in
+  let n_queries = Array.length queries in
+  let pre_plans = Array.make (max 1 n_queries) None in
+  if not config.jit then
+    Array.iteri (fun i q -> pre_plans.(i) <- Some (plan_one ~refresh:false q)) queries;
+  let guard_check (q : Logical_query.t) ~(estimate : float) (i : int) : unit =
+    match config.nnz_guard with
+    | None -> ()
+    | Some factor -> (
+        let name = q.Logical_query.name in
+        match Galley_engine.Exec.lookup_opt exec name with
+        | None -> ()
+        | Some t ->
+            let actual = float_of_int (T.nnz t) in
+            if
+              Float.is_finite estimate
+              && actual > factor *. Float.max 1.0 estimate
+            then
+              if !guard_retries >= 1 then
+                Errors.raise_error
+                  (Errors.Budget_exceeded
+                     {
+                       context = Errors.context ~query:name Errors.Execution;
+                       estimated = estimate;
+                       actual;
+                       message = "re-optimization already spent";
+                     })
+              else begin
+                incr guard_retries;
+                (* Corrected statistics: measure the offender now; replan
+                   everything still pending from measured sizes. *)
+                Schema.declare_tensor ctx.Ctx.schema name t;
+                ctx.Ctx.register_alias_tensor name t;
+                Hashtbl.replace refreshed name ();
+                use_jit := true;
+                for j = i + 1 to n_queries - 1 do
+                  pre_plans.(j) <- None
+                done
+              end)
+  in
+  (try
+     Array.iteri
+       (fun i q ->
+         before_plan q;
+         let plan =
+           match pre_plans.(i) with
+           | Some plan when not !use_jit -> plan
+           | Some _ | None -> plan_one ~refresh:!use_jit q
+         in
+         let estimate =
+           match config.nnz_guard with
+           | None -> Float.nan
+           | Some _ -> (
+               try
+                 ctx.Ctx.estimate_expr
+                   (Ir.Alias (q.Logical_query.name, q.Logical_query.output_idxs))
+               with _ -> Float.nan)
+         in
+         run_one q plan;
+         guard_check q ~estimate i)
+       queries
+   with Galley_engine.Exec.Timeout -> timed_out := true);
+  let found, incomplete = collect_outputs exec logical_plan outputs in
+  ( found,
+    incomplete,
+    !all_steps,
+    List.rev !physical_tiers,
+    !physical_seconds,
+    !timed_out,
+    !guard_retries )
 
 (* Physical optimization + execution of an already-logical plan. *)
 let execute_logical ~(config : config) ~(ctx : Ctx.t)
     ~(inputs : (string * T.t) list) ~(logical_plan : Logical_query.t list)
-    ~(outputs : string list) ~(logical_seconds : float) : result =
+    ~(outputs : string list) ~(logical_seconds : float)
+    ~(logical_tiers : (string * Tier.t) list) : result =
+  validate_logical ~config
+    ~known:(fun n -> List.mem_assoc n inputs)
+    ~outputs logical_plan;
   let exec = Galley_engine.Exec.create ~cse:config.cse () in
   List.iter (fun (name, t) -> Galley_engine.Exec.bind exec name t) inputs;
-  (match config.timeout with
-  | Some s -> Galley_engine.Exec.set_timeout exec s
-  | None -> ());
   let counter = ref 0 in
   let fresh () =
     incr counter;
     Printf.sprintf "#p%d" !counter
   in
-  let physical_seconds = ref 0.0 in
-  let all_steps = ref [] in
-  let timed_out = ref false in
-  (try
-     if config.jit then begin
-       (* Plan each query right before running it, with fresh statistics. *)
-       let refreshed = Hashtbl.create 16 in
-       List.iter
-         (fun q ->
-           let t0 = now () in
-           refresh_alias_stats ~refreshed ctx exec q;
-           let plan =
-             Galley_physical.Optimizer.plan_query ~config:config.physical ctx
-               ~fresh q
-           in
-           physical_seconds := !physical_seconds +. (now () -. t0);
-           all_steps := !all_steps @ plan;
-           Galley_engine.Exec.run_plan exec plan)
-         logical_plan
-     end
-     else begin
-       let t0 = now () in
-       let plan =
-         List.concat_map
-           (fun q ->
-             Galley_physical.Optimizer.plan_query ~config:config.physical ctx
-               ~fresh q)
-           logical_plan
-       in
-       physical_seconds := now () -. t0;
-       all_steps := plan;
-       Galley_engine.Exec.run_plan exec plan
-     end
-   with Galley_engine.Exec.Timeout -> timed_out := true);
-  let timings = exec.Galley_engine.Exec.timings in
-  let outputs =
-    if !timed_out then []
-    else
-      List.filter_map
-        (fun name ->
-          match
-            List.find_opt
-              (fun (q : Logical_query.t) -> q.Logical_query.name = name)
-              logical_plan
-          with
-          | Some q -> (
-              match Galley_engine.Exec.lookup_opt exec name with
-              | Some t -> Some (name, q.Logical_query.output_idxs, t)
-              | None -> None)
-          | None -> None)
-        outputs
+  let ( outputs,
+        incomplete_outputs,
+        physical_plan,
+        physical_tiers,
+        physical_seconds,
+        timed_out,
+        nnz_guard_retries ) =
+    execute_queries ~config ~ctx ~exec ~fresh
+      ~before_plan:(fun _ -> ())
+      ~logical_plan ~outputs
   in
+  let timings = exec.Galley_engine.Exec.timings in
   {
     outputs;
+    incomplete_outputs;
     logical_plan;
-    physical_plan = !all_steps;
+    physical_plan;
+    logical_tiers;
+    physical_tiers;
     timings =
       {
         logical_seconds;
-        physical_seconds = !physical_seconds;
+        physical_seconds;
         compile_seconds = timings.Galley_engine.Exec.compile_time;
         execute_seconds = timings.Galley_engine.Exec.exec_time;
         total_seconds =
-          logical_seconds +. !physical_seconds
+          logical_seconds +. physical_seconds
           +. timings.Galley_engine.Exec.compile_time
           +. timings.Galley_engine.Exec.exec_time;
         compile_count = timings.Galley_engine.Exec.compile_count;
         kernel_count = timings.Galley_engine.Exec.kernel_count;
         cse_hits = timings.Galley_engine.Exec.cse_hits;
       };
-    timed_out = !timed_out;
+    timed_out;
+    nnz_guard_retries;
   }
 
 let run ?(config = default_config) ~(inputs : (string * T.t) list)
     (program : Ir.program) : result =
   let program = resolve_names program in
   let ctx = make_ctx config inputs in
+  cur_phase := Errors.Logical;
+  cur_query := None;
   let t0 = now () in
-  let logical_plan =
-    Galley_logical.Optimizer.optimize_program config.logical ctx program
+  let logical_plan, logical_tiers =
+    try
+      Galley_logical.Optimizer.optimize_program_tiered
+        ?timeout:config.optimizer_timeout ~degrade:config.degrade
+        config.logical ctx program
+    with Tier.Exhausted ->
+      Errors.raise_error
+        (Errors.Optimizer_deadline
+           {
+             context = Errors.context ?query:!cur_query Errors.Logical;
+             budget = opt_budget config;
+           })
   in
   let logical_seconds = now () -. t0 in
   execute_logical ~config ~ctx ~inputs ~logical_plan
-    ~outputs:program.Ir.outputs ~logical_seconds
+    ~outputs:program.Ir.outputs ~logical_seconds ~logical_tiers
 
 (* Run a hand-written logical plan directly, bypassing the logical
    optimizer: this is how the "hand-coded kernel" baselines of the
@@ -239,11 +470,44 @@ let run_logical_plan ?(config = default_config)
         ~output_idxs:q.Logical_query.output_idxs full)
     logical_plan;
   execute_logical ~config ~ctx ~inputs ~logical_plan ~outputs
-    ~logical_seconds:0.0
+    ~logical_seconds:0.0 ~logical_tiers:[]
 
 (* Convenience wrapper for single-query programs. *)
 let run_query ?config ~inputs (q : Ir.query) : result =
   run ?config ~inputs { Ir.queries = [ q ]; outputs = [ q.Ir.name ] }
+
+(* ------------------------------------------------------------------ *)
+(* Checked entry points.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_checked ?config ~inputs (program : Ir.program) :
+    (result, Errors.t) Result.t =
+  match run ?config ~inputs program with
+  | r -> Ok r
+  | exception Errors.Galley_error e -> Error e
+  | exception Tier.Exhausted ->
+      Error
+        (Errors.Optimizer_deadline
+           {
+             context = error_context ();
+             budget =
+               opt_budget (match config with Some c -> c | None -> default_config);
+           })
+  | exception ((Invalid_argument _ | Failure _) as exn) ->
+      Error (Errors.of_exn (error_context ()) exn)
+
+let parse_checked (src : string) : (Ir.program, Errors.t) Stdlib.result =
+  match Galley_lang.Parser.parse_program src with
+  | p -> Ok p
+  | exception Galley_lang.Parser.Parse_error { message; pos } ->
+      Error (Errors.Parse_error { message; position = pos })
+  | exception Galley_lang.Lexer.Lex_error (message, pos) ->
+      Error (Errors.Parse_error { message; position = pos })
+
+let run_source_checked ?config ~inputs (src : string) :
+    (result, Errors.t) Stdlib.result =
+  Result.bind (parse_checked src) (fun program ->
+      run_checked ?config ~inputs program)
 
 (* ------------------------------------------------------------------ *)
 (* Incremental sessions.                                               *)
@@ -267,7 +531,7 @@ module Session = struct
     let schema = Schema.create () in
     {
       s_config = config;
-      s_ctx = Ctx.create ~kind:config.estimator schema;
+      s_ctx = Faults.wrap_ctx config.faults (Ctx.create ~kind:config.estimator schema);
       s_exec = Galley_engine.Exec.create ~cse:config.cse ();
       s_inputs = [];
       s_counter = 0;
@@ -285,85 +549,69 @@ module Session = struct
     s.s_counter <- s.s_counter + 1;
     Printf.sprintf "#s%d" s.s_counter
 
+  (* Register one query's output for estimation: measured when already
+     materialized (JIT), else inferred from its defining expression. *)
+  let register_query (s : session) (q : Logical_query.t) : unit =
+    let ctx = s.s_ctx in
+    let full = (Logical_query.to_query q).Ir.expr in
+    let dims = Schema.index_dims ctx.Ctx.schema full in
+    let out_dims =
+      Array.of_list
+        (List.map
+           (fun i -> Schema.dim_of_idx dims i)
+           q.Logical_query.output_idxs)
+    in
+    let fill = Schema.expr_fill ctx.Ctx.schema dims full in
+    Schema.declare ctx.Ctx.schema q.Logical_query.name ~dims:out_dims ~fill;
+    ctx.Ctx.register_alias_estimated q.Logical_query.name
+      ~output_idxs:q.Logical_query.output_idxs full
+
   (* Run a hand-written logical plan against the session state. *)
   let run_logical_plan (s : session) ~(outputs : string list)
       (logical_plan : Logical_query.t list) : result =
     let config = s.s_config in
     let ctx = s.s_ctx in
     let exec = s.s_exec in
-    (match config.timeout with
-    | Some sec -> Galley_engine.Exec.set_timeout exec sec
-    | None -> ());
-    let physical_seconds = ref 0.0 in
-    let all_steps = ref [] in
-    let timed_out = ref false in
+    validate_logical ~config
+      ~known:(fun n -> Galley_engine.Exec.lookup_opt exec n <> None)
+      ~outputs logical_plan;
     let t_before = exec.Galley_engine.Exec.timings in
     let compile0 = t_before.Galley_engine.Exec.compile_time in
     let exec0 = t_before.Galley_engine.Exec.exec_time in
-    (try
-       List.iter
-         (fun (q : Logical_query.t) ->
-           let t0 = now () in
-           (* Alias statistics: measured when materialized (JIT), else
-              inferred. *)
-           let full = (Logical_query.to_query q).Ir.expr in
-           let dims = Schema.index_dims ctx.Ctx.schema full in
-           let out_dims =
-             Array.of_list
-               (List.map
-                  (fun i -> Schema.dim_of_idx dims i)
-                  q.Logical_query.output_idxs)
-           in
-           let fill = Schema.expr_fill ctx.Ctx.schema dims full in
-           Schema.declare ctx.Ctx.schema q.Logical_query.name ~dims:out_dims
-             ~fill;
-           ctx.Ctx.register_alias_estimated q.Logical_query.name
-             ~output_idxs:q.Logical_query.output_idxs full;
-           if config.jit then refresh_alias_stats ctx exec q;
-           let plan =
-             Galley_physical.Optimizer.plan_query ~config:config.physical ctx
-               ~fresh:(fresh s) q
-           in
-           physical_seconds := !physical_seconds +. (now () -. t0);
-           all_steps := !all_steps @ plan;
-           Galley_engine.Exec.run_plan exec plan)
-         logical_plan
-     with Galley_engine.Exec.Timeout -> timed_out := true);
-    let t_after = exec.Galley_engine.Exec.timings in
-    let outputs =
-      if !timed_out then []
-      else
-        List.filter_map
-          (fun name ->
-            match
-              ( List.find_opt
-                  (fun (q : Logical_query.t) -> q.Logical_query.name = name)
-                  logical_plan,
-                Galley_engine.Exec.lookup_opt exec name )
-            with
-            | Some q, Some t -> Some (name, q.Logical_query.output_idxs, t)
-            | _ -> None)
-          outputs
+    let ( outputs,
+          incomplete_outputs,
+          physical_plan,
+          physical_tiers,
+          physical_seconds,
+          timed_out,
+          nnz_guard_retries ) =
+      execute_queries ~config ~ctx ~exec ~fresh:(fresh s)
+        ~before_plan:(register_query s) ~logical_plan ~outputs
     in
+    let t_after = exec.Galley_engine.Exec.timings in
     {
       outputs;
+      incomplete_outputs;
       logical_plan;
-      physical_plan = !all_steps;
+      physical_plan;
+      logical_tiers = [];
+      physical_tiers;
       timings =
         {
           logical_seconds = 0.0;
-          physical_seconds = !physical_seconds;
+          physical_seconds;
           compile_seconds = t_after.Galley_engine.Exec.compile_time -. compile0;
           execute_seconds = t_after.Galley_engine.Exec.exec_time -. exec0;
           total_seconds =
-            !physical_seconds
+            physical_seconds
             +. t_after.Galley_engine.Exec.compile_time -. compile0
             +. t_after.Galley_engine.Exec.exec_time -. exec0;
           compile_count = t_after.Galley_engine.Exec.compile_count;
           kernel_count = t_after.Galley_engine.Exec.kernel_count;
           cse_hits = t_after.Galley_engine.Exec.cse_hits;
         };
-      timed_out = !timed_out;
+      timed_out;
+      nnz_guard_retries;
     }
 
   let lookup (s : session) (name : string) : T.t option =

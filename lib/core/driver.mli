@@ -4,7 +4,14 @@
 
     Just-in-time physical optimization (paper Sec. 8.1) is the default:
     each logical query is physically optimized only after its aliases have
-    executed, with statistics refreshed from the materialized tensors. *)
+    executed, with statistics refreshed from the materialized tensors.
+
+    Resilience (DESIGN.md "Failure model"): both optimizers run under an
+    optional per-query deadline with a degradation ladder (exact → greedy
+    → naive), plans are validated between phases, failures are classified
+    into {!Errors.t} (surfaced by {!run_checked}), fault injection is
+    driven by [config.faults], and an optional nnz guardrail compares
+    estimated vs. materialized intermediate sizes. *)
 
 open Galley_plan
 module T = Galley_tensor.Tensor
@@ -17,9 +24,22 @@ type config = {
   jit : bool;  (** just-in-time physical optimization (Sec. 8.1) *)
   cse : bool;  (** common sub-expression elimination (Sec. 8.2) *)
   timeout : float option;  (** execution wall-clock budget in seconds *)
+  optimizer_timeout : float option;
+      (** per-query optimizer budget in seconds; past it the optimizer
+          degrades down the ladder (or errors, with [degrade = false]) *)
+  degrade : bool;
+      (** [false] turns an exhausted optimizer budget into
+          {!Errors.Optimizer_deadline} instead of degrading *)
+  validate : bool;  (** run the inter-phase plan validator (default on) *)
+  faults : Faults.t;  (** fault injection; [Faults.none] = off *)
+  nnz_guard : float option;
+      (** flag an intermediate whose materialized nnz exceeds this factor
+          times its estimate; one corrective re-optimization with measured
+          statistics, then {!Errors.Budget_exceeded} *)
 }
 
-(** Chain-bound estimator, branch-and-bound logical search, JIT, CSE. *)
+(** Chain-bound estimator, branch-and-bound logical search, JIT, CSE;
+    validation on, no deadlines, no faults, no guardrail. *)
 val default_config : config
 
 (** [default_config] with the greedy logical optimizer. *)
@@ -39,14 +59,31 @@ type timings = {
 type result = {
   outputs : (string * Ir.idx list * T.t) list;
       (** program outputs: name, dimension order, tensor *)
+  incomplete_outputs : string list;
+      (** requested outputs not materialized (e.g. past the execution
+          deadline); empty on a complete run *)
   logical_plan : Logical_query.t list;
   physical_plan : Physical.plan;
+  logical_tiers : (string * Tier.t) list;
+      (** per input query: which optimizer tier produced its logical plan
+          (empty for hand-written logical plans) *)
+  physical_tiers : (string * Tier.t) list;
+      (** per logical query: which tier produced its physical plan *)
   timings : timings;
-  timed_out : bool;  (** true = aborted; [outputs] is empty *)
+  timed_out : bool;
+      (** true = execution hit the wall-clock budget; [outputs] then holds
+          the queries that completed before the deadline and
+          [incomplete_outputs] the rest *)
+  nnz_guard_retries : int;
+      (** corrective re-optimizations triggered by the nnz guardrail *)
 }
 
-(** Look up an output tensor by name; raises [Invalid_argument] if absent. *)
+(** Look up an output tensor by name; raises [Invalid_argument] naming the
+    outputs that do exist if absent. *)
 val output_of : result -> string -> T.t
+
+(** Result-returning variant of {!output_of}. *)
+val output_res : result -> string -> (T.t, string) Stdlib.result
 
 (** Rewrite [Input] leaves that refer to earlier query outputs into
     [Alias] leaves (applied automatically by {!run}). *)
@@ -54,6 +91,25 @@ val resolve_names : Ir.program -> Ir.program
 
 (** Optimize and execute a whole program against the given input tensors. *)
 val run : ?config:config -> inputs:(string * T.t) list -> Ir.program -> result
+
+(** Like {!run}, but classified failures come back as [Error] instead of
+    exceptions. *)
+val run_checked :
+  ?config:config ->
+  inputs:(string * T.t) list ->
+  Ir.program ->
+  (result, Errors.t) Result.t
+
+(** Parse program source, mapping parser/lexer failures to
+    {!Errors.Parse_error} with a character position. *)
+val parse_checked : string -> (Ir.program, Errors.t) Stdlib.result
+
+(** [parse_checked] composed with [run_checked]. *)
+val run_source_checked :
+  ?config:config ->
+  inputs:(string * T.t) list ->
+  string ->
+  (result, Errors.t) Stdlib.result
 
 (** Execute a hand-written logical plan, bypassing the logical optimizer:
     how the paper's hand-coded kernel baselines are expressed, so they run

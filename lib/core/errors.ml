@@ -1,0 +1,89 @@
+(* Structured error taxonomy for the driver pipeline.
+
+   Every failure on the driver's hot path is classified into one of the
+   variants below, each carrying enough context (pipeline phase, query
+   name, index) to diagnose it without a backtrace.  [Driver.run_checked]
+   returns these as [Error] values; the exception [Galley_error] is the
+   internal carrier between pipeline stages. *)
+
+type phase = Parse | Logical | Physical | Validation | Execution
+
+let phase_to_string = function
+  | Parse -> "parse"
+  | Logical -> "logical"
+  | Physical -> "physical"
+  | Validation -> "validation"
+  | Execution -> "execution"
+
+type context = {
+  phase : phase;
+  query : string option; (* logical/input query being processed *)
+  index : string option; (* index variable, when one is implicated *)
+}
+
+let context ?query ?index phase = { phase; query; index }
+
+type t =
+  | Parse_error of { message : string; position : int }
+      (** the source program failed to lex or parse; [position] is a byte
+          offset into the source *)
+  | Plan_invalid of { context : context; message : string }
+      (** a plan failed validation between phases, or an internal
+          invariant broke while building one *)
+  | Optimizer_deadline of { context : context; budget : float }
+      (** an optimizer exceeded its budget and degradation was disabled *)
+  | Budget_exceeded of {
+      context : context;
+      estimated : float;
+      actual : float;
+      message : string;
+    }
+      (** the nnz guardrail tripped again after its one corrective
+          re-optimization *)
+  | Kernel_failure of {
+      context : context;
+      invocation : int option;
+      message : string;
+    }  (** a kernel raised during execution (includes injected faults) *)
+
+exception Galley_error of t
+
+let context_to_string (c : context) : string =
+  let parts =
+    [ Some ("phase=" ^ phase_to_string c.phase) ]
+    @ [ Option.map (fun q -> "query=" ^ q) c.query ]
+    @ [ Option.map (fun i -> "index=" ^ i) c.index ]
+  in
+  String.concat ", " (List.filter_map Fun.id parts)
+
+let to_string = function
+  | Parse_error { message; position } ->
+      Printf.sprintf "parse error at offset %d: %s" position message
+  | Plan_invalid { context; message } ->
+      Printf.sprintf "invalid plan (%s): %s" (context_to_string context) message
+  | Optimizer_deadline { context; budget } ->
+      Printf.sprintf "optimizer deadline of %gs exceeded (%s)" budget
+        (context_to_string context)
+  | Budget_exceeded { context; estimated; actual; message } ->
+      Printf.sprintf
+        "intermediate size budget exceeded (%s): estimated %g, materialized \
+         %g; %s"
+        (context_to_string context) estimated actual message
+  | Kernel_failure { context; invocation; message } ->
+      Printf.sprintf "kernel failure%s (%s): %s"
+        (match invocation with
+        | Some n -> Printf.sprintf " on invocation %d" n
+        | None -> "")
+        (context_to_string context)
+        message
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let raise_error e = raise (Galley_error e)
+
+(* Map a stray exception escaping a pipeline stage into the taxonomy. *)
+let of_exn (context : context) (exn : exn) : t =
+  match exn with
+  | Galley_error e -> e
+  | Invalid_argument msg | Failure msg -> Plan_invalid { context; message = msg }
+  | exn -> Plan_invalid { context; message = Printexc.to_string exn }

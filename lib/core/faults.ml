@@ -1,0 +1,120 @@
+(* Fault-injection harness for the resilience layer.
+
+   A [t] describes which faults are active; [Driver] threads it through the
+   pipeline.  Estimator faults are injected by wrapping the statistics
+   context's estimate closures (so both optimizers see them, and clones of
+   the context stay wrapped); kernel faults install an [Exec] kernel hook
+   that raises on the configured invocation.  With [none] (the default)
+   every seam is a no-op and the pipeline is byte-for-byte unchanged. *)
+
+module Ctx = Galley_stats.Ctx
+
+type t = {
+  estimator_nan : bool; (* every estimate returns NaN *)
+  estimator_inf : bool; (* every estimate returns +inf (overflow) *)
+  estimator_scale : float; (* multiply every estimate; 1.0 = off *)
+  optimizer_delay : float; (* seconds slept inside every estimate call *)
+  kernel_fail_on : int option; (* fail the nth kernel invocation (1-based) *)
+}
+
+let none =
+  {
+    estimator_nan = false;
+    estimator_inf = false;
+    estimator_scale = 1.0;
+    optimizer_delay = 0.0;
+    kernel_fail_on = None;
+  }
+
+let is_none (f : t) : bool = f = none
+
+let estimator_active (f : t) : bool =
+  f.estimator_nan || f.estimator_inf || f.estimator_scale <> 1.0
+  || f.optimizer_delay > 0.0
+
+exception Injected_kernel_failure of int
+
+(* Wrap the estimate closures of a context.  [clone] is re-wrapped
+   recursively: the optimizers score candidates on cloned contexts, and the
+   faults must survive into every search branch. *)
+let rec wrap_ctx (f : t) (ctx : Ctx.t) : Ctx.t =
+  if not (estimator_active f) then ctx
+  else
+    let inject v =
+      if f.optimizer_delay > 0.0 then Unix.sleepf f.optimizer_delay;
+      if f.estimator_nan then Float.nan
+      else if f.estimator_inf then Float.infinity
+      else v *. f.estimator_scale
+    in
+    {
+      ctx with
+      Ctx.estimate_expr = (fun e -> inject (ctx.Ctx.estimate_expr e));
+      Ctx.estimate_access_projected =
+        (fun name idxs keep ->
+          inject (ctx.Ctx.estimate_access_projected name idxs keep));
+      Ctx.clone = (fun () -> wrap_ctx f (ctx.Ctx.clone ()));
+    }
+
+(* Install the kernel-failure hook (if configured) on an executor. *)
+let install_exec (f : t) (exec : Galley_engine.Exec.t) : unit =
+  match f.kernel_fail_on with
+  | None -> ()
+  | Some nth ->
+      Galley_engine.Exec.set_kernel_hook exec (fun n ->
+          if n = nth then raise (Injected_kernel_failure n))
+
+(* Parse a comma-separated fault spec, e.g.
+   "estimator-nan,kernel-fail=3,opt-delay=0.05,estimator-scale=1e-6". *)
+let of_spec (spec : string) : (t, string) result =
+  let parts =
+    List.filter
+      (fun s -> s <> "")
+      (List.map String.trim (String.split_on_char ',' spec))
+  in
+  let parse_float key v =
+    match float_of_string_opt v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "bad value %S for fault %s" v key)
+  in
+  let parse_int key v =
+    match int_of_string_opt v with
+    | Some x when x >= 1 -> Ok x
+    | _ -> Error (Printf.sprintf "bad value %S for fault %s" v key)
+  in
+  List.fold_left
+    (fun acc part ->
+      Result.bind acc (fun f ->
+          match String.split_on_char '=' part with
+          | [ "estimator-nan" ] -> Ok { f with estimator_nan = true }
+          | [ "estimator-inf" ] -> Ok { f with estimator_inf = true }
+          | [ "estimator-scale"; v ] ->
+              Result.map
+                (fun x -> { f with estimator_scale = x })
+                (parse_float "estimator-scale" v)
+          | [ "opt-delay"; v ] ->
+              Result.map
+                (fun x -> { f with optimizer_delay = x })
+                (parse_float "opt-delay" v)
+          | [ "kernel-fail"; v ] ->
+              Result.map
+                (fun n -> { f with kernel_fail_on = Some n })
+                (parse_int "kernel-fail" v)
+          | _ -> Error (Printf.sprintf "unknown fault %S" part)))
+    (Ok none) parts
+
+let to_string (f : t) : string =
+  let parts =
+    (if f.estimator_nan then [ "estimator-nan" ] else [])
+    @ (if f.estimator_inf then [ "estimator-inf" ] else [])
+    @ (if f.estimator_scale <> 1.0 then
+         [ Printf.sprintf "estimator-scale=%g" f.estimator_scale ]
+       else [])
+    @ (if f.optimizer_delay > 0.0 then
+         [ Printf.sprintf "opt-delay=%g" f.optimizer_delay ]
+       else [])
+    @
+    match f.kernel_fail_on with
+    | Some n -> [ Printf.sprintf "kernel-fail=%d" n ]
+    | None -> []
+  in
+  match parts with [] -> "none" | parts -> String.concat "," parts

@@ -1,0 +1,170 @@
+(* Inter-phase plan validation.
+
+   Run by the driver after the logical optimizer and after each physical
+   planning step, so optimizer bugs surface as [Plan_invalid] errors at the
+   phase boundary instead of wrong answers (or engine crashes) later.  Both
+   validators are estimate-free and linear in plan size. *)
+
+open Galley_plan
+
+type issue = { v_query : string option; v_message : string }
+
+let issue ?query message = { v_query = query; v_message = message }
+
+(* ------------------------------------------------------------------ *)
+(* Logical plans.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [known] answers whether a name is bound before the plan runs (inputs
+   and pre-existing session bindings).  Checks, per query: well-formedness
+   (agg-free body, aggregate op, output = free \ agg), and that every
+   referenced name resolves to an input or an earlier query.  Plan-wide:
+   unique query names and every requested output produced. *)
+let logical_plan ~(known : string -> bool) ~(outputs : string list)
+    (plan : Logical_query.t list) : (unit, issue) result =
+  let defined = Hashtbl.create 16 in
+  let check_query (q : Logical_query.t) : (unit, issue) result =
+    let name = q.Logical_query.name in
+    if Hashtbl.mem defined name then
+      Error (issue ~query:name "duplicate logical query name")
+    else begin
+      match Logical_query.validate q with
+      | exception Invalid_argument msg -> Error (issue ~query:name msg)
+      | () ->
+          let unresolved =
+            List.filter
+              (fun (n, _) -> not (known n || Hashtbl.mem defined n))
+              (Ir.referenced_names q.Logical_query.body)
+          in
+          (match unresolved with
+          | (n, _) :: _ ->
+              Error (issue ~query:name ("unresolved reference to " ^ n))
+          | [] ->
+              Hashtbl.replace defined name ();
+              Ok ())
+    end
+  in
+  let rec go = function
+    | [] -> (
+        match
+          List.find_opt (fun o -> not (Hashtbl.mem defined o)) outputs
+        with
+        | Some o -> Error (issue ("requested output " ^ o ^ " is not produced"))
+        | None -> Ok ())
+    | q :: rest -> ( match check_query q with Ok () -> go rest | e -> e)
+  in
+  go plan
+
+(* ------------------------------------------------------------------ *)
+(* Physical plans.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let is_permutation (perm : int array) : bool =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun k ->
+      k >= 0 && k < n
+      &&
+      if seen.(k) then false
+      else begin
+        seen.(k) <- true;
+        true
+      end)
+    perm
+
+(* Formats legal per the write pattern (cf. [Physical.Optimizer]): a
+   sorted sparse-list level can only be built by sequential writes, i.e.
+   when the output indices form a prefix of the loop order. *)
+let kernel_formats_legal (k : Physical.kernel) : (unit, string) result =
+  let rec prefix out loops =
+    match (out, loops) with
+    | [], _ -> true
+    | o :: out', l :: loops' -> o = l && prefix out' loops'
+    | _ -> false
+  in
+  let sequential = prefix k.Physical.output_idxs k.Physical.loop_order in
+  if
+    (not sequential)
+    && Array.exists (( = ) Galley_tensor.Tensor.Sparse_list) k.Physical.output_formats
+  then
+    Error
+      "sorted sparse-list output format requires sequential writes (output \
+       indices must be a loop-order prefix)"
+  else Ok ()
+
+(* [known] answers whether a tensor name is bound before the plan runs.
+   Checks, per step: kernel well-formedness ([Physical.validate_kernel]:
+   duplicate loops, access/output concordance, protocol arity), loop order
+   covering exactly the output + aggregate indices, array arities, format
+   legality, transpose permutation validity, and that every read tensor is
+   an input or the product of an earlier step. *)
+let physical_plan ~(known : string -> bool) (plan : Physical.plan) :
+    (unit, issue) result =
+  let produced = Hashtbl.create 16 in
+  let resolves n = known n || Hashtbl.mem produced n in
+  let check_step (step : Physical.step) : (unit, issue) result =
+    match step with
+    | Physical.Kernel k -> (
+        let name = k.Physical.name in
+        match Physical.validate_kernel k with
+        | exception Invalid_argument msg -> Error (issue ~query:name msg)
+        | () ->
+            let loop_set = Ir.Idx_set.of_list k.Physical.loop_order in
+            let covered =
+              Ir.Idx_set.union
+                (Ir.Idx_set.of_list k.Physical.output_idxs)
+                (Ir.Idx_set.of_list k.Physical.agg_idxs)
+            in
+            if not (Ir.Idx_set.equal loop_set covered) then
+              Error
+                (issue ~query:name
+                   (Printf.sprintf
+                      "loop order [%s] does not cover exactly the output + \
+                       aggregate indices [%s]"
+                      (String.concat "," k.Physical.loop_order)
+                      (String.concat "," (Ir.Idx_set.elements covered))))
+            else if
+              Array.length k.Physical.output_formats
+              <> List.length k.Physical.output_idxs
+              || Array.length k.Physical.output_dims
+                 <> List.length k.Physical.output_idxs
+            then Error (issue ~query:name "output format/dim arity mismatch")
+            else if
+              Array.length k.Physical.loop_dims
+              <> List.length k.Physical.loop_order
+            then Error (issue ~query:name "loop dim arity mismatch")
+            else begin
+              match kernel_formats_legal k with
+              | Error msg -> Error (issue ~query:name msg)
+              | Ok () -> (
+                  match
+                    Array.to_list k.Physical.accesses
+                    |> List.find_opt (fun (a : Physical.access) ->
+                           not (resolves a.Physical.tensor))
+                  with
+                  | Some a ->
+                      Error
+                        (issue ~query:name
+                           ("access to unbound tensor " ^ a.Physical.tensor))
+                  | None ->
+                      Hashtbl.replace produced name ();
+                      Ok ())
+            end)
+    | Physical.Transpose { name; source; perm; formats; _ } ->
+        if not (resolves source) then
+          Error (issue ~query:name ("transpose of unbound tensor " ^ source))
+        else if not (is_permutation perm) then
+          Error (issue ~query:name "transpose perm is not a permutation")
+        else if Array.length formats <> Array.length perm then
+          Error (issue ~query:name "transpose format arity mismatch")
+        else begin
+          Hashtbl.replace produced name ();
+          Ok ()
+        end
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | step :: rest -> ( match check_step step with Ok () -> go rest | e -> e)
+  in
+  go plan

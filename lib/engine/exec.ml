@@ -40,6 +40,9 @@ type t = {
   cse_enabled : bool;
   timings : timings;
   mutable deadline : float option;
+  mutable kernel_hook : (int -> unit) option;
+      (* called with the 1-based kernel invocation ordinal before each
+         kernel runs (CSE hits skip it); a fault-injection seam *)
 }
 
 let create ?(cse = true) () =
@@ -51,12 +54,18 @@ let create ?(cse = true) () =
     cse_enabled = cse;
     timings = fresh_timings ();
     deadline = None;
+    kernel_hook = None;
   }
 
 let set_timeout (t : t) (seconds : float) : unit =
   t.deadline <- Some (Unix.gettimeofday () +. seconds)
 
 let clear_timeout (t : t) : unit = t.deadline <- None
+
+let set_kernel_hook (t : t) (hook : int -> unit) : unit =
+  t.kernel_hook <- Some hook
+
+let clear_kernel_hook (t : t) : unit = t.kernel_hook <- None
 
 let bind (t : t) (name : string) (tensor : T.t) : unit =
   let v = match Hashtbl.find_opt t.versions name with Some v -> v + 1 | None -> 0 in
@@ -126,6 +135,9 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
             Hashtbl.replace t.kernel_cache signature c;
             c
       in
+      (match t.kernel_hook with
+      | Some hook -> hook (t.timings.kernel_count + 1)
+      | None -> ());
       let t0 = now () in
       let result = compiled.Kernel_exec.run ?deadline:t.deadline k tensors in
       t.timings.exec_time <- t.timings.exec_time +. (now () -. t0);

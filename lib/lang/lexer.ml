@@ -63,17 +63,19 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
 
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize (src : string) : token list =
+(* Tokens paired with their starting character offset in [src], so the
+   parser can report located errors.  EOF carries the source length. *)
+let tokenize_pos (src : string) : (token * int) list =
   let n = String.length src in
   let tokens = ref [] in
-  let emit t = tokens := t :: !tokens in
+  let emit p t = tokens := (t, p) :: !tokens in
   let pos = ref 0 in
   let peek k = if !pos + k < n then Some src.[!pos + k] else None in
   while !pos < n do
     let c = src.[!pos] in
     if c = ' ' || c = '\t' || c = '\r' then incr pos
     else if c = '\n' || c = ';' then begin
-      emit NEWLINE;
+      emit !pos NEWLINE;
       incr pos
     end
     else if c = '#' then begin
@@ -87,7 +89,7 @@ let tokenize (src : string) : token list =
       while !pos < n && is_ident_char src.[!pos] do
         incr pos
       done;
-      emit (IDENT (String.sub src start (!pos - start)))
+      emit start (IDENT (String.sub src start (!pos - start)))
     end
     else if is_digit c || (c = '.' && (match peek 1 with Some d -> is_digit d | None -> false))
     then begin
@@ -104,34 +106,37 @@ let tokenize (src : string) : token list =
       done;
       let text = String.sub src start (!pos - start) in
       match float_of_string_opt text with
-      | Some v -> emit (NUMBER v)
+      | Some v -> emit start (NUMBER v)
       | None -> raise (Lex_error ("bad number " ^ text, start))
     end
     else begin
+      let start = !pos in
       let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
       match two with
-      | "<=" -> emit LEQ; pos := !pos + 2
-      | ">=" -> emit GEQ; pos := !pos + 2
-      | "==" -> emit EQEQ; pos := !pos + 2
-      | "!=" -> emit NEQ; pos := !pos + 2
+      | "<=" -> emit start LEQ; pos := !pos + 2
+      | ">=" -> emit start GEQ; pos := !pos + 2
+      | "==" -> emit start EQEQ; pos := !pos + 2
+      | "!=" -> emit start NEQ; pos := !pos + 2
       | _ -> (
           (match c with
-          | '(' -> emit LPAREN
-          | ')' -> emit RPAREN
-          | '[' -> emit LBRACKET
-          | ']' -> emit RBRACKET
-          | ',' -> emit COMMA
-          | '=' -> emit EQUALS
-          | '+' -> emit PLUS
-          | '-' -> emit MINUS
-          | '*' -> emit STAR
-          | '/' -> emit SLASH
-          | '^' -> emit CARET
-          | '<' -> emit LT
-          | '>' -> emit GT
+          | '(' -> emit start LPAREN
+          | ')' -> emit start RPAREN
+          | '[' -> emit start LBRACKET
+          | ']' -> emit start RBRACKET
+          | ',' -> emit start COMMA
+          | '=' -> emit start EQUALS
+          | '+' -> emit start PLUS
+          | '-' -> emit start MINUS
+          | '*' -> emit start STAR
+          | '/' -> emit start SLASH
+          | '^' -> emit start CARET
+          | '<' -> emit start LT
+          | '>' -> emit start GT
           | c -> raise (Lex_error (Printf.sprintf "unexpected character %c" c, !pos)));
           incr pos)
     end
   done;
-  emit EOF;
+  emit n EOF;
   List.rev !tokens
+
+let tokenize (src : string) : token list = List.map fst (tokenize_pos src)

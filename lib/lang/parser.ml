@@ -24,27 +24,37 @@
 
 open Galley_plan
 
-exception Parse_error of string
+(* [pos] is the character offset of the offending token in the source. *)
+exception Parse_error of { message : string; pos : int }
 
-type state = { mutable toks : Lexer.token list }
+type state = {
+  mutable toks : (Lexer.token * int) list;
+  mutable last_pos : int; (* start offset of the most recent token *)
+}
+
+let state_of (src : string) : state =
+  { toks = Lexer.tokenize_pos src; last_pos = 0 }
 
 let peek (st : state) : Lexer.token =
-  match st.toks with [] -> Lexer.EOF | t :: _ -> t
+  match st.toks with [] -> Lexer.EOF | (t, _) :: _ -> t
 
 let advance (st : state) : Lexer.token =
   match st.toks with
   | [] -> Lexer.EOF
-  | t :: rest ->
+  | (t, p) :: rest ->
       st.toks <- rest;
+      st.last_pos <- p;
       t
+
+let fail (st : state) (message : string) =
+  raise (Parse_error { message; pos = st.last_pos })
 
 let expect (st : state) (t : Lexer.token) : unit =
   let got = advance st in
   if got <> t then
-    raise
-      (Parse_error
-         (Printf.sprintf "expected %s, got %s" (Lexer.token_to_string t)
-            (Lexer.token_to_string got)))
+    fail st
+      (Printf.sprintf "expected %s, got %s" (Lexer.token_to_string t)
+         (Lexer.token_to_string got))
 
 let agg_ops =
   [
@@ -77,13 +87,10 @@ let parse_idx_list (st : state) : string list =
         | Lexer.COMMA -> go (i :: acc)
         | Lexer.RBRACKET -> List.rev (i :: acc)
         | t ->
-            raise
-              (Parse_error
-                 ("expected , or ] in index list, got " ^ Lexer.token_to_string t)))
+            fail st
+              ("expected , or ] in index list, got " ^ Lexer.token_to_string t))
     | Lexer.RBRACKET -> List.rev acc
-    | t ->
-        raise
-          (Parse_error ("expected index name, got " ^ Lexer.token_to_string t))
+    | t -> fail st ("expected index name, got " ^ Lexer.token_to_string t)
   in
   go []
 
@@ -177,7 +184,7 @@ and parse_atom (st : state) : Ir.expr =
               match peek st with
               | Lexer.LBRACKET -> Ir.Input (name, parse_idx_list st)
               | _ -> Ir.Input (name, []))))
-  | t -> raise (Parse_error ("unexpected token " ^ Lexer.token_to_string t))
+  | t -> fail st ("unexpected token " ^ Lexer.token_to_string t)
 
 let parse_query (st : state) : Ir.query =
   match advance st with
@@ -190,13 +197,12 @@ let parse_query (st : state) : Ir.query =
       expect st Lexer.EQUALS;
       let expr = parse_expr st in
       Ir.query ?out_order name expr
-  | t ->
-      raise (Parse_error ("expected query name, got " ^ Lexer.token_to_string t))
+  | t -> fail st ("expected query name, got " ^ Lexer.token_to_string t)
 
 (* Parse a whole program; outputs default to every query name (callers can
    narrow). *)
 let parse_program (src : string) : Ir.program =
-  let st = { toks = Lexer.tokenize src } in
+  let st = state_of src in
   let rec skip_newlines () =
     match peek st with
     | Lexer.NEWLINE ->
@@ -213,18 +219,27 @@ let parse_program (src : string) : Ir.program =
         (match peek st with
         | Lexer.NEWLINE | Lexer.EOF -> ()
         | t ->
-            raise
-              (Parse_error
-                 ("expected end of query, got " ^ Lexer.token_to_string t)));
+            ignore (advance st);
+            fail st ("expected end of query, got " ^ Lexer.token_to_string t));
         go (q :: acc)
   in
   let queries = go [] in
   { Ir.queries; outputs = List.map (fun (q : Ir.query) -> q.Ir.name) queries }
 
 let parse_expr_string (src : string) : Ir.expr =
-  let st = { toks = Lexer.tokenize src } in
+  let st = state_of src in
   let e = parse_expr st in
   (match peek st with
   | Lexer.EOF | Lexer.NEWLINE -> ()
-  | t -> raise (Parse_error ("trailing tokens: " ^ Lexer.token_to_string t)));
+  | t ->
+      ignore (advance st);
+      fail st ("trailing tokens: " ^ Lexer.token_to_string t));
   e
+
+(* Result-returning variant: parser and lexer failures come back as a
+   located [(message, position)] pair instead of exceptions. *)
+let parse_program_res (src : string) : (Ir.program, string * int) result =
+  match parse_program src with
+  | p -> Ok p
+  | exception Parse_error { message; pos } -> Error (message, pos)
+  | exception Lexer.Lex_error (message, pos) -> Error (message, pos)

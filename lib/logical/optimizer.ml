@@ -7,7 +7,12 @@
    - [Greedy]: eliminate the cheapest available index at each step;
    - [Branch_and_bound]: seed a bound with the greedy plan, then run dynamic
      programming over *sets* of eliminated indices, pruning states whose
-     cost exceeds the bound (costs increase monotonically). *)
+     cost exceeds the bound (costs increase monotonically).
+
+   Both searches respect an optional [Tier.budget] (wall clock + node
+   count); exhausting it raises [Tier.Exhausted] and the tiered entry
+   points degrade: branch-and-bound → greedy → a naive estimate-free
+   elimination that can always complete. *)
 
 open Galley_plan
 
@@ -18,6 +23,7 @@ type config = {
   try_distribute : bool;
   weights : Galley_stats.Cost.weights;
   max_bnb_indices : int; (* fall back to greedy past this many indices *)
+  max_nodes : int option; (* search-node budget per rung; None = unbounded *)
 }
 
 let default_config =
@@ -26,11 +32,13 @@ let default_config =
     try_distribute = true;
     weights = Galley_stats.Cost.default_weights;
     max_bnb_indices = 12;
+    max_nodes = None;
   }
 
 type result = { queries : Logical_query.t list; cost : float }
 
-(* Estimated cost of one logical query (paper Sec. 5.2). *)
+(* Estimated cost of one logical query (paper Sec. 5.2).  A non-finite
+   estimate cannot steer the search; it exhausts the current rung. *)
 let query_cost (cfg : config) (ctx : Galley_stats.Ctx.t) (q : Logical_query.t)
     : float =
   let nnz_body = ctx.Galley_stats.Ctx.estimate_expr q.Logical_query.body in
@@ -38,8 +46,9 @@ let query_cost (cfg : config) (ctx : Galley_stats.Ctx.t) (q : Logical_query.t)
     ctx.Galley_stats.Ctx.estimate_expr
       (Logical_query.to_query q).Ir.expr
   in
-  Galley_stats.Cost.logical_query_cost ~weights:cfg.weights ~nnz_body ~nnz_out
-    ()
+  Tier.finite
+    (Galley_stats.Cost.logical_query_cost ~weights:cfg.weights ~nnz_body
+       ~nnz_out ())
 
 (* Register a committed logical query's output as an alias for subsequent
    estimation: schema entry (dims in output order + fill) and statistics. *)
@@ -56,22 +65,13 @@ let register_alias (ctx : Galley_stats.Ctx.t) (q : Logical_query.t) : unit =
   ctx.Galley_stats.Ctx.register_alias_estimated q.Logical_query.name
     ~output_idxs:q.Logical_query.output_idxs full
 
-(* Commit one elimination step: register every emitted query and return the
-   accumulated cost. *)
-let commit_step (cfg : config) (ctx : Galley_stats.Ctx.t)
-    (queries : Logical_query.t list) : float =
-  List.fold_left
-    (fun acc q ->
-      let c = query_cost cfg ctx q in
-      register_alias ctx q;
-      acc +. c)
-    0.0 queries
-
 (* Wrap up: the remaining aggregate-free expression becomes the final
    logical query (or, when it is exactly the alias of the last emitted
-   query in the right order, that query is renamed instead). *)
-let finish (cfg : config) (ctx : Galley_stats.Ctx.t) ~(name : string)
-    ~(out_order : Ir.idx list option) (expr : Ir.expr)
+   query in the right order, that query is renamed instead).  [cost_of]
+   prices the final query: the estimator-backed [query_cost] on the smart
+   rungs, a constant zero on the naive rung. *)
+let finish ~(cost_of : Logical_query.t -> float) (ctx : Galley_stats.Ctx.t)
+    ~(name : string) ~(out_order : Ir.idx list option) (expr : Ir.expr)
     (queries : Logical_query.t list) : result * float =
   assert (not (Ir.contains_agg expr));
   let free = Ir.Idx_set.elements (Ir.free_indices expr) in
@@ -87,7 +87,7 @@ let finish (cfg : config) (ctx : Galley_stats.Ctx.t) ~(name : string)
         Logical_query.make ~output_idxs ~name ~agg_op:Op.Ident ~agg_idxs:[]
           ~body:expr ()
       in
-      let c = query_cost cfg ctx q in
+      let c = cost_of q in
       register_alias ctx q;
       ({ queries = queries @ [ q ]; cost = c }, c)
 
@@ -95,14 +95,17 @@ let finish (cfg : config) (ctx : Galley_stats.Ctx.t) ~(name : string)
 (* Greedy search.                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let greedy (cfg : config) (ctx : Galley_stats.Ctx.t) ~(fresh : unit -> string)
-    ~(name : string) ~(out_order : Ir.idx list option) (expr : Ir.expr) :
-    result =
+let greedy ?(budget : Tier.budget option) (cfg : config)
+    (ctx : Galley_stats.Ctx.t) ~(fresh : unit -> string) ~(name : string)
+    ~(out_order : Ir.idx list option) (expr : Ir.expr) : result =
   let dims = Schema.index_dims ctx.Galley_stats.Ctx.schema expr in
   let rec loop expr queries total =
     match Elimination.available_indices expr with
     | [] ->
-        let r, final_cost = finish cfg ctx ~name ~out_order expr queries in
+        let r, final_cost =
+          finish ~cost_of:(query_cost cfg ctx) ctx ~name ~out_order expr
+            queries
+        in
         { r with cost = total +. final_cost }
     | avail ->
         (* Pick the index whose minimal sub-queries are cheapest.  Trial
@@ -110,6 +113,7 @@ let greedy (cfg : config) (ctx : Galley_stats.Ctx.t) ~(fresh : unit -> string)
         let scored =
           List.map
             (fun v ->
+              Tier.tick_opt budget;
               let ext = Elimination.eliminate ~dims ~fresh expr v in
               let cost =
                 List.fold_left
@@ -144,19 +148,21 @@ type dp_entry = {
   dp_ctx : Galley_stats.Ctx.t;
 }
 
-let branch_and_bound (cfg : config) (ctx : Galley_stats.Ctx.t)
-    ~(fresh : unit -> string) ~(name : string)
+let branch_and_bound ?(budget : Tier.budget option) (cfg : config)
+    (ctx : Galley_stats.Ctx.t) ~(fresh : unit -> string) ~(name : string)
     ~(out_order : Ir.idx list option) (expr : Ir.expr) : result =
   (* Step 1: greedy upper bound (on a cloned context so trial alias
      statistics do not pollute the search). *)
   let greedy_result =
-    greedy cfg (ctx.Galley_stats.Ctx.clone ()) ~fresh ~name ~out_order expr
+    greedy ?budget cfg
+      (ctx.Galley_stats.Ctx.clone ())
+      ~fresh ~name ~out_order expr
   in
   let all_indices = Elimination.remaining_agg_indices expr in
   let k = List.length all_indices in
   if k = 0 || k > cfg.max_bnb_indices then begin
     (* Re-run greedy against the real context to commit its aliases. *)
-    greedy cfg ctx ~fresh ~name ~out_order expr
+    greedy ?budget cfg ctx ~fresh ~name ~out_order expr
   end
   else begin
     let bound = ref greedy_result.cost in
@@ -184,6 +190,7 @@ let branch_and_bound (cfg : config) (ctx : Galley_stats.Ctx.t)
           if entry.dp_cost <= !bound then
             List.iter
               (fun v ->
+                Tier.tick_opt budget;
                 let ext =
                   Elimination.eliminate ~dims ~fresh entry.dp_expr v
                 in
@@ -237,7 +244,7 @@ let branch_and_bound (cfg : config) (ctx : Galley_stats.Ctx.t)
     match !best_final with
     | None ->
         (* Greedy was optimal; replay it against the real context. *)
-        greedy cfg ctx ~fresh ~name ~out_order expr
+        greedy ?budget cfg ctx ~fresh ~name ~out_order expr
     | Some entry ->
         (* Replay the DP winner's queries against the real context. *)
         let replay_cost =
@@ -249,22 +256,50 @@ let branch_and_bound (cfg : config) (ctx : Galley_stats.Ctx.t)
             0.0 entry.dp_queries
         in
         let r, final_cost =
-          finish cfg ctx ~name ~out_order entry.dp_expr entry.dp_queries
+          finish ~cost_of:(query_cost cfg ctx) ctx ~name ~out_order
+            entry.dp_expr entry.dp_queries
         in
         { r with cost = replay_cost +. final_cost }
   end
 
 (* ------------------------------------------------------------------ *)
+(* Naive fallback: estimate-free elimination.                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Eliminate the first available index at every step, pricing nothing.
+   Makes zero estimator calls and checks no budget, so it completes under
+   a 0-second deadline or a faulty estimator; the resulting plan is a
+   valid (if unscored) left-to-right elimination order. *)
+let naive (ctx : Galley_stats.Ctx.t) ~(fresh : unit -> string)
+    ~(name : string) ~(out_order : Ir.idx list option) (expr : Ir.expr) :
+    result =
+  let dims = Schema.index_dims ctx.Galley_stats.Ctx.schema expr in
+  let rec loop expr queries =
+    match Elimination.available_indices expr with
+    | [] ->
+        let r, _ =
+          finish ~cost_of:(fun _ -> 0.0) ctx ~name ~out_order expr queries
+        in
+        r
+    | v :: _ ->
+        let ext = Elimination.eliminate ~dims ~fresh expr v in
+        List.iter (register_alias ctx) ext.Elimination.queries;
+        loop ext.Elimination.rewritten (queries @ ext.Elimination.queries)
+  in
+  loop expr []
+
+(* ------------------------------------------------------------------ *)
 (* Per-query and per-program drivers.                                   *)
 (* ------------------------------------------------------------------ *)
 
-let optimize_expr (cfg : config) (ctx : Galley_stats.Ctx.t)
-    ~(fresh : unit -> string) ~(name : string)
+let optimize_expr ?(budget : Tier.budget option) (cfg : config)
+    (ctx : Galley_stats.Ctx.t) ~(fresh : unit -> string) ~(name : string)
     ~(out_order : Ir.idx list option) (expr : Ir.expr) : result =
   let run ctx expr =
     match cfg.search with
-    | Greedy -> greedy cfg ctx ~fresh ~name ~out_order expr
-    | Branch_and_bound -> branch_and_bound cfg ctx ~fresh ~name ~out_order expr
+    | Greedy -> greedy ?budget cfg ctx ~fresh ~name ~out_order expr
+    | Branch_and_bound ->
+        branch_and_bound ?budget cfg ctx ~fresh ~name ~out_order expr
   in
   let canon = Canonical.canonicalize ctx.Galley_stats.Ctx.schema expr in
   let variants =
@@ -292,20 +327,78 @@ let optimize_expr (cfg : config) (ctx : Galley_stats.Ctx.t)
   in
   run ctx best_variant
 
+(* Degradation ladder: run the configured search under a budget, falling
+   from branch-and-bound to greedy to the naive elimination as rungs
+   exhaust.  Returns the tier that actually served the plan.  With
+   [degrade = false] exhaustion propagates as [Tier.Exhausted] instead of
+   degrading (used to surface deadline errors when requested). *)
+let optimize_expr_tiered ?(deadline : float option) ?(degrade = true)
+    (cfg : config) (ctx : Galley_stats.Ctx.t) ~(fresh : unit -> string)
+    ~(name : string) ~(out_order : Ir.idx list option) (expr : Ir.expr) :
+    result * Tier.t =
+  let budget_for () =
+    match (deadline, cfg.max_nodes) with
+    | None, None -> None
+    | _ -> Some (Tier.budget ?deadline ?max_nodes:cfg.max_nodes ())
+  in
+  let attempt search =
+    let budget = budget_for () in
+    (* Charge rung entry so trivial (tick-free) searches still respect an
+       already-expired deadline. *)
+    Tier.tick_opt budget;
+    optimize_expr ?budget { cfg with search } ctx ~fresh ~name ~out_order expr
+  in
+  let rungs =
+    match cfg.search with
+    | Branch_and_bound -> [ (Branch_and_bound, Tier.Exact); (Greedy, Tier.Greedy) ]
+    | Greedy -> [ (Greedy, Tier.Greedy) ]
+  in
+  let rec go = function
+    | [] ->
+        let canon = Canonical.canonicalize ctx.Galley_stats.Ctx.schema expr in
+        (naive ctx ~fresh ~name ~out_order canon, Tier.Naive)
+    | (s, t) :: rest -> (
+        try (attempt s, t)
+        with Tier.Exhausted -> if degrade then go rest else raise Tier.Exhausted)
+  in
+  go rungs
+
+let optimize_query_tiered ?deadline ?degrade (cfg : config)
+    (ctx : Galley_stats.Ctx.t) ~(fresh : unit -> string) (q : Ir.query) :
+    result * Tier.t =
+  optimize_expr_tiered ?deadline ?degrade cfg ctx ~fresh ~name:q.Ir.name
+    ~out_order:q.Ir.out_order q.Ir.expr
+
 let optimize_query (cfg : config) (ctx : Galley_stats.Ctx.t)
     ~(fresh : unit -> string) (q : Ir.query) : result =
-  optimize_expr cfg ctx ~fresh ~name:q.Ir.name ~out_order:q.Ir.out_order
-    q.Ir.expr
+  fst (optimize_query_tiered cfg ctx ~fresh q)
 
 (* Optimize a whole program: queries are processed in order; each query's
-   output is registered as an alias usable by later queries. *)
-let optimize_program (cfg : config) (ctx : Galley_stats.Ctx.t)
-    (p : Ir.program) : Logical_query.t list =
+   output is registered as an alias usable by later queries.  [timeout] is
+   a per-query wall-clock budget (seconds); the second component records
+   which ladder tier served each input query. *)
+let optimize_program_tiered ?(timeout : float option) ?degrade (cfg : config)
+    (ctx : Galley_stats.Ctx.t) (p : Ir.program) :
+    Logical_query.t list * (string * Tier.t) list =
   let counter = ref 0 in
   let fresh () =
     incr counter;
     Printf.sprintf "#t%d" !counter
   in
-  List.concat_map
-    (fun q -> (optimize_query cfg ctx ~fresh q).queries)
-    p.Ir.queries
+  let tiers = ref [] in
+  let queries =
+    List.concat_map
+      (fun (q : Ir.query) ->
+        let deadline =
+          Option.map (fun s -> Unix.gettimeofday () +. s) timeout
+        in
+        let r, tier = optimize_query_tiered ?deadline ?degrade cfg ctx ~fresh q in
+        tiers := (q.Ir.name, tier) :: !tiers;
+        r.queries)
+      p.Ir.queries
+  in
+  (queries, List.rev !tiers)
+
+let optimize_program (cfg : config) (ctx : Galley_stats.Ctx.t)
+    (p : Ir.program) : Logical_query.t list =
+  fst (optimize_program_tiered cfg ctx p)

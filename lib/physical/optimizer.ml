@@ -23,6 +23,7 @@ type config = {
   bytemap_cutoff : float; (* density above which random writes use bytemap *)
   max_dp_indices : int; (* loop orders: exact DP up to this many indices *)
   exact : bool; (* false = greedy loop order only *)
+  max_nodes : int option; (* search-node budget per ladder rung *)
   format_override : string -> Galley_tensor.Tensor.format array option;
       (* pin the output formats of named queries (hand-coded baselines) *)
 }
@@ -34,6 +35,7 @@ let default_config =
     bytemap_cutoff = 0.01;
     max_dp_indices = 10;
     exact = true;
+    max_nodes = None;
     format_override = (fun _ -> None);
   }
 
@@ -145,11 +147,14 @@ let order_step (cfg : config) (ctx : Ctx.t) (flat : flat) (iters : Ir.Idx_set.t 
     os_order = v :: st.os_order;
     os_set = set';
     os_broken = List.sort compare (st.os_broken @ newly_broken);
-    os_cost = st.os_cost +. iters set' +. transpose_cost;
+    (* A non-finite level cost (faulty estimator, overflow) cannot steer
+       the order search; exhaust the rung so the ladder degrades. *)
+    os_cost = Tier.finite (st.os_cost +. iters set' +. transpose_cost);
   }
 
-let greedy_order (cfg : config) (ctx : Ctx.t) (flat : flat)
-    (iters : Ir.Idx_set.t -> float) (all : Ir.idx list) : order_state =
+let greedy_order ?(budget : Tier.budget option) (cfg : config) (ctx : Ctx.t)
+    (flat : flat) (iters : Ir.Idx_set.t -> float) (all : Ir.idx list) :
+    order_state =
   let init =
     { os_order = []; os_set = Ir.Idx_set.empty; os_broken = []; os_cost = 0.0 }
   in
@@ -160,6 +165,7 @@ let greedy_order (cfg : config) (ctx : Ctx.t) (flat : flat)
         let best =
           List.fold_left
             (fun acc v ->
+              Tier.tick_opt budget;
               let st' = order_step cfg ctx flat iters st v in
               match acc with
               | Some (bv, b) when b.os_cost <= st'.os_cost -> Some (bv, b)
@@ -171,9 +177,10 @@ let greedy_order (cfg : config) (ctx : Ctx.t) (flat : flat)
   in
   loop init all
 
-let dp_order (cfg : config) (ctx : Ctx.t) (flat : flat)
-    (iters : Ir.Idx_set.t -> float) (all : Ir.idx list) : order_state =
-  let greedy = greedy_order cfg ctx flat iters all in
+let dp_order ?(budget : Tier.budget option) (cfg : config) (ctx : Ctx.t)
+    (flat : flat) (iters : Ir.Idx_set.t -> float) (all : Ir.idx list) :
+    order_state =
+  let greedy = greedy_order ?budget cfg ctx flat iters all in
   let k = List.length all in
   if (not cfg.exact) || k > cfg.max_dp_indices || k <= 1 then greedy
   else begin
@@ -196,6 +203,7 @@ let dp_order (cfg : config) (ctx : Ctx.t) (flat : flat)
             List.iter
               (fun v ->
                 if not (Ir.Idx_set.mem v st.os_set) then begin
+                  Tier.tick_opt budget;
                   let st' = order_step cfg ctx flat iters st v in
                   if st'.os_cost <= !bound then begin
                     let kk = key st' in
@@ -241,7 +249,7 @@ let choose_formats (cfg : config) (ctx : Ctx.t) (body : Ir.expr)
         Ir.Idx_set.elements (Ir.Idx_set.diff all (Ir.Idx_set.of_list prefix))
       in
       let proj = if others = [] then body else Ir.Agg (Op.Max, others, body) in
-      ctx.Ctx.estimate_expr proj
+      Tier.finite (ctx.Ctx.estimate_expr proj)
     end
   in
   Array.init n_out (fun level ->
@@ -274,10 +282,12 @@ let conditional_branching (ctx : Ctx.t) (a : Physical.access) ~(x : Ir.idx)
     if Ir.Idx_set.is_empty keep_without then 1.0
     else ctx.Ctx.estimate_access_projected a.Physical.tensor idxs keep_without
   in
-  with_x /. Float.max 1.0 without_x
+  Tier.finite (with_x /. Float.max 1.0 without_x)
 
-let assign_protocols (ctx : Ctx.t) (flat : flat) (loop_order : Ir.idx list) :
-    Physical.access array =
+(* [estimate = false] (the naive tier) skips branching estimation and lets
+   the first intersection member lead. *)
+let assign_protocols ?(estimate = true) (ctx : Ctx.t) (flat : flat)
+    (loop_order : Ir.idx list) : Physical.access array =
   let n = Array.length flat.accesses in
   let protocols = Array.map (fun a -> Array.of_list a.Physical.protocols) flat.accesses in
   let bound = ref Ir.Idx_set.empty in
@@ -308,16 +318,18 @@ let assign_protocols (ctx : Ctx.t) (flat : flat) (loop_order : Ir.idx list) :
           (* Intersection: the access with the smallest expected branching
              iterates; everything else is probed. *)
           let leader =
-            List.fold_left
-              (fun (bl, bc) a ->
-                let c =
-                  conditional_branching ctx flat.accesses.(a) ~x ~bound:!bound
-                in
-                if c < bc then (a, c) else (bl, bc))
-              (List.hd members |> fun a ->
-               (a, conditional_branching ctx flat.accesses.(a) ~x ~bound:!bound))
-              (List.tl members)
-            |> fst
+            if not estimate then List.hd members
+            else
+              List.fold_left
+                (fun (bl, bc) a ->
+                  let c =
+                    conditional_branching ctx flat.accesses.(a) ~x ~bound:!bound
+                  in
+                  if c < bc then (a, c) else (bl, bc))
+                (List.hd members |> fun a ->
+                 (a, conditional_branching ctx flat.accesses.(a) ~x ~bound:!bound))
+                (List.tl members)
+              |> fst
           in
           List.iter
             (fun a ->
@@ -343,8 +355,19 @@ let assign_protocols (ctx : Ctx.t) (flat : flat) (loop_order : Ir.idx list) :
 (* Driver: logical query -> physical steps.                             *)
 (* ------------------------------------------------------------------ *)
 
-let plan_query ?(config = default_config) (ctx : Ctx.t)
-    ~(fresh : unit -> string) (q : Logical_query.t) : Physical.plan =
+(* One rung of the degradation ladder.  [tier] selects the loop-order
+   strategy and whether estimates drive formats and protocols:
+
+   - [Exact]  — branch-and-bound DP over loop orders (Sec. 6.1);
+   - [Greedy] — greedy loop order;
+   - [Naive]  — left-deep order with the output indices leading (so writes
+     are sequential, every output level can be a sorted sparse list, and no
+     final transpose is needed), first intersection member iterates.  The
+     naive rung makes zero estimator calls and checks no budget, so it can
+     always complete. *)
+let plan_query_rung ~(tier : Tier.t) ?(budget : Tier.budget option)
+    ~(config : config) (ctx : Ctx.t) ~(fresh : unit -> string)
+    (q : Logical_query.t) : Physical.plan =
   let schema = ctx.Ctx.schema in
   let body = q.Logical_query.body in
   let dims = Schema.index_dims schema body in
@@ -356,8 +379,17 @@ let plan_query ?(config = default_config) (ctx : Ctx.t)
   let memo = Hashtbl.create 64 in
   let iters = level_iters ctx body all memo in
   (* (1) Loop order. *)
-  let st = dp_order config ctx flat iters all_list in
-  let loop_order = List.rev st.os_order in
+  let loop_order =
+    match tier with
+    | Tier.Exact -> List.rev (dp_order ?budget config ctx flat iters all_list).os_order
+    | Tier.Greedy ->
+        List.rev (greedy_order ?budget config ctx flat iters all_list).os_order
+    | Tier.Naive ->
+        q.Logical_query.output_idxs
+        @ List.filter
+            (fun x -> not (List.mem x q.Logical_query.output_idxs))
+            all_list
+  in
   (* (2) Transposition steps for discordant accesses. *)
   let transposes = Hashtbl.create 4 in
   let steps = ref [] in
@@ -450,10 +482,17 @@ let plan_query ?(config = default_config) (ctx : Ctx.t)
             else f)
           formats
     | None ->
-        choose_formats config ctx body ~all ~output_idxs:kernel_out_idxs
-          ~output_dims ~sequential
+        if tier = Tier.Naive then
+          (* Writes are sequential by construction: sorted sparse lists are
+             always legal and need no density estimates. *)
+          Array.map (fun _ -> Galley_tensor.Tensor.Sparse_list) output_dims
+        else
+          choose_formats config ctx body ~all ~output_idxs:kernel_out_idxs
+            ~output_dims ~sequential
   in
-  let accesses = assign_protocols ctx flat loop_order in
+  let accesses =
+    assign_protocols ~estimate:(tier <> Tier.Naive) ctx flat loop_order
+  in
   let body_fill = Constraints.pexpr_fill (fun a -> flat.fills.(a)) flat.pexpr in
   let agg_space = Schema.space dims q.Logical_query.agg_idxs in
   let output_fill =
@@ -505,10 +544,13 @@ let plan_query ?(config = default_config) (ctx : Ctx.t)
         match config.format_override q.Logical_query.name with
         | Some formats -> formats
         | None ->
-            choose_formats config ctx body ~all
-              ~output_idxs:q.Logical_query.output_idxs
-              ~output_dims:(Array.map (fun k -> output_dims.(k)) perm)
-              ~sequential:true
+            if tier = Tier.Naive then
+              Array.map (fun _ -> Galley_tensor.Tensor.Sparse_list) perm
+            else
+              choose_formats config ctx body ~all
+                ~output_idxs:q.Logical_query.output_idxs
+                ~output_dims:(Array.map (fun k -> output_dims.(k)) perm)
+                ~sequential:true
       in
       [
         Physical.Kernel kernel;
@@ -525,3 +567,33 @@ let plan_query ?(config = default_config) (ctx : Ctx.t)
     else [ Physical.Kernel kernel ]
   in
   List.rev !steps @ final_steps
+
+(* Degradation ladder: exact DP → greedy order → naive left-deep plan.
+   Returns the tier that actually produced the plan.  With
+   [degrade = false] exhaustion propagates as [Tier.Exhausted]. *)
+let plan_query_tiered ?(deadline : float option) ?(degrade = true)
+    ?(config = default_config) (ctx : Ctx.t) ~(fresh : unit -> string)
+    (q : Logical_query.t) : Physical.plan * Tier.t =
+  let budget_for () =
+    match (deadline, config.max_nodes) with
+    | None, None -> None
+    | _ -> Some (Tier.budget ?deadline ?max_nodes:config.max_nodes ())
+  in
+  let rungs = if config.exact then [ Tier.Exact; Tier.Greedy ] else [ Tier.Greedy ] in
+  let rec go = function
+    | [] -> (plan_query_rung ~tier:Tier.Naive ~config ctx ~fresh q, Tier.Naive)
+    | tier :: rest -> (
+        try
+          let budget = budget_for () in
+          (* Charge rung entry so trivial (tick-free) plans still respect
+             an already-expired deadline. *)
+          Tier.tick_opt budget;
+          (plan_query_rung ~tier ?budget ~config ctx ~fresh q, tier)
+        with Tier.Exhausted ->
+          if degrade then go rest else raise Tier.Exhausted)
+  in
+  go rungs
+
+let plan_query ?config (ctx : Ctx.t) ~(fresh : unit -> string)
+    (q : Logical_query.t) : Physical.plan =
+  fst (plan_query_tiered ?config ctx ~fresh q)

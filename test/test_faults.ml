@@ -1,0 +1,507 @@
+(* Resilience layer: degradation ladder (every tier end-to-end against the
+   brute-force reference), fault injection (estimator NaN/overflow, kernel
+   failures), the nnz guardrail, partial outputs under the execution
+   deadline, plan validation, and classified errors via [run_checked]. *)
+
+module T = Galley_tensor.Tensor
+module Prng = Galley_tensor.Prng
+module Ir = Galley_plan.Ir
+module Op = Galley_plan.Op
+module Tier = Galley_plan.Tier
+module Logical_query = Galley_plan.Logical_query
+module W = Galley_workloads
+module D = Galley.Driver
+module E = Galley.Errors
+module F = Galley.Faults
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sparse ~prng ~dims ~density =
+  T.random ~prng ~dims
+    ~formats:
+      (Array.init (Array.length dims) (fun k ->
+           if k = 0 then T.Dense else T.Sparse_list))
+    ~density ()
+
+(* Run [program] under [config] and fail unless every output matches the
+   brute-force reference evaluator. *)
+let check_against_reference ?(eps = 1e-6) name config inputs
+    (program : Ir.program) : D.result =
+  let reference = Galley.Reference.eval_program inputs program in
+  let res = D.run ~config ~inputs program in
+  List.iter
+    (fun out ->
+      let got = D.output_of res out in
+      let want = List.assoc out reference in
+      if not (T.equal_approx ~eps got want) then
+        Alcotest.failf "%s: output %s:\ngot  %s\nwant %s" name out
+          (T.to_string got) (T.to_string want))
+    program.Ir.outputs;
+  res
+
+let all_tier (want : Tier.t) (tiers : (string * Tier.t) list) : bool =
+  tiers <> [] && List.for_all (fun (_, t) -> t = want) tiers
+
+let zero_deadline = { D.default_config with optimizer_timeout = Some 0.0 }
+
+(* -------------------------------------------------------------- *)
+(* Degradation ladder, end to end.                                  *)
+(* -------------------------------------------------------------- *)
+
+(* A 0-second optimizer budget forces the naive tier for every query of
+   every workload family; results must still match the reference. *)
+let test_naive_tier_graphs () =
+  let g =
+    W.Graphs.symmetrize (W.Graphs.erdos_renyi ~name:"t" ~seed:7 ~n:24 ~m:60 ())
+  in
+  List.iter
+    (fun p ->
+      let prog = W.Subgraph.count_program p in
+      let inputs = W.Subgraph.bindings g p in
+      let res =
+        check_against_reference ~eps:1e-4
+          ("naive " ^ p.W.Subgraph.pname)
+          zero_deadline inputs prog
+      in
+      check_bool "logical tiers all naive" true
+        (all_tier Tier.Naive res.D.logical_tiers);
+      check_bool "physical tiers all naive" true
+        (all_tier Tier.Naive res.D.physical_tiers))
+    [ W.Subgraph.triangle; W.Subgraph.path 3; W.Subgraph.star 3 ]
+
+let test_naive_tier_ml () =
+  let star =
+    W.Tpch.star_instance ~scale:W.Tpch.tiny_scale ~layout:W.Tpch.tiny_layout
+      ~seed:11 ()
+  in
+  let params = W.Ml.parameter_inputs ~seed:12 ~d:star.W.Tpch.d ~hidden:3 in
+  let inputs = star.W.Tpch.inputs @ params in
+  List.iter
+    (fun alg ->
+      let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+      let res =
+        check_against_reference ~eps:1e-4
+          ("naive " ^ W.Ml.algorithm_name alg)
+          zero_deadline inputs prog
+      in
+      check_bool "physical tiers all naive" true
+        (all_tier Tier.Naive res.D.physical_tiers))
+    W.Ml.all_algorithms
+
+let test_naive_tier_bfs_session () =
+  let g =
+    W.Graphs.symmetrize (W.Graphs.erdos_renyi ~name:"b" ~seed:3 ~n:40 ~m:90 ())
+  in
+  let adj = W.Graphs.adjacency g in
+  let n = g.W.Graphs.n in
+  let frontier = T.of_fun ~dims:[| n |] ~formats:[| T.Sparse_list |] (fun c ->
+      if c.(0) = 0 then 1.0 else 0.0)
+  in
+  let run config =
+    let s = D.Session.create ~config () in
+    D.Session.bind s "E" adj;
+    D.Session.bind s "F" frontier;
+    D.Session.bind s "V" frontier;
+    let r =
+      D.Session.run_logical_plan s ~outputs:[ "Next"; "Vnew" ]
+        (W.Bfs.iteration_plan ())
+    in
+    (r, D.output_of r "Vnew")
+  in
+  let r_naive, v_naive = run zero_deadline in
+  let _, v_default = run D.default_config in
+  check_bool "bfs iteration matches across tiers" true
+    (T.equal_approx ~eps:1e-9 v_naive v_default);
+  check_bool "session tiers all naive" true
+    (all_tier Tier.Naive r_naive.D.physical_tiers)
+
+(* A node budget big enough for greedy but too small for exact search
+   lands the middle rung of the ladder. *)
+let test_greedy_mid_tier () =
+  let prng = Prng.create 21 in
+  let dims = [| 6; 6 |] in
+  let mat name = (name, sparse ~prng ~dims ~density:0.5) in
+  let inputs = [ mat "A"; mat "B"; mat "C"; mat "D"; mat "E" ] in
+  let chain =
+    Ir.agg Op.Add [ "a"; "b"; "c"; "d" ]
+      (Ir.mul
+         [
+           Ir.input "A" [ "a"; "b" ];
+           Ir.input "B" [ "b"; "c" ];
+           Ir.input "C" [ "c"; "d" ];
+           Ir.input "D" [ "d"; "e" ];
+           Ir.input "E" [ "a"; "e" ];
+         ])
+  in
+  let program = { Ir.queries = [ Ir.query "out" chain ]; outputs = [ "out" ] } in
+  let config =
+    {
+      D.default_config with
+      logical =
+        { Galley_logical.Optimizer.default_config with max_nodes = Some 25 };
+    }
+  in
+  let res =
+    check_against_reference ~eps:1e-5 "greedy mid tier" config inputs program
+  in
+  check_bool "logical tier degraded to greedy" true
+    (List.for_all (fun (_, t) -> t = Tier.Greedy) res.D.logical_tiers);
+  (* Sanity: without the budget the same program is planned exactly. *)
+  let res_full =
+    check_against_reference ~eps:1e-5 "exact tier" D.default_config inputs
+      program
+  in
+  check_bool "unbudgeted run stays exact" true
+    (List.for_all (fun (_, t) -> t = Tier.Exact) res_full.D.logical_tiers)
+
+(* -------------------------------------------------------------- *)
+(* Fault injection.                                                 *)
+(* -------------------------------------------------------------- *)
+
+let tri_inputs_and_program seed =
+  let g =
+    W.Graphs.symmetrize
+      (W.Graphs.erdos_renyi ~name:"f" ~seed ~n:20 ~m:50 ())
+  in
+  let prog = W.Subgraph.count_program W.Subgraph.triangle in
+  (W.Subgraph.bindings g W.Subgraph.triangle, prog)
+
+(* A poisoned estimator (NaN or overflow) must degrade the plan, never
+   fail the query or corrupt the answer. *)
+let test_estimator_faults_degrade () =
+  let inputs, prog = tri_inputs_and_program 31 in
+  List.iter
+    (fun (label, spec) ->
+      let faults =
+        match F.of_spec spec with Ok f -> f | Error m -> Alcotest.fail m
+      in
+      let config = { D.default_config with faults } in
+      let res =
+        check_against_reference ~eps:1e-4 ("fault " ^ label) config inputs prog
+      in
+      check_bool (label ^ " degrades physical plans to naive") true
+        (all_tier Tier.Naive res.D.physical_tiers))
+    [ ("estimator-nan", "estimator-nan"); ("estimator-inf", "estimator-inf") ]
+
+let test_kernel_failure_classified () =
+  let inputs, prog = tri_inputs_and_program 37 in
+  (match
+     D.run_checked
+       ~config:
+         {
+           D.default_config with
+           faults = { F.none with kernel_fail_on = Some 1 };
+         }
+       ~inputs prog
+   with
+  | Error (E.Kernel_failure { invocation = Some 1; context; _ }) ->
+      check_bool "execution phase" true (context.E.phase = E.Execution)
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "expected kernel failure");
+  (* An invocation count past the end of the program never fires. *)
+  match
+    D.run_checked
+      ~config:
+        {
+          D.default_config with
+          faults = { F.none with kernel_fail_on = Some 1000 };
+        }
+      ~inputs prog
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (E.to_string e)
+
+let test_fault_spec_roundtrip () =
+  (match F.of_spec "estimator-nan,kernel-fail=3,opt-delay=0.5" with
+  | Ok f ->
+      check_bool "nan" true f.F.estimator_nan;
+      check_bool "kernel" true (f.F.kernel_fail_on = Some 3);
+      Alcotest.(check string)
+        "roundtrip" "estimator-nan,opt-delay=0.5,kernel-fail=3" (F.to_string f)
+  | Error m -> Alcotest.fail m);
+  check_bool "empty spec is none" true
+    (match F.of_spec "" with Ok f -> F.is_none f | Error _ -> false);
+  check_bool "bad fault rejected" true
+    (match F.of_spec "frobnicate" with Error _ -> true | Ok _ -> false);
+  check_bool "bad count rejected" true
+    (match F.of_spec "kernel-fail=0" with Error _ -> true | Ok _ -> false)
+
+(* -------------------------------------------------------------- *)
+(* nnz guardrail.                                                   *)
+(* -------------------------------------------------------------- *)
+
+(* Scaling every estimate down by 1e9 makes each materialized intermediate
+   look like a blown budget.  One offending query: the guardrail spends its
+   single corrective re-optimization and the run still succeeds. *)
+let test_nnz_guard_retry () =
+  let prng = Prng.create 41 in
+  let a = sparse ~prng ~dims:[| 12; 12 |] ~density:0.6 in
+  let program =
+    {
+      Ir.queries =
+        [
+          Ir.query "out"
+            (Ir.agg Op.Add [ "j" ] (Ir.input "A" [ "i"; "j" ]));
+        ];
+      outputs = [ "out" ];
+    }
+  in
+  let config =
+    {
+      D.default_config with
+      faults = { F.none with estimator_scale = 1e-9 };
+      nnz_guard = Some 4.0;
+    }
+  in
+  match D.run_checked ~config ~inputs:[ ("A", a) ] program with
+  | Ok res -> check_int "one corrective retry" 1 res.D.nnz_guard_retries
+  | Error e -> Alcotest.failf "unexpected error: %s" (E.to_string e)
+
+(* Two offending queries: the second strike exceeds the budget. *)
+let test_nnz_guard_budget_exceeded () =
+  let prng = Prng.create 43 in
+  let a = sparse ~prng ~dims:[| 12; 12 |] ~density:0.6 in
+  let program =
+    {
+      Ir.queries =
+        [
+          Ir.query "m1"
+            (Ir.agg Op.Add [ "j" ] (Ir.input "A" [ "i"; "j" ]));
+          Ir.query "m2"
+            (Ir.agg Op.Add [ "i" ] (Ir.input "A" [ "i"; "j" ]));
+        ];
+      outputs = [ "m1"; "m2" ];
+    }
+  in
+  let config =
+    {
+      D.default_config with
+      faults = { F.none with estimator_scale = 1e-9 };
+      nnz_guard = Some 4.0;
+    }
+  in
+  match D.run_checked ~config ~inputs:[ ("A", a) ] program with
+  | Error (E.Budget_exceeded { estimated; actual; _ }) ->
+      check_bool "actual exceeds estimate" true (actual > estimated)
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "expected budget exceeded"
+
+(* With sane estimates the guardrail never fires. *)
+let test_nnz_guard_quiet () =
+  let inputs, prog = tri_inputs_and_program 47 in
+  let config = { D.default_config with nnz_guard = Some 4.0 } in
+  let res = check_against_reference ~eps:1e-4 "guard quiet" config inputs prog in
+  check_int "no retries" 0 res.D.nnz_guard_retries
+
+(* -------------------------------------------------------------- *)
+(* Deadlines: partial outputs and no-degrade mode.                  *)
+(* -------------------------------------------------------------- *)
+
+let test_partial_outputs_on_timeout () =
+  let prng = Prng.create 53 in
+  let small = sparse ~prng ~dims:[| 8 |] ~density:0.9 in
+  let n = 220 in
+  let dense name = (name, sparse ~prng ~dims:[| n; n |] ~density:0.4) in
+  let inputs = [ ("v", small); dense "A"; dense "B"; dense "C" ] in
+  let program =
+    {
+      Ir.queries =
+        [
+          Ir.query "cheap" (Ir.agg Op.Add [ "i" ] (Ir.input "v" [ "i" ]));
+          Ir.query "heavy"
+            (Ir.agg Op.Add [ "i"; "j"; "k" ]
+               (Ir.mul
+                  [
+                    Ir.input "A" [ "i"; "j" ];
+                    Ir.input "B" [ "j"; "k" ];
+                    Ir.input "C" [ "i"; "k" ];
+                  ]));
+        ];
+      outputs = [ "cheap"; "heavy" ];
+    }
+  in
+  let config = { D.default_config with timeout = Some 0.02 } in
+  let res = D.run ~config ~inputs program in
+  if res.D.timed_out then begin
+    check_bool "completed output survives" true
+      (List.exists (fun (n, _, _) -> n = "cheap") res.D.outputs);
+    check_bool "aborted output reported incomplete" true
+      (List.mem "heavy" res.D.incomplete_outputs);
+    check_bool "output_res reports the incomplete name" true
+      (match D.output_res res "heavy" with
+      | Error msg ->
+          (* mentions what does exist *)
+          String.length msg > 0
+      | Ok _ -> false)
+  end
+  else
+    (* Machine fast enough to finish: both outputs present, none missing. *)
+    check_int "no incomplete outputs" 0 (List.length res.D.incomplete_outputs)
+
+let test_no_degrade_is_error () =
+  let inputs, prog = tri_inputs_and_program 59 in
+  match
+    D.run_checked
+      ~config:
+        { D.default_config with optimizer_timeout = Some 0.0; degrade = false }
+      ~inputs prog
+  with
+  | Error (E.Optimizer_deadline _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "expected optimizer deadline error"
+
+(* -------------------------------------------------------------- *)
+(* Plan validation.                                                 *)
+(* -------------------------------------------------------------- *)
+
+let test_validate_logical () =
+  let q name body =
+    Logical_query.make ~output_idxs:[ "i" ] ~name ~agg_op:Op.Ident ~agg_idxs:[]
+      ~body ()
+  in
+  let known = ( = ) "A" in
+  check_bool "good plan accepted" true
+    (Galley.Validate.logical_plan ~known ~outputs:[ "r" ]
+       [ q "r" (Ir.input "A" [ "i" ]) ]
+    = Ok ());
+  check_bool "unresolved reference rejected" true
+    (match
+       Galley.Validate.logical_plan ~known ~outputs:[ "r" ]
+         [ q "r" (Ir.input "ZZZ" [ "i" ]) ]
+     with
+    | Error { Galley.Validate.v_query = Some "r"; _ } -> true
+    | _ -> false);
+  check_bool "duplicate names rejected" true
+    (Result.is_error
+       (Galley.Validate.logical_plan ~known ~outputs:[ "r" ]
+          [ q "r" (Ir.input "A" [ "i" ]); q "r" (Ir.input "A" [ "i" ]) ]));
+  check_bool "missing output rejected" true
+    (Result.is_error
+       (Galley.Validate.logical_plan ~known ~outputs:[ "gone" ]
+          [ q "r" (Ir.input "A" [ "i" ]) ]))
+
+let test_validate_driver_missing_output () =
+  let prng = Prng.create 61 in
+  let a = sparse ~prng ~dims:[| 4 |] ~density:0.9 in
+  let program =
+    {
+      Ir.queries = [ Ir.query "r" (Ir.input "A" [ "i" ]) ];
+      outputs = [ "nope" ];
+    }
+  in
+  match D.run_checked ~inputs:[ ("A", a) ] program with
+  | Error (E.Plan_invalid { context; _ }) ->
+      check_bool "validation phase" true (context.E.phase = E.Validation)
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "expected plan validation failure"
+
+let test_validate_physical () =
+  let module P = Galley_plan.Physical in
+  let kernel =
+    {
+      P.name = "k";
+      loop_order = [ "i" ];
+      agg_op = Op.Ident;
+      agg_idxs = [];
+      output_idxs = [ "i" ];
+      output_dims = [| 4 |];
+      output_formats = [| T.Sparse_list |];
+      loop_dims = [| 4 |];
+      body = P.P_access 0;
+      accesses =
+        [|
+          {
+            P.tensor = "A";
+            kind = `Input;
+            idxs = [ "i" ];
+            protocols = [ P.Iterate ];
+          };
+        |];
+      body_fill = 0.0;
+      output_fill = 0.0;
+      agg_space = 1.0;
+    }
+  in
+  check_bool "good kernel accepted" true
+    (Galley.Validate.physical_plan ~known:(( = ) "A") [ P.Kernel kernel ]
+    = Ok ());
+  check_bool "unbound access rejected" true
+    (Result.is_error
+       (Galley.Validate.physical_plan ~known:(fun _ -> false)
+          [ P.Kernel kernel ]));
+  (* Loop order must cover exactly the output + aggregate indices. *)
+  let bad_loops = { kernel with P.loop_order = [ "i"; "j" ]; loop_dims = [| 4; 4 |] } in
+  check_bool "uncovered loop rejected" true
+    (Result.is_error
+       (Galley.Validate.physical_plan ~known:(( = ) "A") [ P.Kernel bad_loops ]))
+
+let test_output_res () =
+  let prng = Prng.create 67 in
+  let a = sparse ~prng ~dims:[| 4 |] ~density:0.9 in
+  let res = D.run_query ~inputs:[ ("A", a) ] (Ir.query "r" (Ir.input "A" [ "i" ])) in
+  check_bool "present output found" true (Result.is_ok (D.output_res res "r"));
+  (match D.output_res res "nope" with
+  | Error msg ->
+      check_bool "message names existing outputs" true
+        (let contains s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         contains msg "r")
+  | Ok _ -> Alcotest.fail "expected missing output");
+  check_bool "output_of still raises" true
+    (try
+       ignore (D.output_of res "nope");
+       false
+     with Invalid_argument _ -> true)
+
+(* -------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "degradation ladder",
+        [
+          Alcotest.test_case "naive tier: subgraph counting" `Quick
+            test_naive_tier_graphs;
+          Alcotest.test_case "naive tier: ml over joins" `Quick
+            test_naive_tier_ml;
+          Alcotest.test_case "naive tier: bfs session" `Quick
+            test_naive_tier_bfs_session;
+          Alcotest.test_case "greedy mid tier" `Quick test_greedy_mid_tier;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "estimator nan/inf degrade" `Quick
+            test_estimator_faults_degrade;
+          Alcotest.test_case "kernel failure classified" `Quick
+            test_kernel_failure_classified;
+          Alcotest.test_case "fault spec parsing" `Quick
+            test_fault_spec_roundtrip;
+        ] );
+      ( "nnz guardrail",
+        [
+          Alcotest.test_case "corrective retry" `Quick test_nnz_guard_retry;
+          Alcotest.test_case "budget exceeded" `Quick
+            test_nnz_guard_budget_exceeded;
+          Alcotest.test_case "quiet on sane estimates" `Quick
+            test_nnz_guard_quiet;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "partial outputs on timeout" `Quick
+            test_partial_outputs_on_timeout;
+          Alcotest.test_case "no-degrade raises deadline error" `Quick
+            test_no_degrade_is_error;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "logical validator" `Quick test_validate_logical;
+          Alcotest.test_case "driver rejects missing output" `Quick
+            test_validate_driver_missing_output;
+          Alcotest.test_case "physical validator" `Quick test_validate_physical;
+          Alcotest.test_case "output_res" `Quick test_output_res;
+        ] );
+    ]

@@ -122,6 +122,41 @@ let test_parse_error_reports () =
        false
      with Parser.Parse_error _ -> true)
 
+(* Errors carry the character offset of the offending token. *)
+let test_parse_error_positions () =
+  (match Parser.parse_program_res "Y[i = 3" with
+  | Error (msg, pos) ->
+      check_bool "message set" true (String.length msg > 0);
+      (* the '=' at offset 4 is where the index list goes wrong *)
+      check_int "position" 4 pos
+  | Ok _ -> Alcotest.fail "expected parse error");
+  (match Parser.parse_program_res "Y[i] = sum[j](A[j]) extra" with
+  | Error (_, pos) -> check_int "trailing token position" 20 pos
+  | Ok _ -> Alcotest.fail "expected parse error");
+  (match Parser.parse_program_res "Y = A[i] ? 2" with
+  | Error (msg, pos) ->
+      check_bool "lex error surfaces" true (String.length msg > 0);
+      check_int "lex position" 9 pos
+  | Ok _ -> Alcotest.fail "expected lex error");
+  check_bool "good program still parses" true
+    (match Parser.parse_program_res "Y[i] = A[i] * 2" with
+    | Ok p -> List.length p.Ir.queries = 1
+    | Error _ -> false);
+  (* The exception form carries the same position. *)
+  match Parser.parse_program "Y[i] = " with
+  | exception Parser.Parse_error { pos; _ } -> check_int "exn position" 7 pos
+  | _ -> Alcotest.fail "expected parse error"
+
+(* Driver-level: parse_checked classifies into Errors.Parse_error. *)
+let test_parse_checked () =
+  (match Galley.Driver.parse_checked "Y[i = 3" with
+  | Error (Galley.Errors.Parse_error { position; _ }) ->
+      check_bool "position in range" true (position >= 0 && position <= 7)
+  | Error _ -> Alcotest.fail "wrong error class"
+  | Ok _ -> Alcotest.fail "expected parse error");
+  check_bool "good source accepted" true
+    (Result.is_ok (Galley.Driver.parse_checked "t = sum[i](A[i])"))
+
 (* Parse then run end-to-end; compare with the combinator-built program. *)
 let test_parse_and_run () =
   let prng = Galley_tensor.Prng.create 11 in
@@ -187,6 +222,9 @@ let () =
           Alcotest.test_case "multi-query" `Quick test_parse_program_multi;
           Alcotest.test_case "semicolons" `Quick test_parse_program_semicolons;
           Alcotest.test_case "errors" `Quick test_parse_error_reports;
+          Alcotest.test_case "error positions" `Quick
+            test_parse_error_positions;
+          Alcotest.test_case "parse_checked" `Quick test_parse_checked;
         ] );
       ("integration", [ Alcotest.test_case "parse and run" `Quick test_parse_and_run ]);
       ( "properties",
