@@ -19,6 +19,38 @@ module Rel = Galley_relational.Rel_engine
 module D = Galley.Driver
 
 let quick = ref false
+let json_mode = ref false
+
+(* In --json mode the human-readable tables move to stderr and stdout
+   carries a single JSON document of every recorded series measurement
+   (timeouts become null), so CI and plotting scripts can consume runs
+   without scraping the tables. *)
+let p fmt = Printf.fprintf (if !json_mode then stderr else stdout) fmt
+
+(* (section, series, label, seconds); seconds = nan encodes a timeout. *)
+let json_rows : (string * string * string * float) list ref = ref []
+
+let record ~section ~series label seconds =
+  json_rows := (section, series, label, seconds) :: !json_rows
+
+let emit_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"quick\": %b,\n  \"rows\": [\n" !quick);
+  List.iteri
+    (fun i (section, series, label, seconds) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"section\": %S, \"series\": %S, \"label\": %S, \"seconds\": \
+            %s}"
+           section series label
+           (if Float.is_nan seconds then "null"
+            else Printf.sprintf "%.6f" seconds)))
+    (List.rev !json_rows);
+  Buffer.add_string b "\n  ]\n}\n";
+  print_string (Buffer.contents b)
 
 let repeat = 1
 (* The paper reports the minimum of three runs to exclude compilation
@@ -37,7 +69,7 @@ let time_min (f : unit -> 'a) : 'a * float =
   done;
   (Option.get !result, !best)
 
-let header title = Printf.printf "\n=== %s ===\n%!" title
+let header title = p "\n=== %s ===\n%!" title
 
 let median (xs : float list) : float =
   match List.sort compare xs with
@@ -72,9 +104,9 @@ let fig6 () =
   let star = W.Tpch.star_instance ~scale ~seed:1001 () in
   let params = W.Ml.parameter_inputs ~seed:1002 ~d:star.W.Tpch.d ~hidden:16 in
   let inputs = star.W.Tpch.inputs @ params in
-  Printf.printf "star join: %d lineitems x %d features\n" star.W.Tpch.n
+  p "star join: %d lineitems x %d features\n" star.W.Tpch.n
     star.W.Tpch.d;
-  Printf.printf "%-12s %12s %14s %14s %10s\n" "algorithm" "galley"
+  p "%-12s %12s %14s %14s %10s\n" "algorithm" "galley"
     "hand(dense)" "hand(sparse)" "speedup";
   let run_star alg =
     let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
@@ -91,7 +123,11 @@ let fig6 () =
     in
     let dense_t = baseline ~dense:true in
     let sparse_t = baseline ~dense:false in
-    Printf.printf "%-12s %12s %14s %14s %9.1fx\n%!" (W.Ml.algorithm_name alg)
+    let name = W.Ml.algorithm_name alg in
+    record ~section:"fig6" ~series:"galley" name galley_t;
+    record ~section:"fig6" ~series:"hand-dense" name dense_t;
+    record ~section:"fig6" ~series:"hand-sparse" name sparse_t;
+    p "%-12s %12s %14s %14s %9.1fx\n%!" name
       (fmt_time galley_t) (fmt_time dense_t) (fmt_time sparse_t)
       (Float.min dense_t sparse_t /. galley_t)
   in
@@ -109,7 +145,7 @@ let fig6 () =
   let cov_star = W.Tpch.star_instance ~scale:cov_scale ~seed:1001 () in
   let cov_params = W.Ml.parameter_inputs ~seed:1002 ~d:cov_star.W.Tpch.d ~hidden:16 in
   let cov_inputs = cov_star.W.Tpch.inputs @ cov_params in
-  Printf.printf "(covariance at reduced scale: %d lineitems)\n" cov_star.W.Tpch.n;
+  p "(covariance at reduced scale: %d lineitems)\n" cov_star.W.Tpch.n;
   (let alg = W.Ml.Covariance in
    let prog = W.Ml.program_of alg ~x:cov_star.W.Tpch.x_def ~pts:[ "i" ] in
    let _, galley_t = time_min (fun () -> D.run ~inputs:cov_inputs prog) in
@@ -125,7 +161,11 @@ let fig6 () =
    in
    let dense_t = baseline ~dense:true in
    let sparse_t = baseline ~dense:false in
-   Printf.printf "%-12s %12s %14s %14s %9.1fx\n%!" (W.Ml.algorithm_name alg)
+   let name = W.Ml.algorithm_name alg in
+   record ~section:"fig6" ~series:"galley" name galley_t;
+   record ~section:"fig6" ~series:"hand-dense" name dense_t;
+   record ~section:"fig6" ~series:"hand-sparse" name sparse_t;
+   p "%-12s %12s %14s %14s %9.1fx\n%!" name
      (fmt_time galley_t) (fmt_time dense_t) (fmt_time sparse_t)
      (Float.min dense_t sparse_t /. galley_t));
   (* Self join: the dense baseline is omitted, as in the paper (a dense
@@ -141,10 +181,10 @@ let fig6 () =
   let sj = W.Tpch.self_join_instance ~scale:sj_scale ~seed:1003 () in
   let params = W.Ml.parameter_inputs ~seed:1004 ~d:sj.W.Tpch.sj_d ~hidden:16 in
   let inputs = sj.W.Tpch.sj_inputs @ params in
-  Printf.printf
+  p
     "\nself join: %d lineitems x %d features (dense omitted: OOM in paper)\n"
     sj.W.Tpch.sj_n sj.W.Tpch.sj_d;
-  Printf.printf "%-12s %12s %14s %10s\n" "algorithm" "galley" "hand(sparse)"
+  p "%-12s %12s %14s %10s\n" "algorithm" "galley" "hand(sparse)"
     "speedup";
   List.iter
     (fun alg ->
@@ -161,7 +201,10 @@ let fig6 () =
         time_min (fun () ->
             D.run_logical_plan ~config ~inputs ~outputs:[ out ] plan)
       in
-      Printf.printf "%-12s %12s %14s %9.1fx\n%!" (W.Ml.algorithm_name alg)
+      let name = W.Ml.algorithm_name alg ^ " (self join)" in
+      record ~section:"fig6" ~series:"galley" name galley_t;
+      record ~section:"fig6" ~series:"hand-sparse" name sparse_t;
+      p "%-12s %12s %14s %9.1fx\n%!" (W.Ml.algorithm_name alg)
         (fmt_time galley_t) (fmt_time sparse_t) (sparse_t /. galley_t))
     [ W.Ml.Linreg; W.Ml.Logreg ]
 
@@ -181,10 +224,10 @@ let sg_timeout = 6.0
 (* Galley on one query: execution vs optimization vs compilation, with a
    warm second run sharing the kernel cache (Finch caches kernels, so warm
    compilation cost is what repeat users see: Fig. 9's discussion). *)
-let measure_galley config (g : W.Graphs.t) (p : W.Subgraph.pattern) :
+let measure_galley config (g : W.Graphs.t) (pat : W.Subgraph.pattern) :
     sg_measurement =
-  let prog = W.Subgraph.count_program p in
-  let inputs = W.Subgraph.bindings g p in
+  let prog = W.Subgraph.count_program pat in
+  let inputs = W.Subgraph.bindings g pat in
   let config = { config with D.timeout = Some sg_timeout } in
   let res = D.run ~config ~inputs prog in
   if res.D.timed_out then
@@ -208,7 +251,7 @@ let measure_galley config (g : W.Graphs.t) (p : W.Subgraph.pattern) :
   end
 
 (* The relational baseline planning the whole conjunctive query itself. *)
-let measure_duckdb (g : W.Graphs.t) (p : W.Subgraph.pattern) : sg_measurement =
+let measure_duckdb (g : W.Graphs.t) (pat : W.Subgraph.pattern) : sg_measurement =
   let adj = W.Graphs.adjacency g in
   let db = Rel.create_db () in
   Rel.register_tensor db "M" adj;
@@ -218,16 +261,16 @@ let measure_duckdb (g : W.Graphs.t) (p : W.Subgraph.pattern) : sg_measurement =
         Rel.register_tensor db
           (Printf.sprintf "L%d" l)
           (W.Graphs.label_vector g l))
-    (List.sort_uniq compare (List.map snd p.W.Subgraph.plabels));
+    (List.sort_uniq compare (List.map snd pat.W.Subgraph.plabels));
   let atoms =
     List.map
       (fun (u, v) ->
         { Rel.rel = "M"; vars = [ W.Subgraph.var u; W.Subgraph.var v ] })
-      p.W.Subgraph.pedges
+      pat.W.Subgraph.pedges
     @ List.map
         (fun (v, l) ->
           { Rel.rel = Printf.sprintf "L%d" l; vars = [ W.Subgraph.var v ] })
-        p.W.Subgraph.plabels
+        pat.W.Subgraph.plabels
   in
   try
     let deadline = Unix.gettimeofday () +. sg_timeout in
@@ -242,10 +285,10 @@ let measure_duckdb (g : W.Graphs.t) (p : W.Subgraph.pattern) : sg_measurement =
     { sg_exec = nan; sg_opt = nan; sg_compile = 0.0; sg_compile_warm = 0.0 }
 
 (* Galley's logical optimizer with the relational engine as executor. *)
-let measure_galley_duckdb (g : W.Graphs.t) (p : W.Subgraph.pattern) :
+let measure_galley_duckdb (g : W.Graphs.t) (pat : W.Subgraph.pattern) :
     sg_measurement =
-  let prog = W.Subgraph.count_program p in
-  let inputs = W.Subgraph.bindings g p in
+  let prog = W.Subgraph.count_program pat in
+  let inputs = W.Subgraph.bindings g pat in
   let schema = Galley_plan.Schema.create () in
   List.iter (fun (n, t) -> Galley_plan.Schema.declare_tensor schema n t) inputs;
   let ctx = Galley_stats.Ctx.create schema in
@@ -305,55 +348,59 @@ let get_subgraph_measurements () =
 
 let fig7 () =
   header "Figure 7: subgraph counting execution time (median; t/o count)";
-  Printf.printf "%-14s %18s %18s %18s %18s\n" "workload" "duckdb"
+  p "%-14s %18s %18s %18s %18s\n" "workload" "duckdb"
     "galley+duckdb" "galley(greedy)" "galley(exact)";
   List.iter
     (fun (gname, per_method) ->
-      Printf.printf "%-14s" gname;
+      p "%-14s" gname;
       List.iter
-        (fun (_, ms) ->
+        (fun (mname, ms) ->
           let execs = List.map (fun m -> m.sg_exec) ms in
           let finished = List.filter (fun t -> not (Float.is_nan t)) execs in
           let timeouts = List.length execs - List.length finished in
+          record ~section:"fig7" ~series:mname gname (median finished);
           let cell =
             Printf.sprintf "%s (%d t/o)" (fmt_time (median finished)) timeouts
           in
-          Printf.printf " %18s" cell)
+          p " %18s" cell)
         per_method;
-      Printf.printf "\n%!")
+      p "\n%!")
     (get_subgraph_measurements ())
 
 let fig8 () =
   header "Figure 8: subgraph counting optimization time (mean)";
-  Printf.printf "%-14s %18s %18s %18s %18s\n" "workload" "duckdb"
+  p "%-14s %18s %18s %18s %18s\n" "workload" "duckdb"
     "galley+duckdb" "galley(greedy)" "galley(exact)";
   List.iter
     (fun (gname, per_method) ->
-      Printf.printf "%-14s" gname;
+      p "%-14s" gname;
       List.iter
-        (fun (_, ms) ->
+        (fun (mname, ms) ->
           let opts =
             List.filter
               (fun t -> not (Float.is_nan t))
               (List.map (fun m -> m.sg_opt) ms)
           in
-          Printf.printf " %18s" (fmt_time (mean opts)))
+          record ~section:"fig8" ~series:mname gname (mean opts);
+          p " %18s" (fmt_time (mean opts)))
         per_method;
-      Printf.printf "\n%!")
+      p "\n%!")
     (get_subgraph_measurements ())
 
 let fig9 () =
   header "Figure 9: subgraph counting compilation time (mean; kernel cache)";
-  Printf.printf "%-14s %16s %16s\n" "workload" "galley cold" "galley warm";
+  p "%-14s %16s %16s\n" "workload" "galley cold" "galley warm";
   List.iter
     (fun (gname, per_method) ->
       let ms = List.assoc "galley(exact)" per_method in
       let pick f =
         List.filter (fun t -> not (Float.is_nan t)) (List.map f ms)
       in
-      Printf.printf "%-14s %16s %16s\n%!" gname
-        (fmt_time (mean (pick (fun m -> m.sg_compile))))
-        (fmt_time (mean (pick (fun m -> m.sg_compile_warm)))))
+      let cold = mean (pick (fun m -> m.sg_compile)) in
+      let warm = mean (pick (fun m -> m.sg_compile_warm)) in
+      record ~section:"fig9" ~series:"cold" gname cold;
+      record ~section:"fig9" ~series:"warm" gname warm;
+      p "%-14s %16s %16s\n%!" gname (fmt_time cold) (fmt_time warm))
     (get_subgraph_measurements ())
 
 (* ------------------------------------------------------------------ *)
@@ -364,7 +411,7 @@ let fig10 () =
   header "Figure 10: BFS total runtime (incl. Galley's optimization time)";
   let scale = if !quick then 0.1 else 0.5 in
   let graphs = W.Graphs.bfs_suite ~scale in
-  Printf.printf "%-12s %10s %10s %10s %8s\n" "graph" "galley" "sparse" "dense"
+  p "%-12s %10s %10s %10s %8s\n" "graph" "galley" "sparse" "dense"
     "best";
   List.iter
     (fun g ->
@@ -373,14 +420,92 @@ let fig10 () =
       let galley_t = run W.Bfs.Adaptive in
       let sparse_t = run W.Bfs.All_sparse in
       let dense_t = run W.Bfs.All_dense in
+      record ~section:"fig10" ~series:"galley" g.W.Graphs.name galley_t;
+      record ~section:"fig10" ~series:"sparse" g.W.Graphs.name sparse_t;
+      record ~section:"fig10" ~series:"dense" g.W.Graphs.name dense_t;
       let best =
         if galley_t <= sparse_t && galley_t <= dense_t then "galley"
         else if sparse_t <= dense_t then "sparse"
         else "dense"
       in
-      Printf.printf "%-12s %10s %10s %10s %8s\n%!" g.W.Graphs.name
+      p "%-12s %10s %10s %10s %8s\n%!" g.W.Graphs.name
         (fmt_time galley_t) (fmt_time sparse_t) (fmt_time dense_t) best)
     graphs
+
+(* ------------------------------------------------------------------ *)
+(* Kernel backends: staged compiler vs constraint-tree interpreter.     *)
+(* ------------------------------------------------------------------ *)
+
+(* The same physical plans run under both engine backends, so this table
+   isolates the kernel loop nest itself (execution time only for fig6/fig7
+   shapes; total session time for BFS, whose kernels dominate). *)
+let kernels () =
+  header "Kernel backends: staged compiler vs constraint-tree interpreter";
+  let config_for backend = { D.default_config with D.kernel_backend = backend } in
+  (* Best of three, the backends interleaved round by round: each cell is
+     a fresh end-to-end run, so single-run GC / allocation noise would
+     otherwise dominate the sub-millisecond rows, and back-to-back runs of
+     one backend would hand the other a warmed heap. *)
+  let row label f =
+    let best_s = ref infinity and best_i = ref infinity in
+    for _ = 1 to 3 do
+      let ts = f (config_for Galley_engine.Exec.Staged) in
+      let ti = f (config_for Galley_engine.Exec.Interp) in
+      if ts < !best_s then best_s := ts;
+      if ti < !best_i then best_i := ti
+    done;
+    let staged = if Float.is_finite !best_s then !best_s else nan in
+    let interp = if Float.is_finite !best_i then !best_i else nan in
+    record ~section:"kernels" ~series:"staged" label staged;
+    record ~section:"kernels" ~series:"interp" label interp;
+    p "%-22s %12s %12s %9.2fx\n%!" label (fmt_time staged) (fmt_time interp)
+      (interp /. staged)
+  in
+  p "%-22s %12s %12s %10s\n" "workload" "staged" "interp" "speedup";
+  (* Fig. 6 shape: ML over the star join, execution phase only. *)
+  let scale =
+    if !quick then
+      { W.Tpch.n_lineitems = 800; n_suppliers = 40; n_parts = 100;
+        n_orders = 200; n_customers = 60 }
+    else
+      { W.Tpch.n_lineitems = 20000; n_suppliers = 300; n_parts = 800;
+        n_orders = 2000; n_customers = 400 }
+  in
+  let star = W.Tpch.star_instance ~scale ~seed:1001 () in
+  let params = W.Ml.parameter_inputs ~seed:1002 ~d:star.W.Tpch.d ~hidden:16 in
+  let inputs = star.W.Tpch.inputs @ params in
+  List.iter
+    (fun alg ->
+      let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+      row
+        ("fig6 " ^ W.Ml.algorithm_name alg)
+        (fun config ->
+          let r, _ = time_min (fun () -> D.run ~config ~inputs prog) in
+          r.D.timings.D.execute_seconds))
+    [ W.Ml.Linreg; W.Ml.Logreg; W.Ml.Nn ];
+  (* Fig. 7 shape: subgraph counting, execution phase only. *)
+  let g =
+    List.hd (W.Graphs.benchmark_suite ~scale:(if !quick then 0.08 else 0.1))
+  in
+  List.iter
+    (fun pat ->
+      let prog = W.Subgraph.count_program pat in
+      let sg_inputs = W.Subgraph.bindings g pat in
+      row
+        ("fig7 " ^ pat.W.Subgraph.pname)
+        (fun config ->
+          let config = { config with D.timeout = Some sg_timeout } in
+          let r = D.run ~config ~inputs:sg_inputs prog in
+          if r.D.timed_out then nan else r.D.timings.D.execute_seconds))
+    (W.Subgraph.suite_for g);
+  (* Fig. 10 shape: a whole BFS session (kernel time dominates). *)
+  let bg = List.hd (W.Graphs.bfs_suite ~scale:(if !quick then 0.1 else 0.4)) in
+  let adjacency = W.Graphs.adjacency bg in
+  row
+    ("fig10 bfs " ^ bg.W.Graphs.name)
+    (fun config ->
+      (W.Bfs.run ~config_base:config W.Bfs.Adaptive ~adjacency ~source:0)
+        .W.Bfs.seconds)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations.                                                           *)
@@ -390,13 +515,13 @@ let ablations () =
   header "Ablation: sparsity estimator (uniform vs chain bound)";
   let scale = if !quick then 0.1 else 0.15 in
   let g = List.hd (W.Graphs.benchmark_suite ~scale) in
-  Printf.printf "graph %s: %d vertices %d edges\n" g.W.Graphs.name g.W.Graphs.n
+  p "graph %s: %d vertices %d edges\n" g.W.Graphs.name g.W.Graphs.n
     (W.Graphs.edge_count g);
-  Printf.printf "%-12s %14s %14s\n" "pattern" "uniform" "chain";
+  p "%-12s %14s %14s\n" "pattern" "uniform" "chain";
   List.iter
-    (fun p ->
-      let prog = W.Subgraph.count_program p in
-      let inputs = W.Subgraph.bindings g p in
+    (fun pat ->
+      let prog = W.Subgraph.count_program pat in
+      let inputs = W.Subgraph.bindings g pat in
       let run kind =
         let config =
           { D.default_config with estimator = kind; timeout = Some sg_timeout }
@@ -404,7 +529,7 @@ let ablations () =
         let r = D.run ~config ~inputs prog in
         if r.D.timed_out then nan else r.D.timings.D.total_seconds
       in
-      Printf.printf "%-12s %14s %14s\n%!" p.W.Subgraph.pname
+      p "%-12s %14s %14s\n%!" pat.W.Subgraph.pname
         (fmt_time (run Galley_stats.Ctx.Uniform_kind))
         (fmt_time (run Galley_stats.Ctx.Chain_kind)))
     (W.Subgraph.suite_for g);
@@ -421,7 +546,7 @@ let ablations () =
   let star = W.Tpch.star_instance ~scale ~seed:2001 () in
   let params = W.Ml.parameter_inputs ~seed:2002 ~d:star.W.Tpch.d ~hidden:16 in
   let inputs = star.W.Tpch.inputs @ params in
-  Printf.printf "%-12s %12s %12s\n" "algorithm" "jit" "no-jit";
+  p "%-12s %12s %12s\n" "algorithm" "jit" "no-jit";
   List.iter
     (fun alg ->
       let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
@@ -430,7 +555,7 @@ let ablations () =
           (time_min (fun () ->
                D.run ~config:{ D.default_config with jit } ~inputs prog))
       in
-      Printf.printf "%-12s %12s %12s\n%!" (W.Ml.algorithm_name alg)
+      p "%-12s %12s %12s\n%!" (W.Ml.algorithm_name alg)
         (fmt_time (t ~jit:true))
         (fmt_time (t ~jit:false)))
     W.Ml.all_algorithms;
@@ -445,28 +570,28 @@ let ablations () =
   in
   let t_on, hits, kernels_on = run ~cse:true in
   let t_off, _, kernels_off = run ~cse:false in
-  Printf.printf "covariance with CSE:    %s (%d kernel runs, %d cache hits)\n"
+  p "covariance with CSE:    %s (%d kernel runs, %d cache hits)\n"
     (fmt_time t_on) kernels_on hits;
-  Printf.printf "covariance without CSE: %s (%d kernel runs)\n%!"
+  p "covariance without CSE: %s (%d kernel runs)\n%!"
     (fmt_time t_off) kernels_off;
 
   header "Ablation: greedy vs exact elimination order";
   let g =
     List.nth (W.Graphs.benchmark_suite ~scale:(if !quick then 0.1 else 0.15)) 1
   in
-  Printf.printf "graph %s\n" g.W.Graphs.name;
-  Printf.printf "%-12s %14s %14s\n" "pattern" "greedy" "exact";
+  p "graph %s\n" g.W.Graphs.name;
+  p "%-12s %14s %14s\n" "pattern" "greedy" "exact";
   List.iter
-    (fun p ->
-      let prog = W.Subgraph.count_program p in
-      let inputs = W.Subgraph.bindings g p in
+    (fun pat ->
+      let prog = W.Subgraph.count_program pat in
+      let inputs = W.Subgraph.bindings g pat in
       let run config =
         let r =
           D.run ~config:{ config with D.timeout = Some sg_timeout } ~inputs prog
         in
         if r.D.timed_out then nan else r.D.timings.D.total_seconds
       in
-      Printf.printf "%-12s %14s %14s\n%!" p.W.Subgraph.pname
+      p "%-12s %14s %14s\n%!" pat.W.Subgraph.pname
         (fmt_time (run D.greedy_config))
         (fmt_time (run D.default_config)))
     (W.Subgraph.suite_for g)
@@ -496,7 +621,7 @@ let tiers () =
     let e, g, n = Galley_plan.Tier.counts tiers in
     Printf.sprintf "e=%d g=%d n=%d" e g n
   in
-  Printf.printf "%-12s %-22s %-22s %10s %10s\n" "algorithm"
+  p "%-12s %-22s %-22s %10s %10s\n" "algorithm"
     "default (log/phys)" "0s deadline (log/phys)" "default" "degraded";
   List.iter
     (fun alg ->
@@ -506,7 +631,7 @@ let tiers () =
       let r_deg, t_deg =
         run { D.default_config with optimizer_timeout = Some 0.0 }
       in
-      Printf.printf "%-12s %-22s %-22s %10s %10s\n%!"
+      p "%-12s %-22s %-22s %10s %10s\n%!"
         (W.Ml.algorithm_name alg)
         (fmt_counts r_def.D.logical_tiers ^ " / "
         ^ fmt_counts r_def.D.physical_tiers)
@@ -590,10 +715,10 @@ let micro () =
   List.iter
     (fun (name, res) ->
       match Analyze.OLS.estimates res with
-      | Some [ est ] -> Printf.printf "%-34s %14.1f ns/run\n" name est
-      | _ -> Printf.printf "%-34s (no estimate)\n" name)
+      | Some [ est ] -> p "%-34s %14.1f ns/run\n" name est
+      | _ -> p "%-34s (no estimate)\n" name)
     (List.sort compare rows);
-  Printf.printf "%!"
+  p "%!"
 
 (* ------------------------------------------------------------------ *)
 (* Driver.                                                              *)
@@ -608,12 +733,20 @@ let () =
           quick := true;
           false
         end
+        else if a = "json" || a = "--json" then begin
+          json_mode := true;
+          false
+        end
         else true)
       args
   in
   let sections =
     match args with
-    | [] -> [ "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "ablations"; "micro" ]
+    | [] ->
+        [
+          "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "kernels"; "ablations";
+          "micro";
+        ]
     | some -> some
   in
   List.iter
@@ -624,8 +757,10 @@ let () =
       | "fig8" -> fig8 ()
       | "fig9" -> fig9 ()
       | "fig10" -> fig10 ()
+      | "kernels" -> kernels ()
       | "ablations" -> ablations ()
       | "tiers" -> tiers ()
       | "micro" -> micro ()
       | other -> Printf.eprintf "unknown section %s\n" other)
-    sections
+    sections;
+  if !json_mode then emit_json ()

@@ -97,7 +97,7 @@ let report_error (e : Galley.Errors.t) : int =
 
 let run_cmd program_file inputs randoms outputs show_plans timings greedy
     uniform no_jit no_cse timeout opt_timeout faults_spec no_validate
-    no_degrade nnz_guard =
+    no_degrade nnz_guard kernel_backend =
   let src =
     let ic = open_in program_file in
     let n = in_channel_length ic in
@@ -128,6 +128,7 @@ let run_cmd program_file inputs randoms outputs show_plans timings greedy
       validate = not no_validate;
       faults;
       nnz_guard;
+      kernel_backend;
     }
   in
   match Galley.Driver.parse_checked src with
@@ -231,6 +232,21 @@ let no_degrade_arg =
     & info [ "no-degrade" ]
         ~doc:"Treat an exhausted optimizer budget as an error instead of degrading")
 
+let kernel_backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("staged", Galley_engine.Exec.Staged);
+             ("interp", Galley_engine.Exec.Interp);
+           ])
+        Galley_engine.Exec.Staged
+    & info [ "kernel-backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Kernel compiler: $(b,staged) closure-specialized loop nests \
+           (default) or the $(b,interp) constraint-tree interpreter")
+
 let nnz_guard_arg =
   Arg.(
     value
@@ -245,7 +261,7 @@ let run_term =
     const run_cmd $ program_arg $ inputs_arg $ randoms_arg $ outputs_arg
     $ show_plans_arg $ timings_arg $ greedy_arg $ uniform_arg $ no_jit_arg
     $ no_cse_arg $ timeout_arg $ opt_timeout_arg $ faults_arg
-    $ no_validate_arg $ no_degrade_arg $ nnz_guard_arg)
+    $ no_validate_arg $ no_degrade_arg $ nnz_guard_arg $ kernel_backend_arg)
 
 let run_info = Cmd.info "run" ~doc:"Optimize and execute a tensor program"
 let demo_term = Term.(const demo_cmd $ const ())

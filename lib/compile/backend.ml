@@ -1,0 +1,117 @@
+(* Staged kernel backend: the compiled counterpart of the constraint-tree
+   interpreter in [lib/engine/kernel_exec.ml].
+
+   [compile] runs once per kernel structure: the body is fused into one
+   scalar closure ([Body_fuse]), and every per-level decision is resolved
+   into a candidate generator and a binder ([Lowering]).  The returned
+   [run] only walks the precompiled level array — like the interpreter's,
+   it takes the (structurally identical) kernel of the call site, so one
+   compiled closure serves every dimension size and the engine's
+   signature-keyed kernel cache works unchanged.
+
+   Aggregates are fill-corrected at freeze time exactly as in the
+   interpreter: enumeration covers a superset of the body's non-fill
+   coordinates, and each skipped coordinate contributes the body fill,
+   folded in as g(body_fill, N_agg − count) per output cell (DESIGN.md). *)
+
+open Galley_plan
+module T = Galley_tensor.Tensor
+module Builder = Galley_tensor.Builder
+
+exception Timeout
+
+type compiled = { run : ?deadline:float -> Physical.kernel -> T.t array -> T.t }
+
+let compile (k : Physical.kernel) ~(access_fills : float array)
+    ~(access_formats : T.format array array) : compiled =
+  let plan = Lowering.lower k ~access_fills ~access_formats in
+  let body = Body_fuse.stage k.Physical.body in
+  let levels = plan.Lowering.p_levels in
+  let n_levels = Array.length levels in
+  let agg_op = k.Physical.agg_op in
+  let identity =
+    match Op.identity agg_op with Some e -> e | None -> 0.0 (* Ident *)
+  in
+  let combine = if agg_op = Op.Ident then fun _ v -> v else Op.apply2 agg_op in
+  let body_fill = k.Physical.body_fill in
+  let run ?deadline (kc : Physical.kernel) (tensors : T.t array) : T.t =
+    (* Size-dependent facts come from the caller's kernel. *)
+    let n_agg = int_of_float kc.Physical.agg_space in
+    let output_fill = kc.Physical.output_fill in
+    let finalize =
+      if agg_op = Op.Ident then fun v cnt -> if cnt = 0 then output_fill else v
+      else
+        fun v cnt ->
+        Op.apply2 agg_op v (Op.repeat agg_op body_fill (n_agg - cnt))
+    in
+    Array.iteri
+      (fun a (t : T.t) ->
+        if Array.length (T.dims t) <> plan.Lowering.p_acc_arity.(a) then
+          invalid_arg
+            (Printf.sprintf "Kernel %s: access %d arity mismatch"
+               k.Physical.name a))
+      tensors;
+    let builder =
+      Builder.create ~dims:kc.Physical.output_dims
+        ~formats:k.Physical.output_formats ~identity ()
+    in
+    let st = Lowering.fresh_state plan tensors in
+    let values = st.Lowering.st_values in
+    let coords = st.Lowering.st_coords in
+    let loop_dims = kc.Physical.loop_dims in
+    (* Same deadline cadence as the interpreter: one budget tick per
+       candidate and per accumulation, clock checked every 8192 ticks. *)
+    let iter_budget = ref 0 in
+    let check_deadline () =
+      match deadline with
+      | None -> ()
+      | Some d ->
+          incr iter_budget;
+          if !iter_budget land 8191 = 0 && Unix.gettimeofday () > d then
+            raise Timeout
+    in
+    let rec go (level : int) : unit =
+      if level = n_levels then begin
+        check_deadline ();
+        Builder.accum builder coords (body values) ~combine
+      end
+      else begin
+        let lv = levels.(level) in
+        let bind = lv.Lowering.lv_bind in
+        match lv.Lowering.lv_gen st with
+        | Lowering.G_full ->
+            let n = loop_dims.(level) in
+            for i = 0 to n - 1 do
+              check_deadline ();
+              bind st i;
+              go (level + 1)
+            done
+        | Lowering.G_arr arr ->
+            Array.iter
+              (fun i ->
+                check_deadline ();
+                bind st i;
+                go (level + 1))
+              arr
+        | Lowering.G_filter (arr, probe) ->
+            Array.iter
+              (fun i ->
+                if probe i then begin
+                  check_deadline ();
+                  bind st i;
+                  go (level + 1)
+                end)
+              arr
+        | Lowering.G_cur c ->
+            while c.Cursors.key <> Cursors.exhausted do
+              check_deadline ();
+              bind st c.Cursors.key;
+              go (level + 1);
+              c.Cursors.next ()
+            done
+      end
+    in
+    go 0;
+    Builder.freeze builder ~finalize ~fill:output_fill
+  in
+  { run }

@@ -1,0 +1,63 @@
+(* Scalar-body fusion: stage a [Physical.pexpr] into one closure over the
+   per-access value slots, so the innermost loop evaluates the body with no
+   expression-tree walk and no intermediate argument arrays.
+
+   The staged closures must be bit-for-bit identical to the interpreter's
+   [Op.apply1]/[Op.apply2] folds (the interpreter is the differential
+   oracle), so every specialization below inlines exactly the operator's
+   formula and variadic maps fold left, as [Op.apply] does. *)
+
+open Galley_plan
+
+type fn = float array -> float
+
+let rec stage (e : Physical.pexpr) : fn =
+  match e with
+  | Physical.P_access a -> fun vs -> Array.unsafe_get vs a
+  | Physical.P_literal v -> fun _ -> v
+  | Physical.P_map (op, [ x ]) when Op.arity op = Op.Unary -> (
+      let fx = stage x in
+      match op with
+      | Op.Ident -> fx
+      | Op.Neg -> fun vs -> -.fx vs
+      | Op.Square ->
+          fun vs ->
+            let v = fx vs in
+            v *. v
+      | Op.Relu -> fun vs -> Float.max 0.0 (fx vs)
+      | Op.Exp -> fun vs -> exp (fx vs)
+      | Op.Sigmoid -> fun vs -> 1.0 /. (1.0 +. exp (-.fx vs))
+      | _ -> fun vs -> Op.apply1 op (fx vs))
+  | Physical.P_map (op, [ x; y ]) -> stage2 op x y
+  | Physical.P_map (op, x :: rest) when Op.arity op = Op.Variadic ->
+      List.fold_left (fun acc y -> combine2 op acc (stage y)) (stage x) rest
+  | Physical.P_map (op, args) ->
+      (* Arity mismatch: defer to [Op.apply] so the staged kernel fails with
+         the same error the interpreter would raise. *)
+      let fs = Array.of_list (List.map stage args) in
+      fun vs -> Op.apply op (Array.map (fun f -> f vs) fs)
+
+(* Binary application with leaf specializations for the hot shapes. *)
+and stage2 (op : Op.t) (x : Physical.pexpr) (y : Physical.pexpr) : fn =
+  match (op, x, y) with
+  | Op.Mul, Physical.P_access a, Physical.P_access b ->
+      fun vs -> Array.unsafe_get vs a *. Array.unsafe_get vs b
+  | Op.Add, Physical.P_access a, Physical.P_access b ->
+      fun vs -> Array.unsafe_get vs a +. Array.unsafe_get vs b
+  | Op.Sub, Physical.P_access a, Physical.P_access b ->
+      fun vs -> Array.unsafe_get vs a -. Array.unsafe_get vs b
+  | Op.Mul, Physical.P_access a, Physical.P_literal l ->
+      fun vs -> Array.unsafe_get vs a *. l
+  | Op.Add, Physical.P_access a, Physical.P_literal l ->
+      fun vs -> Array.unsafe_get vs a +. l
+  | _ -> combine2 op (stage x) (stage y)
+
+and combine2 (op : Op.t) (fx : fn) (fy : fn) : fn =
+  match op with
+  | Op.Add -> fun vs -> fx vs +. fy vs
+  | Op.Mul -> fun vs -> fx vs *. fy vs
+  | Op.Sub -> fun vs -> fx vs -. fy vs
+  | Op.Div -> fun vs -> fx vs /. fy vs
+  | Op.Max -> fun vs -> Float.max (fx vs) (fy vs)
+  | Op.Min -> fun vs -> Float.min (fx vs) (fy vs)
+  | _ -> fun vs -> Op.apply2 op (fx vs) (fy vs)

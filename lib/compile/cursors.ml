@@ -1,0 +1,175 @@
+(* Cursor-based co-iteration over sorted index streams.
+
+   A cursor walks one sorted stream of explicit indices: [key] is the
+   current candidate ([exhausted] once the stream is done), [next] advances
+   past it, and [seek t] jumps to the first key >= [t].  Because cursors
+   support [seek], they compose: a leapfrog intersection or a k-way union
+   is itself a cursor, so arbitrarily nested and/or constraint trees
+   iterate without ever materializing candidate arrays.
+
+   Streams are strictly ascending and duplicate-free (fiber-tree levels
+   store each index once), and every derived cursor preserves that, which
+   is what lets sorted-list output builders consume candidates directly. *)
+
+type t = {
+  mutable key : int;  (* current candidate; [exhausted] when done *)
+  next : unit -> unit;  (* advance past [key] *)
+  seek : int -> unit;  (* advance to the first key >= target *)
+}
+
+let exhausted = max_int
+
+let empty () : t = { key = exhausted; next = (fun () -> ()); seek = (fun _ -> ()) }
+
+(* Cursor over a sorted duplicate-free array.  [seek] gallops: an
+   exponential probe from the current position followed by a binary search
+   of the bracketed range, so a run of seeks over the whole array costs
+   O(n) total and a far-jumping seek costs O(log gap). *)
+let of_sorted (crd : int array) : t =
+  let len = Array.length crd in
+  let pos = ref 0 in
+  let rec c =
+    {
+      key = (if len = 0 then exhausted else crd.(0));
+      next =
+        (fun () ->
+          incr pos;
+          c.key <- (if !pos < len then crd.(!pos) else exhausted));
+      seek =
+        (fun target ->
+          if c.key < target then begin
+            (* crd.(!pos) < target: gallop right to bracket the target. *)
+            let lo = ref !pos and step = ref 1 in
+            while !lo + !step < len && crd.(!lo + !step) < target do
+              lo := !lo + !step;
+              step := !step * 2
+            done;
+            let hi = ref (min (len - 1) (!lo + !step)) in
+            if crd.(!hi) < target then begin
+              pos := len;
+              c.key <- exhausted
+            end
+            else begin
+              (* Invariant: crd.(!lo) < target <= crd.(!hi). *)
+              while !hi - !lo > 1 do
+                let mid = (!lo + !hi) / 2 in
+                if crd.(mid) < target then lo := mid else hi := mid
+              done;
+              pos := !hi;
+              c.key <- crd.(!hi)
+            end
+          end);
+    }
+  in
+  c
+
+(* K-way union: the minimum of the member keys; [next] advances every
+   member sitting at the current key, so duplicates across members are
+   emitted once. *)
+let union (members : t array) : t =
+  let minkey () =
+    let m = ref exhausted in
+    Array.iter (fun c -> if c.key < !m then m := c.key) members;
+    !m
+  in
+  let rec c =
+    {
+      key = exhausted;
+      next =
+        (fun () ->
+          let k = c.key in
+          Array.iter (fun m -> if m.key = k then m.next ()) members;
+          c.key <- minkey ());
+      seek =
+        (fun target ->
+          if c.key < target then begin
+            Array.iter (fun m -> if m.key < target then m.seek target) members;
+            c.key <- minkey ()
+          end);
+    }
+  in
+  c.key <- minkey ();
+  c
+
+(* Leapfrog intersection of [curs], additionally filtered by the O(1)/
+   O(log) membership [probes].  The loop raises a candidate to the maximum
+   cursor key, seeks everyone there, and accepts once all cursors agree
+   and all probes pass; a failed probe bumps the candidate by one and the
+   next seek gallops to the following real key. *)
+let inter (curs : t array) (probes : (int -> bool) array) : t =
+  if Array.length curs = 0 then
+    invalid_arg "Cursors.inter: needs at least one cursor";
+  let n_probes = Array.length probes in
+  let pass cand =
+    let ok = ref true in
+    for p = 0 to n_probes - 1 do
+      if !ok && not (probes.(p) cand) then ok := false
+    done;
+    !ok
+  in
+  let settle start =
+    let cand = ref start in
+    let result = ref (-1) in
+    while !result < 0 do
+      if !cand = exhausted then result := exhausted
+      else begin
+        let hi = ref !cand in
+        Array.iter
+          (fun cu ->
+            if cu.key < !hi then cu.seek !hi;
+            if cu.key > !hi then hi := cu.key)
+          curs;
+        if !hi <> !cand then cand := !hi
+        else if pass !cand then result := !cand
+        else cand := !cand + 1
+      end
+    done;
+    !result
+  in
+  let rec c =
+    {
+      key = exhausted;
+      next = (fun () -> if c.key <> exhausted then c.key <- settle (c.key + 1));
+      seek = (fun target -> if c.key < target then c.key <- settle target);
+    }
+  in
+  c.key <- settle 0;
+  c
+
+(* Restrict a cursor to the keys passing a membership probe. *)
+let filter (base : t) (pr : int -> bool) : t =
+  let rec settle (d : t) =
+    if base.key <> exhausted && not (pr base.key) then begin
+      base.next ();
+      settle d
+    end
+    else d.key <- base.key
+  in
+  let rec d =
+    {
+      key = exhausted;
+      next =
+        (fun () ->
+          if d.key <> exhausted then begin
+            base.next ();
+            settle d
+          end);
+      seek =
+        (fun target ->
+          if d.key < target then begin
+            base.seek target;
+            settle d
+          end);
+    }
+  in
+  settle d;
+  d
+
+(* Drain a cursor to a list (tests and debugging). *)
+let to_list (c : t) : int list =
+  let acc = ref [] in
+  while c.key <> exhausted do
+    acc := c.key :: !acc;
+    c.next ()
+  done;
+  List.rev !acc

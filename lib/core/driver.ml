@@ -37,6 +37,9 @@ type config = {
       (* flag an intermediate whose materialized nnz exceeds this factor
          times its estimate; one corrective re-optimization, then
          [Budget_exceeded] *)
+  kernel_backend : Galley_engine.Exec.backend;
+      (* staged closure compiler (default) or the constraint-tree
+         interpreter, retained as the differential oracle *)
 }
 
 let default_config =
@@ -52,6 +55,7 @@ let default_config =
     validate = true;
     faults = Faults.none;
     nnz_guard = None;
+    kernel_backend = Galley_engine.Exec.Staged;
   }
 
 let greedy_config =
@@ -378,7 +382,9 @@ let execute_logical ~(config : config) ~(ctx : Ctx.t)
   validate_logical ~config
     ~known:(fun n -> List.mem_assoc n inputs)
     ~outputs logical_plan;
-  let exec = Galley_engine.Exec.create ~cse:config.cse () in
+  let exec =
+    Galley_engine.Exec.create ~cse:config.cse ~backend:config.kernel_backend ()
+  in
   List.iter (fun (name, t) -> Galley_engine.Exec.bind exec name t) inputs;
   let counter = ref 0 in
   let fresh () =
@@ -532,7 +538,9 @@ module Session = struct
     {
       s_config = config;
       s_ctx = Faults.wrap_ctx config.faults (Ctx.create ~kind:config.estimator schema);
-      s_exec = Galley_engine.Exec.create ~cse:config.cse ();
+      s_exec =
+        Galley_engine.Exec.create ~cse:config.cse
+          ~backend:config.kernel_backend ();
       s_inputs = [];
       s_counter = 0;
     }

@@ -36,6 +36,10 @@ type config = {
       (** flag an intermediate whose materialized nnz exceeds this factor
           times its estimate; one corrective re-optimization with measured
           statistics, then {!Errors.Budget_exceeded} *)
+  kernel_backend : Galley_engine.Exec.backend;
+      (** which kernel compiler the engine uses: the staged closure
+          compiler ([Staged], the default) or the constraint-tree
+          interpreter ([Interp]), retained as the differential oracle *)
 }
 
 (** Chain-bound estimator, branch-and-bound logical search, JIT, CSE;

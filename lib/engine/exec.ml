@@ -12,6 +12,14 @@ module T = Galley_tensor.Tensor
 
 exception Timeout = Kernel_exec.Timeout
 
+(* Which kernel compiler backs the cache: the staged closure compiler
+   (galley_compile; the default) or the constraint-tree interpreter, kept
+   as the differential oracle.  Both produce size-generic closures keyed by
+   the same structural signature, so cache accounting is identical. *)
+type backend = Interp | Staged
+
+let backend_to_string = function Interp -> "interp" | Staged -> "staged"
+
 type timings = {
   mutable compile_time : float; (* seconds spent compiling kernels *)
   mutable compile_count : int; (* cache misses *)
@@ -43,9 +51,10 @@ type t = {
   mutable kernel_hook : (int -> unit) option;
       (* called with the 1-based kernel invocation ordinal before each
          kernel runs (CSE hits skip it); a fault-injection seam *)
+  backend : backend;
 }
 
-let create ?(cse = true) () =
+let create ?(cse = true) ?(backend = Staged) () =
   {
     tensors = Hashtbl.create 32;
     versions = Hashtbl.create 32;
@@ -55,6 +64,7 @@ let create ?(cse = true) () =
     timings = fresh_timings ();
     deadline = None;
     kernel_hook = None;
+    backend;
   }
 
 let set_timeout (t : t) (seconds : float) : unit =
@@ -129,7 +139,24 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
         | Some c -> c
         | None ->
             let t0 = now () in
-            let c = { (Kernel_exec.compile k ~access_fills) with signature } in
+            let c =
+              match t.backend with
+              | Interp ->
+                  { (Kernel_exec.compile k ~access_fills) with signature }
+              | Staged ->
+                  let staged =
+                    Galley_compile.Backend.compile k ~access_fills
+                      ~access_formats
+                  in
+                  {
+                    Kernel_exec.signature;
+                    run =
+                      (fun ?deadline kc ts ->
+                        try staged.Galley_compile.Backend.run ?deadline kc ts
+                        with Galley_compile.Backend.Timeout ->
+                          raise Kernel_exec.Timeout);
+                  }
+            in
             t.timings.compile_time <- t.timings.compile_time +. (now () -. t0);
             t.timings.compile_count <- t.timings.compile_count + 1;
             Hashtbl.replace t.kernel_cache signature c;

@@ -86,6 +86,21 @@ let compile (k : Physical.kernel) ~(access_fills : float array) : compiled =
         acc.Physical.idxs)
     k.Physical.accesses;
   let bindings_per_level = Array.map Array.of_list bindings_per_level in
+  (* Per level: access → (slot, is_last), precomputed once so constraint
+     probes don't re-scan the binding list on every candidate. *)
+  let slots_per_level =
+    Array.map
+      (fun bs ->
+        let m = Array.make (max 1 n_acc) None in
+        Array.iter (fun (a, j, is_last) -> m.(a) <- Some (j, is_last)) bs;
+        m)
+      bindings_per_level
+  in
+  let slot_of (level : int) (a : int) : int * bool =
+    match slots_per_level.(level).(a) with
+    | Some s -> s
+    | None -> invalid_arg "Kernel: constraint references non-binding access"
+  in
   (* Per level: constraint tree with intersection members reordered so the
      Iterate-protocol leader comes first. *)
   let protocol_of a x =
@@ -208,18 +223,13 @@ let compile (k : Physical.kernel) ~(access_fills : float array) : compiled =
       | Galley_physical.Constraints.C_all -> `Full
       | Galley_physical.Constraints.C_empty -> `Arr [||]
       | Galley_physical.Constraints.C_access a -> (
-          let j, is_last = slot_of level a in
+          let j, _ = slot_of level a in
           match prev_node a j with
           | None -> `Arr [||]
-          | Some nd ->
-              if is_last then (
-                match Node.explicit_indices nd with
-                | None -> `Full
-                | Some arr -> `Arr arr)
-              else (
-                match Node.explicit_indices nd with
-                | None -> `Full
-                | Some arr -> `Arr arr))
+          | Some nd -> (
+              match Node.explicit_indices nd with
+              | None -> `Full
+              | Some arr -> `Arr arr))
       | Galley_physical.Constraints.C_and (leader :: rest) -> (
           match cands level leader with
           | `Full ->
@@ -252,24 +262,12 @@ let compile (k : Physical.kernel) ~(access_fills : float array) : compiled =
       | Galley_physical.Constraints.C_all -> true
       | Galley_physical.Constraints.C_empty -> false
       | Galley_physical.Constraints.C_access a -> (
-          let j, is_last = slot_of level a in
+          let j, _ = slot_of level a in
           match prev_node a j with
           | None -> false
-          | Some nd ->
-              if is_last then Node.find_value nd i <> None
-              else Node.find nd i <> None)
+          | Some nd -> Node.mem nd i)
       | Galley_physical.Constraints.C_and members -> List.for_all (fun m -> contains level m i) members
       | Galley_physical.Constraints.C_or members -> List.exists (fun m -> contains level m i) members
-    and slot_of (level : int) (a : int) : int * bool =
-      let bs = bindings_per_level.(level) in
-      let rec find p =
-        if p >= Array.length bs then
-          invalid_arg "Kernel: constraint references non-binding access"
-        else
-          let a', j, is_last = bs.(p) in
-          if a' = a then (j, is_last) else find (p + 1)
-      in
-      find 0
     in
     let bind (level : int) (i : int) : unit =
       Array.iter

@@ -69,6 +69,19 @@ let bsearch (crd : int array) (x : int) : int option =
   done;
   !found
 
+(* Option-free membership variant of [bsearch], for probe-heavy loops. *)
+let bsearch_mem (crd : int array) (x : int) : bool =
+  let lo = ref 0 and hi = ref (Array.length crd - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = crd.(mid) in
+    if c = x then found := true
+    else if c < x then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
 let hash_sorted_keys tbl sorted set_sorted =
   match sorted with
   | Some s -> s
@@ -147,6 +160,20 @@ module Node = struct
     match n with
     | Scalar v -> v
     | _ -> invalid_arg "Node.scalar_value: not a scalar"
+
+  (* Membership probe: does this level store index [i] explicitly?  Cheaper
+     than [find]/[find_value] when only presence matters — no child or value
+     is fetched, and a bytemap answers from its mask alone. *)
+  let mem (n : node) (i : int) : bool =
+    match n with
+    | Inner_dense cs -> i >= 0 && i < Array.length cs
+    | Leaf_dense vs -> i >= 0 && i < Array.length vs
+    | Inner_sparse { crd; _ } | Leaf_sparse { crd; _ } -> bsearch_mem crd i
+    | Inner_bytemap { mask; _ } | Leaf_bytemap { mask; _ } ->
+        i >= 0 && i < Bytes.length mask && Bytes.get mask i <> '\000'
+    | Inner_hash { tbl; _ } -> Hashtbl.mem tbl i
+    | Leaf_hash { tbl; _ } -> Hashtbl.mem tbl i
+    | Scalar _ -> invalid_arg "Node.mem: scalar"
 
   (* Iterate children of an inner level in ascending index order. *)
   let iter_sorted (n : node) (f : int -> node -> unit) : unit =

@@ -69,6 +69,10 @@ module Node : sig
 
   val scalar_value : t -> float
 
+  (** Membership probe: is index [i] explicitly stored at this level?
+      Cheaper than {!find}/{!find_value} when only presence matters. *)
+  val mem : t -> int -> bool
+
   (** Iterate children / values in ascending index order. *)
   val iter_sorted : t -> (int -> t -> unit) -> unit
 

@@ -67,12 +67,12 @@ type stats = {
 let indicator ~(n : int) ~(format : T.format) (v : int) : T.t =
   T.of_coo ~dims:[| n |] ~formats:[| format |] [| ([| v |], 1.0) |]
 
-let run ?(max_iters = 1000) (variant : variant) ~(adjacency : T.t)
-    ~(source : int) : stats =
+let run ?(max_iters = 1000) ?(config_base = Galley.Driver.default_config)
+    (variant : variant) ~(adjacency : T.t) ~(source : int) : stats =
   let n = (T.dims adjacency).(0) in
   let config =
     {
-      Galley.Driver.default_config with
+      config_base with
       physical =
         {
           Galley_physical.Optimizer.default_config with

@@ -1,0 +1,379 @@
+(* Staged kernel compiler: cursor algebra unit tests (intersection, union,
+   galloping seek, edge cases) and a differential qcheck suite asserting
+   that the staged backend, the constraint-tree interpreter, and the
+   brute-force reference agree on random kernels across formats, fills
+   (including non-annihilating fill correction), and aggregates.  Staged
+   and interpreted results must agree bit-for-bit; the reference sums in a
+   different order, so it is compared with a tolerance. *)
+
+module T = Galley_tensor.Tensor
+module Prng = Galley_tensor.Prng
+module Ir = Galley_plan.Ir
+module Op = Galley_plan.Op
+module Schema = Galley_plan.Schema
+module LQ = Galley_plan.Logical_query
+module Popt = Galley_physical.Optimizer
+module Exec = Galley_engine.Exec
+module Ctx = Galley_stats.Ctx
+module Cursors = Galley_compile.Cursors
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+(* -------------------------------------------------------------- *)
+(* Cursor algebra.                                                  *)
+(* -------------------------------------------------------------- *)
+
+let test_cursor_sorted () =
+  check_ints "empty" [] (Cursors.to_list (Cursors.of_sorted [||]));
+  check_ints "singleton" [ 5 ] (Cursors.to_list (Cursors.of_sorted [| 5 |]));
+  check_ints "walk" [ 1; 4; 9 ]
+    (Cursors.to_list (Cursors.of_sorted [| 1; 4; 9 |]));
+  let c = Cursors.of_sorted [| 1; 4; 9; 12 |] in
+  c.Cursors.seek 4;
+  check_int "seek exact" 4 c.Cursors.key;
+  c.Cursors.seek 5;
+  check_int "seek between" 9 c.Cursors.key;
+  c.Cursors.seek 100;
+  check_int "seek past end" Cursors.exhausted c.Cursors.key;
+  (* Seeks never move backwards. *)
+  let c = Cursors.of_sorted [| 2; 8 |] in
+  c.Cursors.seek 8;
+  c.Cursors.seek 3;
+  check_int "seek is monotone" 8 c.Cursors.key
+
+let test_cursor_gallop () =
+  (* Long stream, far jumps: the galloping seek must land exactly. *)
+  let evens = Array.init 1000 (fun i -> 2 * i) in
+  let c = Cursors.of_sorted evens in
+  c.Cursors.seek 1001;
+  check_int "gallop to odd target" 1002 c.Cursors.key;
+  c.Cursors.seek 1996;
+  check_int "gallop to exact key" 1996 c.Cursors.key;
+  c.Cursors.seek 1999;
+  check_int "gallop exhausts" Cursors.exhausted c.Cursors.key
+
+let test_cursor_union () =
+  let u arrays =
+    Cursors.to_list
+      (Cursors.union (Array.map Cursors.of_sorted (Array.of_list arrays)))
+  in
+  check_ints "disjoint" [ 1; 2; 3; 4 ] (u [ [| 1; 3 |]; [| 2; 4 |] ]);
+  check_ints "duplicates once" [ 1; 2; 3 ] (u [ [| 1; 2 |]; [| 2; 3 |] ]);
+  check_ints "empty member" [ 7 ] (u [ [||]; [| 7 |] ]);
+  check_ints "all empty" [] (u [ [||]; [||] ]);
+  (* A union is itself seekable (it can sit under an intersection). *)
+  let c =
+    Cursors.union [| Cursors.of_sorted [| 1; 5 |]; Cursors.of_sorted [| 3 |] |]
+  in
+  c.Cursors.seek 2;
+  check_int "union seek" 3 c.Cursors.key
+
+let test_cursor_inter () =
+  let i arrays probes =
+    Cursors.to_list
+      (Cursors.inter
+         (Array.map Cursors.of_sorted (Array.of_list arrays))
+         (Array.of_list probes))
+  in
+  check_ints "overlap" [ 3; 7 ] (i [ [| 1; 3; 7 |]; [| 3; 5; 7 |] ] []);
+  check_ints "disjoint" [] (i [ [| 1; 3 |]; [| 2; 4 |] ] []);
+  check_ints "empty member kills" [] (i [ [| 1; 2; 3 |]; [||] ] []);
+  check_ints "singleton" [ 2 ] (i [ [| 2 |]; [| 1; 2; 3 |] ] []);
+  check_ints "probe filter" [ 4 ]
+    (i [ [| 1; 2; 3; 4 |] ] [ (fun k -> k mod 4 = 0) ]);
+  check_ints "probe rejects all" [] (i [ [| 1; 3 |] ] [ (fun _ -> false) ]);
+  (* Three-way leapfrog with skewed sizes. *)
+  let big = Array.init 500 (fun k -> 3 * k) in
+  check_ints "three way" [ 0; 30 ]
+    (i [ big; [| 0; 10; 30; 31 |]; [| 0; 5; 30; 1200 |] ] [])
+
+let test_cursor_inter_randomized () =
+  let prng = Prng.create 7 in
+  for _ = 1 to 50 do
+    let rand_sorted () =
+      let n = Prng.int prng 30 in
+      let tbl = Hashtbl.create 16 in
+      for _ = 1 to n do
+        Hashtbl.replace tbl (Prng.int prng 60) ()
+      done;
+      let a = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+      Array.sort compare a;
+      a
+    in
+    let a = rand_sorted () and b = rand_sorted () and c = rand_sorted () in
+    let mem arr x = Array.exists (( = ) x) arr in
+    let naive_inter =
+      List.filter (fun x -> mem b x && mem c x) (Array.to_list a)
+    in
+    let naive_union =
+      List.filter
+        (fun x -> mem a x || mem b x || mem c x)
+        (List.init 60 Fun.id)
+    in
+    check_ints "random inter = naive" naive_inter
+      (Cursors.to_list
+         (Cursors.inter
+            [| Cursors.of_sorted a; Cursors.of_sorted b; Cursors.of_sorted c |]
+            [||]));
+    check_ints "random union = naive" naive_union
+      (Cursors.to_list
+         (Cursors.union
+            [| Cursors.of_sorted a; Cursors.of_sorted b; Cursors.of_sorted c |]))
+  done
+
+(* -------------------------------------------------------------- *)
+(* Differential: staged vs interpreted vs reference.                *)
+(* -------------------------------------------------------------- *)
+
+let fresh_gen () =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    Printf.sprintf "#c%d" !c
+
+let plan_for ?(popt_config = Popt.default_config) inputs (q : LQ.t) =
+  let schema = Schema.create () in
+  List.iter (fun (n, t) -> Schema.declare_tensor schema n t) inputs;
+  let ctx = Ctx.create schema in
+  List.iter (fun (n, t) -> ctx.Ctx.register_input n t) inputs;
+  Popt.plan_query ~config:popt_config ctx ~fresh:(fresh_gen ()) q
+
+let run_plan_with backend inputs plan name =
+  let exec = Exec.create ~backend () in
+  List.iter (fun (n, t) -> Exec.bind exec n t) inputs;
+  Exec.run_plan exec plan;
+  Exec.lookup exec name
+
+(* Bit-for-bit equality of the dense images (and of fills/dims). *)
+let bits_equal (a : T.t) (b : T.t) : bool =
+  T.dims a = T.dims b
+  && Int64.bits_of_float (T.fill a) = Int64.bits_of_float (T.fill b)
+  &&
+  let fa = T.to_flat_dense a and fb = T.to_flat_dense b in
+  Array.for_all2
+    (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+    fa fb
+
+let reference inputs (q : LQ.t) =
+  List.assoc q.LQ.name
+    (Galley.Reference.eval_program inputs
+       { Ir.queries = [ LQ.to_query q ]; outputs = [ q.LQ.name ] })
+
+(* Plan once, execute under both backends, compare bit-for-bit, and check
+   both against the brute-force reference with a tolerance. *)
+let check_differential ?popt_config name inputs (q : LQ.t) =
+  let plan = plan_for ?popt_config inputs q in
+  let staged = run_plan_with Exec.Staged inputs plan q.LQ.name in
+  let interp = run_plan_with Exec.Interp inputs plan q.LQ.name in
+  if not (bits_equal staged interp) then
+    Alcotest.failf "%s: staged and interpreted backends disagree:\n%s\nvs\n%s"
+      name (T.to_string staged) (T.to_string interp);
+  let want = reference inputs q in
+  if not (T.equal_approx ~eps:1e-6 staged want) then
+    Alcotest.failf "%s: staged backend disagrees with reference:\ngot  %s\nwant %s"
+      name (T.to_string staged) (T.to_string want)
+
+let prop_differential =
+  QCheck.Test.make ~name:"staged = interpreted = reference" ~count:160
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let fmt () =
+        match Prng.int prng 4 with
+        | 0 -> T.Dense
+        | 1 -> T.Sparse_list
+        | 2 -> T.Bytemap
+        | _ -> T.Hash
+      in
+      let fill () =
+        (* Mostly the annihilating 0, sometimes 1 or 0.5: non-annihilating
+           fills flip intersections to unions and exercise the freeze-time
+           fill correction. *)
+        match Prng.int prng 4 with 0 | 1 -> 0.0 | 2 -> 1.0 | _ -> 0.5
+      in
+      let n1 = 3 + Prng.int prng 5 and n2 = 3 + Prng.int prng 5 in
+      let rand dims =
+        T.random ~fill:(fill ()) ~prng ~dims
+          ~formats:(Array.init (Array.length dims) (fun _ -> fmt ()))
+          ~density:(Prng.float_range prng 0.15 0.6)
+          ()
+      in
+      let a = rand [| n1; n2 |] in
+      let b = rand [| n2 |] in
+      let c = rand [| n1 |] in
+      let inputs = [ ("A", a); ("b", b); ("c", c) ] in
+      let leaf () =
+        match Prng.int prng 4 with
+        | 0 -> Ir.input "A" [ "i"; "j" ]
+        | 1 -> Ir.input "b" [ "j" ]
+        | 2 -> Ir.input "c" [ "i" ]
+        | _ -> Ir.lit (Prng.float_range prng (-1.0) 2.0)
+      in
+      let rec gen depth =
+        if depth = 0 || Prng.int prng 3 = 0 then leaf ()
+        else
+          match Prng.int prng 7 with
+          | 0 -> Ir.add [ gen (depth - 1); gen (depth - 1) ]
+          | 1 -> Ir.mul [ gen (depth - 1); gen (depth - 1) ]
+          | 2 -> Ir.Map (Op.Max, [ gen (depth - 1); gen (depth - 1) ])
+          | 3 -> Ir.Map (Op.Min, [ gen (depth - 1); gen (depth - 1) ])
+          | 4 -> Ir.Map (Op.Sub, [ gen (depth - 1); gen (depth - 1) ])
+          | 5 -> Ir.map Op.Sigmoid [ gen (depth - 1) ]
+          | _ -> Ir.map Op.Relu [ gen (depth - 1) ]
+      in
+      let body = gen 3 in
+      let free = Ir.Idx_set.elements (Ir.free_indices body) in
+      let agg_op =
+        match Prng.int prng 4 with
+        | 0 -> Op.Add
+        | 1 -> Op.Max
+        | 2 -> Op.Min
+        | _ -> Op.Mul
+      in
+      let agg_idxs = List.filter (fun _ -> Prng.bool prng) free in
+      let output_idxs = List.filter (fun i -> not (List.mem i agg_idxs)) free in
+      let agg_op = if agg_idxs = [] then Op.Ident else agg_op in
+      let out_fmts =
+        Array.init (List.length output_idxs) (fun _ -> fmt ())
+      in
+      let popt_config =
+        {
+          Popt.default_config with
+          format_override = (fun n -> if n = "out" then Some out_fmts else None);
+        }
+      in
+      let q = LQ.make ~output_idxs ~name:"out" ~agg_op ~agg_idxs ~body () in
+      check_differential ~popt_config "random kernel" inputs q;
+      true)
+
+(* Targeted differential shapes the random generator is unlikely to pin
+   down precisely. *)
+
+let test_all_fill_subtree () =
+  (* One operand entirely at fill: sparse levels iterate nothing, and with
+     a non-annihilating fill the union side still covers the other
+     operand. *)
+  let prng = Prng.create 99 in
+  List.iter
+    (fun fill ->
+      let a =
+        T.of_coo ~fill ~dims:[| 5; 6 |] ~formats:[| T.Sparse_list; T.Hash |]
+          [||]
+      in
+      let b =
+        T.random ~prng ~dims:[| 5; 6 |]
+          ~formats:[| T.Dense; T.Sparse_list |]
+          ~density:0.4 ()
+      in
+      let inputs = [ ("A", a); ("B", b) ] in
+      List.iter
+        (fun mk ->
+          let q =
+            LQ.make ~output_idxs:[ "i" ] ~name:"out" ~agg_op:Op.Add
+              ~agg_idxs:[ "j" ]
+              ~body:(mk [ Ir.input "A" [ "i"; "j" ]; Ir.input "B" [ "i"; "j" ] ])
+              ()
+          in
+          check_differential "all-fill operand" inputs q)
+        [ Ir.mul; Ir.add ])
+    [ 0.0; 1.0 ]
+
+let test_nonzero_fill_correction () =
+  (* Fill-1 operands under Mul: the constraint tree is a union, the body
+     fill is non-zero, and the Add aggregate must fold the skipped
+     coordinates in at freeze time. *)
+  let a =
+    T.of_coo ~fill:1.0 ~dims:[| 4; 5 |] ~formats:[| T.Dense; T.Sparse_list |]
+      [| ([| 0; 1 |], 3.0); ([| 2; 4 |], 0.5) |]
+  in
+  let b =
+    T.of_coo ~fill:1.0 ~dims:[| 5 |] ~formats:[| T.Bytemap |]
+      [| ([| 2 |], 2.0) |]
+  in
+  let q =
+    LQ.make ~output_idxs:[ "i" ] ~name:"out" ~agg_op:Op.Add ~agg_idxs:[ "j" ]
+      ~body:(Ir.mul [ Ir.input "A" [ "i"; "j" ]; Ir.input "b" [ "j" ] ])
+      ()
+  in
+  check_differential "non-annihilating fill" [ ("A", a); ("b", b) ] q
+
+let test_hash_and_bytemap_intersection () =
+  (* Sparse-list leader with hash and bytemap probers, all three formats on
+     the same index. *)
+  let prng = Prng.create 5 in
+  let mk fmt = T.random ~prng ~dims:[| 40 |] ~formats:[| fmt |] ~density:0.3 () in
+  let inputs =
+    [ ("s", mk T.Sparse_list); ("h", mk T.Hash); ("m", mk T.Bytemap) ]
+  in
+  let q =
+    LQ.make ~output_idxs:[] ~name:"out" ~agg_op:Op.Add ~agg_idxs:[ "i" ]
+      ~body:
+        (Ir.mul
+           [ Ir.input "s" [ "i" ]; Ir.input "h" [ "i" ]; Ir.input "m" [ "i" ] ])
+      ()
+  in
+  check_differential "format mix" inputs q
+
+let test_cache_accounting_identical () =
+  (* Both backends must produce the same kernel-cache hit/miss pattern
+     (Fig. 9 shape): same signature on a structural repeat, so the second
+     invocation hits the cache under either compiler. *)
+  let prng = Prng.create 11 in
+  let mk () =
+    T.random ~prng ~dims:[| 12; 12 |]
+      ~formats:[| T.Dense; T.Sparse_list |]
+      ~density:0.3 ()
+  in
+  let q =
+    LQ.make ~output_idxs:[ "i" ] ~name:"r1" ~agg_op:Op.Add ~agg_idxs:[ "j" ]
+      ~body:(Ir.mul [ Ir.input "X" [ "i"; "j" ]; Ir.input "y" [ "j" ] ])
+      ()
+  in
+  let counts backend =
+    let exec = Exec.create ~backend ~cse:false () in
+    let x1 = mk () and x2 = mk () in
+    let y =
+      T.random ~prng ~dims:[| 12 |] ~formats:[| T.Sparse_list |] ~density:0.5
+        ()
+    in
+    let plan = plan_for [ ("X", x1); ("y", y) ] q in
+    Exec.bind exec "X" x1;
+    Exec.bind exec "y" y;
+    Exec.run_plan exec plan;
+    Exec.bind exec "X" x2;
+    Exec.run_plan exec plan;
+    let t = exec.Exec.timings in
+    (t.Exec.compile_count, t.Exec.kernel_count)
+  in
+  let staged = counts Exec.Staged and interp = counts Exec.Interp in
+  check_bool "identical cache accounting" true (staged = interp);
+  check_int "one compile, two runs" 1 (fst staged);
+  check_int "two kernel invocations" 2 (snd staged)
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "cursors",
+        [
+          Alcotest.test_case "sorted cursor" `Quick test_cursor_sorted;
+          Alcotest.test_case "galloping seek" `Quick test_cursor_gallop;
+          Alcotest.test_case "union" `Quick test_cursor_union;
+          Alcotest.test_case "intersection" `Quick test_cursor_inter;
+          Alcotest.test_case "randomized vs naive" `Quick
+            test_cursor_inter_randomized;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "all-fill subtree" `Quick test_all_fill_subtree;
+          Alcotest.test_case "non-annihilating fill" `Quick
+            test_nonzero_fill_correction;
+          Alcotest.test_case "hash/bytemap intersection" `Quick
+            test_hash_and_bytemap_intersection;
+          Alcotest.test_case "cache accounting" `Quick
+            test_cache_accounting_identical;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_differential ] );
+    ]

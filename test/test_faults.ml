@@ -43,7 +43,18 @@ let check_against_reference ?(eps = 1e-6) name config inputs
 let all_tier (want : Tier.t) (tiers : (string * Tier.t) list) : bool =
   tiers <> [] && List.for_all (fun (_, t) -> t = want) tiers
 
-let zero_deadline = { D.default_config with optimizer_timeout = Some 0.0 }
+(* The whole suite runs twice, once per kernel backend: the resilience
+   machinery (degradation, faults, deadlines, guardrails) must behave
+   identically over the staged compiler and the constraint-tree
+   interpreter.  Tests reach the base config through [default_config],
+   which picks up the backend selected by the suite wrapper at the
+   bottom of this file. *)
+let backend = ref Galley_engine.Exec.Staged
+
+let default_config () =
+  { D.default_config with kernel_backend = !backend }
+
+let zero_deadline () = { (default_config ()) with optimizer_timeout = Some 0.0 }
 
 (* -------------------------------------------------------------- *)
 (* Degradation ladder, end to end.                                  *)
@@ -62,7 +73,7 @@ let test_naive_tier_graphs () =
       let res =
         check_against_reference ~eps:1e-4
           ("naive " ^ p.W.Subgraph.pname)
-          zero_deadline inputs prog
+          (zero_deadline ()) inputs prog
       in
       check_bool "logical tiers all naive" true
         (all_tier Tier.Naive res.D.logical_tiers);
@@ -83,7 +94,7 @@ let test_naive_tier_ml () =
       let res =
         check_against_reference ~eps:1e-4
           ("naive " ^ W.Ml.algorithm_name alg)
-          zero_deadline inputs prog
+          (zero_deadline ()) inputs prog
       in
       check_bool "physical tiers all naive" true
         (all_tier Tier.Naive res.D.physical_tiers))
@@ -109,8 +120,8 @@ let test_naive_tier_bfs_session () =
     in
     (r, D.output_of r "Vnew")
   in
-  let r_naive, v_naive = run zero_deadline in
-  let _, v_default = run D.default_config in
+  let r_naive, v_naive = run (zero_deadline ()) in
+  let _, v_default = run (default_config ()) in
   check_bool "bfs iteration matches across tiers" true
     (T.equal_approx ~eps:1e-9 v_naive v_default);
   check_bool "session tiers all naive" true
@@ -137,7 +148,7 @@ let test_greedy_mid_tier () =
   let program = { Ir.queries = [ Ir.query "out" chain ]; outputs = [ "out" ] } in
   let config =
     {
-      D.default_config with
+      (default_config ()) with
       logical =
         { Galley_logical.Optimizer.default_config with max_nodes = Some 25 };
     }
@@ -149,7 +160,7 @@ let test_greedy_mid_tier () =
     (List.for_all (fun (_, t) -> t = Tier.Greedy) res.D.logical_tiers);
   (* Sanity: without the budget the same program is planned exactly. *)
   let res_full =
-    check_against_reference ~eps:1e-5 "exact tier" D.default_config inputs
+    check_against_reference ~eps:1e-5 "exact tier" (default_config ()) inputs
       program
   in
   check_bool "unbudgeted run stays exact" true
@@ -176,7 +187,7 @@ let test_estimator_faults_degrade () =
       let faults =
         match F.of_spec spec with Ok f -> f | Error m -> Alcotest.fail m
       in
-      let config = { D.default_config with faults } in
+      let config = { (default_config ()) with faults } in
       let res =
         check_against_reference ~eps:1e-4 ("fault " ^ label) config inputs prog
       in
@@ -190,7 +201,7 @@ let test_kernel_failure_classified () =
      D.run_checked
        ~config:
          {
-           D.default_config with
+           (default_config ()) with
            faults = { F.none with kernel_fail_on = Some 1 };
          }
        ~inputs prog
@@ -204,7 +215,7 @@ let test_kernel_failure_classified () =
     D.run_checked
       ~config:
         {
-          D.default_config with
+          (default_config ()) with
           faults = { F.none with kernel_fail_on = Some 1000 };
         }
       ~inputs prog
@@ -249,7 +260,7 @@ let test_nnz_guard_retry () =
   in
   let config =
     {
-      D.default_config with
+      (default_config ()) with
       faults = { F.none with estimator_scale = 1e-9 };
       nnz_guard = Some 4.0;
     }
@@ -276,7 +287,7 @@ let test_nnz_guard_budget_exceeded () =
   in
   let config =
     {
-      D.default_config with
+      (default_config ()) with
       faults = { F.none with estimator_scale = 1e-9 };
       nnz_guard = Some 4.0;
     }
@@ -290,7 +301,7 @@ let test_nnz_guard_budget_exceeded () =
 (* With sane estimates the guardrail never fires. *)
 let test_nnz_guard_quiet () =
   let inputs, prog = tri_inputs_and_program 47 in
-  let config = { D.default_config with nnz_guard = Some 4.0 } in
+  let config = { (default_config ()) with nnz_guard = Some 4.0 } in
   let res = check_against_reference ~eps:1e-4 "guard quiet" config inputs prog in
   check_int "no retries" 0 res.D.nnz_guard_retries
 
@@ -321,7 +332,7 @@ let test_partial_outputs_on_timeout () =
       outputs = [ "cheap"; "heavy" ];
     }
   in
-  let config = { D.default_config with timeout = Some 0.02 } in
+  let config = { (default_config ()) with timeout = Some 0.02 } in
   let res = D.run ~config ~inputs program in
   if res.D.timed_out then begin
     check_bool "completed output survives" true
@@ -344,7 +355,7 @@ let test_no_degrade_is_error () =
   match
     D.run_checked
       ~config:
-        { D.default_config with optimizer_timeout = Some 0.0; degrade = false }
+        { (default_config ()) with optimizer_timeout = Some 0.0; degrade = false }
       ~inputs prog
   with
   | Error (E.Optimizer_deadline _) -> ()
@@ -459,49 +470,54 @@ let test_output_res () =
 
 (* -------------------------------------------------------------- *)
 
+let groups =
+  [
+    ( "degradation ladder",
+      [
+        ("naive tier: subgraph counting", test_naive_tier_graphs);
+        ("naive tier: ml over joins", test_naive_tier_ml);
+        ("naive tier: bfs session", test_naive_tier_bfs_session);
+        ("greedy mid tier", test_greedy_mid_tier);
+      ] );
+    ( "fault injection",
+      [
+        ("estimator nan/inf degrade", test_estimator_faults_degrade);
+        ("kernel failure classified", test_kernel_failure_classified);
+        ("fault spec parsing", test_fault_spec_roundtrip);
+      ] );
+    ( "nnz guardrail",
+      [
+        ("corrective retry", test_nnz_guard_retry);
+        ("budget exceeded", test_nnz_guard_budget_exceeded);
+        ("quiet on sane estimates", test_nnz_guard_quiet);
+      ] );
+    ( "deadlines",
+      [
+        ("partial outputs on timeout", test_partial_outputs_on_timeout);
+        ("no-degrade raises deadline error", test_no_degrade_is_error);
+      ] );
+    ( "validation",
+      [
+        ("logical validator", test_validate_logical);
+        ("driver rejects missing output", test_validate_driver_missing_output);
+        ("physical validator", test_validate_physical);
+        ("output_res", test_output_res);
+      ] );
+  ]
+
 let () =
+  let suite b tag =
+    List.map
+      (fun (group, cases) ->
+        ( Printf.sprintf "%s [%s]" group tag,
+          List.map
+            (fun (name, f) ->
+              Alcotest.test_case name `Quick (fun () ->
+                  backend := b;
+                  f ()))
+            cases ))
+      groups
+  in
   Alcotest.run "faults"
-    [
-      ( "degradation ladder",
-        [
-          Alcotest.test_case "naive tier: subgraph counting" `Quick
-            test_naive_tier_graphs;
-          Alcotest.test_case "naive tier: ml over joins" `Quick
-            test_naive_tier_ml;
-          Alcotest.test_case "naive tier: bfs session" `Quick
-            test_naive_tier_bfs_session;
-          Alcotest.test_case "greedy mid tier" `Quick test_greedy_mid_tier;
-        ] );
-      ( "fault injection",
-        [
-          Alcotest.test_case "estimator nan/inf degrade" `Quick
-            test_estimator_faults_degrade;
-          Alcotest.test_case "kernel failure classified" `Quick
-            test_kernel_failure_classified;
-          Alcotest.test_case "fault spec parsing" `Quick
-            test_fault_spec_roundtrip;
-        ] );
-      ( "nnz guardrail",
-        [
-          Alcotest.test_case "corrective retry" `Quick test_nnz_guard_retry;
-          Alcotest.test_case "budget exceeded" `Quick
-            test_nnz_guard_budget_exceeded;
-          Alcotest.test_case "quiet on sane estimates" `Quick
-            test_nnz_guard_quiet;
-        ] );
-      ( "deadlines",
-        [
-          Alcotest.test_case "partial outputs on timeout" `Quick
-            test_partial_outputs_on_timeout;
-          Alcotest.test_case "no-degrade raises deadline error" `Quick
-            test_no_degrade_is_error;
-        ] );
-      ( "validation",
-        [
-          Alcotest.test_case "logical validator" `Quick test_validate_logical;
-          Alcotest.test_case "driver rejects missing output" `Quick
-            test_validate_driver_missing_output;
-          Alcotest.test_case "physical validator" `Quick test_validate_physical;
-          Alcotest.test_case "output_res" `Quick test_output_res;
-        ] );
-    ]
+    (suite Galley_engine.Exec.Staged "staged"
+    @ suite Galley_engine.Exec.Interp "interp")
