@@ -21,6 +21,16 @@ module D = Galley.Driver
 let quick = ref false
 let json_mode = ref false
 
+(* --domains N pins the engine's domain-pool size for every section (the
+   scaling section ignores it and sweeps its own counts).  Unset, configs
+   keep their default: GALLEY_DOMAINS or the machine's recommendation. *)
+let domains_override : int option ref = ref None
+
+let with_domains (c : D.config) : D.config =
+  match !domains_override with
+  | Some d -> { c with D.domains = d }
+  | None -> c
+
 (* In --json mode the human-readable tables move to stderr and stdout
    carries a single JSON document of every recorded series measurement
    (timeouts become null), so CI and plotting scripts can consume runs
@@ -110,7 +120,9 @@ let fig6 () =
     "hand(dense)" "hand(sparse)" "speedup";
   let run_star alg =
     let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
-    let _, galley_t = time_min (fun () -> D.run ~inputs prog) in
+    let _, galley_t =
+      time_min (fun () -> D.run ~config:(with_domains D.default_config) ~inputs prog)
+    in
     let plan, out = W.Ml.baseline_plan alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
     let baseline ~dense =
       let config =
@@ -148,7 +160,10 @@ let fig6 () =
   p "(covariance at reduced scale: %d lineitems)\n" cov_star.W.Tpch.n;
   (let alg = W.Ml.Covariance in
    let prog = W.Ml.program_of alg ~x:cov_star.W.Tpch.x_def ~pts:[ "i" ] in
-   let _, galley_t = time_min (fun () -> D.run ~inputs:cov_inputs prog) in
+   let _, galley_t =
+     time_min (fun () ->
+         D.run ~config:(with_domains D.default_config) ~inputs:cov_inputs prog)
+   in
    let plan, out = W.Ml.baseline_plan alg ~x:cov_star.W.Tpch.x_def ~pts:[ "i" ] in
    let baseline ~dense =
      let config =
@@ -189,7 +204,9 @@ let fig6 () =
   List.iter
     (fun alg ->
       let prog = W.Ml.program_of alg ~x:sj.W.Tpch.sj_x_def ~pts:[ "i1"; "i2" ] in
-      let _, galley_t = time_min (fun () -> D.run ~inputs prog) in
+      let _, galley_t =
+      time_min (fun () -> D.run ~config:(with_domains D.default_config) ~inputs prog)
+    in
       let plan, out =
         W.Ml.baseline_plan alg ~x:sj.W.Tpch.sj_x_def ~pts:[ "i1"; "i2" ]
       in
@@ -228,7 +245,7 @@ let measure_galley config (g : W.Graphs.t) (pat : W.Subgraph.pattern) :
     sg_measurement =
   let prog = W.Subgraph.count_program pat in
   let inputs = W.Subgraph.bindings g pat in
-  let config = { config with D.timeout = Some sg_timeout } in
+  let config = { (with_domains config) with D.timeout = Some sg_timeout } in
   let res = D.run ~config ~inputs prog in
   if res.D.timed_out then
     { sg_exec = nan; sg_opt = nan; sg_compile = nan; sg_compile_warm = nan }
@@ -416,7 +433,11 @@ let fig10 () =
   List.iter
     (fun g ->
       let adjacency = W.Graphs.adjacency g in
-      let run v = (W.Bfs.run v ~adjacency ~source:0).W.Bfs.seconds in
+      let run v =
+        (W.Bfs.run ~config_base:(with_domains D.default_config) v ~adjacency
+           ~source:0)
+          .W.Bfs.seconds
+      in
       let galley_t = run W.Bfs.Adaptive in
       let sparse_t = run W.Bfs.All_sparse in
       let dense_t = run W.Bfs.All_dense in
@@ -441,7 +462,9 @@ let fig10 () =
    shapes; total session time for BFS, whose kernels dominate). *)
 let kernels () =
   header "Kernel backends: staged compiler vs constraint-tree interpreter";
-  let config_for backend = { D.default_config with D.kernel_backend = backend } in
+  let config_for backend =
+    { (with_domains D.default_config) with D.kernel_backend = backend }
+  in
   (* Best of three, the backends interleaved round by round: each cell is
      a fresh end-to-end run, so single-run GC / allocation noise would
      otherwise dominate the sub-millisecond rows, and back-to-back runs of
@@ -483,6 +506,94 @@ let kernels () =
           let r, _ = time_min (fun () -> D.run ~config ~inputs prog) in
           r.D.timings.D.execute_seconds))
     [ W.Ml.Linreg; W.Ml.Logreg; W.Ml.Nn ];
+  (* Fig. 7 shape: subgraph counting, execution phase only. *)
+  let g =
+    List.hd (W.Graphs.benchmark_suite ~scale:(if !quick then 0.08 else 0.1))
+  in
+  List.iter
+    (fun pat ->
+      let prog = W.Subgraph.count_program pat in
+      let sg_inputs = W.Subgraph.bindings g pat in
+      row
+        ("fig7 " ^ pat.W.Subgraph.pname)
+        (fun config ->
+          let config = { config with D.timeout = Some sg_timeout } in
+          let r = D.run ~config ~inputs:sg_inputs prog in
+          if r.D.timed_out then nan else r.D.timings.D.execute_seconds))
+    (W.Subgraph.suite_for g);
+  (* Fig. 10 shape: a whole BFS session (kernel time dominates). *)
+  let bg = List.hd (W.Graphs.bfs_suite ~scale:(if !quick then 0.1 else 0.4)) in
+  let adjacency = W.Graphs.adjacency bg in
+  row
+    ("fig10 bfs " ^ bg.W.Graphs.name)
+    (fun config ->
+      (W.Bfs.run ~config_base:config W.Bfs.Adaptive ~adjacency ~source:0)
+        .W.Bfs.seconds)
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: the parallel runtime at domains ∈ {1, 2, 4}.                *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall time per figure workload as the engine's domain-pool size grows;
+   outputs are bit-identical across the sweep (the parallel runtime
+   replays chunk logs in serial accumulation order), so the rows isolate
+   runtime cost alone.  speedup@N = T(domains=1) / T(domains=N).  On a
+   single-core machine every lane shares the core and the sweep reports
+   ~1.0x — the speedup column is meaningful only where the hardware has
+   cores to offer. *)
+let scaling () =
+  header "Scaling: wall time at domains in {1,2,4} (speedup vs domains=1)";
+  let counts = [ 1; 2; 4 ] in
+  p "%-26s %12s %12s %12s %9s %9s\n" "workload" "domains=1" "domains=2"
+    "domains=4" "x @2" "x @4";
+  let row label f =
+    let ts =
+      List.map
+        (fun d ->
+          let config = { D.default_config with D.domains = d } in
+          (* Best of three: fresh end-to-end runs, so GC noise does not
+             masquerade as (anti-)scaling. *)
+          let best = ref infinity in
+          for _ = 1 to 3 do
+            let t = f config in
+            if t < !best then best := t
+          done;
+          let t = if Float.is_finite !best then !best else nan in
+          record ~section:"scaling"
+            ~series:(Printf.sprintf "domains=%d" d)
+            label t;
+          t)
+        counts
+    in
+    match ts with
+    | [ t1; t2; t4 ] ->
+        record ~section:"scaling" ~series:"speedup@2" label (t1 /. t2);
+        record ~section:"scaling" ~series:"speedup@4" label (t1 /. t4);
+        p "%-26s %12s %12s %12s %8.2fx %8.2fx\n%!" label (fmt_time t1)
+          (fmt_time t2) (fmt_time t4) (t1 /. t2) (t1 /. t4)
+    | _ -> ()
+  in
+  (* Fig. 6 shape: ML over the star join, execution phase only. *)
+  let scale =
+    if !quick then
+      { W.Tpch.n_lineitems = 800; n_suppliers = 40; n_parts = 100;
+        n_orders = 200; n_customers = 60 }
+    else
+      { W.Tpch.n_lineitems = 20000; n_suppliers = 300; n_parts = 800;
+        n_orders = 2000; n_customers = 400 }
+  in
+  let star = W.Tpch.star_instance ~scale ~seed:1001 () in
+  let params = W.Ml.parameter_inputs ~seed:1002 ~d:star.W.Tpch.d ~hidden:16 in
+  let inputs = star.W.Tpch.inputs @ params in
+  List.iter
+    (fun alg ->
+      let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+      row
+        ("fig6 " ^ W.Ml.algorithm_name alg)
+        (fun config ->
+          let r, _ = time_min (fun () -> D.run ~config ~inputs prog) in
+          r.D.timings.D.execute_seconds))
+    [ W.Ml.Linreg; W.Ml.Logreg ];
   (* Fig. 7 shape: subgraph counting, execution phase only. *)
   let g =
     List.hd (W.Graphs.benchmark_suite ~scale:(if !quick then 0.08 else 0.1))
@@ -726,6 +837,24 @@ let micro () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* --domains N (or --domains=N) takes a value; peel it off first. *)
+  let rec strip_domains = function
+    | [] -> []
+    | a :: n :: rest when a = "--domains" || a = "domains" ->
+        (match int_of_string_opt n with
+        | Some d when d >= 1 -> domains_override := Some d
+        | _ -> Printf.eprintf "bad --domains value %s\n" n);
+        strip_domains rest
+    | [ a ] when a = "--domains" || a = "domains" ->
+        Printf.eprintf "--domains needs a value\n";
+        []
+    | a :: rest when String.length a > 10 && String.sub a 0 10 = "--domains=" ->
+        (match int_of_string_opt (String.sub a 10 (String.length a - 10)) with
+        | Some d when d >= 1 -> domains_override := Some d
+        | _ -> Printf.eprintf "bad --domains value %s\n" a);
+        strip_domains rest
+    | a :: rest -> a :: strip_domains rest
+  in
   let args =
     List.filter
       (fun a ->
@@ -738,14 +867,14 @@ let () =
           false
         end
         else true)
-      args
+      (strip_domains args)
   in
   let sections =
     match args with
     | [] ->
         [
-          "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "kernels"; "ablations";
-          "micro";
+          "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "kernels"; "scaling";
+          "ablations"; "micro";
         ]
     | some -> some
   in
@@ -758,6 +887,7 @@ let () =
       | "fig9" -> fig9 ()
       | "fig10" -> fig10 ()
       | "kernels" -> kernels ()
+      | "scaling" -> scaling ()
       | "ablations" -> ablations ()
       | "tiers" -> tiers ()
       | "micro" -> micro ()

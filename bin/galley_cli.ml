@@ -97,7 +97,7 @@ let report_error (e : Galley.Errors.t) : int =
 
 let run_cmd program_file inputs randoms outputs show_plans timings greedy
     uniform no_jit no_cse timeout opt_timeout faults_spec no_validate
-    no_degrade nnz_guard kernel_backend =
+    no_degrade nnz_guard kernel_backend domains =
   let src =
     let ic = open_in program_file in
     let n = in_channel_length ic in
@@ -129,6 +129,7 @@ let run_cmd program_file inputs randoms outputs show_plans timings greedy
       faults;
       nnz_guard;
       kernel_backend;
+      domains;
     }
   in
   match Galley.Driver.parse_checked src with
@@ -247,6 +248,17 @@ let kernel_backend_arg =
           "Kernel compiler: $(b,staged) closure-specialized loop nests \
            (default) or the $(b,interp) constraint-tree interpreter")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int Galley.Driver.default_domains
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Engine parallelism: OCaml domains used for DAG-parallel query \
+           execution and intra-kernel chunking (1 = serial; outputs are \
+           bit-identical at every setting; default: $(b,GALLEY_DOMAINS) or \
+           the machine's recommended count)")
+
 let nnz_guard_arg =
   Arg.(
     value
@@ -261,7 +273,8 @@ let run_term =
     const run_cmd $ program_arg $ inputs_arg $ randoms_arg $ outputs_arg
     $ show_plans_arg $ timings_arg $ greedy_arg $ uniform_arg $ no_jit_arg
     $ no_cse_arg $ timeout_arg $ opt_timeout_arg $ faults_arg
-    $ no_validate_arg $ no_degrade_arg $ nnz_guard_arg $ kernel_backend_arg)
+    $ no_validate_arg $ no_degrade_arg $ nnz_guard_arg $ kernel_backend_arg
+    $ domains_arg)
 
 let run_info = Cmd.info "run" ~doc:"Optimize and execute a tensor program"
 let demo_term = Term.(const demo_cmd $ const ())

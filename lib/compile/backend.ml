@@ -12,15 +12,36 @@
    Aggregates are fill-corrected at freeze time exactly as in the
    interpreter: enumeration covers a superset of the body's non-fill
    coordinates, and each skipped coordinate contributes the body fill,
-   folded in as g(body_fill, N_agg − count) per output cell (DESIGN.md). *)
+   folded in as g(body_fill, N_agg − count) per output cell (DESIGN.md).
+
+   Parallel execution (DESIGN.md "Parallel runtime"): given a domain
+   [?pool], [run] chunks the *outermost* level's candidates across the
+   pool.  Level-0 generators and probes depend only on the access root
+   nodes (an access's first index binds at its index's loop level, and
+   indices are concordant with the loop order, so a level-0 binding is
+   always an access's first), so the candidate base computed once on the
+   submitting domain is shared read-only; each chunk walks levels 1.. on
+   its own private [Lowering.state] and records its innermost
+   accumulations — flattened output coordinates plus the fused body value
+   — into a private log.  The logs are then replayed into the single
+   output builder in chunk order, which reproduces the serial
+   accumulation sequence *exactly*: same cells, same combine order, same
+   sequential writes for sorted-list levels.  Results are therefore
+   bit-identical to the serial path for every aggregate, format, and
+   chunking, at the cost of making accumulation the serial tail. *)
 
 open Galley_plan
 module T = Galley_tensor.Tensor
 module Builder = Galley_tensor.Builder
+module Vec = Galley_tensor.Vec
+module Pool = Galley_parallel.Pool
 
 exception Timeout
 
-type compiled = { run : ?deadline:float -> Physical.kernel -> T.t array -> T.t }
+type compiled = {
+  run :
+    ?deadline:float -> ?pool:Pool.t -> Physical.kernel -> T.t array -> T.t;
+}
 
 let compile (k : Physical.kernel) ~(access_fills : float array)
     ~(access_formats : T.format array array) : compiled =
@@ -28,13 +49,14 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
   let body = Body_fuse.stage k.Physical.body in
   let levels = plan.Lowering.p_levels in
   let n_levels = Array.length levels in
+  let out_rank = plan.Lowering.p_out_rank in
   let agg_op = k.Physical.agg_op in
   let identity =
     match Op.identity agg_op with Some e -> e | None -> 0.0 (* Ident *)
   in
   let combine = if agg_op = Op.Ident then fun _ v -> v else Op.apply2 agg_op in
   let body_fill = k.Physical.body_fill in
-  let run ?deadline (kc : Physical.kernel) (tensors : T.t array) : T.t =
+  let run ?deadline ?pool (kc : Physical.kernel) (tensors : T.t array) : T.t =
     (* Size-dependent facts come from the caller's kernel. *)
     let n_agg = int_of_float kc.Physical.agg_space in
     let output_fill = kc.Physical.output_fill in
@@ -55,63 +77,178 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
       Builder.create ~dims:kc.Physical.output_dims
         ~formats:k.Physical.output_formats ~identity ()
     in
-    let st = Lowering.fresh_state plan tensors in
-    let values = st.Lowering.st_values in
-    let coords = st.Lowering.st_coords in
     let loop_dims = kc.Physical.loop_dims in
     (* Same deadline cadence as the interpreter: one budget tick per
-       candidate and per accumulation, clock checked every 8192 ticks. *)
-    let iter_budget = ref 0 in
-    let check_deadline () =
+       candidate and per accumulation, clock checked every 8192 ticks.
+       Each chunk carries its own counter; [cancel] folds a timeout (or
+       any failure) raised by one chunk into every other chunk's cadence
+       so the batch winds down promptly. *)
+    let cancel = Atomic.make false in
+    let make_check () =
       match deadline with
-      | None -> ()
+      | None -> fun () -> ()
       | Some d ->
-          incr iter_budget;
-          if !iter_budget land 8191 = 0 && Unix.gettimeofday () > d then
-            raise Timeout
+          let iter_budget = ref 0 in
+          fun () ->
+            incr iter_budget;
+            if
+              !iter_budget land 8191 = 0
+              && (Atomic.get cancel || Unix.gettimeofday () > d)
+            then raise Timeout
     in
-    let rec go (level : int) : unit =
-      if level = n_levels then begin
-        check_deadline ();
-        Builder.accum builder coords (body values) ~combine
-      end
-      else begin
-        let lv = levels.(level) in
-        let bind = lv.Lowering.lv_bind in
-        match lv.Lowering.lv_gen st with
-        | Lowering.G_full ->
-            let n = loop_dims.(level) in
-            for i = 0 to n - 1 do
-              check_deadline ();
-              bind st i;
-              go (level + 1)
-            done
-        | Lowering.G_arr arr ->
-            Array.iter
-              (fun i ->
-                check_deadline ();
+    (* The loop nest from [level] down, parameterized over the innermost
+       sink so the same walker serves direct accumulation (serial) and
+       log recording (parallel chunks). *)
+    let make_go (st : Lowering.state) (check : unit -> unit)
+        (sink : int array -> float -> unit) : int -> unit =
+      let values = st.Lowering.st_values in
+      let coords = st.Lowering.st_coords in
+      let rec go (level : int) : unit =
+        if level = n_levels then begin
+          check ();
+          sink coords (body values)
+        end
+        else begin
+          let lv = levels.(level) in
+          let bind = lv.Lowering.lv_bind in
+          match lv.Lowering.lv_gen st with
+          | Lowering.G_full ->
+              let n = loop_dims.(level) in
+              for i = 0 to n - 1 do
+                check ();
                 bind st i;
-                go (level + 1))
-              arr
-        | Lowering.G_filter (arr, probe) ->
-            Array.iter
-              (fun i ->
-                if probe i then begin
-                  check_deadline ();
+                go (level + 1)
+              done
+          | Lowering.G_arr arr ->
+              Array.iter
+                (fun i ->
+                  check ();
                   bind st i;
-                  go (level + 1)
-                end)
-              arr
-        | Lowering.G_cur c ->
-            while c.Cursors.key <> Cursors.exhausted do
-              check_deadline ();
-              bind st c.Cursors.key;
-              go (level + 1);
-              c.Cursors.next ()
-            done
+                  go (level + 1))
+                arr
+          | Lowering.G_filter (arr, probe) ->
+              Array.iter
+                (fun i ->
+                  if probe i then begin
+                    check ();
+                    bind st i;
+                    go (level + 1)
+                  end)
+                arr
+          | Lowering.G_cur c ->
+              while c.Cursors.key <> Cursors.exhausted do
+                check ();
+                bind st c.Cursors.key;
+                go (level + 1);
+                c.Cursors.next ()
+              done
+        end
+      in
+      go
+    in
+    let serial () =
+      let st = Lowering.fresh_state plan tensors in
+      let go =
+        make_go st (make_check ()) (fun coords v ->
+            Builder.accum builder coords v ~combine)
+      in
+      go 0
+    in
+    (* Chunk level 0 across the pool; false = not profitable, run serial. *)
+    let parallel (pool : Pool.t) : bool =
+      if n_levels = 0 then false
+      else begin
+        let st0 = Lowering.fresh_state plan tensors in
+        let check0 = make_check () in
+        (* Candidate base of the outermost level, computed once and shared
+           read-only (level-0 generators and probes read only the root
+           nodes).  A cursor is stateful, so it is drained here first. *)
+        let base, probe, n_cand =
+          match levels.(0).Lowering.lv_gen st0 with
+          | Lowering.G_full -> (None, None, loop_dims.(0))
+          | Lowering.G_arr arr -> (Some arr, None, Array.length arr)
+          | Lowering.G_filter (arr, pr) -> (Some arr, Some pr, Array.length arr)
+          | Lowering.G_cur c ->
+              let buf = Vec.Int.create ~capacity:64 () in
+              while c.Cursors.key <> Cursors.exhausted do
+                check0 ();
+                Vec.Int.push buf c.Cursors.key;
+                c.Cursors.next ()
+              done;
+              let arr = Vec.Int.to_array buf in
+              (Some arr, None, Array.length arr)
+        in
+        if n_cand < 2 then false
+        else begin
+          let bind0 = levels.(0).Lowering.lv_bind in
+          (* Over-decompose for load balance: sparse work per candidate is
+             skewed, so chunks outnumber lanes. *)
+          let n_chunks = min n_cand (4 * Pool.size pool) in
+          let logs =
+            Array.init n_chunks (fun _ ->
+                (Vec.Int.create ~capacity:64 (), Vec.Float.create ~capacity:64 ()))
+          in
+          let chunk_task c : Pool.task =
+           fun () ->
+            try
+              let lo = c * n_cand / n_chunks in
+              let hi = (c + 1) * n_cand / n_chunks in
+              let lc, lv = logs.(c) in
+              let st = Lowering.fresh_state plan tensors in
+              let check = make_check () in
+              let coords = st.Lowering.st_coords in
+              let go =
+                make_go st check (fun _ v ->
+                    for d = 0 to out_rank - 1 do
+                      Vec.Int.push lc coords.(d)
+                    done;
+                    Vec.Float.push lv v)
+              in
+              let visit i =
+                check ();
+                bind0 st i;
+                go 1
+              in
+              (match (base, probe) with
+              | None, _ ->
+                  for i = lo to hi - 1 do
+                    visit i
+                  done
+              | Some arr, None ->
+                  for p = lo to hi - 1 do
+                    visit arr.(p)
+                  done
+              | Some arr, Some pr ->
+                  for p = lo to hi - 1 do
+                    let i = arr.(p) in
+                    if pr i then visit i
+                  done)
+            with e ->
+              Atomic.set cancel true;
+              raise e
+          in
+          Pool.run_all pool (Array.init n_chunks chunk_task);
+          (* Ordered replay: chunk logs concatenated in chunk order are
+             exactly the serial accumulation sequence. *)
+          let coords = Array.make out_rank 0 in
+          Array.iter
+            (fun (lc, lv) ->
+              let n = Vec.Float.length lv in
+              for p = 0 to n - 1 do
+                check0 ();
+                for d = 0 to out_rank - 1 do
+                  coords.(d) <- Vec.Int.get lc ((p * out_rank) + d)
+                done;
+                Builder.accum builder coords (Vec.Float.get lv p) ~combine
+              done)
+            logs;
+          true
+        end
       end
     in
-    go 0;
+    (match pool with
+    | Some p when Pool.size p > 1 -> if not (parallel p) then serial ()
+    | _ -> serial ());
     Builder.freeze builder ~finalize ~fill:output_fill
   in
   { run }

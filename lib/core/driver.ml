@@ -40,7 +40,18 @@ type config = {
   kernel_backend : Galley_engine.Exec.backend;
       (* staged closure compiler (default) or the constraint-tree
          interpreter, retained as the differential oracle *)
+  domains : int;
+      (* engine parallelism: size of the domain pool shared by DAG-parallel
+         query execution and intra-kernel chunking; 1 = the exact serial
+         path.  Outputs are bit-identical at every setting. *)
 }
+
+(* Default parallelism: [GALLEY_DOMAINS] when set to a positive integer,
+   else the runtime's recommendation for this machine. *)
+let default_domains =
+  match Option.bind (Sys.getenv_opt "GALLEY_DOMAINS") int_of_string_opt with
+  | Some d when d >= 1 -> d
+  | Some _ | None -> Domain.recommended_domain_count ()
 
 let default_config =
   {
@@ -56,6 +67,7 @@ let default_config =
     faults = Faults.none;
     nnz_guard = None;
     kernel_backend = Galley_engine.Exec.Staged;
+    domains = default_domains;
   }
 
 let greedy_config =
@@ -276,7 +288,6 @@ let execute_queries ~(config : config) ~(ctx : Ctx.t)
     let name = q.Logical_query.name in
     cur_phase := Errors.Execution;
     cur_query := Some name;
-    all_steps := !all_steps @ plan;
     try Galley_engine.Exec.run_plan exec plan with
     | Galley_engine.Exec.Timeout -> raise Galley_engine.Exec.Timeout
     | Errors.Galley_error _ as e -> raise e
@@ -343,28 +354,87 @@ let execute_queries ~(config : config) ~(ctx : Ctx.t)
                 done
               end)
   in
-  (try
-     Array.iteri
-       (fun i q ->
-         before_plan q;
-         let plan =
-           match pre_plans.(i) with
-           | Some plan when not !use_jit -> plan
-           | Some _ | None -> plan_one ~refresh:!use_jit q
-         in
-         let estimate =
-           match config.nnz_guard with
-           | None -> Float.nan
-           | Some _ -> (
-               try
-                 ctx.Ctx.estimate_expr
-                   (Ir.Alias (q.Logical_query.name, q.Logical_query.output_idxs))
-               with _ -> Float.nan)
-         in
-         run_one q plan;
-         guard_check q ~estimate i)
-       queries
-   with Galley_engine.Exec.Timeout -> timed_out := true);
+  let exec_serial () =
+    Array.iteri
+      (fun i q ->
+        before_plan q;
+        let plan =
+          match pre_plans.(i) with
+          | Some plan when not !use_jit -> plan
+          | Some _ | None -> plan_one ~refresh:!use_jit q
+        in
+        let estimate =
+          match config.nnz_guard with
+          | None -> Float.nan
+          | Some _ -> (
+              try
+                ctx.Ctx.estimate_expr
+                  (Ir.Alias (q.Logical_query.name, q.Logical_query.output_idxs))
+              with _ -> Float.nan)
+        in
+        all_steps := !all_steps @ plan;
+        run_one q plan;
+        guard_check q ~estimate i)
+      queries
+  in
+  (* DAG-parallel schedule: queries grouped into level-synchronous waves
+     of the def-use DAG (query i depends on every earlier query whose
+     output its body references).  Planning stays serial on this domain —
+     the statistics context is not thread-safe, and by the time a wave is
+     planned all of its dependencies have materialized, so the JIT
+     refresh-then-plan constraint holds wave by wave; only execution fans
+     out over the pool.  Outputs are bit-identical to the serial schedule
+     (each query is bit-deterministic given its inputs); only scheduling
+     artifacts — timings, CSE hit counts, kernel-ordinal assignment — may
+     differ. *)
+  let exec_parallel (pool : Galley_parallel.Pool.t) =
+    let deps =
+      Array.init n_queries (fun i ->
+          let names =
+            List.map fst
+              (Ir.referenced_names queries.(i).Logical_query.body)
+          in
+          List.filter
+            (fun j -> List.mem queries.(j).Logical_query.name names)
+            (List.init i Fun.id))
+    in
+    List.iter
+      (fun wave ->
+        let planned =
+          List.map
+            (fun i ->
+              let q = queries.(i) in
+              before_plan q;
+              let plan =
+                match pre_plans.(i) with
+                | Some plan when not !use_jit -> plan
+                | Some _ | None -> plan_one ~refresh:!use_jit q
+              in
+              all_steps := !all_steps @ plan;
+              (q, plan))
+            wave
+        in
+        match planned with
+        | [ (q, plan) ] -> run_one q plan
+        | _ ->
+            Galley_parallel.Pool.run_all pool
+              (Array.of_list
+                 (List.map (fun (q, plan) () -> run_one q plan) planned)))
+      (Galley_parallel.Dag.waves ~n:n_queries ~deps:(fun i -> deps.(i)))
+  in
+  Fun.protect
+    ~finally:(fun () -> Galley_engine.Exec.shutdown exec)
+    (fun () ->
+      try
+        (* The nnz guardrail forces mid-run corrective replanning keyed to
+           serial execution order, so it pins the serial schedule. *)
+        if
+          config.nnz_guard = None
+          && n_queries > 1
+          && Galley_engine.Exec.pool_size exec > 1
+        then exec_parallel (Galley_engine.Exec.pool exec)
+        else exec_serial ()
+      with Galley_engine.Exec.Timeout -> timed_out := true);
   let found, incomplete = collect_outputs exec logical_plan outputs in
   ( found,
     incomplete,
@@ -383,7 +453,8 @@ let execute_logical ~(config : config) ~(ctx : Ctx.t)
     ~known:(fun n -> List.mem_assoc n inputs)
     ~outputs logical_plan;
   let exec =
-    Galley_engine.Exec.create ~cse:config.cse ~backend:config.kernel_backend ()
+    Galley_engine.Exec.create ~cse:config.cse ~backend:config.kernel_backend
+      ~domains:config.domains ()
   in
   List.iter (fun (name, t) -> Galley_engine.Exec.bind exec name t) inputs;
   let counter = ref 0 in
@@ -540,7 +611,7 @@ module Session = struct
       s_ctx = Faults.wrap_ctx config.faults (Ctx.create ~kind:config.estimator schema);
       s_exec =
         Galley_engine.Exec.create ~cse:config.cse
-          ~backend:config.kernel_backend ();
+          ~backend:config.kernel_backend ~domains:config.domains ();
       s_inputs = [];
       s_counter = 0;
     }

@@ -40,7 +40,17 @@ type config = {
       (** which kernel compiler the engine uses: the staged closure
           compiler ([Staged], the default) or the constraint-tree
           interpreter ([Interp]), retained as the differential oracle *)
+  domains : int;
+      (** engine parallelism: size of the domain pool shared by
+          DAG-parallel query execution and intra-kernel chunking; [1] is
+          the exact serial path.  Outputs are bit-identical at every
+          setting.  Defaults to [GALLEY_DOMAINS] when set, else
+          [Domain.recommended_domain_count ()]. *)
 }
+
+(** The default [domains]: the [GALLEY_DOMAINS] environment variable when
+    set to a positive integer, else [Domain.recommended_domain_count ()]. *)
+val default_domains : int
 
 (** Chain-bound estimator, branch-and-bound logical search, JIT, CSE;
     validation on, no deadlines, no faults, no guardrail. *)

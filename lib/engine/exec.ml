@@ -5,10 +5,23 @@
    fills — names stripped), and a common-sub-expression cache keyed by the
    physical step plus the identities of the tensors it reads.  Compiling a
    kernel on a cache miss is timed separately from running it so the
-   compilation-latency experiment (Fig. 9) can report cold vs warm costs. *)
+   compilation-latency experiment (Fig. 9) can report cold vs warm costs.
+
+   Parallelism (DESIGN.md "Parallel runtime"): each executor owns a domain
+   pool sized by [domains] ([1] = the exact serial path).  The pool serves
+   two layers — independent steps of one plan run as level-synchronous
+   waves here, and the staged backend chunks each kernel's outermost loop
+   over the same pool.  Every shared table ([tensors], [versions],
+   [kernel_cache], [cse_cache]) and the [timings] record are guarded by
+   one mutex, held only around dictionary work — never across a kernel
+   run, so lock scope cannot serialize execution.  The kernel-invocation
+   ordinal feeding [kernel_hook] is an [Atomic.t], keeping fault injection
+   well-defined when kernels launch concurrently. *)
 
 open Galley_plan
 module T = Galley_tensor.Tensor
+module Pool = Galley_parallel.Pool
+module Dag = Galley_parallel.Dag
 
 exception Timeout = Kernel_exec.Timeout
 
@@ -52,9 +65,12 @@ type t = {
       (* called with the 1-based kernel invocation ordinal before each
          kernel runs (CSE hits skip it); a fault-injection seam *)
   backend : backend;
+  pool : Pool.t;  (* shared by step waves and intra-kernel chunking *)
+  mutex : Mutex.t;  (* guards the tables and [timings] above *)
+  kernel_ordinal : int Atomic.t;  (* 1-based invocation counter for the hook *)
 }
 
-let create ?(cse = true) ?(backend = Staged) () =
+let create ?(cse = true) ?(backend = Staged) ?(domains = 1) () =
   {
     tensors = Hashtbl.create 32;
     versions = Hashtbl.create 32;
@@ -65,7 +81,29 @@ let create ?(cse = true) ?(backend = Staged) () =
     deadline = None;
     kernel_hook = None;
     backend;
+    pool = Pool.create ~domains;
+    mutex = Mutex.create ();
+    kernel_ordinal = Atomic.make 0;
   }
+
+(* The engine mutex is not reentrant: public entry points lock here, and
+   everything called under the lock uses the [_unlocked] internals. *)
+let locked (t : t) (f : unit -> 'a) : 'a =
+  Mutex.lock t.mutex;
+  match f () with
+  | v ->
+      Mutex.unlock t.mutex;
+      v
+  | exception e ->
+      Mutex.unlock t.mutex;
+      raise e
+
+let pool (t : t) : Pool.t = t.pool
+let pool_size (t : t) : int = Pool.size t.pool
+
+(* Join the pool's worker domains (idempotent; the pool respawns lazily on
+   the next parallel batch, so a session-held executor stays usable). *)
+let shutdown (t : t) : unit = Pool.shutdown t.pool
 
 let set_timeout (t : t) (seconds : float) : unit =
   t.deadline <- Some (Unix.gettimeofday () +. seconds)
@@ -78,98 +116,128 @@ let set_kernel_hook (t : t) (hook : int -> unit) : unit =
 let clear_kernel_hook (t : t) : unit = t.kernel_hook <- None
 
 let bind (t : t) (name : string) (tensor : T.t) : unit =
-  let v = match Hashtbl.find_opt t.versions name with Some v -> v + 1 | None -> 0 in
-  Hashtbl.replace t.versions name v;
-  Hashtbl.replace t.tensors name tensor
+  (* Tensors shared across domains must be truly immutable: force the lazy
+     caches (hash-level sort order, nnz) up front instead of letting
+     worker domains race on first-use fills. *)
+  if Pool.size t.pool > 1 then T.presort tensor;
+  locked t (fun () ->
+      let v =
+        match Hashtbl.find_opt t.versions name with Some v -> v + 1 | None -> 0
+      in
+      Hashtbl.replace t.versions name v;
+      Hashtbl.replace t.tensors name tensor)
 
-let version (t : t) (name : string) : int =
+let version_unlocked (t : t) (name : string) : int =
   match Hashtbl.find_opt t.versions name with Some v -> v | None -> 0
 
-let lookup (t : t) (name : string) : T.t =
+let version (t : t) (name : string) : int =
+  locked t (fun () -> version_unlocked t name)
+
+let lookup_unlocked (t : t) (name : string) : T.t =
   match Hashtbl.find_opt t.tensors name with
   | Some tensor -> tensor
   | None -> invalid_arg ("Exec: unbound tensor " ^ name)
 
+let lookup (t : t) (name : string) : T.t =
+  locked t (fun () -> lookup_unlocked t name)
+
 let lookup_opt (t : t) (name : string) : T.t option =
-  Hashtbl.find_opt t.tensors name
+  locked t (fun () -> Hashtbl.find_opt t.tensors name)
 
 (* Reset per-program state but keep the kernel cache (kernels are reused
    across programs with the same structure, as Finch does). *)
 let reset_tensors (t : t) : unit =
-  Hashtbl.reset t.tensors;
-  Hashtbl.reset t.cse_cache
+  locked t (fun () ->
+      Hashtbl.reset t.tensors;
+      Hashtbl.reset t.cse_cache)
 
 let now = Unix.gettimeofday
 
 (* CSE key: a physical step is a pure function of the tensors it reads, and
    tensor bindings are immutable within an execution, so step-signature plus
-   read-tensor names identifies the result (paper Sec. 8.2). *)
-let cse_key_kernel (t : t) (k : Physical.kernel) ~(signature : string) : string =
-  signature ^ "#"
-  ^ String.concat ","
-      (Array.to_list
-         (Array.map
-            (fun a ->
-              Printf.sprintf "%s@%d" a.Physical.tensor
-                (version t a.Physical.tensor))
-            k.Physical.accesses))
+   read-tensor names identifies the result (paper Sec. 8.2).  Caller holds
+   the engine mutex (versions are read). *)
+let cse_key_kernel_unlocked (t : t) (k : Physical.kernel)
+    ~(signature : string) : string =
+  let buf = Buffer.create (String.length signature + 32) in
+  Buffer.add_string buf signature;
+  Buffer.add_char buf '#';
+  Array.iteri
+    (fun i (a : Physical.access) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf a.Physical.tensor;
+      Buffer.add_char buf '@';
+      Buffer.add_string buf (string_of_int (version_unlocked t a.Physical.tensor)))
+    k.Physical.accesses;
+  Buffer.contents buf
 
 let run_kernel (t : t) (k : Physical.kernel) : T.t =
-  let tensors =
-    Array.map (fun a -> lookup t a.Physical.tensor) k.Physical.accesses
+  (* Dictionary reads, key construction, and cache probes happen under the
+     engine mutex; the kernel itself runs outside it. *)
+  let tensors, access_fills, access_formats, signature, cse_key, cse_hit =
+    locked t (fun () ->
+        let tensors =
+          Array.map (fun a -> lookup_unlocked t a.Physical.tensor)
+            k.Physical.accesses
+        in
+        let access_fills = Array.map T.fill tensors in
+        let access_formats = Array.map T.formats tensors in
+        let signature =
+          Kernel_exec.cache_signature k ~access_formats ~access_fills
+        in
+        let cse_key = cse_key_kernel_unlocked t k ~signature in
+        let cse_hit =
+          if t.cse_enabled then Hashtbl.find_opt t.cse_cache cse_key else None
+        in
+        (tensors, access_fills, access_formats, signature, cse_key, cse_hit))
   in
-  let access_fills = Array.map T.fill tensors in
-  let access_formats = Array.map T.formats tensors in
-  let signature =
-    Physical.signature k ~access_formats
-    ^ "|fills:"
-    ^ String.concat ","
-        (Array.to_list (Array.map (Printf.sprintf "%h") access_fills))
-  in
-  let cse_key = cse_key_kernel t k ~signature in
-  match
-    if t.cse_enabled then Hashtbl.find_opt t.cse_cache cse_key else None
-  with
+  match cse_hit with
   | Some result ->
-      t.timings.cse_hits <- t.timings.cse_hits + 1;
+      locked t (fun () -> t.timings.cse_hits <- t.timings.cse_hits + 1);
       result
   | None ->
       let compiled =
-        match Hashtbl.find_opt t.kernel_cache signature with
-        | Some c -> c
-        | None ->
-            let t0 = now () in
-            let c =
-              match t.backend with
-              | Interp ->
-                  { (Kernel_exec.compile k ~access_fills) with signature }
-              | Staged ->
-                  let staged =
-                    Galley_compile.Backend.compile k ~access_fills
-                      ~access_formats
-                  in
-                  {
-                    Kernel_exec.signature;
-                    run =
-                      (fun ?deadline kc ts ->
-                        try staged.Galley_compile.Backend.run ?deadline kc ts
-                        with Galley_compile.Backend.Timeout ->
-                          raise Kernel_exec.Timeout);
-                  }
-            in
-            t.timings.compile_time <- t.timings.compile_time +. (now () -. t0);
-            t.timings.compile_count <- t.timings.compile_count + 1;
-            Hashtbl.replace t.kernel_cache signature c;
-            c
+        locked t (fun () ->
+            match Hashtbl.find_opt t.kernel_cache signature with
+            | Some c -> c
+            | None ->
+                let t0 = now () in
+                let c =
+                  match t.backend with
+                  | Interp ->
+                      { (Kernel_exec.compile k ~access_fills) with signature }
+                  | Staged ->
+                      let staged =
+                        Galley_compile.Backend.compile k ~access_fills
+                          ~access_formats
+                      in
+                      let pool = t.pool in
+                      {
+                        Kernel_exec.signature;
+                        run =
+                          (fun ?deadline kc ts ->
+                            try
+                              staged.Galley_compile.Backend.run ?deadline ~pool
+                                kc ts
+                            with Galley_compile.Backend.Timeout ->
+                              raise Kernel_exec.Timeout);
+                      }
+                in
+                t.timings.compile_time <-
+                  t.timings.compile_time +. (now () -. t0);
+                t.timings.compile_count <- t.timings.compile_count + 1;
+                Hashtbl.replace t.kernel_cache signature c;
+                c)
       in
       (match t.kernel_hook with
-      | Some hook -> hook (t.timings.kernel_count + 1)
+      | Some hook -> hook (Atomic.fetch_and_add t.kernel_ordinal 1 + 1)
       | None -> ());
       let t0 = now () in
       let result = compiled.Kernel_exec.run ?deadline:t.deadline k tensors in
-      t.timings.exec_time <- t.timings.exec_time +. (now () -. t0);
-      t.timings.kernel_count <- t.timings.kernel_count + 1;
-      if t.cse_enabled then Hashtbl.replace t.cse_cache cse_key result;
+      locked t (fun () ->
+          t.timings.exec_time <- t.timings.exec_time +. (now () -. t0);
+          t.timings.kernel_count <- t.timings.kernel_count + 1;
+          if t.cse_enabled then Hashtbl.replace t.cse_cache cse_key result);
       result
 
 let run_transpose (t : t) ~(source : string) ~(perm : int array)
@@ -177,7 +245,8 @@ let run_transpose (t : t) ~(source : string) ~(perm : int array)
   let src = lookup t source in
   let t0 = now () in
   let result = T.transpose ?formats src perm in
-  t.timings.exec_time <- t.timings.exec_time +. (now () -. t0);
+  locked t (fun () ->
+      t.timings.exec_time <- t.timings.exec_time +. (now () -. t0));
   result
 
 let run_step (t : t) (step : Physical.step) : string * T.t =
@@ -187,24 +256,70 @@ let run_step (t : t) (step : Physical.step) : string * T.t =
       bind t k.Physical.name result;
       (k.Physical.name, result)
   | Physical.Transpose { name; source; perm; formats; _ } ->
-      let key =
-        Printf.sprintf "transpose:%s@%d:%s" source (version t source)
-          (String.concat "," (Array.to_list (Array.map string_of_int perm)))
+      let key, cse_hit =
+        locked t (fun () ->
+            let key =
+              Printf.sprintf "transpose:%s@%d:%s" source
+                (version_unlocked t source)
+                (String.concat ","
+                   (Array.to_list (Array.map string_of_int perm)))
+            in
+            let hit =
+              if t.cse_enabled then Hashtbl.find_opt t.cse_cache key else None
+            in
+            (key, hit))
       in
       let result =
-        match
-          if t.cse_enabled then Hashtbl.find_opt t.cse_cache key else None
-        with
+        match cse_hit with
         | Some r ->
-            t.timings.cse_hits <- t.timings.cse_hits + 1;
+            locked t (fun () -> t.timings.cse_hits <- t.timings.cse_hits + 1);
             r
         | None ->
             let r = run_transpose t ~source ~perm ~formats:(Some formats) in
-            if t.cse_enabled then Hashtbl.replace t.cse_cache key r;
+            locked t (fun () ->
+                if t.cse_enabled then Hashtbl.replace t.cse_cache key r);
             r
       in
       bind t name result;
       (name, result)
 
+(* Def-use dependencies between the steps of one plan: step [i] must wait
+   for an earlier step that writes a tensor it reads (flow), reads the
+   tensor it writes (anti), or writes the same name (output). *)
+let step_deps (steps : Physical.step array) (i : int) : int list =
+  let reads = function
+    | Physical.Kernel k ->
+        Array.to_list
+          (Array.map (fun (a : Physical.access) -> a.Physical.tensor)
+             k.Physical.accesses)
+    | Physical.Transpose { source; _ } -> [ source ]
+  in
+  let writes = function
+    | Physical.Kernel k -> k.Physical.name
+    | Physical.Transpose { name; _ } -> name
+  in
+  let ri = reads steps.(i) and wi = writes steps.(i) in
+  List.filter
+    (fun j ->
+      let wj = writes steps.(j) in
+      wj = wi || List.mem wj ri || List.mem wi (reads steps.(j)))
+    (List.init i Fun.id)
+
 let run_plan (t : t) (plan : Physical.plan) : unit =
-  List.iter (fun step -> ignore (run_step t step)) plan
+  let steps = Array.of_list plan in
+  let n = Array.length steps in
+  if n <= 1 || Pool.size t.pool <= 1 then
+    List.iter (fun step -> ignore (run_step t step)) plan
+  else
+    (* Independent steps (e.g. the transposes feeding one kernel) run as
+       level-synchronous waves over the pool; a singleton wave stays on
+       this domain. *)
+    List.iter
+      (fun wave ->
+        match wave with
+        | [ i ] -> ignore (run_step t steps.(i))
+        | _ ->
+            Pool.run_all t.pool
+              (Array.of_list
+                 (List.map (fun i () -> ignore (run_step t steps.(i))) wave)))
+      (Dag.waves ~n ~deps:(step_deps steps))

@@ -28,6 +28,24 @@ type compiled = {
    compiled kernel would: only the constraint structure, formats, and
    protocols are baked in. *)
 
+(* Full cache signature of a kernel invocation: the structural signature
+   ([Physical.signature]) extended with the access fills, which determine
+   the constraint trees and so are part of what [compile] bakes in.  This
+   key is rebuilt on *every* invocation, cache hits included, so it is
+   assembled in one [Buffer] rather than by string concatenation. *)
+let cache_signature (k : Physical.kernel)
+    ~(access_formats : T.format array array) ~(access_fills : float array) :
+    string =
+  let buf = Buffer.create 192 in
+  Buffer.add_string buf (Physical.signature k ~access_formats);
+  Buffer.add_string buf "|fills:";
+  Array.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%h" f))
+    access_fills;
+  Buffer.contents buf
+
 (* Merge of sorted candidate arrays (union). *)
 let merge_sorted (arrays : int array list) : int array =
   match arrays with

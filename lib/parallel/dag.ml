@@ -1,0 +1,30 @@
+(* Level-synchronous schedule of a dependency DAG.
+
+   [waves ~n ~deps] partitions nodes [0..n-1] into an ordered list of
+   waves: a node's wave is one past the deepest wave among its
+   dependencies, so all of a wave's dependencies live in strictly earlier
+   waves and the members of one wave are mutually independent — safe to
+   run as one parallel batch.
+
+   Dependencies must point backwards ([deps i] ⊆ [0..i-1]), which is how
+   both users produce them (queries reference earlier queries, steps read
+   earlier steps) and makes the DAG acyclic by construction.  Waves list
+   their members in ascending index order, so a serial walk of the waves
+   is a topological order consistent with the original sequence. *)
+
+let waves ~(n : int) ~(deps : int -> int list) : int list list =
+  if n = 0 then []
+  else begin
+    let level = Array.make n 0 in
+    for i = 0 to n - 1 do
+      List.iter
+        (fun j ->
+          if j < 0 || j >= i then
+            invalid_arg "Dag.waves: dependencies must reference earlier nodes";
+          if level.(j) + 1 > level.(i) then level.(i) <- level.(j) + 1)
+        (deps i)
+    done;
+    let max_level = Array.fold_left max 0 level in
+    List.init (max_level + 1) (fun l ->
+        List.filter (fun i -> level.(i) = l) (List.init n Fun.id))
+  end

@@ -457,6 +457,25 @@ let nnz (t : t) : int =
       t.nnz_cache <- Some !n;
       !n
 
+(* Force every lazily computed cache — hash levels' sorted key arrays and
+   the nnz count — so a tensor shared read-only across domains is truly
+   immutable during parallel execution (the parallel backend presorts its
+   operands instead of racing on first-use cache fills). *)
+let presort (t : t) : unit =
+  let rec go (n : node) : unit =
+    match n with
+    | Scalar _ | Leaf_dense _ | Leaf_sparse _ | Leaf_bytemap _ -> ()
+    | Leaf_hash _ -> ignore (Node.explicit_indices n)
+    | Inner_hash { tbl; _ } ->
+        ignore (Node.explicit_indices n);
+        Hashtbl.iter (fun _ child -> go child) tbl
+    | Inner_dense children -> Array.iter go children
+    | Inner_sparse { children; _ } | Inner_bytemap { children; _ } ->
+        Array.iter go children
+  in
+  go t.root;
+  ignore (nnz t)
+
 let reformat ?fill (t : t) (formats : format array) : t =
   let fill = match fill with Some f -> f | None -> t.fill in
   of_coo ~fill ~dims:t.dims ~formats (to_coo t)

@@ -144,6 +144,11 @@ val explicit_count : t -> int
 (** Number of entries whose value differs from the fill (cached). *)
 val nnz : t -> int
 
+(** Force every lazily computed cache (hash levels' sorted key arrays, the
+    nnz count) so the tensor is truly immutable afterwards — required
+    before sharing it read-only across domains. *)
+val presort : t -> unit
+
 (** {1 Restructuring} *)
 
 (** Rebuild with different level formats (and optionally a new fill). *)

@@ -309,7 +309,11 @@ let test_nnz_guard_quiet () =
 (* Deadlines: partial outputs and no-degrade mode.                  *)
 (* -------------------------------------------------------------- *)
 
-let test_partial_outputs_on_timeout () =
+(* Parameterized over [domains]: the execution deadline must behave the
+   same under the parallel runtime — every worker carries its own tick
+   counter, and a [Timeout] raised by any chunk cancels the rest — so a
+   timed-out run still reports completed outputs and names the rest. *)
+let partial_outputs_on_timeout ~domains () =
   let prng = Prng.create 53 in
   let small = sparse ~prng ~dims:[| 8 |] ~density:0.9 in
   let n = 220 in
@@ -332,7 +336,7 @@ let test_partial_outputs_on_timeout () =
       outputs = [ "cheap"; "heavy" ];
     }
   in
-  let config = { (default_config ()) with timeout = Some 0.02 } in
+  let config = { (default_config ()) with timeout = Some 0.02; domains } in
   let res = D.run ~config ~inputs program in
   if res.D.timed_out then begin
     check_bool "completed output survives" true
@@ -349,6 +353,31 @@ let test_partial_outputs_on_timeout () =
   else
     (* Machine fast enough to finish: both outputs present, none missing. *)
     check_int "no incomplete outputs" 0 (List.length res.D.incomplete_outputs)
+
+let test_partial_outputs_on_timeout () = partial_outputs_on_timeout ~domains:1 ()
+
+let test_partial_outputs_on_timeout_parallel () =
+  partial_outputs_on_timeout ~domains:4 ()
+
+(* Fault injection composes with parallelism: kernel-fail=N still fires
+   (the invocation ordinal is a shared atomic counter) and surfaces as a
+   classified error from whichever worker hit it. *)
+let test_kernel_failure_under_parallelism () =
+  let inputs, prog = tri_inputs_and_program 37 in
+  match
+    D.run_checked
+      ~config:
+        {
+          (default_config ()) with
+          faults = { F.none with kernel_fail_on = Some 1 };
+          domains = 4;
+        }
+      ~inputs prog
+  with
+  | Error (E.Kernel_failure { context; _ }) ->
+      check_bool "execution phase" true (context.E.phase = E.Execution)
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "expected kernel failure"
 
 let test_no_degrade_is_error () =
   let inputs, prog = tri_inputs_and_program 59 in
@@ -494,6 +523,10 @@ let groups =
     ( "deadlines",
       [
         ("partial outputs on timeout", test_partial_outputs_on_timeout);
+        ( "partial outputs on timeout, domains=4",
+          test_partial_outputs_on_timeout_parallel );
+        ( "kernel failure under domains=4",
+          test_kernel_failure_under_parallelism );
         ("no-degrade raises deadline error", test_no_degrade_is_error);
       ] );
     ( "validation",
