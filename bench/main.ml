@@ -352,7 +352,7 @@ let get_subgraph_measurements () =
       let m =
         List.map
           (fun g ->
-            Printf.eprintf "[subgraph] measuring %s...\n%!" g.W.Graphs.name;
+            Galley_obs.Log.info "[subgraph] measuring %s..." g.W.Graphs.name;
             let queries = W.Subgraph.suite_for g in
             ( g.W.Graphs.name,
               List.map
@@ -832,10 +832,123 @@ let micro () =
   p "%!"
 
 (* ------------------------------------------------------------------ *)
+(* Observability: per-phase timings, estimator q-error, and the         *)
+(* zero-cost-when-off contract for tracing (DESIGN.md §9).              *)
+(* ------------------------------------------------------------------ *)
+
+let observability () =
+  header
+    "Observability: phase timings, estimator q-error, tracing overhead \
+     (off-path must stay < 5%)";
+  Galley_obs.Metrics.set_detailed true;
+  let scale =
+    if !quick then
+      { W.Tpch.n_lineitems = 800; n_suppliers = 40; n_parts = 100;
+        n_orders = 200; n_customers = 60 }
+    else
+      { W.Tpch.n_lineitems = 8000; n_suppliers = 200; n_parts = 500;
+        n_orders = 1000; n_customers = 300 }
+  in
+  let star = W.Tpch.star_instance ~scale ~seed:1001 () in
+  let params = W.Ml.parameter_inputs ~seed:1002 ~d:star.W.Tpch.d ~hidden:16 in
+  let inputs = star.W.Tpch.inputs @ params in
+  (* Per-figure phase timings + q-error summary, from audited runs. *)
+  p "%-14s %10s %10s %10s %10s %12s %12s\n" "workload" "logical" "physical"
+    "compile" "execute" "qerr(unif)" "qerr(chain)";
+  List.iter
+    (fun alg ->
+      let config =
+        with_domains { D.default_config with D.audit = true }
+      in
+      let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+      let r = D.run ~config ~inputs prog in
+      let t = r.D.timings in
+      let name = "fig6 " ^ W.Ml.algorithm_name alg in
+      record ~section:"observability" ~series:"phase-logical" name
+        t.D.logical_seconds;
+      record ~section:"observability" ~series:"phase-physical" name
+        t.D.physical_seconds;
+      record ~section:"observability" ~series:"phase-compile" name
+        t.D.compile_seconds;
+      record ~section:"observability" ~series:"phase-execute" name
+        t.D.execute_seconds;
+      let qerr est =
+        match r.D.audit with
+        | None -> nan
+        | Some a -> (
+            match
+              List.find_opt
+                (fun (s : Galley_obs.Audit.summary) -> s.s_estimator = est)
+                (Galley_obs.Audit.summaries a)
+            with
+            | Some s -> s.Galley_obs.Audit.s_mean_q
+            | None -> nan)
+      in
+      let qu = qerr "uniform" and qc = qerr "chain" in
+      record ~section:"observability" ~series:"qerr-uniform" name qu;
+      record ~section:"observability" ~series:"qerr-chain" name qc;
+      p "%-14s %10s %10s %10s %10s %12.2f %12.2f\n%!" name
+        (fmt_time t.D.logical_seconds)
+        (fmt_time t.D.physical_seconds)
+        (fmt_time t.D.compile_seconds)
+        (fmt_time t.D.execute_seconds)
+        qu qc)
+    [ W.Ml.Linreg; W.Ml.Logreg; W.Ml.Nn ];
+  (* Zero-cost-when-off: with tracing disabled, a span site is one atomic
+     read.  Measure fig6 linreg cold (off), traced (on), and off again;
+     the off-after-on time must stay within 5% of the first off time.
+     Best-of-N absorbs scheduler noise; one retry absorbs the rest. *)
+  let prog = W.Ml.program_of W.Ml.Linreg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
+  let run_once () =
+    ignore (D.run ~config:(with_domains D.default_config) ~inputs prog)
+  in
+  let best_of n =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = Unix.gettimeofday () in
+      run_once ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let measure () =
+    Galley_obs.Trace.disable ();
+    let off1 = best_of 5 in
+    Galley_obs.Trace.enable ();
+    let on = best_of 3 in
+    Galley_obs.Trace.disable ();
+    Galley_obs.Trace.reset ();
+    let off2 = best_of 5 in
+    (off1, on, off2)
+  in
+  let rec check attempt =
+    let off1, on, off2 = measure () in
+    let ratio = off2 /. off1 in
+    if ratio < 1.05 || attempt >= 3 then (off1, on, off2, ratio)
+    else check (attempt + 1)
+  in
+  let off1, on, off2, ratio = check 1 in
+  record ~section:"observability" ~series:"trace-off" "fig6 linreg" off1;
+  record ~section:"observability" ~series:"trace-on" "fig6 linreg" on;
+  record ~section:"observability" ~series:"trace-off-after" "fig6 linreg" off2;
+  p "tracing overhead: off=%s on=%s off-after=%s (off-after/off = %.3f)\n"
+    (fmt_time off1) (fmt_time on) (fmt_time off2) ratio;
+  if ratio < 1.05 then p "tracing disabled-overhead check: PASS (< 5%%)\n%!"
+  else begin
+    p "tracing disabled-overhead check: FAIL (>= 5%%)\n%!";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* The bench historically printed its progress diagnostics; keep that
+     unless the user asked for a different level via GALLEY_LOG. *)
+  if Sys.getenv_opt "GALLEY_LOG" = None then
+    Galley_obs.Log.set_level Galley_obs.Log.Info;
   let args = Array.to_list Sys.argv |> List.tl in
   (* --domains N (or --domains=N) takes a value; peel it off first. *)
   let rec strip_domains = function
@@ -874,7 +987,7 @@ let () =
     | [] ->
         [
           "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "kernels"; "scaling";
-          "ablations"; "micro";
+          "ablations"; "observability"; "micro";
         ]
     | some -> some
   in
@@ -890,6 +1003,7 @@ let () =
       | "scaling" -> scaling ()
       | "ablations" -> ablations ()
       | "tiers" -> tiers ()
+      | "observability" -> observability ()
       | "micro" -> micro ()
       | other -> Printf.eprintf "unknown section %s\n" other)
     sections;

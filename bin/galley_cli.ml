@@ -95,16 +95,29 @@ let report_error (e : Galley.Errors.t) : int =
   Format.eprintf "galley: %s@." (Galley.Errors.to_string e);
   match e with Galley.Errors.Parse_error _ -> 2 | _ -> 1
 
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Flush observability sinks after a run (success or failure): the trace
+   file should cover whatever phases did execute. *)
+let finish_obs ~trace ~metrics =
+  (match trace with
+  | Some path ->
+      let n = Galley_obs.Trace.write_file path in
+      Format.printf "trace: %d events written to %s@." n path
+  | None -> ());
+  if metrics then Format.printf "%s" (Galley_obs.Metrics.dump ())
+
 let run_cmd program_file inputs randoms outputs show_plans timings greedy
     uniform no_jit no_cse timeout opt_timeout faults_spec no_validate
-    no_degrade nnz_guard kernel_backend domains =
-  let src =
-    let ic = open_in program_file in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
+    no_degrade nnz_guard kernel_backend domains trace metrics =
+  let src = read_file program_file in
+  if trace <> None then Galley_obs.Trace.enable ();
+  if metrics then Galley_obs.Metrics.set_detailed true;
   let faults =
     match Galley.Faults.of_spec faults_spec with
     | Ok f -> f
@@ -146,6 +159,77 @@ let run_cmd program_file inputs randoms outputs show_plans timings greedy
       match Galley.Driver.run_checked ~config ~inputs:bound program with
       | Ok res ->
           print_result ~show_plans ~timings res;
+          finish_obs ~trace ~metrics;
+          0
+      | Error e ->
+          finish_obs ~trace ~metrics;
+          report_error e)
+
+(* explain: run the program with the estimator audit on and print what the
+   optimizer decided (plans, loop orders, formats) next to how well its
+   cardinality predictions matched reality. *)
+let print_explain (config : Galley.Driver.config) (res : Galley.Driver.result) =
+  let open Galley.Driver in
+  Format.printf "== logical plan ==@.";
+  List.iter
+    (fun q -> Format.printf "%a@." Galley_plan.Logical_query.pp q)
+    res.logical_plan;
+  Format.printf "== physical plan (loop orders, formats, protocols) ==@.%a@."
+    Galley_plan.Physical.pp_plan res.physical_plan;
+  Format.printf "== estimator audit (predicted vs. actual nnz) ==@.";
+  (match res.audit with
+  | Some a -> Galley_obs.Audit.pp_rows Format.std_formatter a
+  | None -> Format.printf "(no audit data)@.");
+  Format.printf "== configuration ==@.";
+  Format.printf
+    "estimator=%s backend=%s domains=%d jit=%b cse=%b opt_timeout=%s@."
+    (Galley_stats.Ctx.kind_to_string config.estimator)
+    (Galley_engine.Exec.backend_to_string config.kernel_backend)
+    config.domains config.jit config.cse
+    (match config.optimizer_timeout with
+    | Some s -> Printf.sprintf "%gs" s
+    | None -> "none");
+  pp_tier_summary "logical" res.logical_tiers;
+  pp_tier_summary "physical" res.physical_tiers;
+  if res.timed_out then
+    Format.printf "TIMED OUT (incomplete outputs: %s)@."
+      (match res.incomplete_outputs with
+      | [] -> "none"
+      | inc -> String.concat ", " inc)
+
+let explain_cmd program_file inputs randoms outputs greedy uniform no_jit
+    no_cse opt_timeout kernel_backend domains =
+  let src = read_file program_file in
+  let config =
+    {
+      (if greedy then Galley.Driver.greedy_config
+       else Galley.Driver.default_config)
+      with
+      estimator =
+        (if uniform then Galley_stats.Ctx.Uniform_kind
+         else Galley_stats.Ctx.Chain_kind);
+      jit = not no_jit;
+      cse = not no_cse;
+      optimizer_timeout = opt_timeout;
+      kernel_backend;
+      domains;
+      audit = true;
+    }
+  in
+  match Galley.Driver.parse_checked src with
+  | Error e -> report_error e
+  | Ok program -> (
+      let program =
+        match outputs with
+        | [] -> program
+        | outs -> { program with Galley_plan.Ir.outputs = outs }
+      in
+      let bound =
+        List.map parse_input_spec inputs @ List.map parse_random_spec randoms
+      in
+      match Galley.Driver.run_checked ~config ~inputs:bound program with
+      | Ok res ->
+          print_explain config res;
           0
       | Error e -> report_error e)
 
@@ -268,15 +352,46 @@ let nnz_guard_arg =
           "Flag intermediates whose materialized nnz exceeds FACTOR times \
            the estimate; re-optimize once with measured statistics")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans for every pipeline phase and kernel and write them \
+           as Chrome trace_event JSON (load in Perfetto or chrome://tracing)")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the metrics registry (cache hits, estimator calls, \
+           per-kernel nnz, deadline ticks, ...) after the run")
+
 let run_term =
   Term.(
     const run_cmd $ program_arg $ inputs_arg $ randoms_arg $ outputs_arg
     $ show_plans_arg $ timings_arg $ greedy_arg $ uniform_arg $ no_jit_arg
     $ no_cse_arg $ timeout_arg $ opt_timeout_arg $ faults_arg
     $ no_validate_arg $ no_degrade_arg $ nnz_guard_arg $ kernel_backend_arg
-    $ domains_arg)
+    $ domains_arg $ trace_arg $ metrics_arg)
 
 let run_info = Cmd.info "run" ~doc:"Optimize and execute a tensor program"
+
+let explain_term =
+  Term.(
+    const explain_cmd $ program_arg $ inputs_arg $ randoms_arg $ outputs_arg
+    $ greedy_arg $ uniform_arg $ no_jit_arg $ no_cse_arg $ opt_timeout_arg
+    $ kernel_backend_arg $ domains_arg)
+
+let explain_info =
+  Cmd.info "explain"
+    ~doc:
+      "Run a program with the estimator audit enabled and print the chosen \
+       plans, loop orders and formats, and predicted vs. actual \
+       cardinalities with q-errors under both estimators"
+
 let demo_term = Term.(const demo_cmd $ const ())
 let demo_info = Cmd.info "demo" ~doc:"Run a built-in triangle-counting demo"
 
@@ -284,6 +399,10 @@ let main =
   Cmd.group
     (Cmd.info "galley_cli" ~version:"1.0.0"
        ~doc:"Galley: declarative sparse tensor programming")
-    [ Cmd.v run_info run_term; Cmd.v demo_info demo_term ]
+    [
+      Cmd.v run_info run_term;
+      Cmd.v explain_info explain_term;
+      Cmd.v demo_info demo_term;
+    ]
 
 let () = exit (Cmd.eval' main)

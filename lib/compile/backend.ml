@@ -35,8 +35,23 @@ module T = Galley_tensor.Tensor
 module Builder = Galley_tensor.Builder
 module Vec = Galley_tensor.Vec
 module Pool = Galley_parallel.Pool
+module Obs = Galley_obs
 
 exception Timeout
+
+(* Deadline-cadence observability (satellite of DESIGN.md §9): tick
+   counts are flushed to metrics in coarse 8192-tick quanta from the
+   same periodic branch that checks the clock, so the per-tick fast
+   path stays a single increment.  [kernel.cancel_latency_ticks] is the
+   number of (coarse) ticks the whole batch kept running after the
+   first chunk set the cancel flag — the wind-down cost of a timeout. *)
+let m_deadline_ticks = Obs.Metrics.counter "kernel.deadline_ticks"
+let m_chunks = Obs.Metrics.counter "kernel.chunks"
+let m_cancel_latency = Obs.Metrics.gauge "kernel.cancel_latency_ticks"
+
+let domain_counter prefix =
+  Obs.Metrics.counter
+    (prefix ^ ".domain" ^ string_of_int (Domain.self () :> int))
 
 type compiled = {
   run :
@@ -84,6 +99,9 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
        any failure) raised by one chunk into every other chunk's cadence
        so the batch winds down promptly. *)
     let cancel = Atomic.make false in
+    (* Coarse-tick value of [m_deadline_ticks] when cancel was first set;
+       -1 while no chunk has failed. *)
+    let cancel_mark = Atomic.make (-1) in
     let make_check () =
       match deadline with
       | None -> fun () -> ()
@@ -91,10 +109,12 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
           let iter_budget = ref 0 in
           fun () ->
             incr iter_budget;
-            if
-              !iter_budget land 8191 = 0
-              && (Atomic.get cancel || Unix.gettimeofday () > d)
-            then raise Timeout
+            if !iter_budget land 8191 = 0 then begin
+              Obs.Metrics.add m_deadline_ticks 8192;
+              Obs.Metrics.add (domain_counter "kernel.deadline_ticks") 8192;
+              if Atomic.get cancel || Unix.gettimeofday () > d then
+                raise Timeout
+            end
     in
     (* The loop nest from [level] down, parameterized over the innermost
        sink so the same walker serves direct accumulation (serial) and
@@ -191,6 +211,8 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
           let chunk_task c : Pool.task =
            fun () ->
             try
+              Obs.Metrics.incr m_chunks;
+              Obs.Metrics.incr (domain_counter "kernel.chunks");
               let lo = c * n_cand / n_chunks in
               let hi = (c + 1) * n_cand / n_chunks in
               let lc, lv = logs.(c) in
@@ -224,24 +246,42 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
                     if pr i then visit i
                   done)
             with e ->
-              Atomic.set cancel true;
+              if not (Atomic.exchange cancel true) then
+                Atomic.set cancel_mark (Obs.Metrics.value m_deadline_ticks);
               raise e
           in
-          Pool.run_all pool (Array.init n_chunks chunk_task);
+          let record_cancel_latency () =
+            let mark = Atomic.get cancel_mark in
+            if mark >= 0 then
+              Obs.Metrics.set_gauge m_cancel_latency
+                (float_of_int (Obs.Metrics.value m_deadline_ticks - mark))
+          in
+          (try Pool.run_all pool (Array.init n_chunks chunk_task)
+           with e ->
+             (* All chunks have drained by the time run_all re-raises, so
+                the coarse-tick delta is the cancel-to-last-exit latency. *)
+             record_cancel_latency ();
+             raise e);
+          record_cancel_latency ();
           (* Ordered replay: chunk logs concatenated in chunk order are
              exactly the serial accumulation sequence. *)
-          let coords = Array.make out_rank 0 in
-          Array.iter
-            (fun (lc, lv) ->
-              let n = Vec.Float.length lv in
-              for p = 0 to n - 1 do
-                check0 ();
-                for d = 0 to out_rank - 1 do
-                  coords.(d) <- Vec.Int.get lc ((p * out_rank) + d)
-                done;
-                Builder.accum builder coords (Vec.Float.get lv p) ~combine
-              done)
-            logs;
+          Obs.span ~cat:"exec" ~name:"kernel.replay"
+            ~attrs:(fun () ->
+              [ ("kernel", k.Physical.name);
+                ("chunks", string_of_int n_chunks) ])
+            (fun () ->
+              let coords = Array.make out_rank 0 in
+              Array.iter
+                (fun (lc, lv) ->
+                  let n = Vec.Float.length lv in
+                  for p = 0 to n - 1 do
+                    check0 ();
+                    for d = 0 to out_rank - 1 do
+                      coords.(d) <- Vec.Int.get lc ((p * out_rank) + d)
+                    done;
+                    Builder.accum builder coords (Vec.Float.get lv p) ~combine
+                  done)
+                logs);
           true
         end
       end

@@ -21,6 +21,7 @@
 open Galley_plan
 module T = Galley_tensor.Tensor
 module Ctx = Galley_stats.Ctx
+module Obs = Galley_obs
 
 type config = {
   estimator : Ctx.kind;
@@ -44,6 +45,10 @@ type config = {
       (* engine parallelism: size of the domain pool shared by DAG-parallel
          query execution and intra-kernel chunking; 1 = the exact serial
          path.  Outputs are bit-identical at every setting. *)
+  audit : bool;
+      (* record predicted nnz (under both estimators) for every
+         materialized intermediate and compare with actual nnz after
+         execution; results land in [result.audit] (the explain mode) *)
 }
 
 (* Default parallelism: [GALLEY_DOMAINS] when set to a positive integer,
@@ -68,6 +73,7 @@ let default_config =
     nnz_guard = None;
     kernel_backend = Galley_engine.Exec.Staged;
     domains = default_domains;
+    audit = false;
   }
 
 let greedy_config =
@@ -102,6 +108,9 @@ type result = {
   timings : timings;
   timed_out : bool;
   nnz_guard_retries : int; (* corrective re-optimizations triggered *)
+  audit : Obs.Audit.t option;
+      (* predicted-vs-actual nnz per materialized intermediate, present
+         when [config.audit] was set *)
 }
 
 let output_res (r : result) (name : string) : (T.t, string) Stdlib.result =
@@ -167,6 +176,69 @@ let refresh_alias_stats ?(refreshed = Hashtbl.create 16) (ctx : Ctx.t)
           | None -> ())
       | `Alias | `Input -> ())
     (Ir.referenced_names q.Logical_query.body)
+
+(* Declare one logical query's output in [ctx]'s schema and register its
+   inferred (estimated) alias statistics.  Shared by [run_logical_plan],
+   [Session.register_query], and the audit's shadow contexts. *)
+let register_query_estimated (ctx : Ctx.t) (q : Logical_query.t) : unit =
+  let full = (Logical_query.to_query q).Ir.expr in
+  let dims = Schema.index_dims ctx.Ctx.schema full in
+  let out_dims =
+    Array.of_list
+      (List.map (fun i -> Schema.dim_of_idx dims i) q.Logical_query.output_idxs)
+  in
+  let fill = Schema.expr_fill ctx.Ctx.schema dims full in
+  Schema.declare ctx.Ctx.schema q.Logical_query.name ~dims:out_dims ~fill;
+  ctx.Ctx.register_alias_estimated q.Logical_query.name
+    ~output_idxs:q.Logical_query.output_idxs full
+
+(* Estimator audit (config.audit): predict each logical query's output nnz
+   under *both* estimator kinds from purely inferred statistics — two
+   shadow contexts see only the inputs and the logical plan, never the
+   materialized tensors — so the audit measures the estimators themselves,
+   not the JIT refresh.  Actuals are filled in by [audit_observe] after
+   execution. *)
+let audit_predict (inputs : (string * T.t) list)
+    (logical_plan : Logical_query.t list) : Obs.Audit.t =
+  let a = Obs.Audit.create () in
+  let shadow kind =
+    let schema = Schema.create () in
+    List.iter (fun (name, t) -> Schema.declare_tensor schema name t) inputs;
+    let ctx = Ctx.create ~kind schema in
+    List.iter (fun (name, t) -> ctx.Ctx.register_input name t) inputs;
+    ctx
+  in
+  let shadows = [ shadow Ctx.Uniform_kind; shadow Ctx.Chain_kind ] in
+  List.iter
+    (fun (q : Logical_query.t) ->
+      let name = q.Logical_query.name in
+      List.iter
+        (fun (sctx : Ctx.t) ->
+          let estimator = Ctx.kind_to_string sctx.Ctx.kind in
+          let predicted =
+            try
+              register_query_estimated sctx q;
+              sctx.Ctx.estimate_expr
+                (Ir.Alias (name, q.Logical_query.output_idxs))
+            with _ ->
+              Obs.Log.warn "audit: %s estimator failed to predict %s"
+                estimator name;
+              Float.nan
+          in
+          Obs.Audit.predict a ~query:name ~estimator predicted)
+        shadows)
+    logical_plan;
+  a
+
+let audit_observe (a : Obs.Audit.t) (exec : Galley_engine.Exec.t)
+    (logical_plan : Logical_query.t list) : unit =
+  List.iter
+    (fun (q : Logical_query.t) ->
+      let name = q.Logical_query.name in
+      match Galley_engine.Exec.lookup_opt exec name with
+      | Some t -> Obs.Audit.observe a ~query:name (float_of_int (T.nnz t))
+      | None -> ())
+    logical_plan
 
 let make_ctx (config : config) (inputs : (string * T.t) list) : Ctx.t =
   let schema = Schema.create () in
@@ -253,12 +325,17 @@ let execute_queries ~(config : config) ~(ctx : Ctx.t)
     cur_phase := Errors.Physical;
     cur_query := Some name;
     let t0 = now () in
-    if refresh then refresh_alias_stats ~refreshed ctx exec q;
-    let deadline = Option.map (fun s -> now () +. s) config.optimizer_timeout in
     let plan, tier =
       try
-        Galley_physical.Optimizer.plan_query_tiered ?deadline
-          ~degrade:config.degrade ~config:config.physical ctx ~fresh q
+        Obs.span ~cat:"phase"
+          ~name:("physical_opt:" ^ name)
+          (fun () ->
+            if refresh then refresh_alias_stats ~refreshed ctx exec q;
+            let deadline =
+              Option.map (fun s -> now () +. s) config.optimizer_timeout
+            in
+            Galley_physical.Optimizer.plan_query_tiered ?deadline
+              ~degrade:config.degrade ~config:config.physical ctx ~fresh q)
       with Tier.Exhausted ->
         Errors.raise_error
           (Errors.Optimizer_deadline
@@ -288,7 +365,11 @@ let execute_queries ~(config : config) ~(ctx : Ctx.t)
     let name = q.Logical_query.name in
     cur_phase := Errors.Execution;
     cur_query := Some name;
-    try Galley_engine.Exec.run_plan exec plan with
+    try
+      Obs.span ~cat:"phase" ~name:("execute:" ^ name)
+        ~attrs:(fun () -> [ ("steps", string_of_int (List.length plan)) ])
+        (fun () -> Galley_engine.Exec.run_plan exec plan)
+    with
     | Galley_engine.Exec.Timeout -> raise Galley_engine.Exec.Timeout
     | Errors.Galley_error _ as e -> raise e
     | Faults.Injected_kernel_failure n ->
@@ -343,6 +424,11 @@ let execute_queries ~(config : config) ~(ctx : Ctx.t)
                      })
               else begin
                 incr guard_retries;
+                Obs.Metrics.incr_named "nnz_guard.retries";
+                Obs.Log.info
+                  "nnz guard: %s materialized %.0f nnz vs estimate %.0f; \
+                   re-optimizing remaining queries from measured statistics"
+                  name actual estimate;
                 (* Corrected statistics: measure the offender now; replan
                    everything still pending from measured sizes. *)
                 Schema.declare_tensor ctx.Ctx.schema name t;
@@ -435,7 +521,10 @@ let execute_queries ~(config : config) ~(ctx : Ctx.t)
         then exec_parallel (Galley_engine.Exec.pool exec)
         else exec_serial ()
       with Galley_engine.Exec.Timeout -> timed_out := true);
-  let found, incomplete = collect_outputs exec logical_plan outputs in
+  let found, incomplete =
+    Obs.span ~cat:"phase" ~name:"collect_outputs" (fun () ->
+        collect_outputs exec logical_plan outputs)
+  in
   ( found,
     incomplete,
     !all_steps,
@@ -452,6 +541,13 @@ let execute_logical ~(config : config) ~(ctx : Ctx.t)
   validate_logical ~config
     ~known:(fun n -> List.mem_assoc n inputs)
     ~outputs logical_plan;
+  let audit =
+    if config.audit then
+      Some
+        (Obs.span ~cat:"phase" ~name:"audit_predict" (fun () ->
+             audit_predict inputs logical_plan))
+    else None
+  in
   let exec =
     Galley_engine.Exec.create ~cse:config.cse ~backend:config.kernel_backend
       ~domains:config.domains ()
@@ -473,6 +569,7 @@ let execute_logical ~(config : config) ~(ctx : Ctx.t)
       ~before_plan:(fun _ -> ())
       ~logical_plan ~outputs
   in
+  Option.iter (fun a -> audit_observe a exec logical_plan) audit;
   let timings = exec.Galley_engine.Exec.timings in
   {
     outputs;
@@ -497,6 +594,7 @@ let execute_logical ~(config : config) ~(ctx : Ctx.t)
       };
     timed_out;
     nnz_guard_retries;
+    audit;
   }
 
 let run ?(config = default_config) ~(inputs : (string * T.t) list)
@@ -508,9 +606,13 @@ let run ?(config = default_config) ~(inputs : (string * T.t) list)
   let t0 = now () in
   let logical_plan, logical_tiers =
     try
-      Galley_logical.Optimizer.optimize_program_tiered
-        ?timeout:config.optimizer_timeout ~degrade:config.degrade
-        config.logical ctx program
+      Obs.span ~cat:"phase" ~name:"logical_opt"
+        ~attrs:(fun () ->
+          [ ("queries", string_of_int (List.length program.Ir.queries)) ])
+        (fun () ->
+          Galley_logical.Optimizer.optimize_program_tiered
+            ?timeout:config.optimizer_timeout ~degrade:config.degrade
+            config.logical ctx program)
     with Tier.Exhausted ->
       Errors.raise_error
         (Errors.Optimizer_deadline
@@ -531,21 +633,7 @@ let run_logical_plan ?(config = default_config)
     (logical_plan : Logical_query.t list) : result =
   let ctx = make_ctx config inputs in
   (* Register every query's output so estimation can see the aliases. *)
-  List.iter
-    (fun (q : Logical_query.t) ->
-      let full = (Logical_query.to_query q).Ir.expr in
-      let dims = Schema.index_dims ctx.Ctx.schema full in
-      let out_dims =
-        Array.of_list
-          (List.map
-             (fun i -> Schema.dim_of_idx dims i)
-             q.Logical_query.output_idxs)
-      in
-      let fill = Schema.expr_fill ctx.Ctx.schema dims full in
-      Schema.declare ctx.Ctx.schema q.Logical_query.name ~dims:out_dims ~fill;
-      ctx.Ctx.register_alias_estimated q.Logical_query.name
-        ~output_idxs:q.Logical_query.output_idxs full)
-    logical_plan;
+  List.iter (register_query_estimated ctx) logical_plan;
   execute_logical ~config ~ctx ~inputs ~logical_plan ~outputs
     ~logical_seconds:0.0 ~logical_tiers:[]
 
@@ -574,7 +662,11 @@ let run_checked ?config ~inputs (program : Ir.program) :
       Error (Errors.of_exn (error_context ()) exn)
 
 let parse_checked (src : string) : (Ir.program, Errors.t) Stdlib.result =
-  match Galley_lang.Parser.parse_program src with
+  match
+    Obs.span ~cat:"phase" ~name:"parse"
+      ~attrs:(fun () -> [ ("bytes", string_of_int (String.length src)) ])
+      (fun () -> Galley_lang.Parser.parse_program src)
+  with
   | p -> Ok p
   | exception Galley_lang.Parser.Parse_error { message; pos } ->
       Error (Errors.Parse_error { message; position = pos })
@@ -631,19 +723,7 @@ module Session = struct
   (* Register one query's output for estimation: measured when already
      materialized (JIT), else inferred from its defining expression. *)
   let register_query (s : session) (q : Logical_query.t) : unit =
-    let ctx = s.s_ctx in
-    let full = (Logical_query.to_query q).Ir.expr in
-    let dims = Schema.index_dims ctx.Ctx.schema full in
-    let out_dims =
-      Array.of_list
-        (List.map
-           (fun i -> Schema.dim_of_idx dims i)
-           q.Logical_query.output_idxs)
-    in
-    let fill = Schema.expr_fill ctx.Ctx.schema dims full in
-    Schema.declare ctx.Ctx.schema q.Logical_query.name ~dims:out_dims ~fill;
-    ctx.Ctx.register_alias_estimated q.Logical_query.name
-      ~output_idxs:q.Logical_query.output_idxs full
+    register_query_estimated s.s_ctx q
 
   (* Run a hand-written logical plan against the session state. *)
   let run_logical_plan (s : session) ~(outputs : string list)
@@ -691,6 +771,7 @@ module Session = struct
         };
       timed_out;
       nnz_guard_retries;
+      audit = None;
     }
 
   let lookup (s : session) (name : string) : T.t option =

@@ -46,6 +46,11 @@ type config = {
           the exact serial path.  Outputs are bit-identical at every
           setting.  Defaults to [GALLEY_DOMAINS] when set, else
           [Domain.recommended_domain_count ()]. *)
+  audit : bool;
+      (** record predicted nnz for every materialized intermediate under
+          both estimators (uniform and chain-bound, from purely inferred
+          shadow statistics) and compare with actual nnz after execution;
+          the comparison lands in [result.audit].  Default off. *)
 }
 
 (** The default [domains]: the [GALLEY_DOMAINS] environment variable when
@@ -90,6 +95,9 @@ type result = {
           [incomplete_outputs] the rest *)
   nnz_guard_retries : int;
       (** corrective re-optimizations triggered by the nnz guardrail *)
+  audit : Galley_obs.Audit.t option;
+      (** predicted-vs-actual nnz per materialized intermediate; [Some]
+          exactly when [config.audit] was set *)
 }
 
 (** Look up an output tensor by name; raises [Invalid_argument] naming the

@@ -37,10 +37,16 @@ exception Injected_kernel_failure of int
 (* Wrap the estimate closures of a context.  [clone] is re-wrapped
    recursively: the optimizers score candidates on cloned contexts, and the
    faults must survive into every search branch. *)
+let m_estimator_faults =
+  Galley_obs.Metrics.counter "faults.estimator_injected"
+
+let m_kernel_faults = Galley_obs.Metrics.counter "faults.kernel_injected"
+
 let rec wrap_ctx (f : t) (ctx : Ctx.t) : Ctx.t =
   if not (estimator_active f) then ctx
   else
     let inject v =
+      Galley_obs.Metrics.incr m_estimator_faults;
       if f.optimizer_delay > 0.0 then Unix.sleepf f.optimizer_delay;
       if f.estimator_nan then Float.nan
       else if f.estimator_inf then Float.infinity
@@ -61,7 +67,10 @@ let install_exec (f : t) (exec : Galley_engine.Exec.t) : unit =
   | None -> ()
   | Some nth ->
       Galley_engine.Exec.set_kernel_hook exec (fun n ->
-          if n = nth then raise (Injected_kernel_failure n))
+          if n = nth then begin
+            Galley_obs.Metrics.incr m_kernel_faults;
+            raise (Injected_kernel_failure n)
+          end)
 
 (* Parse a comma-separated fault spec, e.g.
    "estimator-nan,kernel-fail=3,opt-delay=0.05,estimator-scale=1e-6". *)

@@ -22,8 +22,22 @@ open Galley_plan
 module T = Galley_tensor.Tensor
 module Pool = Galley_parallel.Pool
 module Dag = Galley_parallel.Dag
+module Obs = Galley_obs
 
 exception Timeout = Kernel_exec.Timeout
+
+(* Cache behaviour and kernel volume land in the metrics registry
+   (DESIGN.md §9).  Counter bumps are single atomic adds and stay on
+   unconditionally; nnz accounting walks tensors and is gated behind
+   [Metrics.detailed] (enabled by [--metrics], bench, and tests). *)
+let m_kernel_cache_hits = Obs.Metrics.counter "kernel_cache.hits"
+let m_kernel_cache_misses = Obs.Metrics.counter "kernel_cache.misses"
+let m_cse_hits = Obs.Metrics.counter "cse.hits"
+let m_cse_misses = Obs.Metrics.counter "cse.misses"
+let m_kernels_run = Obs.Metrics.counter "exec.kernels_run"
+let m_transposes_run = Obs.Metrics.counter "exec.transposes_run"
+let m_nnz_read = Obs.Metrics.counter "kernel.nnz_read"
+let m_nnz_written = Obs.Metrics.counter "kernel.nnz_written"
 
 (* Which kernel compiler backs the cache: the staged closure compiler
    (galley_compile; the default) or the constraint-tree interpreter, kept
@@ -193,16 +207,26 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
   in
   match cse_hit with
   | Some result ->
+      Obs.Metrics.incr m_cse_hits;
       locked t (fun () -> t.timings.cse_hits <- t.timings.cse_hits + 1);
       result
   | None ->
+      if t.cse_enabled then Obs.Metrics.incr m_cse_misses;
       let compiled =
         locked t (fun () ->
             match Hashtbl.find_opt t.kernel_cache signature with
-            | Some c -> c
+            | Some c ->
+                Obs.Metrics.incr m_kernel_cache_hits;
+                c
             | None ->
+                Obs.Metrics.incr m_kernel_cache_misses;
                 let t0 = now () in
                 let c =
+                  Obs.span ~cat:"compile"
+                    ~name:("compile:" ^ k.Physical.name)
+                    ~attrs:(fun () ->
+                      [ ("backend", backend_to_string t.backend) ])
+                  @@ fun () ->
                   match t.backend with
                   | Interp ->
                       { (Kernel_exec.compile k ~access_fills) with signature }
@@ -232,8 +256,22 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
       (match t.kernel_hook with
       | Some hook -> hook (Atomic.fetch_and_add t.kernel_ordinal 1 + 1)
       | None -> ());
+      Obs.Metrics.incr m_kernels_run;
       let t0 = now () in
-      let result = compiled.Kernel_exec.run ?deadline:t.deadline k tensors in
+      let result =
+        Obs.span ~cat:"exec"
+          ~name:("kernel:" ^ k.Physical.name)
+          ~attrs:(fun () ->
+            [
+              ("backend", backend_to_string t.backend);
+              ("accesses", string_of_int (Array.length k.Physical.accesses));
+            ])
+          (fun () -> compiled.Kernel_exec.run ?deadline:t.deadline k tensors)
+      in
+      if Obs.Metrics.detailed () then begin
+        Array.iter (fun src -> Obs.Metrics.add m_nnz_read (T.nnz src)) tensors;
+        Obs.Metrics.add m_nnz_written (T.nnz result)
+      end;
       locked t (fun () ->
           t.timings.exec_time <- t.timings.exec_time +. (now () -. t0);
           t.timings.kernel_count <- t.timings.kernel_count + 1;
@@ -243,8 +281,12 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
 let run_transpose (t : t) ~(source : string) ~(perm : int array)
     ~(formats : T.format array option) : T.t =
   let src = lookup t source in
+  Obs.Metrics.incr m_transposes_run;
   let t0 = now () in
-  let result = T.transpose ?formats src perm in
+  let result =
+    Obs.span ~cat:"exec" ~name:("transpose:" ^ source) (fun () ->
+        T.transpose ?formats src perm)
+  in
   locked t (fun () ->
       t.timings.exec_time <- t.timings.exec_time +. (now () -. t0));
   result

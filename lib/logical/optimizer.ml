@@ -358,10 +358,25 @@ let optimize_expr_tiered ?(deadline : float option) ?(degrade = true)
         let canon = Canonical.canonicalize ctx.Galley_stats.Ctx.schema expr in
         (naive ctx ~fresh ~name ~out_order canon, Tier.Naive)
     | (s, t) :: rest -> (
-        try (attempt s, t)
-        with Tier.Exhausted -> if degrade then go rest else raise Tier.Exhausted)
+        try
+          let r =
+            Galley_obs.span ~cat:"optimize"
+              ~name:("logical.rung:" ^ Tier.to_string t)
+              ~attrs:(fun () -> [ ("query", name) ])
+              (fun () -> attempt s)
+          in
+          (r, t)
+        with Tier.Exhausted ->
+          if degrade then begin
+            Galley_obs.Metrics.incr_named "optimizer.logical.rung_exhausted";
+            go rest
+          end
+          else raise Tier.Exhausted)
   in
-  go rungs
+  let r, tier = go rungs in
+  Galley_obs.Metrics.incr_named
+    ("optimizer.logical.tier." ^ Tier.to_string tier);
+  (r, tier)
 
 let optimize_query_tiered ?deadline ?degrade (cfg : config)
     (ctx : Galley_stats.Ctx.t) ~(fresh : unit -> string) (q : Ir.query) :

@@ -1,0 +1,123 @@
+(* Estimator accuracy audit: predicted vs. actual nnz per materialized
+   intermediate, with q-error aggregation.
+
+   This module is deliberately generic — it stores labelled predictions
+   and observed actuals keyed by query name; the driver decides which
+   estimators produce the predictions and reads actual nnz off the
+   executed tensors. *)
+
+type entry = {
+  a_query : string;
+  mutable a_predicted : (string * float) list;  (* estimator label -> nnz *)
+  mutable a_actual : float option;
+}
+
+type t = { mutable entries : entry list (* newest first *); mutex : Mutex.t }
+
+let create () = { entries = []; mutex = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find_or_add t query =
+  match List.find_opt (fun e -> e.a_query = query) t.entries with
+  | Some e -> e
+  | None ->
+      let e = { a_query = query; a_predicted = []; a_actual = None } in
+      t.entries <- e :: t.entries;
+      e
+
+let predict t ~query ~estimator value =
+  locked t (fun () ->
+      let e = find_or_add t query in
+      e.a_predicted <- e.a_predicted @ [ (estimator, value) ])
+
+let observe t ~query actual =
+  locked t (fun () ->
+      let e = find_or_add t query in
+      e.a_actual <- Some actual)
+
+(* q-error: max(pred/actual, actual/pred) after clamping both to >= 1,
+   so empty results don't divide by zero and the result is always a
+   finite value >= 1 (for finite inputs). *)
+let q_error ~predicted ~actual =
+  let p = Float.max 1.0 predicted and a = Float.max 1.0 actual in
+  if Float.is_nan p || Float.is_nan a then Float.nan
+  else Float.max (p /. a) (a /. p)
+
+type row = {
+  r_query : string;
+  r_estimator : string;
+  r_predicted : float;
+  r_actual : float option;
+  r_q_error : float option;
+}
+
+(* Rows in query-registration order, one per (query, estimator) pair. *)
+let rows t : row list =
+  locked t (fun () ->
+      List.concat_map
+        (fun e ->
+          List.map
+            (fun (label, p) ->
+              {
+                r_query = e.a_query;
+                r_estimator = label;
+                r_predicted = p;
+                r_actual = e.a_actual;
+                r_q_error =
+                  Option.map (fun a -> q_error ~predicted:p ~actual:a) e.a_actual;
+              })
+            e.a_predicted)
+        (List.rev t.entries))
+
+type summary = {
+  s_estimator : string;
+  s_count : int;
+  s_mean_q : float;  (* geometric mean of q-errors *)
+  s_max_q : float;
+}
+
+let summaries t : summary list =
+  let by_est = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      match r.r_q_error with
+      | None -> ()
+      | Some q ->
+          if not (Hashtbl.mem by_est r.r_estimator) then
+            order := r.r_estimator :: !order;
+          let prev = try Hashtbl.find by_est r.r_estimator with Not_found -> [] in
+          Hashtbl.replace by_est r.r_estimator (q :: prev))
+    (rows t);
+  List.rev_map
+    (fun est ->
+      let qs = Hashtbl.find by_est est in
+      let n = List.length qs in
+      let log_sum = List.fold_left (fun acc q -> acc +. Float.log q) 0.0 qs in
+      {
+        s_estimator = est;
+        s_count = n;
+        s_mean_q = Float.exp (log_sum /. float_of_int n);
+        s_max_q = List.fold_left Float.max 1.0 qs;
+      })
+    !order
+
+let pp_rows fmt t =
+  let rs = rows t in
+  Format.fprintf fmt "%-16s %-10s %14s %14s %10s@."
+    "query" "estimator" "predicted" "actual" "q-error";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-16s %-10s %14.1f %14s %10s@."
+        r.r_query r.r_estimator r.r_predicted
+        (match r.r_actual with Some a -> Printf.sprintf "%.0f" a | None -> "-")
+        (match r.r_q_error with Some q -> Printf.sprintf "%.2f" q | None -> "-"))
+    rs;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "[%s] n=%d geo-mean q-error=%.2f max=%.2f@."
+        s.s_estimator s.s_count s.s_mean_q s.s_max_q)
+    (summaries t)

@@ -1,0 +1,19 @@
+(* Monotonic-ish microsecond clock.
+
+   OCaml 5.1's stdlib exposes no monotonic clock, so we derive timestamps
+   from [Unix.gettimeofday] relative to process start and guard against
+   wall-clock steps with a global high-water mark: [now_us] never returns
+   a value smaller than any previously returned value, across domains. *)
+
+let t0 = Unix.gettimeofday ()
+let last : int Atomic.t = Atomic.make 0
+
+let now_us () : int =
+  let t = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  let rec bump () =
+    let l = Atomic.get last in
+    if t <= l then l
+    else if Atomic.compare_and_set last l t then t
+    else bump ()
+  in
+  bump ()

@@ -1,0 +1,12 @@
+(* Facade for the observability subsystem: spans, metrics, logging,
+   and the estimator-accuracy audit.  See DESIGN.md "Observability". *)
+
+module Clock = Clock
+module Log = Log
+module Metrics = Metrics
+module Trace = Trace
+module Audit = Audit
+
+let span = Trace.span
+let instant = Trace.instant
+let tracing = Trace.enabled

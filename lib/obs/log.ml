@@ -1,0 +1,66 @@
+(* Leveled logging facade.
+
+   All diagnostic output from the library goes through here instead of
+   ad-hoc [Printf.eprintf], so test output stays clean by default.  The
+   threshold comes from [GALLEY_LOG=debug|info|warn|error] (default
+   [Warn]).  Emission counts per level are tracked so tests and CI can
+   assert that nothing at warn+ fired. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_index = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function
+  | Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let default_level () =
+  match Sys.getenv_opt "GALLEY_LOG" with
+  | Some s -> (match level_of_string s with Some l -> l | None -> Warn)
+  | None -> Warn
+
+(* Threshold encoded as its index so it fits an [int Atomic.t]. *)
+let threshold : int Atomic.t = Atomic.make (level_index (default_level ()))
+
+let set_level (l : level) = Atomic.set threshold (level_index l)
+let get_level () : level =
+  match Atomic.get threshold with
+  | 0 -> Debug | 1 -> Info | 2 -> Warn | _ -> Error
+
+let enabled (l : level) = level_index l >= Atomic.get threshold
+
+(* Per-level emission counters (indexed by [level_index]).  A message
+   counts as emitted when it passes the threshold, regardless of sink. *)
+let emitted : int Atomic.t array = Array.init 4 (fun _ -> Atomic.make 0)
+let emitted_count (l : level) = Atomic.get emitted.(level_index l)
+let reset_counts () = Array.iter (fun c -> Atomic.set c 0) emitted
+
+(* Optional sink override for tests; default writes one line to stderr. *)
+let sink : (level -> string -> unit) option ref = ref None
+let set_sink f = sink := f
+
+let emit_mutex = Mutex.create ()
+
+let emit l msg =
+  Atomic.incr emitted.(level_index l);
+  match !sink with
+  | Some f -> f l msg
+  | None ->
+      Mutex.lock emit_mutex;
+      Printf.eprintf "galley[%s] %s\n%!" (level_name l) msg;
+      Mutex.unlock emit_mutex
+
+let logf l fmt =
+  if enabled l then Printf.ksprintf (fun s -> emit l s) fmt
+  else Printf.ikfprintf (fun _ -> ()) () fmt
+
+let debug fmt = logf Debug fmt
+let info fmt = logf Info fmt
+let warn fmt = logf Warn fmt
+let error fmt = logf Error fmt

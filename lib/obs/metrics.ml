@@ -1,0 +1,210 @@
+(* Process-wide metrics registry: counters, gauges, and power-of-two
+   histograms, all domain-safe.
+
+   Counters and histograms are plain [Atomic] cells, so recording is a
+   handful of nanoseconds and is left enabled unconditionally at cheap
+   call sites (cache probes, tier activations, ...).  Call sites whose
+   *collection* is itself expensive — e.g. counting nnz of kernel
+   operands — must guard on [detailed ()], which is off unless the
+   caller (CLI [--metrics], bench, tests) opts in. *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  (* bucket [i] counts observations v with [bits v = i], i.e. bucket
+     boundaries at powers of two; values are expected non-negative ints
+     (microseconds, nnz, ticks, ...). *)
+  h_buckets : int Atomic.t array;
+  h_sum : int Atomic.t;
+  h_count : int Atomic.t;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let detailed_flag = Atomic.make false
+let detailed () = Atomic.get detailed_flag
+let set_detailed b = Atomic.set detailed_flag b
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let counter name : counter =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> c
+      | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+      | None ->
+          let c = { c_name = name; c_value = Atomic.make 0 } in
+          Hashtbl.replace registry name (Counter c);
+          c)
+
+let gauge name : gauge =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Gauge g) -> g
+      | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+      | None ->
+          let g = { g_name = name; g_value = Atomic.make 0.0 } in
+          Hashtbl.replace registry name (Gauge g);
+          g)
+
+let histogram name : histogram =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Histogram h) -> h
+      | Some _ ->
+          invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+      | None ->
+          let h =
+            {
+              h_name = name;
+              h_buckets = Array.init 63 (fun _ -> Atomic.make 0);
+              h_sum = Atomic.make 0;
+              h_count = Atomic.make 0;
+            }
+          in
+          Hashtbl.replace registry name (Histogram h);
+          h)
+
+let add (c : counter) (n : int) = ignore (Atomic.fetch_and_add c.c_value n)
+let incr (c : counter) = add c 1
+let value (c : counter) = Atomic.get c.c_value
+
+(* Shorthand for one-off bumps where caching the counter isn't worth it. *)
+let incr_named name = incr (counter name)
+let add_named name n = add (counter name) n
+
+let set_gauge (g : gauge) (v : float) = Atomic.set g.g_value v
+let gauge_value (g : gauge) = Atomic.get g.g_value
+
+(* Bucket index = position of the highest set bit (floor log2), capped. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 1 do
+      i := !i + 1;
+      v := !v lsr 1
+    done;
+    Stdlib.min 62 !i
+  end
+
+let observe (h : histogram) (v : int) =
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.h_sum (max 0 v));
+  ignore (Atomic.fetch_and_add h.h_count 1)
+
+let histogram_count (h : histogram) = Atomic.get h.h_count
+let histogram_sum (h : histogram) = Atomic.get h.h_sum
+
+(* Lookup without creating; used by dumps and tests. *)
+let find name = with_registry (fun () -> Hashtbl.find_opt registry name)
+
+let counter_value name =
+  match find name with Some (Counter c) -> Some (value c) | _ -> None
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c.c_value 0
+          | Gauge g -> Atomic.set g.g_value 0.0
+          | Histogram h ->
+              Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
+              Atomic.set h.h_sum 0;
+              Atomic.set h.h_count 0)
+        registry)
+
+let sorted_metrics () =
+  let all = with_registry (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry []) in
+  let name = function
+    | Counter c -> c.c_name
+    | Gauge g -> g.g_name
+    | Histogram h -> h.h_name
+  in
+  List.sort (fun a b -> compare (name a) (name b)) all
+
+(* Snapshot of scalar values (histograms contribute sum/count/mean rows);
+   convenient for tests and the bench JSON. *)
+let snapshot () : (string * float) list =
+  List.concat_map
+    (function
+      | Counter c -> [ (c.c_name, float_of_int (value c)) ]
+      | Gauge g -> [ (g.g_name, gauge_value g) ]
+      | Histogram h ->
+          let n = histogram_count h in
+          let s = histogram_sum h in
+          [
+            (h.h_name ^ ".count", float_of_int n);
+            (h.h_name ^ ".sum", float_of_int s);
+            ( h.h_name ^ ".mean",
+              if n = 0 then 0.0 else float_of_int s /. float_of_int n );
+          ])
+    (sorted_metrics ())
+
+let dump () : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "== metrics ==\n";
+  List.iter
+    (function
+      | Counter c -> Buffer.add_string b (Printf.sprintf "%-42s %d\n" c.c_name (value c))
+      | Gauge g ->
+          Buffer.add_string b (Printf.sprintf "%-42s %g\n" g.g_name (gauge_value g))
+      | Histogram h ->
+          let n = histogram_count h in
+          let s = histogram_sum h in
+          let mean = if n = 0 then 0.0 else float_of_int s /. float_of_int n in
+          Buffer.add_string b
+            (Printf.sprintf "%-42s count=%d sum=%d mean=%.1f\n" h.h_name n s mean);
+          if n > 0 then begin
+            Array.iteri
+              (fun i bkt ->
+                let c = Atomic.get bkt in
+                if c > 0 then
+                  Buffer.add_string b
+                    (Printf.sprintf "%-42s   le(2^%d)=%d\n" "" i c))
+              h.h_buckets
+          end)
+    (sorted_metrics ());
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let dump_json () : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{";
+  let first = ref true in
+  List.iter
+    (fun (name, v) ->
+      if not !first then Buffer.add_string b ",";
+      first := false;
+      let sv =
+        if Float.is_integer v && Float.abs v < 1e15 then
+          Printf.sprintf "%.0f" v
+        else Printf.sprintf "%g" v
+      in
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape name) sv))
+    (snapshot ());
+  Buffer.add_string b "}";
+  Buffer.contents b

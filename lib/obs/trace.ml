@@ -1,0 +1,153 @@
+(* Structured span tracing with Chrome trace_event JSON export.
+
+   Collection is off by default and toggled globally ([enable]/[disable],
+   or [GALLEY_TRACE=1] in the environment).  When off, [span] costs one
+   atomic read and never builds attributes — the [attrs] thunk is only
+   forced at emission time.  Each domain appends completed spans to its
+   own buffer (via [Domain.DLS]); buffers are registered in a global
+   list under a mutex so [drain] can merge them after worker domains
+   have exited. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char;  (* 'X' complete span, 'i' instant *)
+  ev_ts : int;  (* microseconds since process start *)
+  ev_dur : int;  (* microseconds; 0 for instants *)
+  ev_tid : int;  (* domain id *)
+  ev_args : (string * string) list;
+}
+
+let env_default () =
+  match Sys.getenv_opt "GALLEY_TRACE" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let on : bool Atomic.t = Atomic.make (env_default ())
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+type buffer = { mutable events : event list; b_tid : int }
+
+let buffers : buffer list ref = ref []
+let buffers_mutex = Mutex.create ()
+
+let key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { events = []; b_tid = (Domain.self () :> int) } in
+      Mutex.lock buffers_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock buffers_mutex;
+      b)
+
+let record ev =
+  let b = Domain.DLS.get key in
+  b.events <- ev :: b.events
+
+let force_attrs = function None -> [] | Some f -> (f () : (string * string) list)
+
+let span ?(cat = "galley") ~name ?attrs (f : unit -> 'a) : 'a =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Clock.now_us () in
+    let emit args =
+      let t1 = Clock.now_us () in
+      record
+        {
+          ev_name = name;
+          ev_cat = cat;
+          ev_ph = 'X';
+          ev_ts = t0;
+          ev_dur = t1 - t0;
+          ev_tid = (Domain.self () :> int);
+          ev_args = args;
+        }
+    in
+    match f () with
+    | v ->
+        emit (force_attrs attrs);
+        v
+    | exception e ->
+        emit (("error", Printexc.to_string e) :: force_attrs attrs);
+        raise e
+  end
+
+let instant ?(cat = "galley") ~name ?attrs () =
+  if Atomic.get on then
+    record
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ph = 'i';
+        ev_ts = Clock.now_us ();
+        ev_dur = 0;
+        ev_tid = (Domain.self () :> int);
+        ev_args = force_attrs attrs;
+      }
+
+(* Record a span whose start time was captured earlier (e.g. queue wait). *)
+let complete ?(cat = "galley") ~name ~start_us ~end_us ?attrs () =
+  if Atomic.get on then
+    record
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ph = 'X';
+        ev_ts = start_us;
+        ev_dur = max 0 (end_us - start_us);
+        ev_tid = (Domain.self () :> int);
+        ev_args = force_attrs attrs;
+      }
+
+(* Remove and return all recorded events, oldest first. *)
+let drain () : event list =
+  Mutex.lock buffers_mutex;
+  let evs =
+    List.concat_map
+      (fun b ->
+        let e = b.events in
+        b.events <- [];
+        e)
+      !buffers
+  in
+  Mutex.unlock buffers_mutex;
+  List.sort (fun a b -> compare a.ev_ts b.ev_ts) evs
+
+let reset () = ignore (drain ())
+
+let to_chrome_json (events : event list) : string =
+  let b = Buffer.create 4096 in
+  let esc = Metrics.json_escape in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":%d"
+           (esc ev.ev_name) (esc ev.ev_cat) ev.ev_ph ev.ev_ts ev.ev_dur ev.ev_tid);
+      if ev.ev_ph = 'i' then Buffer.add_string b ",\"s\":\"t\"";
+      (match ev.ev_args with
+      | [] -> ()
+      | args ->
+          Buffer.add_string b ",\"args\":{";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_string b ",";
+              Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (esc k) (esc v)))
+            args;
+          Buffer.add_string b "}");
+      Buffer.add_string b "}")
+    events;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+(* Drain everything recorded so far and write it as Chrome trace JSON. *)
+let write_file path =
+  let events = drain () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json events));
+  List.length events

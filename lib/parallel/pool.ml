@@ -40,11 +40,15 @@ type batch = {
   mutable failed : (exn * Printexc.raw_backtrace) option;
 }
 
+(* [enq_us = 0] means tracing was off at enqueue time: no wait/run spans
+   are emitted for the entry, keeping the disabled path span-free. *)
+type entry = { e_task : task; e_batch : batch; e_enq_us : int }
+
 type t = {
   parallelism : int;  (* total lanes, counting the submitting domain *)
   mutex : Mutex.t;
   cond : Condition.t;  (* signals: queue non-empty, or a batch drained *)
-  queue : (task * batch) Queue.t;
+  queue : entry Queue.t;
   mutable workers : unit Domain.t list;
   mutable n_workers : int;
   mutable stop : bool;
@@ -66,17 +70,31 @@ let create ~(domains : int) : t =
 
 let size (t : t) : int = t.parallelism
 
+let tasks_run = Galley_obs.Metrics.counter "pool.tasks_run"
+
 (* Run one popped entry and retire it from its batch.  [skip] is decided
    under the pool mutex at pop time: once a batch has failed, its
    remaining tasks are dropped unrun. *)
-let run_entry (t : t) ((task, b) : task * batch) ~(skip : bool) : unit =
+let run_entry (t : t) (e : entry) ~(skip : bool) : unit =
+  let b = e.e_batch in
+  (* Queue-wait span: from enqueue to the moment a lane picked it up. *)
+  if e.e_enq_us > 0 && Galley_obs.Trace.enabled () then
+    Galley_obs.Trace.complete ~cat:"pool" ~name:"pool.wait" ~start_us:e.e_enq_us
+      ~end_us:(Galley_obs.Clock.now_us ()) ();
   let failure =
     if skip then None
-    else
+    else begin
+      Galley_obs.Metrics.incr tasks_run;
+      let run () =
+        if e.e_enq_us > 0 then
+          Galley_obs.Trace.span ~cat:"pool" ~name:"pool.task" e.e_task
+        else e.e_task ()
+      in
       try
-        task ();
+        run ();
         None
-      with e -> Some (e, Printexc.get_raw_backtrace ())
+      with ex -> Some (ex, Printexc.get_raw_backtrace ())
+    end
   in
   Mutex.lock t.mutex;
   (match failure with
@@ -93,8 +111,8 @@ let rec worker_loop (t : t) : unit =
   done;
   if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stop: exit *)
   else begin
-    let ((_, b) as entry) = Queue.pop t.queue in
-    let skip = b.failed <> None in
+    let entry = Queue.pop t.queue in
+    let skip = entry.e_batch.failed <> None in
     Mutex.unlock t.mutex;
     run_entry t entry ~skip;
     worker_loop t
@@ -154,8 +172,13 @@ let run_all (t : t) (tasks : task array) : unit =
     Array.iter (fun task -> task ()) tasks
   else begin
     let b = { pending = n; failed = None } in
+    let enq_us =
+      if Galley_obs.Trace.enabled () then Galley_obs.Clock.now_us () else 0
+    in
     Mutex.lock t.mutex;
-    Array.iter (fun task -> Queue.push (task, b) t.queue) tasks;
+    Array.iter
+      (fun task -> Queue.push { e_task = task; e_batch = b; e_enq_us = enq_us } t.queue)
+      tasks;
     ensure_workers t (min (t.parallelism - 1) (n - 1));
     if t.n_workers > 0 then register t;
     Condition.broadcast t.cond;
@@ -164,8 +187,8 @@ let run_all (t : t) (tasks : task array) : unit =
     while b.pending > 0 do
       if Queue.is_empty t.queue then Condition.wait t.cond t.mutex
       else begin
-        let ((_, eb) as entry) = Queue.pop t.queue in
-        let skip = eb.failed <> None in
+        let entry = Queue.pop t.queue in
+        let skip = entry.e_batch.failed <> None in
         Mutex.unlock t.mutex;
         run_entry t entry ~skip;
         Mutex.lock t.mutex

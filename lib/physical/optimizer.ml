@@ -584,15 +584,29 @@ let plan_query_tiered ?(deadline : float option) ?(degrade = true)
     | [] -> (plan_query_rung ~tier:Tier.Naive ~config ctx ~fresh q, Tier.Naive)
     | tier :: rest -> (
         try
-          let budget = budget_for () in
-          (* Charge rung entry so trivial (tick-free) plans still respect
-             an already-expired deadline. *)
-          Tier.tick_opt budget;
-          (plan_query_rung ~tier ?budget ~config ctx ~fresh q, tier)
+          let plan =
+            Galley_obs.span ~cat:"optimize"
+              ~name:("physical.rung:" ^ Tier.to_string tier)
+              ~attrs:(fun () -> [ ("query", q.Logical_query.name) ])
+              (fun () ->
+                let budget = budget_for () in
+                (* Charge rung entry so trivial (tick-free) plans still
+                   respect an already-expired deadline. *)
+                Tier.tick_opt budget;
+                plan_query_rung ~tier ?budget ~config ctx ~fresh q)
+          in
+          (plan, tier)
         with Tier.Exhausted ->
-          if degrade then go rest else raise Tier.Exhausted)
+          if degrade then begin
+            Galley_obs.Metrics.incr_named "optimizer.physical.rung_exhausted";
+            go rest
+          end
+          else raise Tier.Exhausted)
   in
-  go rungs
+  let plan, tier = go rungs in
+  Galley_obs.Metrics.incr_named
+    ("optimizer.physical.tier." ^ Tier.to_string tier);
+  (plan, tier)
 
 let plan_query ?config (ctx : Ctx.t) ~(fresh : unit -> string)
     (q : Logical_query.t) : Physical.plan =

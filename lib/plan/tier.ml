@@ -31,9 +31,14 @@ type budget = {
 
 let budget ?deadline ?max_nodes () : budget = { deadline; max_nodes; nodes = 0 }
 
+(* Candidates expanded across all budgeted searches, for the metrics
+   report; [budget.nodes] remains the per-rung count. *)
+let m_search_nodes = Galley_obs.Metrics.counter "optimizer.search_nodes"
+
 (* Count one expanded search node; raise when the budget is gone. *)
 let tick (b : budget) : unit =
   b.nodes <- b.nodes + 1;
+  Galley_obs.Metrics.incr m_search_nodes;
   (match b.max_nodes with
   | Some m when b.nodes > m -> raise Exhausted
   | _ -> ());

@@ -35,6 +35,16 @@ type t = {
 (* Canonical positional index names used for cached per-tensor stats. *)
 let canon_idx k = Printf.sprintf "%%%d" k
 
+(* Estimator traffic, per context kind, for the metrics report.  Memo
+   hits count too — the counters measure how hard the optimizers lean on
+   the estimator, not estimator-internal cost. *)
+let m_calls_uniform = Galley_obs.Metrics.counter "estimator.calls.uniform"
+let m_calls_chain = Galley_obs.Metrics.counter "estimator.calls.chain"
+
+let calls_counter = function
+  | Uniform_kind -> m_calls_uniform
+  | Chain_kind -> m_calls_chain
+
 module Build (E : Estimator_sig.S) = struct
   type state = {
     schema : Schema.t;
@@ -141,6 +151,7 @@ module Build (E : Estimator_sig.S) = struct
       register_alias_tensor = register_tensor ~cheap:true;
       estimate_expr =
         (fun e ->
+          Galley_obs.Metrics.incr (calls_counter kind);
           let key = resolved_key st e in
           match Hashtbl.find_opt st.memo key with
           | Some v -> v
@@ -152,6 +163,7 @@ module Build (E : Estimator_sig.S) = struct
               v);
       estimate_access_projected =
         (fun name idxs keep ->
+          Galley_obs.Metrics.incr (calls_counter kind);
           let stats = lookup st name idxs in
           let over = List.filter (fun i -> not (Ir.Idx_set.mem i keep)) idxs in
           let dims =

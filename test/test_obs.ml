@@ -1,0 +1,393 @@
+(* Observability layer: span tracing semantics (nesting, flush, the
+   zero-cost-when-off contract), metrics atomicity under a 4-domain
+   increment storm, the leveled log facade, the estimator-accuracy
+   audit, and the property that turning tracing on leaves program
+   outputs bit-identical under both kernel backends. *)
+
+module T = Galley_tensor.Tensor
+module Prng = Galley_tensor.Prng
+module Obs = Galley_obs
+module Trace = Galley_obs.Trace
+module Metrics = Galley_obs.Metrics
+module Log = Galley_obs.Log
+module Audit = Galley_obs.Audit
+module Pool = Galley_parallel.Pool
+module Exec = Galley_engine.Exec
+module D = Galley.Driver
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -------------------------------------------------------------- *)
+(* Trace.                                                           *)
+(* -------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  Trace.reset ();
+  Trace.enable ();
+  let forced = ref false in
+  let v =
+    Obs.span ~name:"outer"
+      ~attrs:(fun () ->
+        forced := true;
+        [ ("k", "v") ])
+      (fun () -> Obs.span ~name:"inner" (fun () -> 41 + 1))
+  in
+  Obs.instant ~name:"mark" ();
+  check_int "span returns body value" 42 v;
+  check_bool "attrs forced when enabled" true !forced;
+  let evs = Trace.drain () in
+  check_int "three events" 3 (List.length evs);
+  let find n = List.find (fun e -> e.Trace.ev_name = n) evs in
+  let outer = find "outer" and inner = find "inner" and mark = find "mark" in
+  check_bool "mark is an instant" true (mark.Trace.ev_ph = 'i');
+  check_bool "spans are complete events" true
+    (outer.Trace.ev_ph = 'X' && inner.Trace.ev_ph = 'X');
+  check_bool "durations non-negative" true
+    (outer.Trace.ev_dur >= 0 && inner.Trace.ev_dur >= 0);
+  check_bool "inner nested in outer" true
+    (inner.Trace.ev_ts >= outer.Trace.ev_ts
+    && inner.Trace.ev_ts + inner.Trace.ev_dur
+       <= outer.Trace.ev_ts + outer.Trace.ev_dur);
+  check_bool "outer kept its attrs" true
+    (List.mem ("k", "v") outer.Trace.ev_args);
+  check_int "drain flushed the buffers" 0 (List.length (Trace.drain ()));
+  Trace.disable ()
+
+let test_span_exception () =
+  Trace.reset ();
+  Trace.enable ();
+  let raised =
+    try
+      ignore (Obs.span ~name:"bang" (fun () : int -> failwith "boom"));
+      false
+    with Failure msg -> msg = "boom"
+  in
+  check_bool "exception propagates" true raised;
+  let evs = Trace.drain () in
+  check_int "failed span still emitted" 1 (List.length evs);
+  let e = List.hd evs in
+  check_bool "error recorded in args" true
+    (List.mem_assoc "error" e.Trace.ev_args);
+  Trace.disable ()
+
+let test_disabled_zero_cost () =
+  Trace.disable ();
+  Trace.reset ();
+  let forced = ref false in
+  let v =
+    Obs.span ~name:"off"
+      ~attrs:(fun () ->
+        forced := true;
+        [])
+      (fun () -> 7)
+  in
+  Obs.instant ~name:"off-mark"
+    ~attrs:(fun () ->
+      forced := true;
+      [])
+    ();
+  check_int "body still runs" 7 v;
+  check_bool "attrs never forced when disabled" false !forced;
+  check_int "nothing recorded" 0 (List.length (Trace.drain ()))
+
+let test_chrome_json_valid () =
+  Trace.reset ();
+  Trace.enable ();
+  Obs.span ~name:"a \"quoted\" name" (fun () -> ());
+  Obs.instant ~name:"i" ();
+  let json = Trace.to_chrome_json (Trace.drain ()) in
+  Trace.disable ();
+  (* Structural sanity without a JSON parser: balanced and escaped. *)
+  check_bool "has traceEvents" true
+    (String.length json > 0
+    && String.sub json 0 1 = "{"
+    &&
+    let needle = "\"traceEvents\":[" in
+    let n = String.length needle and l = String.length json in
+    let rec found i =
+      i + n <= l && (String.sub json i n = needle || found (i + 1))
+    in
+    found 0);
+  check_bool "quotes escaped" true
+    (let rec bad i =
+       i + 9 <= String.length json
+       && (String.sub json i 9 = "\"quoted\" " || bad (i + 1))
+     in
+     (* the raw unescaped sequence ["quoted" ] must not appear *)
+     not (bad 0))
+
+(* -------------------------------------------------------------- *)
+(* Metrics.                                                         *)
+(* -------------------------------------------------------------- *)
+
+let test_metrics_basics () =
+  let c = Metrics.counter "test.basic.counter" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  check_int "counter value" 5 (Metrics.value c);
+  check_bool "counter_value finds it" true
+    (Metrics.counter_value "test.basic.counter" = Some 5);
+  let g = Metrics.gauge "test.basic.gauge" in
+  Metrics.set_gauge g 2.5;
+  check_bool "gauge value" true (Metrics.gauge_value g = 2.5);
+  let h = Metrics.histogram "test.basic.hist" in
+  List.iter (Metrics.observe h) [ 1; 2; 3; 1000 ];
+  check_int "histogram count" 4 (Metrics.histogram_count h);
+  check_int "histogram sum" 1006 (Metrics.histogram_sum h);
+  let snap = Metrics.snapshot () in
+  check_bool "snapshot has histogram mean" true
+    (List.mem_assoc "test.basic.hist.mean" snap);
+  check_bool "type mismatch rejected" true
+    (try
+       ignore (Metrics.gauge "test.basic.counter");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_atomic_under_domains () =
+  let c = Metrics.counter "test.storm" in
+  let base = Metrics.value c in
+  let pool = Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let tasks = 200 and per_task = 500 in
+      Pool.run_all pool
+        (Array.init tasks (fun _ () ->
+             for _ = 1 to per_task do
+               Metrics.incr c
+             done));
+      check_int "no lost increments across domains" (tasks * per_task)
+        (Metrics.value c - base))
+
+(* -------------------------------------------------------------- *)
+(* Log.                                                             *)
+(* -------------------------------------------------------------- *)
+
+let test_log_levels () =
+  let saved = Log.get_level () in
+  let buf = ref [] in
+  Log.set_sink (Some (fun l m -> buf := (l, m) :: !buf));
+  Log.reset_counts ();
+  Log.set_level Log.Warn;
+  Log.debug "suppressed %d" 1;
+  Log.info "suppressed";
+  Log.warn "visible %s" "w";
+  Log.error "visible e";
+  check_int "two messages reached the sink" 2 (List.length !buf);
+  check_int "warn counted" 1 (Log.emitted_count Log.Warn);
+  check_int "error counted" 1 (Log.emitted_count Log.Error);
+  check_int "debug not counted" 0 (Log.emitted_count Log.Debug);
+  check_bool "warn enabled at Warn" true (Log.enabled Log.Warn);
+  check_bool "info disabled at Warn" false (Log.enabled Log.Info);
+  Log.set_level Log.Debug;
+  Log.debug "now visible";
+  check_int "debug counted after lowering" 1 (Log.emitted_count Log.Debug);
+  Log.set_level saved;
+  Log.set_sink None;
+  Log.reset_counts ()
+
+(* -------------------------------------------------------------- *)
+(* Audit.                                                           *)
+(* -------------------------------------------------------------- *)
+
+let test_q_error () =
+  let q = Audit.q_error ~predicted:10.0 ~actual:5.0 in
+  check_bool "over-estimate" true (q = 2.0);
+  let q = Audit.q_error ~predicted:5.0 ~actual:10.0 in
+  check_bool "symmetric" true (q = 2.0);
+  check_bool "exact is 1" true (Audit.q_error ~predicted:7.0 ~actual:7.0 = 1.0);
+  check_bool "zeroes clamp to 1" true
+    (Audit.q_error ~predicted:0.0 ~actual:0.0 = 1.0);
+  check_bool "nan passes through" true
+    (Float.is_nan (Audit.q_error ~predicted:Float.nan ~actual:3.0))
+
+let test_audit_driver_sanity () =
+  let prng = Prng.create 11 in
+  let e =
+    T.random ~prng ~dims:[| 50; 50 |]
+      ~formats:[| T.Dense; T.Sparse_list |]
+      ~density:0.08 ()
+  in
+  let d =
+    T.random ~prng ~dims:[| 50 |] ~formats:[| T.Dense |] ~density:0.5 ()
+  in
+  let source =
+    "G = sum[j](E[i,j] * E[j,k] * D[k])\nt = sum[i,k](G[i,k] * E[i,k])"
+  in
+  let config = { D.default_config with D.audit = true; domains = 1 } in
+  match
+    D.run_source_checked ~config ~inputs:[ ("E", e); ("D", d) ] source
+  with
+  | Error err -> Alcotest.failf "run failed: %s" (Galley.Errors.to_string err)
+  | Ok res -> (
+      match res.D.audit with
+      | None -> Alcotest.fail "audit missing despite config.audit = true"
+      | Some a ->
+          let rows = Audit.rows a in
+          check_bool "rows nonempty" true (rows <> []);
+          List.iter
+            (fun (r : Audit.row) ->
+              check_bool
+                (Printf.sprintf "%s/%s has an actual" r.Audit.r_query
+                   r.Audit.r_estimator)
+                true
+                (r.Audit.r_actual <> None);
+              match r.Audit.r_q_error with
+              | None -> Alcotest.fail "missing q-error"
+              | Some q ->
+                  check_bool "q-error finite and >= 1" true
+                    ((not (Float.is_nan q)) && Float.is_finite q && q >= 1.0))
+            rows;
+          let ests =
+            List.map (fun s -> s.Audit.s_estimator) (Audit.summaries a)
+          in
+          check_bool "uniform summarized" true (List.mem "uniform" ests);
+          check_bool "chain summarized" true (List.mem "chain" ests);
+          (* A run without the flag records nothing. *)
+          let plain =
+            D.run_source_checked ~config:D.default_config
+              ~inputs:[ ("E", e); ("D", d) ]
+              source
+          in
+          check_bool "no audit by default" true
+            (match plain with Ok r -> r.D.audit = None | Error _ -> false))
+
+let test_deadline_tick_metric () =
+  (* With an execution deadline set, kernels flush coarse tick quanta
+     into kernel.deadline_ticks from the periodic cancellation check. *)
+  let before =
+    Option.value ~default:0 (Metrics.counter_value "kernel.deadline_ticks")
+  in
+  let prng = Prng.create 5 in
+  let a =
+    T.random ~prng ~dims:[| 160; 160 |]
+      ~formats:[| T.Dense; T.Dense |]
+      ~density:0.9 ()
+  in
+  let b =
+    T.random ~prng ~dims:[| 160 |] ~formats:[| T.Dense |] ~density:0.9 ()
+  in
+  let source = "y = sum[j](A[i,j] * b[j])" in
+  let config = { D.default_config with D.timeout = Some 60.0; domains = 1 } in
+  (match
+     D.run_source_checked ~config ~inputs:[ ("A", a); ("b", b) ] source
+   with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "run failed: %s" (Galley.Errors.to_string err));
+  let after =
+    Option.value ~default:0 (Metrics.counter_value "kernel.deadline_ticks")
+  in
+  check_bool "deadline ticks flushed" true (after > before)
+
+(* -------------------------------------------------------------- *)
+(* Tracing must not perturb results (bit-for-bit, both backends).    *)
+(* -------------------------------------------------------------- *)
+
+let bits_equal (a : T.t) (b : T.t) : bool =
+  T.dims a = T.dims b
+  && Int64.bits_of_float (T.fill a) = Int64.bits_of_float (T.fill b)
+  &&
+  let fa = T.to_flat_dense a and fb = T.to_flat_dense b in
+  Array.for_all2
+    (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+    fa fb
+
+let prop_trace_identical =
+  QCheck.Test.make ~name:"tracing on = tracing off (bit-for-bit)" ~count:25
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let fmt () =
+        match Prng.int prng 4 with
+        | 0 -> T.Dense
+        | 1 -> T.Sparse_list
+        | 2 -> T.Bytemap
+        | _ -> T.Hash
+      in
+      let n1 = 4 + Prng.int prng 8 and n2 = 4 + Prng.int prng 8 in
+      let a =
+        T.random ~prng ~dims:[| n1; n2 |]
+          ~formats:[| fmt (); fmt () |]
+          ~density:(Prng.float_range prng 0.15 0.6)
+          ()
+      in
+      let v =
+        T.random ~prng ~dims:[| n2 |] ~formats:[| fmt () |]
+          ~density:(Prng.float_range prng 0.2 0.7)
+          ()
+      in
+      let source =
+        match Prng.int prng 3 with
+        | 0 -> "out = sum[j](A[i,j] * v[j])"
+        | 1 -> "out = sum[i,j](sigmoid(A[i,j]) * v[j])"
+        | _ -> "w = sum[j](A[i,j] * v[j])\nout = sum[i](w[i] * w[i])"
+      in
+      let inputs = [ ("A", a); ("v", v) ] in
+      List.iter
+        (fun backend ->
+          List.iter
+            (fun domains ->
+              let run () =
+                match
+                  D.run_source_checked
+                    ~config:
+                      {
+                        D.default_config with
+                        D.kernel_backend = backend;
+                        domains;
+                      }
+                    ~inputs source
+                with
+                | Ok r -> D.output_of r "out"
+                | Error e ->
+                    QCheck.Test.fail_reportf "run failed: %s"
+                      (Galley.Errors.to_string e)
+              in
+              Trace.disable ();
+              let off = run () in
+              Trace.enable ();
+              let on = run () in
+              Trace.disable ();
+              Trace.reset ();
+              if not (bits_equal off on) then
+                QCheck.Test.fail_reportf
+                  "tracing perturbed outputs (backend %s, domains %d)"
+                  (match backend with
+                  | Exec.Staged -> "staged"
+                  | Exec.Interp -> "interp")
+                  domains)
+            [ 1; 4 ])
+        [ Exec.Staged; Exec.Interp ];
+      true)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting and flush" `Quick test_span_nesting;
+          Alcotest.test_case "span on exception" `Quick test_span_exception;
+          Alcotest.test_case "disabled spans are free" `Quick
+            test_disabled_zero_cost;
+          Alcotest.test_case "chrome json shape" `Quick test_chrome_json_valid;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters, gauges, histograms" `Quick
+            test_metrics_basics;
+          Alcotest.test_case "atomic under domains=4" `Quick
+            test_metrics_atomic_under_domains;
+        ] );
+      ("log", [ Alcotest.test_case "levels and sink" `Quick test_log_levels ]);
+      ( "audit",
+        [
+          Alcotest.test_case "q-error" `Quick test_q_error;
+          Alcotest.test_case "driver audit sanity" `Quick
+            test_audit_driver_sanity;
+          Alcotest.test_case "deadline tick metric" `Quick
+            test_deadline_tick_metric;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_trace_identical ] );
+    ]
