@@ -1,15 +1,27 @@
-(* Benchmark harness: regenerates every evaluation artifact of the paper
-   (Figures 6-10) as printed tables with the same series, plus the ablations
-   called out in DESIGN.md and bechamel micro-benchmarks of the tensor
-   substrate.
+(* Benchmark harness and performance-regression gate: regenerates every
+   evaluation artifact of the paper (Figures 6-10) as printed tables with
+   the same series, plus the ablations called out in DESIGN.md and
+   bechamel micro-benchmarks of the tensor substrate.
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- fig7    # one section
-     dune exec bench/main.exe -- quick   # reduced sizes
+     dune exec bench/main.exe                      # everything
+     dune exec bench/main.exe -- fig7              # one section
+     dune exec bench/main.exe -- quick             # reduced sizes
+     dune exec bench/main.exe -- --trials 5 fig6   # more trials per cell
+     dune exec bench/main.exe -- quick --json --compare bench/baselines/quick.json
 
    Sizes are scaled down from the paper's server-scale datasets (see
    DESIGN.md); shapes — who wins, by roughly what factor, where crossovers
-   fall — are the object of comparison, not absolute numbers. *)
+   fall — are the object of comparison, not absolute numbers.
+
+   Regression harness (DESIGN.md "Profiler & regression harness"): every
+   cell records its full trial sample list; --json emits a schema-v2
+   document with environment capture and per-series robust statistics
+   (median / min / MAD via Perfstats); --compare BASELINE.json classifies
+   each series against a previous run's JSON (regression / improvement /
+   within-noise / new-series / missing-series) and exits non-zero when
+   anything regresses beyond both the MAD noise floor and the relative
+   threshold.  --compare-files A B diffs two saved runs without measuring
+   anything. *)
 
 module T = Galley_tensor.Tensor
 module Ir = Galley_plan.Ir
@@ -17,9 +29,24 @@ module Op = Galley_plan.Op
 module W = Galley_workloads
 module Rel = Galley_relational.Rel_engine
 module D = Galley.Driver
+module P = Galley_obs.Perfstats
+module J = Galley_obs.Json
 
 let quick = ref false
 let json_mode = ref false
+
+(* --trials N: samples per cell; unset, full runs take 3 and quick 1. *)
+let trials_opt : int option ref = ref None
+let trials () =
+  match !trials_opt with Some n -> n | None -> if !quick then 1 else 3
+
+(* --compare BASELINE.json verdict knobs (see Perfstats.compare_stats). *)
+let compare_baseline : string option ref = ref None
+let compare_files : (string * string) option ref = ref None
+let cmp_threshold = ref 1.5
+let cmp_k = ref 3.0
+let cmp_rel_floor = ref 0.10
+let cmp_abs_floor = ref 5e-4
 
 (* --domains N pins the engine's domain-pool size for every section (the
    scaling section ignores it and sweeps its own counts).  Unset, configs
@@ -31,65 +58,110 @@ let with_domains (c : D.config) : D.config =
   | Some d -> { c with D.domains = d }
   | None -> c
 
+let effective_domains () =
+  match !domains_override with Some d -> d | None -> D.default_domains
+
 (* In --json mode the human-readable tables move to stderr and stdout
    carries a single JSON document of every recorded series measurement
    (timeouts become null), so CI and plotting scripts can consume runs
    without scraping the tables. *)
 let p fmt = Printf.fprintf (if !json_mode then stderr else stdout) fmt
 
-(* (section, series, label, seconds); seconds = nan encodes a timeout. *)
-let json_rows : (string * string * string * float) list ref = ref []
+(* (section, series, label, samples); a nan sample encodes a timeout. *)
+let json_rows : (string * string * string * float list) list ref = ref []
 
-let record ~section ~series label seconds =
-  json_rows := (section, series, label, seconds) :: !json_rows
+let record ~section ~series label (samples : float list) =
+  json_rows := (section, series, label, samples) :: !json_rows
+
+let record1 ~section ~series label (seconds : float) =
+  record ~section ~series label [ seconds ]
+
+(* Kernel-cache hit/miss deltas per section, snapshotted around each
+   section by the driver: the cold-vs-warm compile traffic behind the
+   Fig. 9 repeat-user discussion. *)
+let cache_rows : (string * int * int) list ref = ref []
+
+let cache_counter name =
+  Option.value ~default:0 (Galley_obs.Metrics.counter_value name)
+
+let esc = Galley_obs.Metrics.json_escape
+
+let command_output (cmd : string) : string =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    String.trim line
+  with _ -> ""
+
+let fnum (v : float) : string =
+  if Float.is_nan v then "null" else Printf.sprintf "%.6f" v
 
 let emit_json () =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n";
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\n  \"schema\": 2,\n";
   Buffer.add_string b
-    (Printf.sprintf "  \"quick\": %b,\n  \"rows\": [\n" !quick);
+    (Printf.sprintf "  \"quick\": %b,\n  \"trials\": %d,\n" !quick (trials ()));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"env\": {\"git_sha\": \"%s\", \"ocaml\": \"%s\", \"domains\": %d, \
+        \"backend\": \"%s\", \"cpus\": %d, \"hostname\": \"%s\"},\n"
+       (esc (command_output "git rev-parse HEAD 2>/dev/null"))
+       (esc Sys.ocaml_version) (effective_domains ()) "staged"
+       (Domain.recommended_domain_count ())
+       (esc (try Unix.gethostname () with _ -> "")));
+  Buffer.add_string b "  \"rows\": [\n";
   List.iteri
-    (fun i (section, series, label, seconds) ->
+    (fun i (section, series, label, samples) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let s = P.of_samples samples in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"section\": \"%s\", \"series\": \"%s\", \"label\": \"%s\", \
+            \"seconds\": %s, \"trials\": [%s], \"min\": %s, \"mad\": %s, \
+            \"timeouts\": %d}"
+           (esc section) (esc series) (esc label) (fnum s.P.median)
+           (String.concat ", " (List.map fnum samples))
+           (fnum s.P.min) (fnum s.P.mad) s.P.timeouts))
+    (List.rev !json_rows);
+  Buffer.add_string b "\n  ],\n  \"kernel_cache\": [\n";
+  List.iteri
+    (fun i (section, hits, misses) ->
       if i > 0 then Buffer.add_string b ",\n";
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"section\": %S, \"series\": %S, \"label\": %S, \"seconds\": \
-            %s}"
-           section series label
-           (if Float.is_nan seconds then "null"
-            else Printf.sprintf "%.6f" seconds)))
-    (List.rev !json_rows);
+           "    {\"section\": \"%s\", \"hits\": %d, \"misses\": %d}"
+           (esc section) hits misses))
+    (List.rev !cache_rows);
   Buffer.add_string b "\n  ]\n}\n";
   print_string (Buffer.contents b)
 
-let repeat = 1
-(* The paper reports the minimum of three runs to exclude compilation
-   overhead; our compilation is separately accounted (Fig. 9) and negligible,
-   so one run per measurement keeps the harness fast. *)
-
-let time_min (f : unit -> 'a) : 'a * float =
-  let best = ref infinity in
+(* Run [f] once per trial, returning the last result and every wall-time
+   sample; display sites summarize with the median, JSON keeps the list. *)
+let time_trials (f : unit -> 'a) : 'a * float list =
   let result = ref None in
-  for _ = 1 to repeat do
+  let samples = ref [] in
+  for _ = 1 to trials () do
     let t0 = Unix.gettimeofday () in
     let r = f () in
     let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt;
+    samples := dt :: !samples;
     result := Some r
   done;
-  (Option.get !result, !best)
+  (Option.get !result, List.rev !samples)
+
+let time_once (f : unit -> 'a) : 'a * float =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
 
 let header title = p "\n=== %s ===\n%!" title
-
-let median (xs : float list) : float =
-  match List.sort compare xs with
-  | [] -> nan
-  | sorted -> List.nth sorted (List.length sorted / 2)
+let median (xs : float list) : float = (P.of_samples xs).P.median
 
 let mean (xs : float list) : float =
-  match xs with
+  match List.filter (fun x -> not (Float.is_nan x)) xs with
   | [] -> nan
-  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let fmt_time (t : float) : string =
   if Float.is_nan t then "t/o"
@@ -120,8 +192,9 @@ let fig6 () =
     "hand(dense)" "hand(sparse)" "speedup";
   let run_star alg =
     let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
-    let _, galley_t =
-      time_min (fun () -> D.run ~config:(with_domains D.default_config) ~inputs prog)
+    let _, galley_s =
+      time_trials (fun () ->
+          D.run ~config:(with_domains D.default_config) ~inputs prog)
     in
     let plan, out = W.Ml.baseline_plan alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
     let baseline ~dense =
@@ -130,15 +203,18 @@ let fig6 () =
           physical = W.Ml.baseline_physical_config ~pts:1 ~dense }
       in
       snd
-        (time_min (fun () ->
+        (time_trials (fun () ->
              D.run_logical_plan ~config ~inputs ~outputs:[ out ] plan))
     in
-    let dense_t = baseline ~dense:true in
-    let sparse_t = baseline ~dense:false in
+    let dense_s = baseline ~dense:true in
+    let sparse_s = baseline ~dense:false in
     let name = W.Ml.algorithm_name alg in
-    record ~section:"fig6" ~series:"galley" name galley_t;
-    record ~section:"fig6" ~series:"hand-dense" name dense_t;
-    record ~section:"fig6" ~series:"hand-sparse" name sparse_t;
+    record ~section:"fig6" ~series:"galley" name galley_s;
+    record ~section:"fig6" ~series:"hand-dense" name dense_s;
+    record ~section:"fig6" ~series:"hand-sparse" name sparse_s;
+    let galley_t = median galley_s
+    and dense_t = median dense_s
+    and sparse_t = median sparse_s in
     p "%-12s %12s %14s %14s %9.1fx\n%!" name
       (fmt_time galley_t) (fmt_time dense_t) (fmt_time sparse_t)
       (Float.min dense_t sparse_t /. galley_t)
@@ -160,8 +236,8 @@ let fig6 () =
   p "(covariance at reduced scale: %d lineitems)\n" cov_star.W.Tpch.n;
   (let alg = W.Ml.Covariance in
    let prog = W.Ml.program_of alg ~x:cov_star.W.Tpch.x_def ~pts:[ "i" ] in
-   let _, galley_t =
-     time_min (fun () ->
+   let _, galley_s =
+     time_trials (fun () ->
          D.run ~config:(with_domains D.default_config) ~inputs:cov_inputs prog)
    in
    let plan, out = W.Ml.baseline_plan alg ~x:cov_star.W.Tpch.x_def ~pts:[ "i" ] in
@@ -171,15 +247,18 @@ let fig6 () =
          physical = W.Ml.baseline_physical_config ~pts:1 ~dense }
      in
      snd
-       (time_min (fun () ->
+       (time_trials (fun () ->
             D.run_logical_plan ~config ~inputs:cov_inputs ~outputs:[ out ] plan))
    in
-   let dense_t = baseline ~dense:true in
-   let sparse_t = baseline ~dense:false in
+   let dense_s = baseline ~dense:true in
+   let sparse_s = baseline ~dense:false in
    let name = W.Ml.algorithm_name alg in
-   record ~section:"fig6" ~series:"galley" name galley_t;
-   record ~section:"fig6" ~series:"hand-dense" name dense_t;
-   record ~section:"fig6" ~series:"hand-sparse" name sparse_t;
+   record ~section:"fig6" ~series:"galley" name galley_s;
+   record ~section:"fig6" ~series:"hand-dense" name dense_s;
+   record ~section:"fig6" ~series:"hand-sparse" name sparse_s;
+   let galley_t = median galley_s
+   and dense_t = median dense_s
+   and sparse_t = median sparse_s in
    p "%-12s %12s %14s %14s %9.1fx\n%!" name
      (fmt_time galley_t) (fmt_time dense_t) (fmt_time sparse_t)
      (Float.min dense_t sparse_t /. galley_t));
@@ -204,9 +283,10 @@ let fig6 () =
   List.iter
     (fun alg ->
       let prog = W.Ml.program_of alg ~x:sj.W.Tpch.sj_x_def ~pts:[ "i1"; "i2" ] in
-      let _, galley_t =
-      time_min (fun () -> D.run ~config:(with_domains D.default_config) ~inputs prog)
-    in
+      let _, galley_s =
+        time_trials (fun () ->
+            D.run ~config:(with_domains D.default_config) ~inputs prog)
+      in
       let plan, out =
         W.Ml.baseline_plan alg ~x:sj.W.Tpch.sj_x_def ~pts:[ "i1"; "i2" ]
       in
@@ -214,13 +294,14 @@ let fig6 () =
         { D.default_config with
           physical = W.Ml.baseline_physical_config ~pts:2 ~dense:false }
       in
-      let _, sparse_t =
-        time_min (fun () ->
+      let _, sparse_s =
+        time_trials (fun () ->
             D.run_logical_plan ~config ~inputs ~outputs:[ out ] plan)
       in
       let name = W.Ml.algorithm_name alg ^ " (self join)" in
-      record ~section:"fig6" ~series:"galley" name galley_t;
-      record ~section:"fig6" ~series:"hand-sparse" name sparse_t;
+      record ~section:"fig6" ~series:"galley" name galley_s;
+      record ~section:"fig6" ~series:"hand-sparse" name sparse_s;
+      let galley_t = median galley_s and sparse_t = median sparse_s in
       p "%-12s %12s %14s %9.1fx\n%!" (W.Ml.algorithm_name alg)
         (fmt_time galley_t) (fmt_time sparse_t) (sparse_t /. galley_t))
     [ W.Ml.Linreg; W.Ml.Logreg ]
@@ -372,10 +453,13 @@ let fig7 () =
       p "%-14s" gname;
       List.iter
         (fun (mname, ms) ->
+          (* The per-query measurements of one workload's suite are the
+             row's samples: the median matches the displayed cell, and
+             nan entries carry the timeout count into the JSON. *)
           let execs = List.map (fun m -> m.sg_exec) ms in
           let finished = List.filter (fun t -> not (Float.is_nan t)) execs in
           let timeouts = List.length execs - List.length finished in
-          record ~section:"fig7" ~series:mname gname (median finished);
+          record ~section:"fig7" ~series:mname gname execs;
           let cell =
             Printf.sprintf "%s (%d t/o)" (fmt_time (median finished)) timeouts
           in
@@ -393,12 +477,8 @@ let fig8 () =
       p "%-14s" gname;
       List.iter
         (fun (mname, ms) ->
-          let opts =
-            List.filter
-              (fun t -> not (Float.is_nan t))
-              (List.map (fun m -> m.sg_opt) ms)
-          in
-          record ~section:"fig8" ~series:mname gname (mean opts);
+          let opts = List.map (fun m -> m.sg_opt) ms in
+          record ~section:"fig8" ~series:mname gname opts;
           p " %18s" (fmt_time (mean opts)))
         per_method;
       p "\n%!")
@@ -410,14 +490,13 @@ let fig9 () =
   List.iter
     (fun (gname, per_method) ->
       let ms = List.assoc "galley(exact)" per_method in
-      let pick f =
-        List.filter (fun t -> not (Float.is_nan t)) (List.map f ms)
-      in
-      let cold = mean (pick (fun m -> m.sg_compile)) in
-      let warm = mean (pick (fun m -> m.sg_compile_warm)) in
-      record ~section:"fig9" ~series:"cold" gname cold;
-      record ~section:"fig9" ~series:"warm" gname warm;
-      p "%-14s %16s %16s\n%!" gname (fmt_time cold) (fmt_time warm))
+      let pick f = List.map f ms in
+      let cold_s = pick (fun m -> m.sg_compile) in
+      let warm_s = pick (fun m -> m.sg_compile_warm) in
+      record ~section:"fig9" ~series:"cold" gname cold_s;
+      record ~section:"fig9" ~series:"warm" gname warm_s;
+      p "%-14s %16s %16s\n%!" gname (fmt_time (mean cold_s))
+        (fmt_time (mean warm_s)))
     (get_subgraph_measurements ())
 
 (* ------------------------------------------------------------------ *)
@@ -434,16 +513,20 @@ let fig10 () =
     (fun g ->
       let adjacency = W.Graphs.adjacency g in
       let run v =
-        (W.Bfs.run ~config_base:(with_domains D.default_config) v ~adjacency
-           ~source:0)
-          .W.Bfs.seconds
+        List.init (trials ()) (fun _ ->
+            (W.Bfs.run ~config_base:(with_domains D.default_config) v
+               ~adjacency ~source:0)
+              .W.Bfs.seconds)
       in
-      let galley_t = run W.Bfs.Adaptive in
-      let sparse_t = run W.Bfs.All_sparse in
-      let dense_t = run W.Bfs.All_dense in
-      record ~section:"fig10" ~series:"galley" g.W.Graphs.name galley_t;
-      record ~section:"fig10" ~series:"sparse" g.W.Graphs.name sparse_t;
-      record ~section:"fig10" ~series:"dense" g.W.Graphs.name dense_t;
+      let galley_s = run W.Bfs.Adaptive in
+      let sparse_s = run W.Bfs.All_sparse in
+      let dense_s = run W.Bfs.All_dense in
+      record ~section:"fig10" ~series:"galley" g.W.Graphs.name galley_s;
+      record ~section:"fig10" ~series:"sparse" g.W.Graphs.name sparse_s;
+      record ~section:"fig10" ~series:"dense" g.W.Graphs.name dense_s;
+      let galley_t = median galley_s
+      and sparse_t = median sparse_s
+      and dense_t = median dense_s in
       let best =
         if galley_t <= sparse_t && galley_t <= dense_t then "galley"
         else if sparse_t <= dense_t then "sparse"
@@ -465,22 +548,21 @@ let kernels () =
   let config_for backend =
     { (with_domains D.default_config) with D.kernel_backend = backend }
   in
-  (* Best of three, the backends interleaved round by round: each cell is
-     a fresh end-to-end run, so single-run GC / allocation noise would
-     otherwise dominate the sub-millisecond rows, and back-to-back runs of
-     one backend would hand the other a warmed heap. *)
+  (* One sample per trial round, the backends interleaved round by round:
+     each cell is a fresh end-to-end run, so single-run GC / allocation
+     noise would otherwise dominate the sub-millisecond rows, and
+     back-to-back runs of one backend would hand the other a warmed
+     heap.  Displayed cells are medians. *)
   let row label f =
-    let best_s = ref infinity and best_i = ref infinity in
-    for _ = 1 to 3 do
-      let ts = f (config_for Galley_engine.Exec.Staged) in
-      let ti = f (config_for Galley_engine.Exec.Interp) in
-      if ts < !best_s then best_s := ts;
-      if ti < !best_i then best_i := ti
+    let samples_s = ref [] and samples_i = ref [] in
+    for _ = 1 to trials () do
+      samples_s := f (config_for Galley_engine.Exec.Staged) :: !samples_s;
+      samples_i := f (config_for Galley_engine.Exec.Interp) :: !samples_i
     done;
-    let staged = if Float.is_finite !best_s then !best_s else nan in
-    let interp = if Float.is_finite !best_i then !best_i else nan in
-    record ~section:"kernels" ~series:"staged" label staged;
-    record ~section:"kernels" ~series:"interp" label interp;
+    let ss = List.rev !samples_s and is_ = List.rev !samples_i in
+    record ~section:"kernels" ~series:"staged" label ss;
+    record ~section:"kernels" ~series:"interp" label is_;
+    let staged = median ss and interp = median is_ in
     p "%-22s %12s %12s %9.2fx\n%!" label (fmt_time staged) (fmt_time interp)
       (interp /. staged)
   in
@@ -503,7 +585,7 @@ let kernels () =
       row
         ("fig6 " ^ W.Ml.algorithm_name alg)
         (fun config ->
-          let r, _ = time_min (fun () -> D.run ~config ~inputs prog) in
+          let r = D.run ~config ~inputs prog in
           r.D.timings.D.execute_seconds))
     [ W.Ml.Linreg; W.Ml.Logreg; W.Ml.Nn ];
   (* Fig. 7 shape: subgraph counting, execution phase only. *)
@@ -551,24 +633,21 @@ let scaling () =
       List.map
         (fun d ->
           let config = { D.default_config with D.domains = d } in
-          (* Best of three: fresh end-to-end runs, so GC noise does not
-             masquerade as (anti-)scaling. *)
-          let best = ref infinity in
-          for _ = 1 to 3 do
-            let t = f config in
-            if t < !best then best := t
-          done;
-          let t = if Float.is_finite !best then !best else nan in
+          (* One sample per trial round: fresh end-to-end runs, so GC
+             noise does not masquerade as (anti-)scaling. *)
+          let samples =
+            List.init (trials ()) (fun _ -> f config)
+          in
           record ~section:"scaling"
             ~series:(Printf.sprintf "domains=%d" d)
-            label t;
-          t)
+            label samples;
+          median samples)
         counts
     in
     match ts with
     | [ t1; t2; t4 ] ->
-        record ~section:"scaling" ~series:"speedup@2" label (t1 /. t2);
-        record ~section:"scaling" ~series:"speedup@4" label (t1 /. t4);
+        record1 ~section:"scaling" ~series:"speedup@2" label (t1 /. t2);
+        record1 ~section:"scaling" ~series:"speedup@4" label (t1 /. t4);
         p "%-26s %12s %12s %12s %8.2fx %8.2fx\n%!" label (fmt_time t1)
           (fmt_time t2) (fmt_time t4) (t1 /. t2) (t1 /. t4)
     | _ -> ()
@@ -591,7 +670,7 @@ let scaling () =
       row
         ("fig6 " ^ W.Ml.algorithm_name alg)
         (fun config ->
-          let r, _ = time_min (fun () -> D.run ~config ~inputs prog) in
+          let r = D.run ~config ~inputs prog in
           r.D.timings.D.execute_seconds))
     [ W.Ml.Linreg; W.Ml.Logreg ];
   (* Fig. 7 shape: subgraph counting, execution phase only. *)
@@ -663,7 +742,7 @@ let ablations () =
       let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
       let t ~jit =
         snd
-          (time_min (fun () ->
+          (time_once (fun () ->
                D.run ~config:{ D.default_config with jit } ~inputs prog))
       in
       p "%-12s %12s %12s\n%!" (W.Ml.algorithm_name alg)
@@ -737,7 +816,7 @@ let tiers () =
   List.iter
     (fun alg ->
       let prog = W.Ml.program_of alg ~x:star.W.Tpch.x_def ~pts:[ "i" ] in
-      let run config = time_min (fun () -> D.run ~config ~inputs prog) in
+      let run config = time_once (fun () -> D.run ~config ~inputs prog) in
       let r_def, t_def = run D.default_config in
       let r_deg, t_deg =
         run { D.default_config with optimizer_timeout = Some 0.0 }
@@ -864,13 +943,13 @@ let observability () =
       let r = D.run ~config ~inputs prog in
       let t = r.D.timings in
       let name = "fig6 " ^ W.Ml.algorithm_name alg in
-      record ~section:"observability" ~series:"phase-logical" name
+      record1 ~section:"observability" ~series:"phase-logical" name
         t.D.logical_seconds;
-      record ~section:"observability" ~series:"phase-physical" name
+      record1 ~section:"observability" ~series:"phase-physical" name
         t.D.physical_seconds;
-      record ~section:"observability" ~series:"phase-compile" name
+      record1 ~section:"observability" ~series:"phase-compile" name
         t.D.compile_seconds;
-      record ~section:"observability" ~series:"phase-execute" name
+      record1 ~section:"observability" ~series:"phase-execute" name
         t.D.execute_seconds;
       let qerr est =
         match r.D.audit with
@@ -885,8 +964,8 @@ let observability () =
             | None -> nan)
       in
       let qu = qerr "uniform" and qc = qerr "chain" in
-      record ~section:"observability" ~series:"qerr-uniform" name qu;
-      record ~section:"observability" ~series:"qerr-chain" name qc;
+      record1 ~section:"observability" ~series:"qerr-uniform" name qu;
+      record1 ~section:"observability" ~series:"qerr-chain" name qc;
       p "%-14s %10s %10s %10s %10s %12.2f %12.2f\n%!" name
         (fmt_time t.D.logical_seconds)
         (fmt_time t.D.physical_seconds)
@@ -929,9 +1008,9 @@ let observability () =
     else check (attempt + 1)
   in
   let off1, on, off2, ratio = check 1 in
-  record ~section:"observability" ~series:"trace-off" "fig6 linreg" off1;
-  record ~section:"observability" ~series:"trace-on" "fig6 linreg" on;
-  record ~section:"observability" ~series:"trace-off-after" "fig6 linreg" off2;
+  record1 ~section:"observability" ~series:"trace-off" "fig6 linreg" off1;
+  record1 ~section:"observability" ~series:"trace-on" "fig6 linreg" on;
+  record1 ~section:"observability" ~series:"trace-off-after" "fig6 linreg" off2;
   p "tracing overhead: off=%s on=%s off-after=%s (off-after/off = %.3f)\n"
     (fmt_time off1) (fmt_time on) (fmt_time off2) ratio;
   if ratio < 1.05 then p "tracing disabled-overhead check: PASS (< 5%%)\n%!"
@@ -939,6 +1018,102 @@ let observability () =
     p "tracing disabled-overhead check: FAIL (>= 5%%)\n%!";
     exit 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (--compare / --compare-files).                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Keyed per-series statistics from a saved --json document: "seconds"
+   alone (schema 1) or the full "trials" sample list (schema 2).  The
+   key is section/series/label. *)
+let stats_of_json (doc : J.t) : (string * P.t) list =
+  let rows =
+    Option.value ~default:[]
+      (Option.bind (J.member "rows" doc) J.to_list)
+  in
+  List.filter_map
+    (fun row ->
+      let str key = Option.bind (J.member key row) J.to_string in
+      match (str "section", str "series", str "label") with
+      | Some section, Some series, Some label ->
+          let samples =
+            match Option.bind (J.member "trials" row) J.to_list with
+            | Some (_ :: _ as l) ->
+                List.map
+                  (fun v -> Option.value ~default:nan (J.to_float v))
+                  l
+            | _ -> (
+                match J.member "seconds" row with
+                | Some (J.Num f) -> [ f ]
+                | _ -> [ nan ] (* null seconds = recorded timeout *))
+          in
+          Some (section ^ "/" ^ series ^ "/" ^ label, P.of_samples samples)
+      | _ -> None)
+    rows
+
+let stats_of_rows (rows : (string * string * string * float list) list) :
+    (string * P.t) list =
+  List.rev_map
+    (fun (section, series, label, samples) ->
+      (section ^ "/" ^ series ^ "/" ^ label, P.of_samples samples))
+    rows
+
+(* Classify current vs baseline series and print the report (to stderr in
+   --json mode, like the tables).  Returns the number of regressions. *)
+let run_comparison ~(label : string) (baseline : (string * P.t) list)
+    (current : (string * P.t) list) : int =
+  let cs =
+    P.compare_keyed ~rel_threshold:!cmp_threshold ~k:!cmp_k
+      ~rel_floor:!cmp_rel_floor ~abs_floor:!cmp_abs_floor baseline current
+  in
+  header (Printf.sprintf "Baseline comparison vs %s" label);
+  p
+    "thresholds: ratio > %.2fx AND delta > noise floor (k=%g, \
+     rel_floor=%g, abs_floor=%gs)\n"
+    !cmp_threshold !cmp_k !cmp_rel_floor !cmp_abs_floor;
+  let interesting =
+    List.filter (fun c -> c.P.c_verdict <> P.Within_noise) cs
+  in
+  List.iter
+    (fun c ->
+      let side = function
+        | None -> "-"
+        | Some (s : P.t) ->
+            if s.P.n = 0 then Printf.sprintf "t/o x%d" s.P.timeouts
+            else fmt_time s.P.median
+      in
+      let ratio =
+        match (c.P.c_baseline, c.P.c_current) with
+        | Some b, Some cur when b.P.n > 0 && cur.P.n > 0 ->
+            Printf.sprintf " (%.2fx)" (cur.P.median /. b.P.median)
+        | _ -> ""
+      in
+      p "%-14s %-46s %10s -> %10s%s\n"
+        (P.verdict_to_string c.P.c_verdict)
+        c.P.c_key
+        (side c.P.c_baseline)
+        (side c.P.c_current)
+        ratio)
+    interesting;
+  let n_of v = P.count_verdict cs v in
+  let regressions = n_of P.Regression in
+  p
+    "verdicts: %d regressed, %d improved, %d within-noise, %d new, %d \
+     missing\n%!"
+    regressions (n_of P.Improvement) (n_of P.Within_noise) (n_of P.New_series)
+    (n_of P.Missing_series);
+  if regressions > 0 then
+    p "REGRESSION GATE: FAIL (%d series beyond the noise floor)\n%!"
+      regressions
+  else p "regression gate: PASS\n%!";
+  regressions
+
+let load_stats (path : string) : (string * P.t) list =
+  match J.parse_file path with
+  | Ok doc -> stats_of_json doc
+  | Error msg ->
+      Printf.eprintf "bench: cannot read baseline %s: %s\n" path msg;
+      exit 2
 
 (* ------------------------------------------------------------------ *)
 (* Driver.                                                              *)
@@ -950,23 +1125,52 @@ let () =
   if Sys.getenv_opt "GALLEY_LOG" = None then
     Galley_obs.Log.set_level Galley_obs.Log.Info;
   let args = Array.to_list Sys.argv |> List.tl in
-  (* --domains N (or --domains=N) takes a value; peel it off first. *)
-  let rec strip_domains = function
+  (* Value-taking flags (--flag V or --flag=V) are peeled off first. *)
+  let set_float r v =
+    match float_of_string_opt v with
+    | Some f -> r := f
+    | None -> Printf.eprintf "bad numeric flag value %s\n" v
+  in
+  let take flag v =
+    match flag with
+    | "--domains" -> (
+        match int_of_string_opt v with
+        | Some d when d >= 1 -> domains_override := Some d
+        | _ -> Printf.eprintf "bad --domains value %s\n" v)
+    | "--trials" -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> trials_opt := Some n
+        | _ -> Printf.eprintf "bad --trials value %s\n" v)
+    | "--compare" -> compare_baseline := Some v
+    | "--threshold" -> set_float cmp_threshold v
+    | "--noise-k" -> set_float cmp_k v
+    | "--rel-floor" -> set_float cmp_rel_floor v
+    | "--abs-floor" -> set_float cmp_abs_floor v
+    | _ -> assert false
+  in
+  let value_flags =
+    [ "--domains"; "--trials"; "--compare"; "--threshold"; "--noise-k";
+      "--rel-floor"; "--abs-floor" ]
+  in
+  let rec strip = function
     | [] -> []
-    | a :: n :: rest when a = "--domains" || a = "domains" ->
-        (match int_of_string_opt n with
-        | Some d when d >= 1 -> domains_override := Some d
-        | _ -> Printf.eprintf "bad --domains value %s\n" n);
-        strip_domains rest
-    | [ a ] when a = "--domains" || a = "domains" ->
-        Printf.eprintf "--domains needs a value\n";
+    | "--compare-files" :: a :: b :: rest ->
+        compare_files := Some (a, b);
+        strip rest
+    | a :: v :: rest when List.mem a value_flags ->
+        take a v;
+        strip rest
+    | [ a ] when List.mem a value_flags || a = "--compare-files" ->
+        Printf.eprintf "%s needs a value\n" a;
         []
-    | a :: rest when String.length a > 10 && String.sub a 0 10 = "--domains=" ->
-        (match int_of_string_opt (String.sub a 10 (String.length a - 10)) with
-        | Some d when d >= 1 -> domains_override := Some d
-        | _ -> Printf.eprintf "bad --domains value %s\n" a);
-        strip_domains rest
-    | a :: rest -> a :: strip_domains rest
+    | a :: rest -> (
+        match String.index_opt a '=' with
+        | Some i
+          when List.mem (String.sub a 0 i) value_flags ->
+            take (String.sub a 0 i)
+              (String.sub a (i + 1) (String.length a - i - 1));
+            strip rest
+        | _ -> a :: strip rest)
   in
   let args =
     List.filter
@@ -980,8 +1184,18 @@ let () =
           false
         end
         else true)
-      (strip_domains args)
+      (strip args)
   in
+  (* Pure diff of two saved runs: no measurement, no sections. *)
+  (match !compare_files with
+  | Some (base_path, cur_path) ->
+      let regressions =
+        run_comparison
+          ~label:(base_path ^ " -> " ^ cur_path)
+          (load_stats base_path) (load_stats cur_path)
+      in
+      exit (if regressions > 0 then 1 else 0)
+  | None -> ());
   let sections =
     match args with
     | [] ->
@@ -993,7 +1207,11 @@ let () =
   in
   List.iter
     (fun s ->
-      match s with
+      (* Kernel-cache traffic per section: the hit/miss delta separates
+         cold compiles from warm cache reuse (Fig. 9 discussion). *)
+      let h0 = cache_counter "kernel_cache.hits"
+      and m0 = cache_counter "kernel_cache.misses" in
+      (match s with
       | "fig6" -> fig6 ()
       | "fig7" -> fig7 ()
       | "fig8" -> fig8 ()
@@ -1005,6 +1223,21 @@ let () =
       | "tiers" -> tiers ()
       | "observability" -> observability ()
       | "micro" -> micro ()
-      | other -> Printf.eprintf "unknown section %s\n" other)
+      | other -> Printf.eprintf "unknown section %s\n" other);
+      let hits = cache_counter "kernel_cache.hits" - h0
+      and misses = cache_counter "kernel_cache.misses" - m0 in
+      if hits + misses > 0 then begin
+        cache_rows := (s, hits, misses) :: !cache_rows;
+        p "[%s] kernel cache: %d cold compiles, %d warm hits\n%!" s misses
+          hits
+      end)
     sections;
-  if !json_mode then emit_json ()
+  if !json_mode then emit_json ();
+  match !compare_baseline with
+  | None -> ()
+  | Some path ->
+      let regressions =
+        run_comparison ~label:path (load_stats path)
+          (stats_of_rows !json_rows)
+      in
+      if regressions > 0 then exit 1

@@ -233,6 +233,139 @@ let explain_cmd program_file inputs randoms outputs greedy uniform no_jit
           0
       | Error e -> report_error e)
 
+(* profile: run a program with span tracing forced on, rebuild the call
+   tree, and print per-phase rollups plus the hot-kernel table that joins
+   kernel time with loop-order/merge-strategy/format attribution
+   (DESIGN.md "Profiler").  Inputs not bound on the command line are
+   auto-bound with seeded random tensors so `galley profile prog.gly`
+   works standalone. *)
+
+let rec collect_input_ranks (e : Galley_plan.Ir.expr)
+    (acc : (string * int) list) : (string * int) list =
+  match e with
+  | Galley_plan.Ir.Input (n, idxs) ->
+      if List.mem_assoc n acc then acc else (n, List.length idxs) :: acc
+  | Galley_plan.Ir.Alias _ | Galley_plan.Ir.Literal _ -> acc
+  | Galley_plan.Ir.Map (_, args) ->
+      List.fold_left (fun acc a -> collect_input_ranks a acc) acc args
+  | Galley_plan.Ir.Agg (_, _, body) -> collect_input_ranks body acc
+
+let auto_bind_missing (program : Galley_plan.Ir.program)
+    (bound : (string * T.t) list) : (string * T.t) list =
+  let wanted =
+    List.fold_left
+      (fun acc (q : Galley_plan.Ir.query) ->
+        collect_input_ranks q.Galley_plan.Ir.expr acc)
+      [] program.Galley_plan.Ir.queries
+  in
+  let query_names =
+    List.map (fun (q : Galley_plan.Ir.query) -> q.Galley_plan.Ir.name)
+      program.Galley_plan.Ir.queries
+  in
+  List.rev wanted
+  |> List.filter_map (fun (name, rank) ->
+         if List.mem_assoc name bound || List.mem name query_names then None
+         else begin
+           let dim = 300 and density = 0.02 in
+           let dims = Array.make (max 1 rank) dim in
+           let formats =
+             Array.init (Array.length dims) (fun k ->
+                 if k = 0 then T.Dense else T.Sparse_list)
+           in
+           let prng = Galley_tensor.Prng.create (Hashtbl.hash name land 0xffff) in
+           Format.eprintf "profile: auto-bound %s = random %s (density %g)@."
+             name
+             (String.concat "x"
+                (Array.to_list (Array.map string_of_int dims)))
+             density;
+           Some (name, T.random ~prng ~dims ~formats ~density ())
+         end)
+
+let ms us = float_of_int us /. 1000.0
+
+let print_profile_report (forest : Galley_obs.Profile.node list)
+    (collapsed_out : string option) =
+  let open Galley_obs.Profile in
+  let total = total_incl_us forest in
+  Format.printf "== profile: phases (by self time) ==@.";
+  Format.printf "%-32s %6s %10s %10s %6s@." "span" "count" "incl(ms)"
+    "self(ms)" "self%";
+  List.iter
+    (fun r ->
+      Format.printf "%-32s %6d %10.3f %10.3f %5.1f%%@." r.r_name r.r_count
+        (ms r.r_incl_us) (ms r.r_excl_us)
+        (if total = 0 then 0.0
+         else 100.0 *. float_of_int r.r_excl_us /. float_of_int total))
+    (rollups forest);
+  (match kernels forest with
+  | [] -> Format.printf "== profile: no kernel spans recorded ==@."
+  | ks ->
+      Format.printf "== profile: hot kernels (by self time) ==@.";
+      Format.printf "%-14s %5s %10s %8s  %s@." "kernel" "runs" "self(ms)"
+        "backend" "loop-order / merge strategy";
+      List.iter
+        (fun k ->
+          Format.printf "%-14s %5d %10.3f %8s  %s [out:%s]@." k.k_kernel
+            k.k_count (ms k.k_excl_us) k.k_backend
+            (if k.k_merge = "?" then "loop:" ^ k.k_loop else k.k_merge)
+            k.k_formats)
+        ks);
+  let covered = total_excl_us forest in
+  Format.printf "self-time coverage: %.1f%% of %.3fms wall@."
+    (if total = 0 then 0.0
+     else 100.0 *. float_of_int covered /. float_of_int total)
+    (ms total);
+  match collapsed_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (collapsed forest);
+      close_out oc;
+      Format.printf "collapsed stacks written to %s (flamegraph.pl / \
+                     speedscope)@."
+        path
+
+let profile_cmd program_file inputs randoms outputs greedy uniform no_jit
+    no_cse kernel_backend domains collapsed_out =
+  let src = read_file program_file in
+  let config =
+    {
+      (if greedy then Galley.Driver.greedy_config
+       else Galley.Driver.default_config)
+      with
+      estimator =
+        (if uniform then Galley_stats.Ctx.Uniform_kind
+         else Galley_stats.Ctx.Chain_kind);
+      jit = not no_jit;
+      cse = not no_cse;
+      kernel_backend;
+      domains;
+    }
+  in
+  match Galley.Driver.parse_checked src with
+  | Error e -> report_error e
+  | Ok program -> (
+      let program =
+        match outputs with
+        | [] -> program
+        | outs -> { program with Galley_plan.Ir.outputs = outs }
+      in
+      let bound =
+        List.map parse_input_spec inputs @ List.map parse_random_spec randoms
+      in
+      let bound = bound @ auto_bind_missing program bound in
+      Galley_obs.Trace.enable ();
+      Galley_obs.Trace.reset ();
+      (* The wrapper span makes the forest single-rooted, so per-phase
+         self times sum to wall time by construction. *)
+      let result =
+        Galley_obs.span ~cat:"cli" ~name:"total" (fun () ->
+            Galley.Driver.run_checked ~config ~inputs:bound program)
+      in
+      let forest = Galley_obs.Profile.build (Galley_obs.Trace.drain ()) in
+      print_profile_report forest collapsed_out;
+      match result with Ok _ -> 0 | Error e -> report_error e)
+
 let demo_cmd () =
   Format.printf "Triangle counting demo: 200-vertex random graph@.";
   let g =
@@ -385,6 +518,39 @@ let explain_term =
     $ greedy_arg $ uniform_arg $ no_jit_arg $ no_cse_arg $ opt_timeout_arg
     $ kernel_backend_arg $ domains_arg)
 
+let profile_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Engine parallelism while profiling (default 1: a serial run \
+           keeps all spans in one call tree, so self times add up to \
+           wall time)")
+
+let collapsed_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "collapsed" ] ~docv:"FILE"
+        ~doc:
+          "Also write collapsed stacks (one \"frame;frame;frame \
+           self_us\" line per distinct stack), importable by \
+           flamegraph.pl and speedscope")
+
+let profile_term =
+  Term.(
+    const profile_cmd $ program_arg $ inputs_arg $ randoms_arg $ outputs_arg
+    $ greedy_arg $ uniform_arg $ no_jit_arg $ no_cse_arg $ kernel_backend_arg
+    $ profile_domains_arg $ collapsed_arg)
+
+let profile_info =
+  Cmd.info "profile"
+    ~doc:
+      "Run a program with span tracing on and print per-phase \
+       inclusive/self times plus a hot-kernel table attributing kernel \
+       time to loop orders, merge strategies, and output formats; \
+       unbound inputs are auto-bound with seeded random tensors"
+
 let explain_info =
   Cmd.info "explain"
     ~doc:
@@ -402,6 +568,7 @@ let main =
     [
       Cmd.v run_info run_term;
       Cmd.v explain_info explain_term;
+      Cmd.v profile_info profile_term;
       Cmd.v demo_info demo_term;
     ]
 

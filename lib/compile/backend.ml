@@ -56,11 +56,21 @@ let domain_counter prefix =
 type compiled = {
   run :
     ?deadline:float -> ?pool:Pool.t -> Physical.kernel -> T.t array -> T.t;
+  describe : string;
+      (* "idx:strategy" per level, e.g. "i:inter(sparse&hash) j:sparse" —
+         the merge-algorithm attribution the profiler joins onto kernel
+         spans *)
 }
 
 let compile (k : Physical.kernel) ~(access_fills : float array)
     ~(access_formats : T.format array array) : compiled =
   let plan = Lowering.lower k ~access_fills ~access_formats in
+  let describe =
+    String.concat " "
+      (List.mapi
+         (fun l x -> x ^ ":" ^ plan.Lowering.p_desc.(l))
+         k.Physical.loop_order)
+  in
   let body = Body_fuse.stage k.Physical.body in
   let levels = plan.Lowering.p_levels in
   let n_levels = Array.length levels in
@@ -291,4 +301,4 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
     | _ -> serial ());
     Builder.freeze builder ~finalize ~fill:output_fill
   in
-  { run }
+  { run; describe }

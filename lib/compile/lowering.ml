@@ -74,7 +74,23 @@ type plan = {
   p_fills : float array;  (* fill value per access *)
   p_out_rank : int;
   p_n_acc : int;
+  p_desc : string array;
+      (* per-level merge-strategy descriptor, e.g. "inter(sparse&hash)";
+         static attribution for the profiler's hot-kernel table *)
 }
+
+(* Static description of a level's merge strategy, mirroring gen_of's
+   classification: bare accesses show their storage format, intersections
+   list members leader-first with '&', unions with '|'. *)
+let rec describe_ltree (t : ltree) : string =
+  match t with
+  | L_all -> "full"
+  | L_empty -> "empty"
+  | L_access { s_fmt; _ } -> T.format_to_string s_fmt
+  | L_and members ->
+      "inter(" ^ String.concat "&" (List.map describe_ltree members) ^ ")"
+  | L_or members ->
+      "union(" ^ String.concat "|" (List.map describe_ltree members) ^ ")"
 
 let prev (st : state) (a : int) (j : int) : T.node option =
   if j = 0 then Some st.st_roots.(a) else st.st_nodes.(a).(j - 1)
@@ -326,14 +342,16 @@ let lower (k : Physical.kernel) ~(access_fills : float array)
         let arr = Array.of_list fs in
         fun st i -> Array.iter (fun f -> f st i) arr
   in
+  let ltrees =
+    Array.init n_levels (fun l ->
+        convert l
+          (C.derive ~accesses:k.Physical.accesses
+             ~fills:(fun a -> access_fills.(a))
+             ~idx:loop_order.(l) k.Physical.body))
+  in
   let levels =
     Array.init n_levels (fun l ->
-        let tree =
-          C.derive ~accesses:k.Physical.accesses
-            ~fills:(fun a -> access_fills.(a))
-            ~idx:loop_order.(l) k.Physical.body
-        in
-        { lv_gen = gen_of (convert l tree); lv_bind = bind_of l })
+        { lv_gen = gen_of ltrees.(l); lv_bind = bind_of l })
   in
   {
     p_levels = levels;
@@ -341,6 +359,7 @@ let lower (k : Physical.kernel) ~(access_fills : float array)
     p_fills = access_fills;
     p_out_rank = List.length k.Physical.output_idxs;
     p_n_acc = n_acc;
+    p_desc = Array.map describe_ltree ltrees;
   }
 
 let fresh_state (p : plan) (tensors : T.t array) : state =

@@ -238,6 +238,7 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
                       let pool = t.pool in
                       {
                         Kernel_exec.signature;
+                        describe = staged.Galley_compile.Backend.describe;
                         run =
                           (fun ?deadline kc ts ->
                             try
@@ -265,6 +266,26 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
             [
               ("backend", backend_to_string t.backend);
               ("accesses", string_of_int (Array.length k.Physical.accesses));
+              (* Attribution attrs joined by the profiler's hot-kernel
+                 table: loop order, per-level merge strategy, output
+                 formats, and per-access iteration protocols. *)
+              ("loop", String.concat "," k.Physical.loop_order);
+              ("merge", compiled.Kernel_exec.describe);
+              ( "out_formats",
+                String.concat ","
+                  (Array.to_list
+                     (Array.map T.format_to_string k.Physical.output_formats))
+              );
+              ( "protocols",
+                String.concat ";"
+                  (Array.to_list
+                     (Array.map
+                        (fun (a : Physical.access) ->
+                          a.Physical.tensor ^ ":"
+                          ^ String.concat ","
+                              (List.map Physical.protocol_to_string
+                                 a.Physical.protocols))
+                        k.Physical.accesses)) );
             ])
           (fun () -> compiled.Kernel_exec.run ?deadline:t.deadline k tensors)
       in

@@ -22,6 +22,10 @@ exception Timeout
 type compiled = {
   signature : string;
   run : ?deadline:float -> Physical.kernel -> T.t array -> T.t;
+  describe : string;
+      (* merge-strategy attribution attached to kernel spans; the staged
+         backend reports its per-level plan, the interpreter resolves
+         constraint trees at run time and reports itself opaquely *)
 }
 (* [run] takes the (structurally identical) kernel of the call site so that
    one compiled closure serves every dimension size, as a size-generic
@@ -333,4 +337,4 @@ let compile (k : Physical.kernel) ~(access_fills : float array) : compiled =
     go 0;
     Galley_tensor.Builder.freeze builder ~finalize ~fill:output_fill
   in
-  { signature; run }
+  { signature; run; describe = "interp" }

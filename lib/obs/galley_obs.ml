@@ -6,6 +6,9 @@ module Log = Log
 module Metrics = Metrics
 module Trace = Trace
 module Audit = Audit
+module Perfstats = Perfstats
+module Profile = Profile
+module Json = Json
 
 let span = Trace.span
 let instant = Trace.instant

@@ -106,6 +106,26 @@ let observe (h : histogram) (v : int) =
 let histogram_count (h : histogram) = Atomic.get h.h_count
 let histogram_sum (h : histogram) = Atomic.get h.h_sum
 
+(* Quantile estimate from the power-of-two buckets: walk buckets until
+   the cumulative count reaches rank ceil(q * count) and report that
+   bucket's upper edge (2^(i+1) - 1; bucket 0 covers v <= 1).  An upper
+   bound, so percentile-based alerts err conservative.  0.0 on an empty
+   histogram. *)
+let percentile (h : histogram) (q : float) : float =
+  let total = histogram_count h in
+  if total = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+    let i = ref 0 and seen = ref 0 in
+    while !seen < rank && !i < Array.length h.h_buckets do
+      seen := !seen + Atomic.get h.h_buckets.(!i);
+      if !seen < rank then i := !i + 1
+    done;
+    let i = Stdlib.min !i (Array.length h.h_buckets - 1) in
+    if i = 0 then 1.0 else Float.of_int ((1 lsl (i + 1)) - 1)
+  end
+
 (* Lookup without creating; used by dumps and tests. *)
 let find name = with_registry (fun () -> Hashtbl.find_opt registry name)
 
@@ -149,6 +169,9 @@ let snapshot () : (string * float) list =
             (h.h_name ^ ".sum", float_of_int s);
             ( h.h_name ^ ".mean",
               if n = 0 then 0.0 else float_of_int s /. float_of_int n );
+            (h.h_name ^ ".p50", percentile h 0.50);
+            (h.h_name ^ ".p90", percentile h 0.90);
+            (h.h_name ^ ".p99", percentile h 0.99);
           ])
     (sorted_metrics ())
 
@@ -166,15 +189,10 @@ let dump () : string =
           let mean = if n = 0 then 0.0 else float_of_int s /. float_of_int n in
           Buffer.add_string b
             (Printf.sprintf "%-42s count=%d sum=%d mean=%.1f\n" h.h_name n s mean);
-          if n > 0 then begin
-            Array.iteri
-              (fun i bkt ->
-                let c = Atomic.get bkt in
-                if c > 0 then
-                  Buffer.add_string b
-                    (Printf.sprintf "%-42s   le(2^%d)=%d\n" "" i c))
-              h.h_buckets
-          end)
+          if n > 0 then
+            Buffer.add_string b
+              (Printf.sprintf "%-42s   p50<=%.0f p90<=%.0f p99<=%.0f\n" ""
+                 (percentile h 0.50) (percentile h 0.90) (percentile h 0.99)))
     (sorted_metrics ());
   Buffer.contents b
 

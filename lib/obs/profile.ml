@@ -1,0 +1,262 @@
+(* Span profiler: aggregates the flat span buffers collected by [Trace]
+   into per-domain call trees with inclusive/exclusive (self) time, and
+   derives the three artifacts the `galley profile` command serves:
+
+   - per-span-name rollups (count, inclusive, self) — the phase table;
+   - collapsed stacks ("a;b;c <self_us>" lines), the interchange format
+     flamegraph.pl and speedscope both import;
+   - a hot-kernel table joining each `kernel:*` span with the
+     attribution attributes the engine attaches (loop order, per-level
+     merge strategy, output formats, backend), so time is charged to
+     physical-plan choices rather than to anonymous kernels.
+
+   Nesting is reconstructed from timestamps: within one domain (tid),
+   spans are sorted by (start ascending, duration descending) and folded
+   over a stack, a span becoming a child of the innermost span whose
+   [start, end] interval contains it.  [Clock.now_us] is monotonic
+   within the process, so on a single domain this recovers the dynamic
+   call tree exactly; concurrent domains produce separate trees. *)
+
+type node = {
+  p_name : string;
+  p_cat : string;
+  p_tid : int;
+  p_start_us : int;
+  p_incl_us : int;
+  p_args : (string * string) list;
+  mutable p_children : node list;  (* in start order *)
+}
+
+let contains (outer : node) (inner : node) : bool =
+  inner.p_start_us >= outer.p_start_us
+  && inner.p_start_us + inner.p_incl_us <= outer.p_start_us + outer.p_incl_us
+
+(* Build the forest (roots in start order) from drained trace events.
+   Instants carry no duration and are dropped. *)
+let build (events : Trace.event list) : node list =
+  let spans =
+    List.filter (fun (e : Trace.event) -> e.Trace.ev_ph = 'X') events
+  in
+  let by_tid = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Trace.event) ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt by_tid e.Trace.ev_tid)
+      in
+      Hashtbl.replace by_tid e.Trace.ev_tid (e :: prev))
+    spans;
+  let tids =
+    List.sort compare (Hashtbl.fold (fun tid _ acc -> tid :: acc) by_tid [])
+  in
+  List.concat_map
+    (fun tid ->
+      let evs = Array.of_list (Hashtbl.find by_tid tid) in
+      Array.sort
+        (fun (a : Trace.event) (b : Trace.event) ->
+          if a.Trace.ev_ts <> b.Trace.ev_ts then
+            compare a.Trace.ev_ts b.Trace.ev_ts
+          else compare b.Trace.ev_dur a.Trace.ev_dur)
+        evs;
+      let roots = ref [] in
+      let stack = ref [] in
+      Array.iter
+        (fun (e : Trace.event) ->
+          let node =
+            {
+              p_name = e.Trace.ev_name;
+              p_cat = e.Trace.ev_cat;
+              p_tid = e.Trace.ev_tid;
+              p_start_us = e.Trace.ev_ts;
+              p_incl_us = e.Trace.ev_dur;
+              p_args = e.Trace.ev_args;
+              p_children = [];
+            }
+          in
+          while !stack <> [] && not (contains (List.hd !stack) node) do
+            stack := List.tl !stack
+          done;
+          (match !stack with
+          | [] -> roots := node :: !roots
+          | parent :: _ -> parent.p_children <- node :: parent.p_children);
+          stack := node :: !stack)
+        evs;
+      let rec order (n : node) : unit =
+        n.p_children <- List.rev n.p_children;
+        List.iter order n.p_children
+      in
+      let roots = List.rev !roots in
+      List.iter order roots;
+      roots)
+    tids
+
+(* Self time: inclusive minus children's inclusive, clamped at zero
+   (clock granularity can make children sum past their parent by a few
+   microseconds). *)
+let exclusive_us (n : node) : int =
+  Stdlib.max 0
+    (n.p_incl_us
+    - List.fold_left (fun acc c -> acc + c.p_incl_us) 0 n.p_children)
+
+let rec iter_nodes (f : node -> unit) (n : node) : unit =
+  f n;
+  List.iter (iter_nodes f) n.p_children
+
+let iter_forest (f : node -> unit) (forest : node list) : unit =
+  List.iter (iter_nodes f) forest
+
+(* Sum of root inclusive times: total profiled time per the forest.
+   With one domain this is the wall time under the outermost span(s). *)
+let total_incl_us (forest : node list) : int =
+  List.fold_left (fun acc r -> acc + r.p_incl_us) 0 forest
+
+let total_excl_us (forest : node list) : int =
+  let acc = ref 0 in
+  iter_forest (fun n -> acc := !acc + exclusive_us n) forest;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Per-span-name rollups (the phase table).                             *)
+(* ------------------------------------------------------------------ *)
+
+type rollup = {
+  r_name : string;
+  r_cat : string;
+  r_count : int;
+  r_incl_us : int;  (* double-counts same-name nesting; none in our taxonomy *)
+  r_excl_us : int;
+}
+
+(* Rollups sorted by self time, descending. *)
+let rollups (forest : node list) : rollup list =
+  let tbl : (string, rollup ref) Hashtbl.t = Hashtbl.create 32 in
+  iter_forest
+    (fun n ->
+      let r =
+        match Hashtbl.find_opt tbl n.p_name with
+        | Some r -> r
+        | None ->
+            let r =
+              ref
+                { r_name = n.p_name; r_cat = n.p_cat; r_count = 0;
+                  r_incl_us = 0; r_excl_us = 0 }
+            in
+            Hashtbl.replace tbl n.p_name r;
+            r
+      in
+      r :=
+        {
+          !r with
+          r_count = !r.r_count + 1;
+          r_incl_us = !r.r_incl_us + n.p_incl_us;
+          r_excl_us = !r.r_excl_us + exclusive_us n;
+        })
+    forest;
+  let all = Hashtbl.fold (fun _ r acc -> !r :: acc) tbl [] in
+  List.sort
+    (fun a b ->
+      if a.r_excl_us <> b.r_excl_us then compare b.r_excl_us a.r_excl_us
+      else compare a.r_name b.r_name)
+    all
+
+(* ------------------------------------------------------------------ *)
+(* Collapsed stacks (flamegraph.pl / speedscope import format).         *)
+(* ------------------------------------------------------------------ *)
+
+(* One line per distinct stack, "root;child;leaf <self_us>", self times
+   of identical stacks summed, lines sorted for stable diffs.  Frames
+   have ';' replaced so the separator stays unambiguous. *)
+let collapsed (forest : node list) : string =
+  let clean name =
+    String.map (function ';' -> ',' | ' ' -> '_' | c -> c) name
+  in
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec walk (prefix : string) (n : node) : unit =
+    let frame = clean n.p_name in
+    let stack = if prefix = "" then frame else prefix ^ ";" ^ frame in
+    let self = exclusive_us n in
+    if self > 0 then
+      Hashtbl.replace tbl stack
+        (self + Option.value ~default:0 (Hashtbl.find_opt tbl stack));
+    List.iter (walk stack) n.p_children
+  in
+  List.iter (walk "") forest;
+  let lines = Hashtbl.fold (fun s v acc -> (s, v) :: acc) tbl [] in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (stack, self) ->
+      Buffer.add_string b stack;
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int self);
+      Buffer.add_char b '\n')
+    (List.sort compare lines);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Hot-kernel table.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type kernel_row = {
+  k_kernel : string;  (* span name sans the "kernel:" prefix *)
+  k_count : int;
+  k_incl_us : int;
+  k_excl_us : int;
+  k_loop : string;  (* loop order, comma-separated *)
+  k_merge : string;  (* per-level merge/iteration strategy *)
+  k_formats : string;  (* output formats *)
+  k_backend : string;
+}
+
+let arg ?(default = "?") (key : string) (n : node) : string =
+  Option.value ~default (List.assoc_opt key n.p_args)
+
+(* Kernel spans grouped by (name, loop order, merge strategy) — the same
+   logical kernel planned differently shows up as distinct rows — sorted
+   by self time, descending. *)
+let kernels (forest : node list) : kernel_row list =
+  let tbl : (string, kernel_row ref) Hashtbl.t = Hashtbl.create 16 in
+  iter_forest
+    (fun n ->
+      let prefix = "kernel:" in
+      let pl = String.length prefix in
+      if
+        String.length n.p_name > pl && String.sub n.p_name 0 pl = prefix
+      then begin
+        let kernel = String.sub n.p_name pl (String.length n.p_name - pl) in
+        let loop = arg "loop" n in
+        let merge = arg "merge" n in
+        let key = kernel ^ "|" ^ loop ^ "|" ^ merge in
+        let r =
+          match Hashtbl.find_opt tbl key with
+          | Some r -> r
+          | None ->
+              let r =
+                ref
+                  {
+                    k_kernel = kernel;
+                    k_count = 0;
+                    k_incl_us = 0;
+                    k_excl_us = 0;
+                    k_loop = loop;
+                    k_merge = merge;
+                    k_formats = arg "out_formats" n;
+                    k_backend = arg "backend" n;
+                  }
+              in
+              Hashtbl.replace tbl key r;
+              r
+        in
+        r :=
+          {
+            !r with
+            k_count = !r.k_count + 1;
+            k_incl_us = !r.k_incl_us + n.p_incl_us;
+            k_excl_us = !r.k_excl_us + exclusive_us n;
+          }
+      end)
+    forest;
+  let all = Hashtbl.fold (fun _ r acc -> !r :: acc) tbl [] in
+  List.sort
+    (fun a b ->
+      if a.k_excl_us <> b.k_excl_us then compare b.k_excl_us a.k_excl_us
+      else compare a.k_kernel b.k_kernel)
+    all

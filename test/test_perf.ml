@@ -1,0 +1,417 @@
+(* Profiler and perf-stats layer: call-tree reconstruction from synthetic
+   trace events (nesting, inclusive/exclusive invariants, clamping),
+   collapsed-stack export shape, hot-kernel attribution rows, robust
+   trial statistics, every `--compare` verdict unit, and the histogram
+   percentile accessors the `--metrics` dump reports. *)
+
+module Trace = Galley_obs.Trace
+module Profile = Galley_obs.Profile
+module P = Galley_obs.Perfstats
+module Metrics = Galley_obs.Metrics
+module Json = Galley_obs.Json
+module Obs = Galley_obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_float = Alcotest.(check (float 1e-9))
+
+let ev ?(tid = 0) ?(cat = "t") ?(args = []) name ts dur : Trace.event =
+  {
+    Trace.ev_name = name;
+    ev_cat = cat;
+    ev_ph = 'X';
+    ev_ts = ts;
+    ev_dur = dur;
+    ev_tid = tid;
+    ev_args = args;
+  }
+
+(* root [0,1000] { a [100,400] { gc [150,250] }, b [500,900] } — shuffled
+   input order, plus an instant that must be dropped. *)
+let sample_events () =
+  [
+    ev "b" 500 400;
+    ev "root" 0 1000;
+    { (ev "mark" 600 0) with Trace.ev_ph = 'i' };
+    ev "gc" 150 100;
+    ev "a" 100 300;
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Call-tree reconstruction.                                          *)
+(* ---------------------------------------------------------------- *)
+
+let test_tree_structure () =
+  let forest = Profile.build (sample_events ()) in
+  check_int "one root" 1 (List.length forest);
+  let root = List.hd forest in
+  check_string "root name" "root" root.Profile.p_name;
+  check_int "root inclusive" 1000 root.Profile.p_incl_us;
+  let names n = List.map (fun c -> c.Profile.p_name) n.Profile.p_children in
+  Alcotest.(check (list string)) "children in start order" [ "a"; "b" ]
+    (names root);
+  let a = List.hd root.Profile.p_children in
+  Alcotest.(check (list string)) "grandchild nests under a" [ "gc" ] (names a);
+  check_int "a exclusive = incl - gc" 200 (Profile.exclusive_us a);
+  check_int "root exclusive" 300 (Profile.exclusive_us root);
+  check_int "gc is a leaf" 0 (List.length (List.hd a.Profile.p_children).Profile.p_children)
+
+let check_invariants forest =
+  Profile.iter_forest
+    (fun n ->
+      check_bool "exclusive >= 0" true (Profile.exclusive_us n >= 0);
+      List.iter
+        (fun c ->
+          check_bool "child incl <= parent incl" true
+            (c.Profile.p_incl_us <= n.Profile.p_incl_us);
+          check_bool "child interval inside parent" true
+            (c.Profile.p_start_us >= n.Profile.p_start_us
+            && c.Profile.p_start_us + c.Profile.p_incl_us
+               <= n.Profile.p_start_us + n.Profile.p_incl_us))
+        n.Profile.p_children)
+    forest
+
+let test_tree_invariants () =
+  let forest = Profile.build (sample_events ()) in
+  check_invariants forest;
+  check_int "total inclusive = root" 1000 (Profile.total_incl_us forest);
+  (* On a well-nested synthetic trace, self times partition the root. *)
+  check_int "total exclusive = total inclusive" 1000
+    (Profile.total_excl_us forest)
+
+let test_overlap_clamps () =
+  (* Children contained in the parent but summing past it (the clock-
+     granularity case): exclusive must clamp at zero, not go negative. *)
+  let forest =
+    Profile.build [ ev "p" 0 100; ev "c1" 0 60; ev "c2" 40 60 ]
+  in
+  check_int "one root" 1 (List.length forest);
+  let p = List.hd forest in
+  check_int "both contained children attach" 2
+    (List.length p.Profile.p_children);
+  check_int "exclusive clamped at zero" 0 (Profile.exclusive_us p);
+  check_invariants forest
+
+let test_domains_split_trees () =
+  (* Same timestamps on two tids: two independent roots, never nested. *)
+  let forest =
+    Profile.build [ ev ~tid:1 "d1" 0 100; ev ~tid:2 "d2" 10 50 ]
+  in
+  check_int "two roots" 2 (List.length forest);
+  Profile.iter_forest
+    (fun n -> check_int "no cross-domain children" 0
+        (List.length n.Profile.p_children))
+    forest
+
+let test_real_trace_invariants () =
+  Trace.reset ();
+  Trace.enable ();
+  let sink = Sys.opaque_identity (ref 0.0) in
+  Obs.span ~cat:"test" ~name:"outer" (fun () ->
+      for _ = 1 to 3 do
+        Obs.span ~cat:"test" ~name:"inner" (fun () ->
+            for i = 1 to 20_000 do
+              sink := !sink +. float_of_int i
+            done)
+      done);
+  let forest = Profile.build (Trace.drain ()) in
+  Trace.disable ();
+  check_invariants forest;
+  let incl = Profile.total_incl_us forest in
+  let excl = Profile.total_excl_us forest in
+  check_bool "some time was measured" true (incl > 0);
+  (* Self times must account for the wall time under the root within
+     tolerance (clamping can only add a few clock-granularity us). *)
+  check_bool "self times sum to wall within 10%" true
+    (abs (excl - incl) <= max 2 (incl / 10))
+
+(* ---------------------------------------------------------------- *)
+(* Rollups, collapsed stacks, hot-kernel table.                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_rollups () =
+  let forest =
+    Profile.build
+      [ ev "root" 0 100; ev "leaf" 10 20; ev "leaf" 50 30 ]
+  in
+  let rs = Profile.rollups forest in
+  check_int "two distinct names" 2 (List.length rs);
+  let top = List.hd rs in
+  (* leaf: self 50 > root: self 50? root excl = 100-50 = 50; tie broken
+     by name: "leaf" < "root". *)
+  check_string "sorted by self then name" "leaf" top.Profile.r_name;
+  check_int "count aggregates" 2 top.Profile.r_count;
+  check_int "inclusive sums" 50 top.Profile.r_incl_us;
+  check_int "exclusive sums" 50 top.Profile.r_excl_us
+
+let test_collapsed_shape () =
+  let forest = Profile.build (sample_events ()) in
+  let out = Profile.collapsed forest in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  check_int "one line per distinct stack" 4 (List.length lines);
+  Alcotest.(check (list string))
+    "sorted collapsed lines"
+    [ "root 300"; "root;a 200"; "root;a;gc 100"; "root;b 400" ]
+    lines;
+  (* Every line is "frames <int>" and the values partition the root. *)
+  let total =
+    List.fold_left
+      (fun acc line ->
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.fail ("malformed line: " ^ line)
+        | Some i ->
+            acc
+            + int_of_string
+                (String.sub line (i + 1) (String.length line - i - 1)))
+      0 lines
+  in
+  check_int "collapsed self times sum to wall" 1000 total
+
+let test_collapsed_sanitizes_frames () =
+  let forest = Profile.build [ ev "ker nel;x" 0 10 ] in
+  check_string "';' and ' ' replaced in frames" "ker_nel,x 10\n"
+    (Profile.collapsed forest)
+
+let test_kernel_table () =
+  let kargs merge =
+    [
+      ("kernel", "G");
+      ("loop", "i,k");
+      ("merge", merge);
+      ("out_formats", "dense,sparse");
+      ("backend", "staged");
+    ]
+  in
+  let forest =
+    Profile.build
+      [
+        ev "exec" 0 1000;
+        ev ~args:(kargs "i:dense k:inter(dense&dense)") "kernel:G" 10 300;
+        ev ~args:(kargs "i:dense k:inter(dense&dense)") "kernel:G" 400 200;
+        ev ~args:(kargs "interp") "kernel:G" 700 100;
+        ev "not_a_kernel" 900 50;
+      ]
+  in
+  let rows = Profile.kernels forest in
+  check_int "grouped by (kernel, loop, merge)" 2 (List.length rows);
+  let top = List.hd rows in
+  check_string "hottest row first" "G" top.Profile.k_kernel;
+  check_string "merge attribution" "i:dense k:inter(dense&dense)"
+    top.Profile.k_merge;
+  check_int "count aggregates across calls" 2 top.Profile.k_count;
+  check_int "inclusive sums" 500 top.Profile.k_incl_us;
+  check_string "loop order carried" "i,k" top.Profile.k_loop;
+  check_string "formats carried" "dense,sparse" top.Profile.k_formats;
+  let interp = List.nth rows 1 in
+  check_string "interp variant is a distinct row" "interp"
+    interp.Profile.k_merge
+
+(* ---------------------------------------------------------------- *)
+(* Perfstats: summaries.                                              *)
+(* ---------------------------------------------------------------- *)
+
+let test_median_conventions () =
+  check_float "odd length picks the middle" 2.0 (P.median_of [ 3.0; 1.0; 2.0 ]);
+  check_float "even length takes the midpoint" 1.5
+    (P.median_of [ 2.0; 1.0 ]);
+  check_bool "empty is nan" true (Float.is_nan (P.median_of []))
+
+let test_of_samples () =
+  let s = P.of_samples [ 3.0; Float.nan; 1.0; 2.0; Float.nan ] in
+  check_int "finite count" 3 s.P.n;
+  check_int "nan samples counted as timeouts" 2 s.P.timeouts;
+  check_float "median" 2.0 s.P.median;
+  check_float "min" 1.0 s.P.min;
+  check_float "max" 3.0 s.P.max;
+  check_float "mad" 1.0 s.P.mad;
+  check_float "spread" 2.0 (P.spread s);
+  let all_t = P.of_samples [ Float.nan ] in
+  check_int "all-timeout has n = 0" 0 all_t.P.n;
+  check_int "all-timeout keeps the count" 1 all_t.P.timeouts
+
+let test_noise_floor () =
+  (* MAD = 0 (identical trials): the relative floor takes over. *)
+  let s = P.of_samples [ 2.0; 2.0; 2.0 ] in
+  check_float "rel floor on zero-MAD series" 0.2 (P.noise_floor s);
+  (* Tiny medians bottom out at the absolute floor. *)
+  let tiny = P.of_samples [ 1e-6; 1e-6 ] in
+  check_float "absolute floor" 5e-4 (P.noise_floor tiny);
+  (* Scattered trials: k * 1.4826 * MAD dominates. *)
+  let wide = P.of_samples [ 1.0; 2.0; 3.0 ] in
+  check_float "MAD term" (3.0 *. 1.4826 *. 1.0) (P.noise_floor wide)
+
+(* ---------------------------------------------------------------- *)
+(* Perfstats: every verdict unit.                                     *)
+(* ---------------------------------------------------------------- *)
+
+let verdict = Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (P.verdict_to_string v))
+    ( = )
+
+let stats l = P.of_samples l
+
+let test_verdict_regression () =
+  Alcotest.check verdict "2x slowdown beyond noise" P.Regression
+    (P.compare_stats
+       ~baseline:(stats [ 1.0; 1.0; 1.0 ])
+       ~current:(stats [ 2.0; 2.1; 2.0 ])
+       ());
+  Alcotest.check verdict "newly timing out regresses" P.Regression
+    (P.compare_stats
+       ~baseline:(stats [ 1.0 ])
+       ~current:(stats [ Float.nan ])
+       ())
+
+let test_verdict_improvement () =
+  Alcotest.check verdict "2x speedup beyond noise" P.Improvement
+    (P.compare_stats
+       ~baseline:(stats [ 2.0; 2.1; 2.0 ])
+       ~current:(stats [ 1.0; 1.0; 1.0 ])
+       ());
+  Alcotest.check verdict "no longer timing out improves" P.Improvement
+    (P.compare_stats
+       ~baseline:(stats [ Float.nan ])
+       ~current:(stats [ 1.0 ])
+       ())
+
+let test_verdict_within_noise () =
+  Alcotest.check verdict "identical runs" P.Within_noise
+    (P.compare_stats
+       ~baseline:(stats [ 1.0; 1.01 ])
+       ~current:(stats [ 0.99; 1.0 ])
+       ());
+  (* Dual condition: a delta past the noise floor but under the ratio
+     threshold must NOT gate — this is what keeps back-to-back runs
+     clean while still catching a genuine 2x. *)
+  Alcotest.check verdict "1.4x stays under the 1.5x ratio bar"
+    P.Within_noise
+    (P.compare_stats
+       ~baseline:(stats [ 1.0; 1.0; 1.0 ])
+       ~current:(stats [ 1.4; 1.4; 1.4 ])
+       ());
+  Alcotest.check verdict "both all-timeout" P.Within_noise
+    (P.compare_stats
+       ~baseline:(stats [ Float.nan ])
+       ~current:(stats [ Float.nan ])
+       ())
+
+let test_verdict_threshold_knob () =
+  Alcotest.check verdict "lower threshold flips the verdict" P.Regression
+    (P.compare_stats ~rel_threshold:1.2
+       ~baseline:(stats [ 1.0; 1.0; 1.0 ])
+       ~current:(stats [ 1.4; 1.4; 1.4 ])
+       ())
+
+let test_compare_keyed () =
+  let baseline = [ ("a", stats [ 1.0 ]); ("gone", stats [ 1.0 ]) ] in
+  let current = [ ("a", stats [ 1.0 ]); ("fresh", stats [ 1.0 ]) ] in
+  let cs = P.compare_keyed baseline current in
+  check_int "one row per key on either side" 3 (List.length cs);
+  Alcotest.(check (list string))
+    "current order first, then baseline-only"
+    [ "a"; "fresh"; "gone" ]
+    (List.map (fun c -> c.P.c_key) cs);
+  let v key =
+    (List.find (fun c -> c.P.c_key = key) cs).P.c_verdict
+  in
+  Alcotest.check verdict "matched key compares" P.Within_noise (v "a");
+  Alcotest.check verdict "new series" P.New_series (v "fresh");
+  Alcotest.check verdict "missing series" P.Missing_series (v "gone");
+  check_int "count_verdict" 1 (P.count_verdict cs P.New_series)
+
+(* ---------------------------------------------------------------- *)
+(* Metrics: histogram percentiles.                                    *)
+(* ---------------------------------------------------------------- *)
+
+let test_percentiles () =
+  let h = Metrics.histogram "test_perf.pctl" in
+  check_float "empty histogram reports 0" 0.0 (Metrics.percentile h 0.5);
+  for _ = 1 to 3 do
+    Metrics.observe h 1
+  done;
+  Metrics.observe h 1000;
+  (* Power-of-two buckets: ranks 1-3 land in bucket 0 (upper edge 1),
+     rank 4 in bucket 9 (upper edge 1023). *)
+  check_float "p50 from the small bucket" 1.0 (Metrics.percentile h 0.5);
+  check_float "p99 from the large bucket" 1023.0 (Metrics.percentile h 0.99);
+  check_float "p0 clamps to the first sample" 1.0 (Metrics.percentile h 0.0)
+
+(* ---------------------------------------------------------------- *)
+(* Json: the parser behind --compare.                                 *)
+(* ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let src =
+    "{\"schema\": 2, \"rows\": [{\"s\": \"a\\nb\", \"v\": [1, 2.5, null, "
+    ^ "true]}], \"neg\": -3e-1}"
+  in
+  match Json.parse src with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      let open Json in
+      check_float "int field" 2.0
+        (Option.get (Option.bind (member "schema" j) to_float));
+      let row =
+        List.hd (Option.get (Option.bind (member "rows" j) to_list))
+      in
+      check_string "escaped string decodes" "a\nb"
+        (Option.get (Option.bind (member "s" row) to_string));
+      let v = Option.get (Option.bind (member "v" row) to_list) in
+      check_int "array arity" 4 (List.length v);
+      check_bool "null is Null" true (List.nth v 2 = Null);
+      check_float "negative exponent" (-0.3)
+        (Option.get (Option.bind (member "neg" j) to_float));
+      check_bool "garbage is an error" true
+        (match Json.parse "{\"a\": }" with Error _ -> true | Ok _ -> false)
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "profile-tree",
+        [
+          Alcotest.test_case "nesting reconstruction" `Quick
+            test_tree_structure;
+          Alcotest.test_case "inclusive/exclusive invariants" `Quick
+            test_tree_invariants;
+          Alcotest.test_case "exclusive clamps at zero" `Quick
+            test_overlap_clamps;
+          Alcotest.test_case "domains build separate trees" `Quick
+            test_domains_split_trees;
+          Alcotest.test_case "real trace invariants" `Quick
+            test_real_trace_invariants;
+        ] );
+      ( "exports",
+        [
+          Alcotest.test_case "rollup aggregation" `Quick test_rollups;
+          Alcotest.test_case "collapsed-stack shape" `Quick
+            test_collapsed_shape;
+          Alcotest.test_case "collapsed frame sanitizing" `Quick
+            test_collapsed_sanitizes_frames;
+          Alcotest.test_case "hot-kernel attribution rows" `Quick
+            test_kernel_table;
+        ] );
+      ( "perfstats",
+        [
+          Alcotest.test_case "median conventions" `Quick
+            test_median_conventions;
+          Alcotest.test_case "of_samples with timeouts" `Quick
+            test_of_samples;
+          Alcotest.test_case "noise floor" `Quick test_noise_floor;
+          Alcotest.test_case "verdict: regression" `Quick
+            test_verdict_regression;
+          Alcotest.test_case "verdict: improvement" `Quick
+            test_verdict_improvement;
+          Alcotest.test_case "verdict: within-noise" `Quick
+            test_verdict_within_noise;
+          Alcotest.test_case "verdict: threshold knob" `Quick
+            test_verdict_threshold_knob;
+          Alcotest.test_case "keyed join: new/missing" `Quick
+            test_compare_keyed;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "histogram percentiles" `Quick test_percentiles ]
+      );
+      ("json", [ Alcotest.test_case "parser round-trip" `Quick
+                   test_json_roundtrip ]);
+    ]
