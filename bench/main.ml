@@ -1020,6 +1020,103 @@ let observability () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Serving: daemon latency and throughput under concurrent clients.     *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process `galley serve` daemon on a temp socket, driven over the
+   real wire protocol: cold-vs-warm request latency (the Fig. 9
+   amortization as seen by a serving client) and multi-client
+   throughput with client-side p50/p99 tail latency. *)
+let serving () =
+  header "Serving: galley serve latency and throughput";
+  let module S = Galley_serve.Server in
+  let module C = Galley_serve.Client in
+  let module Proto = Galley_serve.Protocol in
+  let sock = Filename.temp_file "galley_bench" ".sock" in
+  Sys.remove sock;
+  let cfg =
+    {
+      (S.default_config ~socket_path:sock) with
+      S.driver = with_domains D.default_config;
+    }
+  in
+  let server = S.create cfg in
+  S.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      S.request_drain server;
+      S.wait server;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let dim = if !quick then 80 else 200 in
+      let spec_e = Printf.sprintf "%dx%d:0.02:501" dim dim in
+      let spec_x = Printf.sprintf "%d:0.5:502" dim in
+      let src = "y[i] = sum[j](E[i,j] * x[j])" in
+      let rpc line =
+        match C.rpc ~retries:10 ~socket:sock line with
+        | Ok resp -> resp
+        | Error e -> failwith ("serving bench rpc: " ^ e)
+      in
+      ignore (rpc (Proto.encode_bind_random ~name:"E" spec_e));
+      ignore (rpc (Proto.encode_bind_random ~name:"x" spec_x));
+      let timed_query () =
+        let t0 = Unix.gettimeofday () in
+        ignore (rpc (Proto.encode_query ~values:false src));
+        Unix.gettimeofday () -. t0
+      in
+      (* Cold: first request pays optimization + kernel compilation;
+         warm requests replay from the resident CSE cache. *)
+      let cold = timed_query () in
+      let warm = List.init (if !quick then 5 else 20) (fun _ -> timed_query ()) in
+      record1 ~section:"serving" ~series:"latency" "cold" cold;
+      record ~section:"serving" ~series:"latency" "warm" warm;
+      p "%-24s %10s\n" "cold request" (fmt_time cold);
+      p "%-24s %10s (x%.1f amortization)\n" "warm request (median)"
+        (fmt_time (median warm))
+        (if median warm > 0.0 then cold /. median warm else 0.0);
+      (* Throughput: 4 persistent clients issuing warm queries. *)
+      let clients = 4 in
+      let per_client = if !quick then 8 else 25 in
+      let latencies = Array.make (clients * per_client) 0.0 in
+      let worker c =
+        match C.connect ~retries:10 sock with
+        | Error e -> failwith ("serving bench connect: " ^ e)
+        | Ok conn ->
+            Fun.protect
+              ~finally:(fun () -> C.close conn)
+              (fun () ->
+                for q = 0 to per_client - 1 do
+                  let t0 = Unix.gettimeofday () in
+                  (match
+                     C.request conn (Proto.encode_query ~values:false src)
+                   with
+                  | Ok _ -> ()
+                  | Error e -> failwith ("serving bench request: " ^ e));
+                  latencies.((c * per_client) + q) <-
+                    Unix.gettimeofday () -. t0
+                done)
+      in
+      let t0 = Unix.gettimeofday () in
+      let threads = List.init clients (fun c -> Thread.create worker c) in
+      List.iter Thread.join threads;
+      let wall = Unix.gettimeofday () -. t0 in
+      let total = clients * per_client in
+      Array.sort compare latencies;
+      let pct q =
+        latencies.(min (total - 1) (int_of_float (q *. float_of_int total)))
+      in
+      record1 ~section:"serving" ~series:"throughput"
+        (Printf.sprintf "%dx%d-wall" clients per_client)
+        wall;
+      record1 ~section:"serving" ~series:"tail" "p50" (pct 0.50);
+      record1 ~section:"serving" ~series:"tail" "p99" (pct 0.99);
+      p "%-24s %10.0f req/s (%d clients, %d requests, %s wall)\n" "throughput"
+        (float_of_int total /. wall)
+        clients total (fmt_time wall);
+      p "%-24s %10s p99=%s\n%!" "client latency p50" (fmt_time (pct 0.50))
+        (fmt_time (pct 0.99)))
+
+(* ------------------------------------------------------------------ *)
 (* Baseline comparison (--compare / --compare-files).                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1201,7 +1298,7 @@ let () =
     | [] ->
         [
           "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "kernels"; "scaling";
-          "ablations"; "observability"; "micro";
+          "ablations"; "observability"; "serving"; "micro";
         ]
     | some -> some
   in
@@ -1222,6 +1319,7 @@ let () =
       | "ablations" -> ablations ()
       | "tiers" -> tiers ()
       | "observability" -> observability ()
+      | "serving" -> serving ()
       | "micro" -> micro ()
       | other -> Printf.eprintf "unknown section %s\n" other);
       let hits = cache_counter "kernel_cache.hits" - h0

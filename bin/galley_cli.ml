@@ -366,6 +366,128 @@ let profile_cmd program_file inputs randoms outputs greedy uniform no_jit
       print_profile_report forest collapsed_out;
       match result with Ok _ -> 0 | Error e -> report_error e)
 
+(* serve: run the daemon on a Unix socket until SIGTERM/SIGINT (or a
+   client "shutdown" request), then drain and exit clean.  Preloaded
+   tensors (--input/--random) are bound into the resident session
+   before the listener opens, so the first client sees a warm store. *)
+let serve_cmd socket inputs randoms queue_capacity drain_timeout
+    default_budget naive_below greedy_below max_entries faults_spec greedy
+    uniform no_cse kernel_backend domains kernel_cache_cap cse_cache_cap
+    trace metrics =
+  if trace <> None then Galley_obs.Trace.enable ();
+  if metrics then Galley_obs.Metrics.set_detailed true;
+  let faults =
+    match Galley.Faults.of_spec faults_spec with
+    | Ok f -> f
+    | Error msg ->
+        Format.eprintf "galley: bad --faults spec: %s@." msg;
+        exit 2
+  in
+  let driver =
+    {
+      (if greedy then Galley.Driver.greedy_config
+       else Galley.Driver.default_config)
+      with
+      estimator =
+        (if uniform then Galley_stats.Ctx.Uniform_kind
+         else Galley_stats.Ctx.Chain_kind);
+      cse = not no_cse;
+      faults;
+      kernel_backend;
+      domains;
+      kernel_cache_cap;
+      cse_cache_cap;
+    }
+  in
+  let cfg =
+    {
+      (Galley_serve.Server.default_config ~socket_path:socket) with
+      Galley_serve.Server.queue_capacity;
+      drain_timeout;
+      default_budget_ms = default_budget;
+      naive_below_ms = naive_below;
+      greedy_below_ms = greedy_below;
+      max_response_entries = max_entries;
+      driver;
+    }
+  in
+  match
+    let server = Galley_serve.Server.create cfg in
+    let session = Galley_serve.Server.session server in
+    List.iter
+      (fun (name, t) -> Galley.Driver.Session.bind session name t)
+      (List.map parse_input_spec inputs @ List.map parse_random_spec randoms);
+    Galley_serve.Server.run server;
+    finish_obs ~trace ~metrics
+  with
+  | () -> 0
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Format.eprintf "galley serve: %s(%s): %s@." fn arg (Unix.error_message e);
+      1
+  | exception (Invalid_argument msg | Failure msg) ->
+      Format.eprintf "galley serve: %s@." msg;
+      1
+
+(* client: one request against a running daemon; prints the raw JSON
+   response line and exits 0 iff the server answered ok:true. *)
+let client_cmd socket command src program_file budget values max_entries
+    binds bind_randoms retries backoff req_id =
+  let id = req_id in
+  let line =
+    match command with
+    | "health" -> Ok (Galley_serve.Protocol.encode_health ?id ())
+    | "metrics" -> Ok (Galley_serve.Protocol.encode_metrics ?id ())
+    | "shutdown" -> Ok (Galley_serve.Protocol.encode_shutdown ?id ())
+    | "query" -> (
+        match (src, program_file) with
+        | Some s, None ->
+            Ok
+              (Galley_serve.Protocol.encode_query ?id ?budget_ms:budget
+                 ~values ?max_entries s)
+        | None, Some f ->
+            Ok
+              (Galley_serve.Protocol.encode_query ?id ?budget_ms:budget
+                 ~values ?max_entries (read_file f))
+        | _ -> Error "query needs exactly one of --src or --program")
+    | "bind" -> (
+        match (binds, bind_randoms) with
+        | [ spec ], [] -> (
+            match String.index_opt spec '=' with
+            | Some i ->
+                let name = String.sub spec 0 i in
+                let path =
+                  String.sub spec (i + 1) (String.length spec - i - 1)
+                in
+                Ok (Galley_serve.Protocol.encode_bind_file ?id ~name path)
+            | None -> Error ("bad --bind spec: " ^ spec))
+        | [], [ spec ] -> (
+            match String.index_opt spec '=' with
+            | Some i ->
+                let name = String.sub spec 0 i in
+                let r = String.sub spec (i + 1) (String.length spec - i - 1) in
+                Ok (Galley_serve.Protocol.encode_bind_random ?id ~name r)
+            | None -> Error ("bad --bind-random spec: " ^ spec))
+        | _ -> Error "bind needs exactly one of --bind or --bind-random")
+    | other -> Error (Printf.sprintf "unknown command %S" other)
+  in
+  match line with
+  | Error msg ->
+      Format.eprintf "galley client: %s@." msg;
+      2
+  | Ok line -> (
+      match Galley_serve.Client.rpc ~retries ~backoff ~socket line with
+      | Error msg ->
+          Format.eprintf "galley client: %s@." msg;
+          1
+      | Ok resp -> (
+          print_endline resp;
+          match Galley_serve.Client.decode resp with
+          | Ok (true, _) -> 0
+          | Ok (false, _) -> 1
+          | Error msg ->
+              Format.eprintf "galley client: malformed response: %s@." msg;
+              1))
+
 let demo_cmd () =
   Format.printf "Triangle counting demo: 200-vertex random graph@.";
   let g =
@@ -561,6 +683,174 @@ let explain_info =
 let demo_term = Term.(const demo_cmd $ const ())
 let demo_info = Cmd.info "demo" ~doc:"Run a built-in triangle-counting demo"
 
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc:"Unix domain socket path")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission queue capacity; a full queue sheds load with a \
+           structured queue_full rejection")
+
+let drain_timeout_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "drain-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Seconds granted to queued and in-flight requests after \
+           SIGTERM/SIGINT before the remainder is shed")
+
+let default_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "default-budget" ] ~docv:"MS"
+        ~doc:
+          "Deadline budget (milliseconds) applied to requests that don't \
+           carry one; default: none (batch, exact optimizer)")
+
+let qos_naive_arg =
+  Arg.(
+    value & opt float 100.0
+    & info [ "qos-naive-ms" ] ~docv:"MS"
+        ~doc:"Budgets below MS run the naive optimizer tier directly")
+
+let qos_greedy_arg =
+  Arg.(
+    value & opt float 1000.0
+    & info [ "qos-greedy-ms" ] ~docv:"MS"
+        ~doc:"Budgets below MS (and above --qos-naive-ms) run the greedy tier")
+
+let max_entries_serve_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "max-entries" ] ~docv:"N"
+        ~doc:"Per-output cap on entries serialized into a response")
+
+let serve_faults_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault injection, comma-separated; serve-side points: \
+           serve-accept-fail=N, serve-kill=N, serve-stall=S, plus the \
+           batch faults (estimator-nan, kernel-fail=N, opt-delay=S, ...)")
+
+let kernel_cache_cap_arg =
+  Arg.(
+    value
+    & opt int Galley_engine.Exec.default_kernel_cache_cap
+    & info [ "kernel-cache-cap" ] ~docv:"N"
+        ~doc:"LRU bound on the resident kernel cache (entries)")
+
+let cse_cache_cap_arg =
+  Arg.(
+    value
+    & opt int Galley_engine.Exec.default_cse_cache_cap
+    & info [ "cse-cache-cap" ] ~docv:"N"
+        ~doc:"LRU bound on the resident CSE result cache (entries)")
+
+let serve_term =
+  Term.(
+    const serve_cmd $ socket_arg $ inputs_arg $ randoms_arg $ queue_arg
+    $ drain_timeout_arg $ default_budget_arg $ qos_naive_arg $ qos_greedy_arg
+    $ max_entries_serve_arg $ serve_faults_arg $ greedy_arg $ uniform_arg
+    $ no_cse_arg $ kernel_backend_arg $ domains_arg $ kernel_cache_cap_arg
+    $ cse_cache_cap_arg $ trace_arg $ metrics_arg)
+
+let serve_info =
+  Cmd.info "serve"
+    ~doc:
+      "Serve queries from a long-lived daemon on a Unix domain socket: \
+       named tensors, statistics, and kernel/CSE caches stay resident \
+       across requests; a bounded admission queue sheds load when full; \
+       per-request deadline budgets pick the optimizer tier (exact, \
+       greedy, naive); SIGTERM/SIGINT drains in-flight work and exits \
+       clean"
+
+let client_command_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"COMMAND"
+        ~doc:"One of: query, bind, health, metrics, shutdown")
+
+let client_src_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "src" ] ~docv:"PROGRAM" ~doc:"Inline program source for query")
+
+let client_program_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "program" ] ~docv:"FILE" ~doc:"Program file for query")
+
+let client_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ] ~docv:"MS" ~doc:"Deadline budget in milliseconds")
+
+let client_values_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "values" ] ~docv:"BOOL"
+        ~doc:"Include output entries in the response (default true)")
+
+let client_max_entries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-entries" ] ~docv:"N" ~doc:"Per-output entry cap")
+
+let client_bind_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "bind" ] ~docv:"NAME=PATH" ~doc:"Bind a tensor from a COO file")
+
+let client_bind_random_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "bind-random" ] ~docv:"NAME=DIMS:DENSITY:SEED"
+        ~doc:"Bind a server-side random tensor, e.g. E=100x100:0.01:42")
+
+let client_retries_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Connect retries with exponential backoff")
+
+let client_backoff_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "backoff" ] ~docv:"SECONDS" ~doc:"Initial retry backoff")
+
+let client_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed in the response")
+
+let client_term =
+  Term.(
+    const client_cmd $ socket_arg $ client_command_arg $ client_src_arg
+    $ client_program_arg $ client_budget_arg $ client_values_arg
+    $ client_max_entries_arg $ client_bind_arg $ client_bind_random_arg
+    $ client_retries_arg $ client_backoff_arg $ client_id_arg)
+
+let client_info =
+  Cmd.info "client"
+    ~doc:
+      "Send one request to a running galley serve daemon and print the \
+       JSON response; exits 0 iff the server answered ok"
+
 let main =
   Cmd.group
     (Cmd.info "galley_cli" ~version:"1.0.0"
@@ -569,6 +859,8 @@ let main =
       Cmd.v run_info run_term;
       Cmd.v explain_info explain_term;
       Cmd.v profile_info profile_term;
+      Cmd.v serve_info serve_term;
+      Cmd.v client_info client_term;
       Cmd.v demo_info demo_term;
     ]
 

@@ -49,6 +49,10 @@ type config = {
       (* record predicted nnz (under both estimators) for every
          materialized intermediate and compare with actual nnz after
          execution; results land in [result.audit] (the explain mode) *)
+  kernel_cache_cap : int;
+      (* LRU bound on the engine's resident kernel cache (entries); a
+         long-lived process must not grow without bound *)
+  cse_cache_cap : int; (* LRU bound on the resident CSE cache (entries) *)
 }
 
 (* Default parallelism: [GALLEY_DOMAINS] when set to a positive integer,
@@ -74,6 +78,8 @@ let default_config =
     kernel_backend = Galley_engine.Exec.Staged;
     domains = default_domains;
     audit = false;
+    kernel_cache_cap = Galley_engine.Exec.default_kernel_cache_cap;
+    cse_cache_cap = Galley_engine.Exec.default_cse_cache_cap;
   }
 
 let greedy_config =
@@ -307,9 +313,12 @@ let execute_queries ~(config : config) ~(ctx : Ctx.t)
     * bool
     * int =
   Faults.install_exec config.faults exec;
+  (* Explicitly clear as well as set: a resident session's executor
+     carries state across requests, and a previous request's deadline
+     must not bleed into this one. *)
   (match config.timeout with
   | Some s -> Galley_engine.Exec.set_timeout exec s
-  | None -> ());
+  | None -> Galley_engine.Exec.clear_timeout exec);
   let physical_seconds = ref 0.0 in
   let all_steps = ref [] in
   let timed_out = ref false in
@@ -550,7 +559,8 @@ let execute_logical ~(config : config) ~(ctx : Ctx.t)
   in
   let exec =
     Galley_engine.Exec.create ~cse:config.cse ~backend:config.kernel_backend
-      ~domains:config.domains ()
+      ~domains:config.domains ~kernel_cache_cap:config.kernel_cache_cap
+      ~cse_cache_cap:config.cse_cache_cap ()
   in
   List.iter (fun (name, t) -> Galley_engine.Exec.bind exec name t) inputs;
   let counter = ref 0 in
@@ -694,6 +704,10 @@ module Session = struct
     s_exec : Galley_engine.Exec.t;
     mutable s_inputs : (string * T.t) list;
     mutable s_counter : int;
+    s_defined : (string, unit) Hashtbl.t;
+        (* names materialized by earlier queries in this session: later
+           programs referring to them resolve to [Alias] leaves, so a
+           resident daemon's clients can build on prior results *)
   }
 
   let create ?(config = default_config) () : session =
@@ -703,10 +717,16 @@ module Session = struct
       s_ctx = Faults.wrap_ctx config.faults (Ctx.create ~kind:config.estimator schema);
       s_exec =
         Galley_engine.Exec.create ~cse:config.cse
-          ~backend:config.kernel_backend ~domains:config.domains ();
+          ~backend:config.kernel_backend ~domains:config.domains
+          ~kernel_cache_cap:config.kernel_cache_cap
+          ~cse_cache_cap:config.cse_cache_cap ();
       s_inputs = [];
       s_counter = 0;
+      s_defined = Hashtbl.create 16;
     }
+
+  let config (s : session) : config = s.s_config
+  let exec (s : session) : Galley_engine.Exec.t = s.s_exec
 
   (* Bind or rebind an input tensor; statistics are (re)computed here, not
      per run. *)
@@ -714,6 +734,7 @@ module Session = struct
     Schema.declare_tensor s.s_ctx.Ctx.schema name tensor;
     s.s_ctx.Ctx.register_input name tensor;
     Galley_engine.Exec.bind s.s_exec name tensor;
+    Hashtbl.remove s.s_defined name;
     s.s_inputs <- (name, tensor) :: List.remove_assoc name s.s_inputs
 
   let fresh (s : session) () =
@@ -723,12 +744,17 @@ module Session = struct
   (* Register one query's output for estimation: measured when already
      materialized (JIT), else inferred from its defining expression. *)
   let register_query (s : session) (q : Logical_query.t) : unit =
-    register_query_estimated s.s_ctx q
+    register_query_estimated s.s_ctx q;
+    Hashtbl.replace s.s_defined q.Logical_query.name ()
 
-  (* Run a hand-written logical plan against the session state. *)
-  let run_logical_plan (s : session) ~(outputs : string list)
-      (logical_plan : Logical_query.t list) : result =
-    let config = s.s_config in
+  (* Shared tail of [run_logical_plan] and [run_program]: physically
+     optimize + execute against the resident executor, reporting
+     compile/execute timings as deltas so per-request numbers stay
+     meaningful on a long-lived session. *)
+  let session_execute (s : session) ~(config : config)
+      ~(logical_plan : Logical_query.t list)
+      ~(logical_tiers : (string * Tier.t) list) ~(logical_seconds : float)
+      ~(outputs : string list) : result =
     let ctx = s.s_ctx in
     let exec = s.s_exec in
     validate_logical ~config
@@ -737,6 +763,9 @@ module Session = struct
     let t_before = exec.Galley_engine.Exec.timings in
     let compile0 = t_before.Galley_engine.Exec.compile_time in
     let exec0 = t_before.Galley_engine.Exec.exec_time in
+    let compile_n0 = t_before.Galley_engine.Exec.compile_count in
+    let kernel_n0 = t_before.Galley_engine.Exec.kernel_count in
+    let cse0 = t_before.Galley_engine.Exec.cse_hits in
     let ( outputs,
           incomplete_outputs,
           physical_plan,
@@ -753,26 +782,112 @@ module Session = struct
       incomplete_outputs;
       logical_plan;
       physical_plan;
-      logical_tiers = [];
+      logical_tiers;
       physical_tiers;
       timings =
         {
-          logical_seconds = 0.0;
+          logical_seconds;
           physical_seconds;
           compile_seconds = t_after.Galley_engine.Exec.compile_time -. compile0;
           execute_seconds = t_after.Galley_engine.Exec.exec_time -. exec0;
           total_seconds =
-            physical_seconds
+            logical_seconds +. physical_seconds
             +. t_after.Galley_engine.Exec.compile_time -. compile0
             +. t_after.Galley_engine.Exec.exec_time -. exec0;
-          compile_count = t_after.Galley_engine.Exec.compile_count;
-          kernel_count = t_after.Galley_engine.Exec.kernel_count;
-          cse_hits = t_after.Galley_engine.Exec.cse_hits;
+          compile_count = t_after.Galley_engine.Exec.compile_count - compile_n0;
+          kernel_count = t_after.Galley_engine.Exec.kernel_count - kernel_n0;
+          cse_hits = t_after.Galley_engine.Exec.cse_hits - cse0;
         };
       timed_out;
       nnz_guard_retries;
       audit = None;
     }
+
+  (* Run a hand-written logical plan against the session state. *)
+  let run_logical_plan (s : session) ~(outputs : string list)
+      (logical_plan : Logical_query.t list) : result =
+    session_execute s ~config:s.s_config ~logical_plan ~logical_tiers:[]
+      ~logical_seconds:0.0 ~outputs
+
+  (* Rewrite [Input] leaves that refer to tensors materialized by earlier
+     session queries into [Alias] leaves ([resolve_names] only sees the
+     current program; this sees the whole resident history). *)
+  let resolve_resident (s : session) (p : Ir.program) : Ir.program =
+    let queries =
+      List.map
+        (fun (q : Ir.query) ->
+          let rec fix (e : Ir.expr) : Ir.expr =
+            match e with
+            | Ir.Input (n, idxs) when Hashtbl.mem s.s_defined n ->
+                Ir.Alias (n, idxs)
+            | Ir.Input _ | Ir.Alias _ | Ir.Literal _ -> e
+            | Ir.Map (op, args) -> Ir.Map (op, List.map fix args)
+            | Ir.Agg (op, idxs, body) -> Ir.Agg (op, idxs, fix body)
+          in
+          { q with Ir.expr = fix q.Ir.expr })
+        p.Ir.queries
+    in
+    { p with Ir.queries }
+
+  (* Full pipeline (logical + physical optimization + execution) against
+     the resident session: the serving hot path.  [config] overrides the
+     per-request knobs (timeouts, degradation, optimizer tier, faults);
+     structural fields baked into the resident executor at [create] time
+     (estimator kind, backend, domains, CSE, cache caps) are fixed.
+
+     The physical-intermediate name counter restarts per program so that
+     a structurally identical request regenerates identical intermediate
+     names — together with version-stable rebinding in the engine this
+     lets a repeated request replay entirely from the resident CSE cache
+     (zero kernels run on the warm path). *)
+  let run_program (s : session) ?config (program : Ir.program) : result =
+    let config = match config with Some c -> c | None -> s.s_config in
+    let program = resolve_resident s (resolve_names program) in
+    s.s_counter <- 0;
+    cur_phase := Errors.Logical;
+    cur_query := None;
+    let t0 = now () in
+    let logical_plan, logical_tiers =
+      try
+        Obs.span ~cat:"phase" ~name:"logical_opt"
+          ~attrs:(fun () ->
+            [ ("queries", string_of_int (List.length program.Ir.queries)) ])
+          (fun () ->
+            Galley_logical.Optimizer.optimize_program_tiered
+              ?timeout:config.optimizer_timeout ~degrade:config.degrade
+              config.logical s.s_ctx program)
+      with Tier.Exhausted ->
+        Errors.raise_error
+          (Errors.Optimizer_deadline
+             {
+               context = Errors.context ?query:!cur_query Errors.Logical;
+               budget = opt_budget config;
+             })
+    in
+    let logical_seconds = now () -. t0 in
+    session_execute s ~config ~logical_plan ~logical_tiers ~logical_seconds
+      ~outputs:program.Ir.outputs
+
+  (* [run_program] with classified failures as [Error]: the per-request
+     isolation boundary of `galley serve`.  A failed request leaves the
+     resident caches and bindings consistent (at worst with extra
+     intermediates, which are version-guarded). *)
+  let run_program_checked (s : session) ?config (program : Ir.program) :
+      (result, Errors.t) Stdlib.result =
+    match run_program s ?config program with
+    | r -> Ok r
+    | exception Errors.Galley_error e -> Error e
+    | exception Tier.Exhausted ->
+        Error
+          (Errors.Optimizer_deadline
+             {
+               context = error_context ();
+               budget =
+                 opt_budget
+                   (match config with Some c -> c | None -> s.s_config);
+             })
+    | exception ((Invalid_argument _ | Failure _) as exn) ->
+        Error (Errors.of_exn (error_context ()) exn)
 
   let lookup (s : session) (name : string) : T.t option =
     Galley_engine.Exec.lookup_opt s.s_exec name

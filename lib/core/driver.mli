@@ -51,6 +51,12 @@ type config = {
           both estimators (uniform and chain-bound, from purely inferred
           shadow statistics) and compare with actual nnz after execution;
           the comparison lands in [result.audit].  Default off. *)
+  kernel_cache_cap : int;
+      (** LRU bound on the engine's resident kernel cache (entries);
+          evictions are counted in the [kernel_cache.evictions] metric *)
+  cse_cache_cap : int;
+      (** LRU bound on the resident CSE result cache (entries);
+          evictions are counted in [cse_cache.evictions] *)
 }
 
 (** The default [domains]: the [GALLEY_DOMAINS] environment variable when
@@ -146,19 +152,45 @@ val run_logical_plan :
 (** Single-query convenience wrapper around {!run}. *)
 val run_query : ?config:config -> inputs:(string * T.t) list -> Ir.query -> result
 
-(** Incremental sessions: keep input statistics and the engine's kernel
-    cache alive across calls (e.g. one BFS iteration at a time, paper
-    Sec. 9.3). *)
+(** Incremental sessions: keep input statistics, named result tensors,
+    and the engine's kernel/CSE caches alive across calls (one BFS
+    iteration at a time, paper Sec. 9.3 — or one request at a time in
+    `galley serve`, which is how the Fig. 9 cold/warm amortization pays
+    off across a query stream). *)
 module Session : sig
   type session
 
   val create : ?config:config -> unit -> session
+
+  (** The configuration the session was created with. *)
+  val config : session -> config
+
+  (** The session's resident executor (cache occupancy, resident-tensor
+      counts for health reporting). *)
+  val exec : session -> Galley_engine.Exec.t
 
   (** Bind or rebind an input; statistics are (re)computed here. *)
   val bind : session -> string -> T.t -> unit
 
   val run_logical_plan :
     session -> outputs:string list -> Logical_query.t list -> result
+
+  (** Full pipeline (logical + physical optimization + execution) against
+      the resident session state: the serving hot path.  Query outputs
+      stay resident, so later programs can reference them by name.
+      [config] overrides per-request knobs (timeouts, degradation,
+      optimizer tier, faults); fields baked into the resident executor at
+      {!create} (estimator, backend, domains, CSE, cache caps) are fixed.
+      Timings report per-call deltas.  A structurally identical repeat
+      request replays from the resident CSE cache without running any
+      kernels. *)
+  val run_program : session -> ?config:config -> Ir.program -> result
+
+  (** Like {!run_program}, with classified failures as [Error]: the
+      per-request isolation boundary of `galley serve`.  A failed request
+      leaves resident state consistent. *)
+  val run_program_checked :
+    session -> ?config:config -> Ir.program -> (result, Errors.t) Stdlib.result
 
   val lookup : session -> string -> T.t option
 end

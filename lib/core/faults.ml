@@ -15,6 +15,15 @@ type t = {
   estimator_scale : float; (* multiply every estimate; 1.0 = off *)
   optimizer_delay : float; (* seconds slept inside every estimate call *)
   kernel_fail_on : int option; (* fail the nth kernel invocation (1-based) *)
+  (* Server-side injection points, consumed by `galley serve` (the chaos
+     surface must cover the daemon, not just batch runs): *)
+  serve_accept_fail_on : int option;
+      (* drop the nth accepted connection as if accept(2) had failed *)
+  serve_kill_on : int option;
+      (* kill the nth admitted query request mid-flight, after parse *)
+  serve_stall : float;
+      (* seconds a connection stalls before draining each response
+         (a slow-client simulation) *)
 }
 
 let none =
@@ -24,6 +33,9 @@ let none =
     estimator_scale = 1.0;
     optimizer_delay = 0.0;
     kernel_fail_on = None;
+    serve_accept_fail_on = None;
+    serve_kill_on = None;
+    serve_stall = 0.0;
   }
 
 let is_none (f : t) : bool = f = none
@@ -61,10 +73,13 @@ let rec wrap_ctx (f : t) (ctx : Ctx.t) : Ctx.t =
       Ctx.clone = (fun () -> wrap_ctx f (ctx.Ctx.clone ()));
     }
 
-(* Install the kernel-failure hook (if configured) on an executor. *)
+(* Install the kernel-failure hook (if configured) on an executor.  A
+   [None] spec *clears* any previously installed hook: resident sessions
+   (galley serve) reuse one executor across requests with differing fault
+   configs, and a stale hook must not leak into the next request. *)
 let install_exec (f : t) (exec : Galley_engine.Exec.t) : unit =
   match f.kernel_fail_on with
-  | None -> ()
+  | None -> Galley_engine.Exec.clear_kernel_hook exec
   | Some nth ->
       Galley_engine.Exec.set_kernel_hook exec (fun n ->
           if n = nth then begin
@@ -108,6 +123,18 @@ let of_spec (spec : string) : (t, string) result =
               Result.map
                 (fun n -> { f with kernel_fail_on = Some n })
                 (parse_int "kernel-fail" v)
+          | [ "serve-accept-fail"; v ] ->
+              Result.map
+                (fun n -> { f with serve_accept_fail_on = Some n })
+                (parse_int "serve-accept-fail" v)
+          | [ "serve-kill"; v ] ->
+              Result.map
+                (fun n -> { f with serve_kill_on = Some n })
+                (parse_int "serve-kill" v)
+          | [ "serve-stall"; v ] ->
+              Result.map
+                (fun x -> { f with serve_stall = x })
+                (parse_float "serve-stall" v)
           | _ -> Error (Printf.sprintf "unknown fault %S" part)))
     (Ok none) parts
 
@@ -121,9 +148,18 @@ let to_string (f : t) : string =
     @ (if f.optimizer_delay > 0.0 then
          [ Printf.sprintf "opt-delay=%g" f.optimizer_delay ]
        else [])
+    @ (match f.kernel_fail_on with
+      | Some n -> [ Printf.sprintf "kernel-fail=%d" n ]
+      | None -> [])
+    @ (match f.serve_accept_fail_on with
+      | Some n -> [ Printf.sprintf "serve-accept-fail=%d" n ]
+      | None -> [])
+    @ (match f.serve_kill_on with
+      | Some n -> [ Printf.sprintf "serve-kill=%d" n ]
+      | None -> [])
     @
-    match f.kernel_fail_on with
-    | Some n -> [ Printf.sprintf "kernel-fail=%d" n ]
-    | None -> []
+    if f.serve_stall > 0.0 then
+      [ Printf.sprintf "serve-stall=%g" f.serve_stall ]
+    else []
   in
   match parts with [] -> "none" | parts -> String.concat "," parts

@@ -32,8 +32,10 @@ exception Timeout = Kernel_exec.Timeout
    [Metrics.detailed] (enabled by [--metrics], bench, and tests). *)
 let m_kernel_cache_hits = Obs.Metrics.counter "kernel_cache.hits"
 let m_kernel_cache_misses = Obs.Metrics.counter "kernel_cache.misses"
+let m_kernel_cache_evictions = Obs.Metrics.counter "kernel_cache.evictions"
 let m_cse_hits = Obs.Metrics.counter "cse.hits"
 let m_cse_misses = Obs.Metrics.counter "cse.misses"
+let m_cse_cache_evictions = Obs.Metrics.counter "cse_cache.evictions"
 let m_kernels_run = Obs.Metrics.counter "exec.kernels_run"
 let m_transposes_run = Obs.Metrics.counter "exec.transposes_run"
 let m_nnz_read = Obs.Metrics.counter "kernel.nnz_read"
@@ -70,8 +72,13 @@ type t = {
       (* bumped on every (re)bind: CSE keys name a specific binding, so
          rebinding a name (e.g. the BFS frontier each iteration) cannot hit
          a stale cached result *)
-  kernel_cache : (string, Kernel_exec.compiled) Hashtbl.t;
-  cse_cache : (string, T.t) Hashtbl.t;
+  kernel_cache : Kernel_exec.compiled Lru.t;
+      (* LRU-bounded: a resident process (galley serve) must not grow
+         without bound as query shapes churn; evictions are counted in
+         [kernel_cache.evictions] *)
+  cse_cache : T.t Lru.t;
+      (* LRU-bounded for the same reason; stale version-keyed entries
+         age out of the tail *)
   cse_enabled : bool;
   timings : timings;
   mutable deadline : float option;
@@ -84,12 +91,25 @@ type t = {
   kernel_ordinal : int Atomic.t;  (* 1-based invocation counter for the hook *)
 }
 
-let create ?(cse = true) ?(backend = Staged) ?(domains = 1) () =
+(* Default cache bounds: generous for batch runs, finite for a resident
+   daemon.  Overridable per executor (and from `galley serve`). *)
+let default_kernel_cache_cap = 1024
+let default_cse_cache_cap = 1024
+
+let create ?(cse = true) ?(backend = Staged) ?(domains = 1)
+    ?(kernel_cache_cap = default_kernel_cache_cap)
+    ?(cse_cache_cap = default_cse_cache_cap) () =
   {
     tensors = Hashtbl.create 32;
     versions = Hashtbl.create 32;
-    kernel_cache = Hashtbl.create 32;
-    cse_cache = Hashtbl.create 32;
+    kernel_cache =
+      Lru.create ~capacity:kernel_cache_cap
+        ~on_evict:(fun _ _ -> Obs.Metrics.incr m_kernel_cache_evictions)
+        ();
+    cse_cache =
+      Lru.create ~capacity:cse_cache_cap
+        ~on_evict:(fun _ _ -> Obs.Metrics.incr m_cse_cache_evictions)
+        ();
     cse_enabled = cse;
     timings = fresh_timings ();
     deadline = None;
@@ -135,11 +155,20 @@ let bind (t : t) (name : string) (tensor : T.t) : unit =
      worker domains race on first-use fills. *)
   if Pool.size t.pool > 1 then T.presort tensor;
   locked t (fun () ->
-      let v =
-        match Hashtbl.find_opt t.versions name with Some v -> v + 1 | None -> 0
-      in
-      Hashtbl.replace t.versions name v;
-      Hashtbl.replace t.tensors name tensor)
+      (* Rebinding the physically-same tensor (a CSE replay in a resident
+         session) keeps the version: the value is unchanged, and bumping
+         would spuriously invalidate every downstream CSE key, breaking
+         whole-program warm replay across requests. *)
+      match Hashtbl.find_opt t.tensors name with
+      | Some existing when existing == tensor -> ()
+      | Some _ | None ->
+          let v =
+            match Hashtbl.find_opt t.versions name with
+            | Some v -> v + 1
+            | None -> 0
+          in
+          Hashtbl.replace t.versions name v;
+          Hashtbl.replace t.tensors name tensor)
 
 let version_unlocked (t : t) (name : string) : int =
   match Hashtbl.find_opt t.versions name with Some v -> v | None -> 0
@@ -163,7 +192,16 @@ let lookup_opt (t : t) (name : string) : T.t option =
 let reset_tensors (t : t) : unit =
   locked t (fun () ->
       Hashtbl.reset t.tensors;
-      Hashtbl.reset t.cse_cache)
+      Lru.clear t.cse_cache)
+
+(* Resident-footprint accessors for health/metrics reporting. *)
+let bound_count (t : t) : int = locked t (fun () -> Hashtbl.length t.tensors)
+
+let cache_occupancy (t : t) : int * int =
+  locked t (fun () -> (Lru.length t.kernel_cache, Lru.length t.cse_cache))
+
+let cache_evictions (t : t) : int * int =
+  locked t (fun () -> (Lru.evictions t.kernel_cache, Lru.evictions t.cse_cache))
 
 let now = Unix.gettimeofday
 
@@ -201,7 +239,7 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
         in
         let cse_key = cse_key_kernel_unlocked t k ~signature in
         let cse_hit =
-          if t.cse_enabled then Hashtbl.find_opt t.cse_cache cse_key else None
+          if t.cse_enabled then Lru.find t.cse_cache cse_key else None
         in
         (tensors, access_fills, access_formats, signature, cse_key, cse_hit))
   in
@@ -214,7 +252,7 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
       if t.cse_enabled then Obs.Metrics.incr m_cse_misses;
       let compiled =
         locked t (fun () ->
-            match Hashtbl.find_opt t.kernel_cache signature with
+            match Lru.find t.kernel_cache signature with
             | Some c ->
                 Obs.Metrics.incr m_kernel_cache_hits;
                 c
@@ -251,7 +289,7 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
                 t.timings.compile_time <-
                   t.timings.compile_time +. (now () -. t0);
                 t.timings.compile_count <- t.timings.compile_count + 1;
-                Hashtbl.replace t.kernel_cache signature c;
+                Lru.put t.kernel_cache signature c;
                 c)
       in
       (match t.kernel_hook with
@@ -296,7 +334,7 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
       locked t (fun () ->
           t.timings.exec_time <- t.timings.exec_time +. (now () -. t0);
           t.timings.kernel_count <- t.timings.kernel_count + 1;
-          if t.cse_enabled then Hashtbl.replace t.cse_cache cse_key result);
+          if t.cse_enabled then Lru.put t.cse_cache cse_key result);
       result
 
 let run_transpose (t : t) ~(source : string) ~(perm : int array)
@@ -328,7 +366,7 @@ let run_step (t : t) (step : Physical.step) : string * T.t =
                    (Array.to_list (Array.map string_of_int perm)))
             in
             let hit =
-              if t.cse_enabled then Hashtbl.find_opt t.cse_cache key else None
+              if t.cse_enabled then Lru.find t.cse_cache key else None
             in
             (key, hit))
       in
@@ -340,7 +378,7 @@ let run_step (t : t) (step : Physical.step) : string * T.t =
         | None ->
             let r = run_transpose t ~source ~perm ~formats:(Some formats) in
             locked t (fun () ->
-                if t.cse_enabled then Hashtbl.replace t.cse_cache key r);
+                if t.cse_enabled then Lru.put t.cse_cache key r);
             r
       in
       bind t name result;

@@ -56,6 +56,20 @@ let tick_opt (b : budget option) : unit =
    silently corrupting every comparison against it. *)
 let finite (c : float) : float = if Float.is_finite c then c else raise Exhausted
 
+(* QoS knob: map a per-request wall-clock budget (seconds) to the highest
+   optimizer tier that can be afforded (DESIGN.md "Serving").  A tight
+   budget cannot pay for plan search: under [naive_below] seconds the
+   request gets the estimate-free naive rung; under [greedy_below] the
+   greedy search; anything slower (or unbudgeted) gets the exact search.
+   `galley serve` threads its thresholds through here, so a 50 ms
+   interactive budget lands on [Naive] while a batch request keeps
+   [Exact]. *)
+let of_budget ?(naive_below = 0.1) ?(greedy_below = 1.0) (budget_s : float) : t
+    =
+  if budget_s < naive_below then Naive
+  else if budget_s < greedy_below then Greedy
+  else Exact
+
 (* Per-tier count summary, e.g. for bench output. *)
 let counts (tiers : (string * t) list) : int * int * int =
   List.fold_left

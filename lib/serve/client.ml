@@ -1,0 +1,68 @@
+(* Client side of the serve protocol: connect to the daemon's Unix
+   socket with retry/backoff, send one JSON line per request, read one
+   JSON line per response.  Used by the CLI's client mode, the serve
+   tests, and the bench serving section. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+(* Exponential backoff across [retries] attempts: the daemon may still
+   be binding its socket when the first client arrives, and a shed
+   ("queue_full") client is told to come back the same way. *)
+let connect ?(retries = 0) ?(backoff = 0.05) (path : string) :
+    (t, string) result =
+  let rec go attempt =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+        Ok
+          {
+            fd;
+            ic = Unix.in_channel_of_descr fd;
+            oc = Unix.out_channel_of_descr fd;
+          }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if attempt >= retries then
+          Error
+            (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+        else begin
+          Thread.delay (backoff *. (2.0 ** float_of_int attempt));
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+let request (c : t) (line : string) : (string, string) result =
+  match
+    output_string c.oc line;
+    output_char c.oc '\n';
+    flush c.oc;
+    input_line c.ic
+  with
+  | resp -> Ok resp
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error m -> Error m
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let close (c : t) : unit =
+  (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close c.fd with Unix.Unix_error _ | Sys_error _ -> ()
+
+(* One-shot convenience: connect, send, read, close. *)
+let rpc ?retries ?backoff ~socket (line : string) : (string, string) result =
+  match connect ?retries ?backoff socket with
+  | Error e -> Error e
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () -> request c line)
+
+(* Decode a response line and report (ok, parsed json); malformed
+   responses surface as Error. *)
+let decode (resp : string) : (bool * Galley_obs.Json.t, string) result =
+  match Galley_obs.Json.parse resp with
+  | Error e -> Error e
+  | Ok json -> (
+      match Option.bind (Galley_obs.Json.member "ok" json) Galley_obs.Json.to_bool with
+      | Some ok -> Ok (ok, json)
+      | None -> Error "response missing \"ok\" field")

@@ -1,0 +1,476 @@
+(* Wire protocol for `galley serve`: line-delimited JSON over a Unix
+   domain socket.  One request object per line in, one response object
+   per line out, strictly in order per connection.
+
+   The protocol reuses the repo's dependency-free JSON reader
+   ([Galley_obs.Json]) for decoding and hand-built writers (via
+   [Metrics.json_escape]) for encoding, mirroring every other
+   serialization seam in the tree.  Output entry values print with
+   [%.17g] so they round-trip bit-identically through the socket: the
+   soak test compares served results against batch [Driver.run] outputs
+   for float equality, not approximate equality.
+
+   Requests:
+     {"op":"query","src":"<program>","id"?,"budget_ms"?,"values"?,
+      "max_entries"?}
+     {"op":"bind","name":"E","random":"100x100:0.01:42"}         — or —
+     {"op":"bind","name":"E","path":"data.coo"}                  — or —
+     {"op":"bind","name":"E","dims":[2,2],"fill"?,"entries":[[i,j,v],..]}
+     {"op":"health"} | {"op":"metrics"} | {"op":"shutdown"}
+
+   Responses always carry "ok" plus the echoed "id" (when sent), and on
+   failure an "error" object {"kind","message","phase"?} whose kinds
+   cover both the driver taxonomy (parse_error, plan_invalid,
+   optimizer_deadline, budget_exceeded, kernel_failure) and the serving
+   layer (bad_request, queue_full, draining, deadline, injected_fault,
+   internal). *)
+
+module Json = Galley_obs.Json
+module Metrics = Galley_obs.Metrics
+module T = Galley_tensor.Tensor
+module D = Galley.Driver
+
+type bind_spec =
+  | From_file of string
+  | From_random of string (* DIMSxDIMS:density:seed *)
+  | From_entries of {
+      dims : int array;
+      fill : float;
+      entries : (int array * float) array;
+    }
+
+type request =
+  | Query of {
+      src : string;
+      budget_ms : float option;
+      want_values : bool;
+      max_entries : int option;
+    }
+  | Bind of { name : string; spec : bind_spec }
+  | Health
+  | Metrics_req
+  | Shutdown
+
+type parsed = { req_id : string option; req : request }
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let opt_member key json conv =
+  match Json.member key json with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Printf.sprintf "field %S has the wrong type" key))
+
+let req_member key json conv =
+  match opt_member key json conv with
+  | Ok (Some x) -> Ok x
+  | Ok None -> Error (Printf.sprintf "missing required field %S" key)
+  | Error e -> Error e
+
+let ( let* ) = Result.bind
+
+let decode_entries ~ndims (v : Json.t) :
+    ((int array * float) array, string) result =
+  match Json.to_list v with
+  | None -> Error "field \"entries\" must be an array"
+  | Some rows ->
+      let n = List.length rows in
+      let out = Array.make n ([||], 0.0) in
+      let rec go i = function
+        | [] -> Ok out
+        | row :: rest -> (
+            match Json.to_list row with
+            | Some cells when List.length cells = ndims + 1 ->
+                let nums = List.map Json.to_float cells in
+                if List.exists Option.is_none nums then
+                  Error
+                    (Printf.sprintf "entry %d: non-numeric cell" i)
+                else begin
+                  let nums = List.filter_map Fun.id nums in
+                  let coords =
+                    Array.of_list
+                      (List.map int_of_float
+                         (List.filteri (fun k _ -> k < ndims) nums))
+                  in
+                  out.(i) <- (coords, List.nth nums ndims);
+                  go (i + 1) rest
+                end
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "entry %d: expected [coord × %d, value]" i ndims))
+      in
+      go 0 rows
+
+let decode_bind json =
+  let* name = req_member "name" json Json.to_string in
+  let path = Json.member "path" json in
+  let random = Json.member "random" json in
+  let dims = Json.member "dims" json in
+  match (path, random, dims) with
+  | Some p, None, None -> (
+      match Json.to_string p with
+      | Some p -> Ok (Bind { name; spec = From_file p })
+      | None -> Error "field \"path\" must be a string")
+  | None, Some r, None -> (
+      match Json.to_string r with
+      | Some r -> Ok (Bind { name; spec = From_random r })
+      | None -> Error "field \"random\" must be a string")
+  | None, None, Some d -> (
+      match
+        Option.map (List.map Json.to_float) (Json.to_list d)
+      with
+      | Some dims when dims <> [] && List.for_all Option.is_some dims ->
+          let dims =
+            Array.of_list (List.map int_of_float (List.filter_map Fun.id dims))
+          in
+          let* fill =
+            Result.map (Option.value ~default:0.0)
+              (opt_member "fill" json Json.to_float)
+          in
+          let* entries =
+            match Json.member "entries" json with
+            | None -> Ok [||]
+            | Some e -> decode_entries ~ndims:(Array.length dims) e
+          in
+          Ok (Bind { name; spec = From_entries { dims; fill; entries } })
+      | _ -> Error "field \"dims\" must be a non-empty array of numbers")
+  | _ ->
+      Error
+        "bind needs exactly one of \"path\", \"random\", or \"dims\"(+\"entries\")"
+
+let decode_request (line : string) : (parsed, string) result =
+  let* json = Json.parse line in
+  let* op = req_member "op" json Json.to_string in
+  let* req_id = opt_member "id" json Json.to_string in
+  let* req =
+    match op with
+    | "query" ->
+        let* src = req_member "src" json Json.to_string in
+        let* budget_ms = opt_member "budget_ms" json Json.to_float in
+        let* values = opt_member "values" json Json.to_bool in
+        let* max_entries = opt_member "max_entries" json Json.to_float in
+        Ok
+          (Query
+             {
+               src;
+               budget_ms;
+               want_values = Option.value ~default:true values;
+               max_entries = Option.map int_of_float max_entries;
+             })
+    | "bind" -> decode_bind json
+    | "health" -> Ok Health
+    | "metrics" -> Ok Metrics_req
+    | "shutdown" -> Ok Shutdown
+    | other -> Error (Printf.sprintf "unknown op %S" other)
+  in
+  Ok { req_id; req }
+
+(* Materialize a bind spec into a tensor (first level dense, the rest
+   sparse lists — the same default as the CLI's --random). *)
+let default_formats dims =
+  Array.init (Array.length dims) (fun k ->
+      if k = 0 then T.Dense else T.Sparse_list)
+
+let random_of_spec (spec : string) : (T.t, string) result =
+  match String.split_on_char ':' spec with
+  | [ dims_s; density_s; seed_s ] -> (
+      match
+        ( List.map int_of_string_opt (String.split_on_char 'x' dims_s),
+          float_of_string_opt density_s,
+          int_of_string_opt seed_s )
+      with
+      | dims, Some density, Some seed when List.for_all Option.is_some dims ->
+          let dims = Array.of_list (List.filter_map Fun.id dims) in
+          let prng = Galley_tensor.Prng.create seed in
+          Ok (T.random ~prng ~dims ~formats:(default_formats dims) ~density ())
+      | _ -> Error (Printf.sprintf "bad random spec %S" spec))
+  | _ ->
+      Error
+        (Printf.sprintf "bad random spec %S (want DIMSxDIMS:density:seed)" spec)
+
+let tensor_of_bind (spec : bind_spec) : (T.t, string) result =
+  match spec with
+  | From_random s -> random_of_spec s
+  | From_file path -> (
+      match Galley_tensor.Tensor_io.load path with
+      | t -> Ok t
+      | exception Sys_error m -> Error m
+      | exception (Invalid_argument m | Failure m) -> Error m)
+  | From_entries { dims; fill; entries } -> (
+      match T.of_coo ~fill ~dims ~formats:(default_formats dims) entries with
+      | t -> Ok t
+      | exception (Invalid_argument m | Failure m) -> Error m)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let buf_str b s =
+  Buffer.add_char b '"';
+  Buffer.add_string b (Metrics.json_escape s);
+  Buffer.add_char b '"'
+
+(* %.17g round-trips every finite float; JSON has no literal for the
+   rest, so non-finite values degrade to null. *)
+let buf_float b f =
+  if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
+  else Buffer.add_string b "null"
+
+let add_id b id =
+  match id with
+  | Some id ->
+      Buffer.add_string b ",\"id\":";
+      buf_str b id
+  | None -> ()
+
+let error_json ?(id = None) ~kind ?phase ~message () : string =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"ok\":false";
+  add_id b id;
+  Buffer.add_string b ",\"error\":{\"kind\":";
+  buf_str b kind;
+  (match phase with
+  | Some p ->
+      Buffer.add_string b ",\"phase\":";
+      buf_str b p
+  | None -> ());
+  Buffer.add_string b ",\"message\":";
+  buf_str b message;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+(* Map the driver taxonomy onto wire error kinds: the client can branch
+   on "kind" without parsing prose. *)
+let error_of ?(id = None) (e : Galley.Errors.t) : string =
+  let module E = Galley.Errors in
+  let kind, phase =
+    match e with
+    | E.Parse_error _ -> ("parse_error", Some "parse")
+    | E.Plan_invalid { context; _ } ->
+        ("plan_invalid", Some (E.phase_to_string context.E.phase))
+    | E.Optimizer_deadline { context; _ } ->
+        ("optimizer_deadline", Some (E.phase_to_string context.E.phase))
+    | E.Budget_exceeded { context; _ } ->
+        ("budget_exceeded", Some (E.phase_to_string context.E.phase))
+    | E.Kernel_failure { context; _ } ->
+        ("kernel_failure", Some (E.phase_to_string context.E.phase))
+  in
+  error_json ~id ~kind ?phase ~message:(E.to_string e) ()
+
+let result_json ?(id = None) ~want_values ~max_entries ?qos_tier
+    (r : D.result) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\"ok\":true";
+  add_id b id;
+  (match qos_tier with
+  | Some t ->
+      Buffer.add_string b ",\"qos_tier\":";
+      buf_str b (Galley_plan.Tier.to_string t)
+  | None -> ());
+  Buffer.add_string b ",\"outputs\":[";
+  List.iteri
+    (fun i (name, idxs, t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"name\":";
+      buf_str b name;
+      Buffer.add_string b ",\"idxs\":[";
+      List.iteri
+        (fun j idx ->
+          if j > 0 then Buffer.add_char b ',';
+          buf_str b (idx : Galley_plan.Ir.idx))
+        idxs;
+      Buffer.add_string b "],\"dims\":[";
+      Array.iteri
+        (fun j d ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int d))
+        (T.dims t);
+      Buffer.add_string b (Printf.sprintf "],\"nnz\":%d" (T.nnz t));
+      if want_values then begin
+        let coo = T.to_coo t in
+        let total = Array.length coo in
+        let shown = min total max_entries in
+        Buffer.add_string b ",\"entries\":[";
+        for k = 0 to shown - 1 do
+          if k > 0 then Buffer.add_char b ',';
+          let coords, v = coo.(k) in
+          Buffer.add_char b '[';
+          Array.iter
+            (fun c ->
+              Buffer.add_string b (string_of_int c);
+              Buffer.add_char b ',')
+            coords;
+          buf_float b v;
+          Buffer.add_char b ']'
+        done;
+        Buffer.add_string b
+          (Printf.sprintf "],\"truncated\":%b" (shown < total))
+      end;
+      Buffer.add_char b '}')
+    r.D.outputs;
+  Buffer.add_char b ']';
+  (match r.D.incomplete_outputs with
+  | [] -> ()
+  | missing ->
+      Buffer.add_string b ",\"incomplete_outputs\":[";
+      List.iteri
+        (fun i n ->
+          if i > 0 then Buffer.add_char b ',';
+          buf_str b n)
+        missing;
+      Buffer.add_char b ']');
+  let tier_list key tiers =
+    Buffer.add_string b (Printf.sprintf ",%S:[" key);
+    List.iteri
+      (fun i (q, tier) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b "[";
+        buf_str b q;
+        Buffer.add_char b ',';
+        buf_str b (Galley_plan.Tier.to_string tier);
+        Buffer.add_char b ']')
+      tiers;
+    Buffer.add_char b ']'
+  in
+  tier_list "logical_tiers" r.D.logical_tiers;
+  tier_list "physical_tiers" r.D.physical_tiers;
+  let tm = r.D.timings in
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"timings\":{\"total_s\":%.6f,\"logical_s\":%.6f,\"physical_s\":%.6f,\"compile_s\":%.6f,\"execute_s\":%.6f}"
+       tm.D.total_seconds tm.D.logical_seconds tm.D.physical_seconds
+       tm.D.compile_seconds tm.D.execute_seconds);
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"cache\":{\"compile_count\":%d,\"kernel_count\":%d,\"cse_hits\":%d}"
+       tm.D.compile_count tm.D.kernel_count tm.D.cse_hits);
+  Buffer.add_string b (Printf.sprintf ",\"timed_out\":%b}" r.D.timed_out);
+  Buffer.contents b
+
+let bound_json ?(id = None) ~name (t : T.t) : string =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"ok\":true";
+  add_id b id;
+  Buffer.add_string b ",\"bound\":";
+  buf_str b name;
+  Buffer.add_string b ",\"dims\":[";
+  Array.iteri
+    (fun j d ->
+      if j > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int d))
+    (T.dims t);
+  Buffer.add_string b (Printf.sprintf "],\"nnz\":%d}" (T.nnz t));
+  Buffer.contents b
+
+(* A small ok response from raw (key, already-encoded-value) pairs; used
+   for health / shutdown acks where the values are built by the server. *)
+let ok_json ?(id = None) (fields : (string * string) list) : string =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"ok\":true";
+  add_id b id;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ',';
+      buf_str b k;
+      Buffer.add_char b ':';
+      Buffer.add_string b v)
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Request encoders (client side: CLI, tests, bench)                   *)
+(* ------------------------------------------------------------------ *)
+
+let enc_common b ~op ~id =
+  Buffer.add_string b "{\"op\":";
+  buf_str b op;
+  match id with
+  | Some id ->
+      Buffer.add_string b ",\"id\":";
+      buf_str b id
+  | None -> ()
+
+let encode_query ?id ?budget_ms ?(values = true) ?max_entries (src : string) :
+    string =
+  let b = Buffer.create 128 in
+  enc_common b ~op:"query" ~id;
+  Buffer.add_string b ",\"src\":";
+  buf_str b src;
+  (match budget_ms with
+  | Some ms -> Buffer.add_string b (Printf.sprintf ",\"budget_ms\":%.6g" ms)
+  | None -> ());
+  if not values then Buffer.add_string b ",\"values\":false";
+  (match max_entries with
+  | Some n -> Buffer.add_string b (Printf.sprintf ",\"max_entries\":%d" n)
+  | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let encode_bind_random ?id ~name (spec : string) : string =
+  let b = Buffer.create 96 in
+  enc_common b ~op:"bind" ~id;
+  Buffer.add_string b ",\"name\":";
+  buf_str b name;
+  Buffer.add_string b ",\"random\":";
+  buf_str b spec;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let encode_bind_file ?id ~name (path : string) : string =
+  let b = Buffer.create 96 in
+  enc_common b ~op:"bind" ~id;
+  Buffer.add_string b ",\"name\":";
+  buf_str b name;
+  Buffer.add_string b ",\"path\":";
+  buf_str b path;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let encode_bind_entries ?id ~name ~dims ?(fill = 0.0)
+    (entries : (int array * float) array) : string =
+  let b = Buffer.create 256 in
+  enc_common b ~op:"bind" ~id;
+  Buffer.add_string b ",\"name\":";
+  buf_str b name;
+  Buffer.add_string b ",\"dims\":[";
+  Array.iteri
+    (fun j d ->
+      if j > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int d))
+    dims;
+  Buffer.add_char b ']';
+  if fill <> 0.0 then begin
+    Buffer.add_string b ",\"fill\":";
+    buf_float b fill
+  end;
+  Buffer.add_string b ",\"entries\":[";
+  Array.iteri
+    (fun k (coords, v) ->
+      if k > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '[';
+      Array.iter
+        (fun c ->
+          Buffer.add_string b (string_of_int c);
+          Buffer.add_char b ',')
+        coords;
+      buf_float b v;
+      Buffer.add_char b ']')
+    entries;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let encode_simple ?id (op : string) : string =
+  let b = Buffer.create 32 in
+  enc_common b ~op ~id;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let encode_health ?id () = encode_simple ?id "health"
+let encode_metrics ?id () = encode_simple ?id "metrics"
+let encode_shutdown ?id () = encode_simple ?id "shutdown"

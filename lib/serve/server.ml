@@ -1,0 +1,611 @@
+(* `galley serve`: a crash-isolated, admission-controlled query daemon.
+
+   Threading model (threads.posix — no new dependency):
+
+     - one ACCEPTOR thread polls the listening socket with a 250 ms
+       [Unix.select] so it can notice a drain promptly;
+     - one CONNECTION thread per client reads line-delimited JSON
+       requests and writes the matching responses (a stalled client
+       therefore blocks only its own connection, never the executor);
+     - one EXECUTOR thread serially drains a bounded admission queue
+       and runs query/bind requests against the shared resident
+       [Driver.Session].
+
+   Serial execution is the isolation boundary for shared state: the
+   statistics context, resident tensors, and kernel/CSE caches are only
+   ever touched from the executor thread, so a failed request can be
+   caught and answered with a structured error while the next request
+   sees consistent state.  Concurrency still comes from two places:
+   connection threads overlap I/O and protocol work with execution, and
+   each request fans out across the shared domain pool internally
+   ([config.driver.domains]).
+
+   Admission control: the queue is bounded at [queue_capacity]; a full
+   queue sheds load with an immediate structured "queue_full" rejection
+   (clients retry with backoff) instead of queueing unboundedly.
+   health/metrics/shutdown bypass the queue entirely — observability
+   must answer even when the daemon is saturated.
+
+   QoS: a request's deadline budget picks its optimizer tier through
+   {!Galley_plan.Tier.of_budget} — tight budgets run the naive rung
+   directly, mid budgets the greedy ladder, batch (no budget) the exact
+   search.  A request whose budget was already spent queueing is
+   rejected with kind "deadline" without touching the optimizer.
+
+   Lifecycle: SIGTERM/SIGINT set an atomic flag (no locking in signal
+   context); {!wait} promotes it to a drain — stop accepting, finish
+   queued work under [drain_timeout], flush, unlink the socket, exit
+   clean.  Past the drain deadline remaining queued requests are
+   answered "draining" rather than executed. *)
+
+module D = Galley.Driver
+module T = Galley_tensor.Tensor
+module Faults = Galley.Faults
+module Tier = Galley_plan.Tier
+module Obs = Galley_obs
+module Metrics = Galley_obs.Metrics
+
+type config = {
+  socket_path : string;
+  queue_capacity : int;  (** admission queue bound; full = shed load *)
+  drain_timeout : float;  (** seconds granted to in-flight work on drain *)
+  default_budget_ms : float option;
+      (** budget applied to requests that don't carry one; [None] = batch *)
+  naive_below_ms : float;  (** budgets below this run the naive tier *)
+  greedy_below_ms : float;  (** budgets below this run the greedy tier *)
+  max_response_entries : int;
+      (** per-output cap on entries serialized into a response *)
+  driver : D.config;  (** base pipeline config (faults ride in here) *)
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    queue_capacity = 64;
+    drain_timeout = 10.0;
+    default_budget_ms = None;
+    naive_below_ms = 100.0;
+    greedy_below_ms = 1000.0;
+    max_response_entries = 100_000;
+    driver = D.default_config;
+  }
+
+(* -- metrics ------------------------------------------------------- *)
+
+let m_requests = Metrics.counter "serve.requests"
+let m_requests_ok = Metrics.counter "serve.requests_ok"
+let m_requests_failed = Metrics.counter "serve.requests_failed"
+let m_rejected_full = Metrics.counter "serve.rejected_queue_full"
+let m_rejected_draining = Metrics.counter "serve.rejected_draining"
+let m_rejected_deadline = Metrics.counter "serve.rejected_deadline"
+let m_bad_requests = Metrics.counter "serve.bad_requests"
+let m_connections = Metrics.counter "serve.connections"
+let m_active = Metrics.gauge "serve.active_connections"
+let m_queue_depth = Metrics.gauge "serve.queue_depth"
+let m_latency = Metrics.histogram "serve.request_latency_us"
+let m_queue_wait = Metrics.histogram "serve.queue_wait_us"
+let m_accept_faults = Metrics.counter "faults.serve_accept_injected"
+let m_kill_faults = Metrics.counter "faults.serve_kill_injected"
+
+(* -- server state -------------------------------------------------- *)
+
+type phase = Serving | Draining | Stopped
+
+(* An admitted request: the connection thread parks on [j_cond] until
+   the executor publishes [j_response]. *)
+type job = {
+  j_parsed : Protocol.parsed;
+  j_arrival : float;
+  j_mutex : Mutex.t;
+  j_cond : Condition.t;
+  mutable j_response : string option;
+}
+
+type t = {
+  cfg : config;
+  session : D.Session.session;
+  listen_fd : Unix.file_descr;
+  queue : job Queue.t;
+  q_mutex : Mutex.t;
+  q_cond : Condition.t;
+  mutable state : phase; (* guarded by q_mutex *)
+  drain_requested : bool Atomic.t; (* set from signal handlers *)
+  force_stop : bool Atomic.t; (* drain deadline passed *)
+  exec_done : bool Atomic.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t; (* guarded by c_mutex *)
+  c_mutex : Mutex.t;
+  mutable acceptor : Thread.t option;
+  mutable executor : Thread.t option;
+  conn_threads : Thread.t Queue.t; (* guarded by c_mutex *)
+  started : float;
+  accept_seq : int Atomic.t; (* accepted-connection ordinal (faults) *)
+  query_seq : int Atomic.t; (* admitted-query ordinal (faults) *)
+}
+
+let state_of t =
+  Mutex.lock t.q_mutex;
+  let s = t.state in
+  Mutex.unlock t.q_mutex;
+  s
+
+let queue_depth t =
+  Mutex.lock t.q_mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.q_mutex;
+  n
+
+(* -- lifecycle ----------------------------------------------------- *)
+
+let create (cfg : config) : t =
+  let session = D.Session.create ~config:cfg.driver () in
+  (* A stale socket file from an unclean previous shutdown would make
+     bind fail; serving sockets are single-owner here, so unlink it. *)
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  {
+    cfg;
+    session;
+    listen_fd;
+    queue = Queue.create ();
+    q_mutex = Mutex.create ();
+    q_cond = Condition.create ();
+    state = Serving;
+    drain_requested = Atomic.make false;
+    force_stop = Atomic.make false;
+    exec_done = Atomic.make false;
+    conns = Hashtbl.create 16;
+    c_mutex = Mutex.create ();
+    acceptor = None;
+    executor = None;
+    conn_threads = Queue.create ();
+    started = Unix.gettimeofday ();
+    accept_seq = Atomic.make 0;
+    query_seq = Atomic.make 0;
+  }
+
+let initiate_drain t =
+  Mutex.lock t.q_mutex;
+  if t.state = Serving then begin
+    t.state <- Draining;
+    Obs.Log.info "serve: draining (queue depth %d)" (Queue.length t.queue)
+  end;
+  Condition.broadcast t.q_cond;
+  Mutex.unlock t.q_mutex
+
+let request_drain t = Atomic.set t.drain_requested true
+
+(* -- per-request processing (executor thread) ---------------------- *)
+
+exception Injected_kill of int
+
+(* Derive the per-request driver config from the deadline budget: tier
+   selection via Tier.of_budget, the remaining budget as both the
+   execution wall-clock limit and (halved) the optimizer budget. *)
+let request_config t ~(remaining_s : float option) : D.config * Tier.t option
+    =
+  let base = t.cfg.driver in
+  match remaining_s with
+  | None -> ({ base with timeout = None }, None)
+  | Some rem ->
+      let tier =
+        Tier.of_budget
+          ~naive_below:(t.cfg.naive_below_ms /. 1000.0)
+          ~greedy_below:(t.cfg.greedy_below_ms /. 1000.0)
+          rem
+      in
+      let base =
+        match tier with
+        | Tier.Exact -> base
+        | Tier.Greedy ->
+            {
+              base with
+              logical =
+                { base.D.logical with search = Galley_logical.Optimizer.Greedy };
+              physical = { base.D.physical with exact = false };
+            }
+        | Tier.Naive ->
+            (* A zero optimizer budget exhausts the ladder instantly,
+               landing on the naive rung without searching. *)
+            { base with optimizer_timeout = Some 0.0 }
+      in
+      let opt_budget =
+        match tier with
+        | Tier.Naive -> Some 0.0
+        | _ -> Some (Float.max 0.005 (rem *. 0.5))
+      in
+      ( {
+          base with
+          timeout = Some rem;
+          optimizer_timeout = opt_budget;
+          degrade = true;
+        },
+        Some tier )
+
+let handle_query t (job : job) ~src ~budget_ms ~want_values ~max_entries =
+  let id = job.j_parsed.Protocol.req_id in
+  let budget_ms =
+    match budget_ms with Some b -> Some b | None -> t.cfg.default_budget_ms
+  in
+  let waited = Unix.gettimeofday () -. job.j_arrival in
+  Metrics.observe m_queue_wait (int_of_float (waited *. 1e6));
+  let remaining_s =
+    Option.map (fun b -> (b /. 1000.0) -. waited) budget_ms
+  in
+  match remaining_s with
+  | Some rem when rem <= 0.0 ->
+      Metrics.incr m_rejected_deadline;
+      Protocol.error_json ~id ~kind:"deadline"
+        ~message:
+          (Printf.sprintf
+             "deadline budget of %gms exhausted after %.1fms in queue"
+             (Option.get budget_ms) (waited *. 1000.0))
+        ()
+  | _ -> (
+      let config, qos_tier = request_config t ~remaining_s in
+      match D.parse_checked src with
+      | Error e ->
+          Metrics.incr m_requests_failed;
+          Protocol.error_of ~id e
+      | Ok program -> (
+          (* serve-kill fires after parse, mid-request: the outer
+             catch-all must turn it into a structured error and leave
+             the daemon serving. *)
+          let ordinal = Atomic.fetch_and_add t.query_seq 1 + 1 in
+          (match t.cfg.driver.D.faults.Faults.serve_kill_on with
+          | Some n when n = ordinal ->
+              Metrics.incr m_kill_faults;
+              raise (Injected_kill ordinal)
+          | _ -> ());
+          match D.Session.run_program_checked t.session ~config program with
+          | Ok res ->
+              Metrics.incr m_requests_ok;
+              let max_entries =
+                match max_entries with
+                | Some n -> min n t.cfg.max_response_entries
+                | None -> t.cfg.max_response_entries
+              in
+              Protocol.result_json ~id ~want_values ~max_entries ?qos_tier res
+          | Error e ->
+              Metrics.incr m_requests_failed;
+              Protocol.error_of ~id e))
+
+let handle_bind t (job : job) ~name ~spec =
+  let id = job.j_parsed.Protocol.req_id in
+  match Protocol.tensor_of_bind spec with
+  | Error msg ->
+      Metrics.incr m_bad_requests;
+      Protocol.error_json ~id ~kind:"bad_request" ~message:msg ()
+  | Ok tensor -> (
+      match D.Session.bind t.session name tensor with
+      | () ->
+          Metrics.incr m_requests_ok;
+          Protocol.bound_json ~id ~name tensor
+      | exception (Invalid_argument m | Failure m) ->
+          Metrics.incr m_requests_failed;
+          Protocol.error_json ~id ~kind:"bad_request" ~message:m ())
+
+let handle_admitted t (job : job) : string =
+  match job.j_parsed.Protocol.req with
+  | Protocol.Query { src; budget_ms; want_values; max_entries } ->
+      handle_query t job ~src ~budget_ms ~want_values ~max_entries
+  | Protocol.Bind { name; spec } -> handle_bind t job ~name ~spec
+  | Protocol.Health | Protocol.Metrics_req | Protocol.Shutdown ->
+      (* Handled inline by the connection thread; never queued. *)
+      assert false
+
+let deliver (job : job) (resp : string) =
+  Mutex.lock job.j_mutex;
+  job.j_response <- Some resp;
+  Condition.broadcast job.j_cond;
+  Mutex.unlock job.j_mutex
+
+(* The per-request isolation boundary: no exception escaping a request
+   may kill the executor thread or leak to another request. *)
+let process_job t (job : job) =
+  let id = job.j_parsed.Protocol.req_id in
+  let resp =
+    if Atomic.get t.force_stop then begin
+      Metrics.incr m_rejected_draining;
+      Protocol.error_json ~id ~kind:"draining"
+        ~message:"server drain deadline passed; request not executed" ()
+    end
+    else
+      try
+        Obs.span ~cat:"serve" ~name:"serve.request"
+          ~attrs:(fun () ->
+            [
+              ("id", Option.value ~default:"-" id);
+              ( "op",
+                match job.j_parsed.Protocol.req with
+                | Protocol.Query _ -> "query"
+                | Protocol.Bind _ -> "bind"
+                | _ -> "other" );
+            ])
+          (fun () -> handle_admitted t job)
+      with
+      | Injected_kill n ->
+          Metrics.incr m_requests_failed;
+          Protocol.error_json ~id ~kind:"injected_fault"
+            ~message:
+              (Printf.sprintf "injected mid-request kill (query %d)" n)
+            ()
+      | exn ->
+          Metrics.incr m_requests_failed;
+          Obs.Log.error "serve: request failed uncaught: %s"
+            (Printexc.to_string exn);
+          Protocol.error_json ~id ~kind:"internal"
+            ~message:(Printexc.to_string exn) ()
+  in
+  deliver job resp;
+  Metrics.observe m_latency
+    (int_of_float ((Unix.gettimeofday () -. job.j_arrival) *. 1e6))
+
+let executor_loop t =
+  let rec loop () =
+    Mutex.lock t.q_mutex;
+    while Queue.is_empty t.queue && t.state = Serving do
+      Condition.wait t.q_cond t.q_mutex
+    done;
+    let next =
+      if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+    in
+    Metrics.set_gauge m_queue_depth (float_of_int (Queue.length t.queue));
+    Mutex.unlock t.q_mutex;
+    match next with
+    | Some job ->
+        process_job t job;
+        loop ()
+    | None -> (* queue empty and draining/stopped: done *) ()
+  in
+  loop ();
+  Atomic.set t.exec_done true
+
+(* -- admission (connection threads) -------------------------------- *)
+
+let submit t (parsed : Protocol.parsed) : string =
+  let id = parsed.Protocol.req_id in
+  let job =
+    {
+      j_parsed = parsed;
+      j_arrival = Unix.gettimeofday ();
+      j_mutex = Mutex.create ();
+      j_cond = Condition.create ();
+      j_response = None;
+    }
+  in
+  Mutex.lock t.q_mutex;
+  let verdict =
+    if t.state <> Serving then `Draining
+    else if Queue.length t.queue >= t.cfg.queue_capacity then `Full
+    else begin
+      Queue.push job t.queue;
+      Metrics.set_gauge m_queue_depth (float_of_int (Queue.length t.queue));
+      Condition.broadcast t.q_cond;
+      `Queued
+    end
+  in
+  Mutex.unlock t.q_mutex;
+  match verdict with
+  | `Draining ->
+      Metrics.incr m_rejected_draining;
+      Protocol.error_json ~id ~kind:"draining"
+        ~message:"server is draining; no new requests admitted" ()
+  | `Full ->
+      Metrics.incr m_rejected_full;
+      Protocol.error_json ~id ~kind:"queue_full"
+        ~message:
+          (Printf.sprintf
+             "admission queue full (capacity %d); retry with backoff"
+             t.cfg.queue_capacity)
+        ()
+  | `Queued ->
+      Mutex.lock job.j_mutex;
+      while job.j_response = None do
+        Condition.wait job.j_cond job.j_mutex
+      done;
+      let r = Option.get job.j_response in
+      Mutex.unlock job.j_mutex;
+      r
+
+(* -- inline (unqueued) commands ------------------------------------ *)
+
+let health_json t id =
+  let exec = D.Session.exec t.session in
+  let kc, cc = Galley_engine.Exec.cache_occupancy exec in
+  let ke, ce = Galley_engine.Exec.cache_evictions exec in
+  Protocol.ok_json ~id
+    [
+      ("op", "\"health\"");
+      ( "status",
+        match state_of t with
+        | Serving -> "\"serving\""
+        | Draining -> "\"draining\""
+        | Stopped -> "\"stopped\"" );
+      ( "uptime_s",
+        Printf.sprintf "%.3f" (Unix.gettimeofday () -. t.started) );
+      ( "resident_tensors",
+        string_of_int (Galley_engine.Exec.bound_count exec) );
+      ("queue_depth", string_of_int (queue_depth t));
+      ( "active_connections",
+        string_of_int (int_of_float (Metrics.gauge_value m_active)) );
+      ("requests_total", string_of_int (Metrics.value m_requests));
+      ( "kernel_cache",
+        Printf.sprintf "{\"entries\":%d,\"evictions\":%d}" kc ke );
+      ("cse_cache", Printf.sprintf "{\"entries\":%d,\"evictions\":%d}" cc ce);
+    ]
+
+let metrics_json id =
+  Protocol.ok_json ~id [ ("op", "\"metrics\""); ("metrics", Metrics.dump_json ()) ]
+
+let handle_line t (line : string) : string option =
+  if String.trim line = "" then None
+  else begin
+    Metrics.incr m_requests;
+    match Protocol.decode_request line with
+    | Error msg ->
+        Metrics.incr m_bad_requests;
+        Some (Protocol.error_json ~kind:"bad_request" ~message:msg ())
+    | Ok parsed -> (
+        let id = parsed.Protocol.req_id in
+        match parsed.Protocol.req with
+        | Protocol.Health -> Some (health_json t id)
+        | Protocol.Metrics_req -> Some (metrics_json id)
+        | Protocol.Shutdown ->
+            request_drain t;
+            Some (Protocol.ok_json ~id [ ("op", "\"shutdown\""); ("status", "\"draining\"") ])
+        | Protocol.Query _ | Protocol.Bind _ -> Some (submit t parsed))
+  end
+
+(* -- connection handling ------------------------------------------- *)
+
+let register_conn t fd =
+  Mutex.lock t.c_mutex;
+  Hashtbl.replace t.conns fd ();
+  Mutex.unlock t.c_mutex
+
+let unregister_conn t fd =
+  Mutex.lock t.c_mutex;
+  Hashtbl.remove t.conns fd;
+  Mutex.unlock t.c_mutex
+
+let connection_loop t fd =
+  Metrics.incr m_connections;
+  Metrics.set_gauge m_active (Metrics.gauge_value m_active +. 1.0);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let stall = t.cfg.driver.D.faults.Faults.serve_stall in
+  Fun.protect
+    ~finally:(fun () ->
+      unregister_conn t fd;
+      Metrics.set_gauge m_active (Metrics.gauge_value m_active -. 1.0);
+      try Unix.close fd with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      let rec loop () =
+        match input_line ic with
+        | exception (End_of_file | Sys_error _) -> ()
+        | exception Unix.Unix_error _ -> ()
+        | line -> (
+            match handle_line t line with
+            | None -> loop ()
+            | Some resp -> (
+                if stall > 0.0 then Thread.delay stall;
+                match
+                  output_string oc resp;
+                  output_char oc '\n';
+                  flush oc
+                with
+                | () -> loop ()
+                | exception (Sys_error _ | Unix.Unix_error _) -> ()))
+      in
+      loop ())
+
+let acceptor_loop t =
+  let rec loop () =
+    if state_of t <> Serving then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ -> (
+              let n = Atomic.fetch_and_add t.accept_seq 1 + 1 in
+              match t.cfg.driver.D.faults.Faults.serve_accept_fail_on with
+              | Some nth when nth = n ->
+                  (* Injected accept failure: drop the connection as if
+                     accept(2) had failed; the daemon keeps serving. *)
+                  Metrics.incr m_accept_faults;
+                  Obs.Log.warn
+                    "serve: injected accept failure on connection %d" n;
+                  (try Unix.close fd with Unix.Unix_error _ -> ())
+              | _ ->
+                  register_conn t fd;
+                  let th = Thread.create (fun () -> connection_loop t fd) () in
+                  Mutex.lock t.c_mutex;
+                  Queue.push th t.conn_threads;
+                  Mutex.unlock t.c_mutex)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (e, _, _) ->
+              if state_of t = Serving then begin
+                Obs.Log.warn "serve: accept failed: %s" (Unix.error_message e);
+                Thread.delay 0.01
+              end)
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start t =
+  t.acceptor <- Some (Thread.create (fun () -> acceptor_loop t) ());
+  t.executor <- Some (Thread.create (fun () -> executor_loop t) ());
+  Obs.Log.info "serve: listening on %s (queue capacity %d, domains %d)"
+    t.cfg.socket_path t.cfg.queue_capacity t.cfg.driver.D.domains
+
+(* Block until a drain completes.  Signal handlers only set the atomic
+   [drain_requested] flag (taking a mutex in signal context could
+   deadlock); this loop promotes it. *)
+let wait t =
+  while state_of t = Serving do
+    if Atomic.get t.drain_requested then initiate_drain t
+    else Thread.delay 0.05
+  done;
+  (match t.acceptor with Some th -> Thread.join th | None -> ());
+  (* Give queued + in-flight work the drain budget, then force the
+     executor to answer the remainder with "draining" rejections. *)
+  let deadline = Unix.gettimeofday () +. t.cfg.drain_timeout in
+  while (not (Atomic.get t.exec_done)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  if not (Atomic.get t.exec_done) then begin
+    Obs.Log.warn "serve: drain deadline (%gs) passed; shedding queued work"
+      t.cfg.drain_timeout;
+    Atomic.set t.force_stop true
+  end;
+  (match t.executor with Some th -> Thread.join th | None -> ());
+  (* Wake connection threads blocked in input_line so they exit, then
+     join them: responses already computed still get written. *)
+  Mutex.lock t.c_mutex;
+  Hashtbl.iter
+    (fun fd () ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    t.conns;
+  Mutex.unlock t.c_mutex;
+  let rec join_conns () =
+    Mutex.lock t.c_mutex;
+    let th = if Queue.is_empty t.conn_threads then None else Some (Queue.pop t.conn_threads) in
+    Mutex.unlock t.c_mutex;
+    match th with
+    | Some th ->
+        Thread.join th;
+        join_conns ()
+    | None -> ()
+  in
+  join_conns ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  Mutex.lock t.q_mutex;
+  t.state <- Stopped;
+  Mutex.unlock t.q_mutex;
+  Obs.Log.info "serve: drained clean (%d requests served)"
+    (Metrics.value m_requests)
+
+(* One-call serving loop for the CLI: install signal-driven drain,
+   serve until SIGTERM/SIGINT (or a shutdown request), drain, return. *)
+let run ?(install_signals = true) (t : t) : unit =
+  if install_signals then begin
+    let handler = Sys.Signal_handle (fun _ -> request_drain t) in
+    (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ())
+  end;
+  start t;
+  wait t
+
+(* Test/bench hook: the resident session (e.g. to preload tensors
+   in-process before starting the listener). *)
+let session t = t.session

@@ -251,10 +251,11 @@ let test_session_kernel_cache_warm () =
   let s = D.Session.create () in
   D.Session.bind s "A" a;
   let r1 = D.Session.run_logical_plan s ~outputs:[ "rowsum" ] plan in
-  let compiles_after_first = r1.D.timings.D.compile_count in
+  (* Session timings report per-run deltas: the cold run compiles, the
+     warm run reuses the resident kernel cache and compiles nothing. *)
+  check_bool "cold run compiled" true (r1.D.timings.D.compile_count >= 1);
   let r2 = D.Session.run_logical_plan s ~outputs:[ "rowsum" ] plan in
-  check_int "no new compilations when warm" compiles_after_first
-    r2.D.timings.D.compile_count
+  check_int "no new compilations when warm" 0 r2.D.timings.D.compile_count
 
 let () =
   Alcotest.run "misc"

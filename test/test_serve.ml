@@ -1,0 +1,496 @@
+(* `galley serve`: protocol round-trips, the LRU cache bound, QoS
+   budget→tier mapping, and the daemon itself — warm-cache replay,
+   concurrent soak with bit-identical results vs. batch, queue-full
+   load shedding, deadline rejection, drain, and fault isolation
+   (an injected mid-request kill must not affect neighbours). *)
+
+module T = Galley_tensor.Tensor
+module D = Galley.Driver
+module Tier = Galley_plan.Tier
+module Lru = Galley_engine.Lru
+module P = Galley_serve.Protocol
+module S = Galley_serve.Server
+module C = Galley_serve.Client
+module Json = Galley_obs.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Units: LRU, tiers, protocol                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_eviction () =
+  let evicted = ref [] in
+  let lru =
+    Lru.create ~on_evict:(fun k _ -> evicted := k :: !evicted) ~capacity:2 ()
+  in
+  Lru.put lru "a" 1;
+  Lru.put lru "b" 2;
+  (* touch "a" so "b" is the LRU entry when "c" overflows *)
+  check_bool "a present" true (Lru.find lru "a" = Some 1);
+  Lru.put lru "c" 3;
+  check_int "capacity held" 2 (Lru.length lru);
+  check_int "one eviction" 1 (Lru.evictions lru);
+  check_string "lru entry evicted" "b"
+    (match !evicted with [ k ] -> k | _ -> "?");
+  check_bool "b gone" true (Lru.find lru "b" = None);
+  check_bool "a kept" true (Lru.find lru "a" = Some 1);
+  check_bool "c kept" true (Lru.find lru "c" = Some 3)
+
+let test_tier_of_budget () =
+  let tier = Tier.of_budget ~naive_below:0.1 ~greedy_below:1.0 in
+  check_string "50ms -> naive" "naive" (Tier.to_string (tier 0.05));
+  check_string "500ms -> greedy" "greedy" (Tier.to_string (tier 0.5));
+  check_string "2s -> exact" "exact" (Tier.to_string (tier 2.0))
+
+let test_protocol_roundtrip () =
+  (match
+     P.decode_request
+       (P.encode_query ~id:"q7" ~budget_ms:50.0 ~max_entries:10
+          "t = sum[i,j](E[i,j])")
+   with
+  | Ok
+      {
+        req_id = Some "q7";
+        req = P.Query { src; budget_ms; want_values; max_entries };
+      } ->
+      check_string "src" "t = sum[i,j](E[i,j])" src;
+      check_bool "budget" true (budget_ms = Some 50.0);
+      check_bool "max_entries" true (max_entries = Some 10);
+      check_bool "values default" true want_values
+  | Ok _ -> Alcotest.fail "query decoded to the wrong request"
+  | Error e -> Alcotest.fail e);
+  (match
+     P.decode_request
+       (P.encode_bind_entries ~name:"E" ~dims:[| 2; 2 |]
+          [| ([| 0; 1 |], 2.5); ([| 1; 0 |], -3.25) |])
+   with
+  | Ok
+      {
+        req = P.Bind { name = "E"; spec = P.From_entries { dims; entries; _ } };
+        _;
+      } ->
+      check_bool "dims" true (dims = [| 2; 2 |]);
+      check_bool "entries" true
+        (entries = [| ([| 0; 1 |], 2.5); ([| 1; 0 |], -3.25) |])
+  | Ok _ -> Alcotest.fail "bind decoded to the wrong request"
+  | Error e -> Alcotest.fail e);
+  (match P.decode_request (P.encode_health ~id:"h" ()) with
+  | Ok { req_id = Some "h"; req = P.Health } -> ()
+  | _ -> Alcotest.fail "health round-trip failed");
+  check_bool "garbage rejected" true
+    (Result.is_error (P.decode_request "not json at all"));
+  check_bool "unknown op rejected" true
+    (Result.is_error (P.decode_request {|{"op":"frobnicate"}|}));
+  check_bool "bind without source rejected" true
+    (Result.is_error (P.decode_request {|{"op":"bind","name":"E"}|}))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon harness                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let temp_socket () =
+  let path = Filename.temp_file "galley_serve" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server ?(cfg = fun c -> c) (f : string -> S.t -> unit) : unit =
+  let sock = temp_socket () in
+  let server = S.create (cfg (S.default_config ~socket_path:sock)) in
+  S.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      S.request_drain server;
+      S.wait server;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () -> f sock server)
+
+let rpc_ok sock line =
+  match C.rpc ~retries:5 ~socket:sock line with
+  | Error e -> Alcotest.failf "rpc failed: %s" e
+  | Ok resp -> (
+      match Json.parse resp with
+      | Error e -> Alcotest.failf "bad response %s: %s" resp e
+      | Ok json -> json)
+
+let is_ok json =
+  match Option.bind (Json.member "ok" json) Json.to_bool with
+  | Some b -> b
+  | None -> false
+
+let error_kind json =
+  Option.bind (Json.member "error" json) (fun e ->
+      Option.bind (Json.member "kind" e) Json.to_string)
+
+(* Extract output [name]'s entries from a response: (coords, value) list. *)
+let entries_of json name =
+  let outputs =
+    Option.value ~default:[]
+      (Option.bind (Json.member "outputs" json) Json.to_list)
+  in
+  match
+    List.find_opt
+      (fun o ->
+        Option.bind (Json.member "name" o) Json.to_string = Some name)
+      outputs
+  with
+  | None -> Alcotest.failf "response has no output %S" name
+  | Some o ->
+      let rows =
+        Option.value ~default:[]
+          (Option.bind (Json.member "entries" o) Json.to_list)
+      in
+      List.map
+        (fun row ->
+          let cells =
+            List.filter_map Json.to_float
+              (Option.value ~default:[] (Json.to_list row))
+          in
+          let n = List.length cells in
+          ( Array.of_list
+              (List.map int_of_float (List.filteri (fun i _ -> i < n - 1) cells)),
+            List.nth cells (n - 1) ))
+        rows
+
+(* Served results must be BIT-identical to a batch run: same coords,
+   float equality, not approximate. *)
+let check_matches_batch ~msg json name (expected : (int array * float) array)
+    =
+  let got = entries_of json name in
+  check_int (msg ^ ": entry count") (Array.length expected) (List.length got);
+  List.iteri
+    (fun i (coords, v) ->
+      let ec, ev = expected.(i) in
+      check_bool
+        (Printf.sprintf "%s: entry %d coords" msg i)
+        true (coords = ec);
+      check_bool
+        (Printf.sprintf "%s: entry %d value bit-identical" msg i)
+        true (v = ev))
+    got
+
+let spec_e = "40x40:0.08:11"
+let spec_x = "40:0.5:12"
+let soak_src = "y[i] = sum[j](E[i,j] * x[j])"
+
+let batch_expected () =
+  let e = Result.get_ok (P.random_of_spec spec_e) in
+  let x = Result.get_ok (P.random_of_spec spec_x) in
+  let program = Galley_lang.Parser.parse_program soak_src in
+  let res = D.run ~inputs:[ ("E", e); ("x", x) ] program in
+  T.to_coo (D.output_of res "y")
+
+(* ------------------------------------------------------------------ *)
+(* Daemon tests                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_bind_query_roundtrip () =
+  with_server (fun sock _ ->
+      let expected = batch_expected () in
+      check_bool "bind E ok" true
+        (is_ok (rpc_ok sock (P.encode_bind_random ~name:"E" spec_e)));
+      check_bool "bind x ok" true
+        (is_ok (rpc_ok sock (P.encode_bind_random ~name:"x" spec_x)));
+      let resp = rpc_ok sock (P.encode_query ~id:"rt" soak_src) in
+      check_bool "query ok" true (is_ok resp);
+      check_matches_batch ~msg:"round-trip" resp "y" expected)
+
+let cache_field json cache field =
+  Option.bind (Json.member cache json) (fun c ->
+      Option.map int_of_float (Option.bind (Json.member field c) Json.to_float))
+
+let test_warm_cache_replay () =
+  with_server (fun sock _ ->
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"E" spec_e));
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"x" spec_x));
+      let r1 = rpc_ok sock (P.encode_query soak_src) in
+      let r2 = rpc_ok sock (P.encode_query soak_src) in
+      check_bool "cold ok" true (is_ok r1);
+      check_bool "warm ok" true (is_ok r2);
+      let compiles r = Option.get (cache_field r "cache" "compile_count") in
+      let cse r = Option.get (cache_field r "cache" "cse_hits") in
+      check_bool "cold run compiled" true (compiles r1 >= 1);
+      check_int "warm run compiled nothing" 0 (compiles r2);
+      check_bool "warm run replayed from CSE" true (cse r2 >= 1))
+
+let test_concurrent_soak () =
+  with_server (fun sock _ ->
+      let expected = batch_expected () in
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"E" spec_e));
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"x" spec_x));
+      let clients = 4 and per_client = 6 in
+      let failures = Queue.create () in
+      let fail_mutex = Mutex.create () in
+      let worker c =
+        match C.connect ~retries:10 sock with
+        | Error e ->
+            Mutex.lock fail_mutex;
+            Queue.push (Printf.sprintf "client %d: %s" c e) failures;
+            Mutex.unlock fail_mutex
+        | Ok conn ->
+            Fun.protect
+              ~finally:(fun () -> C.close conn)
+              (fun () ->
+                for q = 1 to per_client do
+                  let id = Printf.sprintf "c%d-q%d" c q in
+                  match C.request conn (P.encode_query ~id soak_src) with
+                  | Error e ->
+                      Mutex.lock fail_mutex;
+                      Queue.push (id ^ ": " ^ e) failures;
+                      Mutex.unlock fail_mutex
+                  | Ok resp -> (
+                      match Json.parse resp with
+                      | Ok json when is_ok json -> (
+                          match
+                            check_matches_batch ~msg:id json "y" expected
+                          with
+                          | () -> ()
+                          | exception exn ->
+                              Mutex.lock fail_mutex;
+                              Queue.push (id ^ ": " ^ Printexc.to_string exn)
+                                failures;
+                              Mutex.unlock fail_mutex)
+                      | _ ->
+                          Mutex.lock fail_mutex;
+                          Queue.push (id ^ ": not ok: " ^ resp) failures;
+                          Mutex.unlock fail_mutex)
+                done)
+      in
+      let threads =
+        List.init clients (fun c -> Thread.create worker (c + 1))
+      in
+      List.iter Thread.join threads;
+      if not (Queue.is_empty failures) then
+        Alcotest.failf "soak failures:\n%s"
+          (String.concat "\n" (List.of_seq (Queue.to_seq failures)));
+      (* The daemon survived 24 concurrent requests and still answers. *)
+      let health = rpc_ok sock (P.encode_health ()) in
+      check_bool "health after soak" true (is_ok health))
+
+let test_queue_full_shed () =
+  (* Capacity 1 + slow optimizer: concurrent submissions overflow the
+     queue and at least one gets the structured queue_full rejection;
+     once the flood passes, the daemon accepts work again. *)
+  with_server
+    ~cfg:(fun c ->
+      {
+        c with
+        S.queue_capacity = 1;
+        driver =
+          {
+            D.default_config with
+            faults =
+              Result.get_ok (Galley.Faults.of_spec "opt-delay=0.02");
+          };
+      })
+    (fun sock _ ->
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"E" spec_e));
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"x" spec_x));
+      let kinds = Queue.create () in
+      let k_mutex = Mutex.create () in
+      let fire i =
+        let json =
+          rpc_ok sock (P.encode_query ~id:(string_of_int i) soak_src)
+        in
+        let kind =
+          if is_ok json then "ok"
+          else Option.value ~default:"?" (error_kind json)
+        in
+        Mutex.lock k_mutex;
+        Queue.push kind kinds;
+        Mutex.unlock k_mutex
+      in
+      let threads = List.init 8 (fun i -> Thread.create fire i) in
+      List.iter Thread.join threads;
+      let kinds = List.of_seq (Queue.to_seq kinds) in
+      check_bool
+        ("at least one queue_full rejection in: "
+        ^ String.concat "," kinds)
+        true
+        (List.mem "queue_full" kinds);
+      check_bool "some requests still succeeded" true (List.mem "ok" kinds);
+      (* load shedding is temporary: the next request goes through *)
+      check_bool "accepts again after flood" true
+        (is_ok (rpc_ok sock (P.encode_query ~id:"after" soak_src))))
+
+let test_deadline_reject () =
+  with_server
+    ~cfg:(fun c ->
+      {
+        c with
+        driver =
+          {
+            D.default_config with
+            faults =
+              Result.get_ok (Galley.Faults.of_spec "opt-delay=0.02");
+          };
+      })
+    (fun sock _ ->
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"E" spec_e));
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"x" spec_x));
+      (* Occupy the executor with a batch query, then submit one whose
+         1ms budget is certain to be spent queueing behind it. *)
+      let slow =
+        Thread.create (fun () -> ignore (rpc_ok sock (P.encode_query soak_src))) ()
+      in
+      Thread.delay 0.005;
+      let json =
+        rpc_ok sock (P.encode_query ~id:"tight" ~budget_ms:1.0 soak_src)
+      in
+      Thread.join slow;
+      check_bool "rejected" true (not (is_ok json));
+      check_string "deadline kind" "deadline"
+        (Option.value ~default:"?" (error_kind json)))
+
+let test_fault_isolation () =
+  (* serve-kill=2 kills the second admitted query mid-request: it must
+     answer with a structured error while queries 1 and 3 succeed and
+     the daemon keeps serving. *)
+  with_server
+    ~cfg:(fun c ->
+      {
+        c with
+        driver =
+          {
+            D.default_config with
+            faults = Result.get_ok (Galley.Faults.of_spec "serve-kill=2");
+          };
+      })
+    (fun sock _ ->
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"E" spec_e));
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"x" spec_x));
+      let r1 = rpc_ok sock (P.encode_query ~id:"1" soak_src) in
+      let r2 = rpc_ok sock (P.encode_query ~id:"2" soak_src) in
+      let r3 = rpc_ok sock (P.encode_query ~id:"3" soak_src) in
+      check_bool "query 1 ok" true (is_ok r1);
+      check_bool "query 2 killed" true (not (is_ok r2));
+      check_string "query 2 kind" "injected_fault"
+        (Option.value ~default:"?" (error_kind r2));
+      check_bool "query 3 unaffected" true (is_ok r3);
+      check_bool "daemon healthy" true (is_ok (rpc_ok sock (P.encode_health ()))))
+
+let test_accept_fault_isolation () =
+  with_server
+    ~cfg:(fun c ->
+      {
+        c with
+        driver =
+          {
+            D.default_config with
+            faults =
+              Result.get_ok (Galley.Faults.of_spec "serve-accept-fail=1");
+          };
+      })
+    (fun sock _ ->
+      (* First connection is dropped by the injected accept failure... *)
+      (match C.rpc ~retries:5 ~socket:sock (P.encode_health ()) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "first connection should have been dropped");
+      (* ...and the daemon keeps serving later connections. *)
+      check_bool "second connection serves" true
+        (is_ok (rpc_ok sock (P.encode_health ()))))
+
+let test_drain_completes_inflight () =
+  let sock = temp_socket () in
+  let server =
+    S.create
+      {
+        (S.default_config ~socket_path:sock) with
+        S.driver =
+          {
+            D.default_config with
+            faults = Result.get_ok (Galley.Faults.of_spec "opt-delay=0.01");
+          };
+      }
+  in
+  S.start server;
+  ignore (rpc_ok sock (P.encode_bind_random ~name:"E" spec_e));
+  ignore (rpc_ok sock (P.encode_bind_random ~name:"x" spec_x));
+  let inflight_resp = ref None in
+  let inflight =
+    Thread.create
+      (fun () ->
+        inflight_resp := Some (rpc_ok sock (P.encode_query ~id:"inflight" soak_src)))
+      ()
+  in
+  Thread.delay 0.005;
+  S.request_drain server;
+  S.wait server;
+  Thread.join inflight;
+  (match !inflight_resp with
+  | Some json -> check_bool "in-flight request completed ok" true (is_ok json)
+  | None -> Alcotest.fail "in-flight request got no response");
+  check_bool "socket unlinked after drain" true (not (Sys.file_exists sock));
+  (* new connections are refused once drained *)
+  match C.rpc ~socket:sock (P.encode_health ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "drained server accepted a connection"
+
+let test_shutdown_request_drains () =
+  let sock = temp_socket () in
+  let server = S.create (S.default_config ~socket_path:sock) in
+  S.start server;
+  let ack = rpc_ok sock (P.encode_shutdown ~id:"bye" ()) in
+  check_bool "shutdown acked" true (is_ok ack);
+  S.wait server;
+  check_bool "socket unlinked" true (not (Sys.file_exists sock))
+
+let test_health_and_metrics () =
+  with_server (fun sock _ ->
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"E" spec_e));
+      let h = rpc_ok sock (P.encode_health ()) in
+      check_bool "health ok" true (is_ok h);
+      check_string "serving" "serving"
+        (Option.value ~default:"?"
+           (Option.bind (Json.member "status" h) Json.to_string));
+      check_int "one resident tensor" 1
+        (Option.get
+           (Option.map int_of_float
+              (Option.bind (Json.member "resident_tensors" h) Json.to_float)));
+      let m = rpc_ok sock (P.encode_metrics ()) in
+      check_bool "metrics ok" true (is_ok m);
+      (* the latency histogram percentiles are part of the dump *)
+      match Json.member "metrics" m with
+      | Some metrics ->
+          check_bool "latency p99 present" true
+            (Json.member "serve.request_latency_us.p99" metrics <> None)
+      | None -> Alcotest.fail "metrics response has no registry dump")
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "lru eviction order and counter" `Quick
+            test_lru_eviction;
+          Alcotest.test_case "budget to tier mapping" `Quick
+            test_tier_of_budget;
+          Alcotest.test_case "protocol round-trip" `Quick
+            test_protocol_roundtrip;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "bind+query matches batch bit-identically"
+            `Quick test_bind_query_roundtrip;
+          Alcotest.test_case "warm cache replays without compiling" `Quick
+            test_warm_cache_replay;
+          Alcotest.test_case "concurrent soak, 4 clients" `Quick
+            test_concurrent_soak;
+          Alcotest.test_case "queue-full load shedding" `Quick
+            test_queue_full_shed;
+          Alcotest.test_case "deadline spent queueing rejects" `Quick
+            test_deadline_reject;
+          Alcotest.test_case "injected kill isolates to its request" `Quick
+            test_fault_isolation;
+          Alcotest.test_case "injected accept failure isolates" `Quick
+            test_accept_fault_isolation;
+          Alcotest.test_case "drain completes in-flight work" `Quick
+            test_drain_completes_inflight;
+          Alcotest.test_case "shutdown request drains" `Quick
+            test_shutdown_request_drains;
+          Alcotest.test_case "health and metrics commands" `Quick
+            test_health_and_metrics;
+        ] );
+    ]
