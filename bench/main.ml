@@ -1117,6 +1117,80 @@ let serving () =
         (fmt_time (pct 0.99)))
 
 (* ------------------------------------------------------------------ *)
+(* Fixpoint iteration (DESIGN.md §13).                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Until-convergence workloads through the [iterate] construct: each
+   iteration re-enters the full optimizer against refreshed statistics,
+   so the table separates the cold first iteration (optimization +
+   kernel compilation) from the warm steady state (cache replay), and
+   reports how often the plan switched as the loop-carried tensors
+   densified — the Fig. 10 format-adaptivity argument generalized to
+   whole iterative programs. *)
+let fixpoint () =
+  header "Fixpoint: until-convergence workloads (iterate)";
+  let module I = W.Iterative in
+  let module Fix = Galley_fixpoint.Fixpoint in
+  let config = with_domains D.default_config in
+  let pr_g =
+    if !quick then W.Graphs.erdos_renyi ~seed:41 ~n:200 ~m:800 ()
+    else W.Graphs.erdos_renyi ~seed:41 ~n:1000 ~m:6000 ()
+  in
+  (* seed 43: source 0 is connected at both scales (seed 42 leaves it
+     isolated at n=150, which converges — correctly — in one iteration
+     and measures nothing). *)
+  let bf_g =
+    W.Graphs.symmetrize
+      (if !quick then W.Graphs.power_law ~seed:43 ~n:150 ~m:500 ()
+       else W.Graphs.power_law ~seed:43 ~n:600 ~m:2400 ())
+  in
+  let rc_g =
+    W.Graphs.symmetrize
+      (if !quick then W.Graphs.power_law ~seed:44 ~n:800 ~m:2400 ()
+       else W.Graphs.power_law ~seed:44 ~n:4000 ~m:12000 ())
+  in
+  let cases =
+    [
+      ("pagerank", I.pagerank_source (), I.pagerank_inputs pr_g);
+      ("bellman-ford", I.bellman_source (), I.bellman_inputs bf_g ~source:0);
+      ("reachability", I.reach_source (), I.reach_inputs rc_g ~source:0);
+    ]
+  in
+  p "%-14s %6s %8s %14s %11s %11s %10s\n" "workload" "iters" "replans"
+    "switch-iters" "first-iter" "steady-it" "total";
+  List.iter
+    (fun (name, src, inputs) ->
+      let t0 = Unix.gettimeofday () in
+      match Fix.run_source_checked ~config ~inputs src with
+      | Error e -> failwith ("fixpoint bench: " ^ Galley.Errors.to_string e)
+      | Ok (_, reports) ->
+          let total = Unix.gettimeofday () -. t0 in
+          let rep = List.hd reports in
+          let iter_s = List.map (fun it -> it.Fix.it_seconds) rep.Fix.fr_iters in
+          let first = List.hd iter_s in
+          let steady = match iter_s with _ :: (_ :: _ as tl) -> tl | _ -> iter_s in
+          record1 ~section:"fixpoint" ~series:"total" name total;
+          record1 ~section:"fixpoint" ~series:"first-iter" name first;
+          record ~section:"fixpoint" ~series:"steady-iter" name steady;
+          (* Not latencies, but the regression gate tracks them the same
+             way: a plan-stability change is as real a regression as a
+             slowdown. *)
+          record1 ~section:"fixpoint" ~series:"iterations" name
+            (float_of_int rep.Fix.fr_iterations);
+          record1 ~section:"fixpoint" ~series:"replans" name
+            (float_of_int rep.Fix.fr_replans);
+          p "%-14s %6d %8d %14s %11s %11s %10s\n%!" name rep.Fix.fr_iterations
+            rep.Fix.fr_replans
+            ("["
+            ^ String.concat ","
+                (List.map string_of_int rep.Fix.fr_switch_iters)
+            ^ "]")
+            (fmt_time first)
+            (fmt_time (median steady))
+            (fmt_time total))
+    cases
+
+(* ------------------------------------------------------------------ *)
 (* Baseline comparison (--compare / --compare-files).                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1298,7 +1372,7 @@ let () =
     | [] ->
         [
           "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "kernels"; "scaling";
-          "ablations"; "observability"; "serving"; "micro";
+          "ablations"; "observability"; "serving"; "fixpoint"; "micro";
         ]
     | some -> some
   in
@@ -1320,6 +1394,7 @@ let () =
       | "tiers" -> tiers ()
       | "observability" -> observability ()
       | "serving" -> serving ()
+      | "fixpoint" -> fixpoint ()
       | "micro" -> micro ()
       | other -> Printf.eprintf "unknown section %s\n" other);
       let hits = cache_counter "kernel_cache.hits" - h0

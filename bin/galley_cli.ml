@@ -90,6 +90,41 @@ let print_result ~show_plans ~timings (res : Galley.Driver.result) =
       | [] -> "none"
       | inc -> String.concat ", " inc)
 
+(* Fixpoint (iterate) execution summary: one line per loop, plus the
+   per-iteration trajectory under --timings. *)
+let print_fixpoint_reports ~timings (reports : Galley_fixpoint.Fixpoint.fix_report list) =
+  let open Galley_fixpoint.Fixpoint in
+  List.iter
+    (fun fr ->
+      Format.printf
+        "fixpoint %s: %s after %d iteration(s), %d plan switch(es)%s@."
+        fr.fr_name
+        (if fr.fr_converged then "converged" else "stopped")
+        fr.fr_iterations fr.fr_replans
+        (match fr.fr_switch_iters with
+        | [] -> ""
+        | l ->
+            " at ["
+            ^ String.concat "," (List.map string_of_int l)
+            ^ "]");
+      if timings then
+        List.iteri
+          (fun k it ->
+            Format.printf "  iter %d: %.4fs compiles=%d cse_hits=%d%s%s%s@."
+              (k + 1) it.it_seconds it.it_compile_count it.it_cse_hits
+              (match it.it_delta with
+              | Some d -> Printf.sprintf " delta=%g" d
+              | None -> "")
+              (match it.it_nnz with
+              | [] -> ""
+              | l ->
+                  " nnz="
+                  ^ String.concat ","
+                      (List.map (fun (n, z) -> Printf.sprintf "%s:%d" n z) l))
+              (if it.it_replanned then " [replanned]" else ""))
+          fr.fr_iters)
+    reports
+
 (* Exit codes: 0 ok, 1 classified Galley failure, 2 parse error. *)
 let report_error (e : Galley.Errors.t) : int =
   Format.eprintf "galley: %s@." (Galley.Errors.to_string e);
@@ -145,20 +180,23 @@ let run_cmd program_file inputs randoms outputs show_plans timings greedy
       domains;
     }
   in
-  match Galley.Driver.parse_checked src with
+  match Galley_fixpoint.Fixpoint.parse_checked src with
   | Error e -> report_error e
-  | Ok program -> (
-      let program =
+  | Ok xprogram -> (
+      let xprogram =
         match outputs with
-        | [] -> program
-        | outs -> { program with Galley_plan.Ir.outputs = outs }
+        | [] -> xprogram
+        | outs -> { xprogram with Galley_plan.Ir.xoutputs = outs }
       in
       let bound =
         List.map parse_input_spec inputs @ List.map parse_random_spec randoms
       in
-      match Galley.Driver.run_checked ~config ~inputs:bound program with
-      | Ok res ->
+      match
+        Galley_fixpoint.Fixpoint.run_checked ~config ~inputs:bound xprogram
+      with
+      | Ok (res, reports) ->
           print_result ~show_plans ~timings res;
+          print_fixpoint_reports ~timings reports;
           finish_obs ~trace ~metrics;
           0
       | Error e ->

@@ -1,0 +1,162 @@
+(* Until-convergence iteration with per-iteration re-optimization
+   (DESIGN.md §13).
+
+     dune exec examples/fixpoint_demo.exe            # all workloads
+     dune exec examples/fixpoint_demo.exe -- bellman # one workload
+
+   Runs the iterate-based workloads end to end, checks each against its
+   brute-force oracle, and prints one summary line per workload:
+   iteration count at convergence, how often the optimizer switched
+   plans as the loop-carried tensors densified, and a value checksum
+   (the line format is load-bearing: CI greps it). *)
+
+module T = Galley_tensor.Tensor
+module W = Galley_workloads
+module I = Galley_workloads.Iterative
+module D = Galley.Driver
+module Fix = Galley_fixpoint.Fixpoint
+
+let find_output (res : D.result) (name : string) : T.t =
+  match
+    List.find_opt (fun (n, _, _) -> n = name) res.D.outputs
+  with
+  | Some (_, _, t) -> t
+  | None -> invalid_arg ("missing output " ^ name)
+
+let summary (label : string) ~(n : int) (r : Fix.fix_report)
+    ~(checksum : float) ~(oracle_err : float) =
+  Format.printf
+    "%s: n=%d iters=%d converged=%b replans=%d switch_iters=[%s] \
+     checksum=%.6f oracle_err=%.2e@."
+    label n r.Fix.fr_iterations r.Fix.fr_converged r.Fix.fr_replans
+    (String.concat "," (List.map string_of_int r.Fix.fr_switch_iters))
+    checksum oracle_err
+
+let iteration_detail (r : Fix.fix_report) =
+  List.iteri
+    (fun k (it : Fix.iter_stat) ->
+      Format.printf "  iter %2d: %.4fs compiles=%d cse_hits=%d%s%s%s@."
+        (k + 1) it.Fix.it_seconds it.Fix.it_compile_count it.Fix.it_cse_hits
+        (match it.Fix.it_delta with
+        | Some d -> Printf.sprintf " delta=%g" d
+        | None -> "")
+        (match it.Fix.it_nnz with
+        | [] -> ""
+        | l ->
+            " nnz="
+            ^ String.concat ","
+                (List.map (fun (n, z) -> Printf.sprintf "%s:%d" n z) l))
+        (if it.Fix.it_replanned then " [replanned]" else ""))
+    r.Fix.fr_iters
+
+let max_err_vec (t : T.t) (oracle : float array) : float =
+  let err = ref 0.0 in
+  Array.iteri
+    (fun j v ->
+      let got = T.get t [| j |] in
+      let e =
+        if Float.is_finite v || Float.is_finite got then Float.abs (got -. v)
+        else 0.0 (* both infinite: Bellman's unreachable vertices agree *)
+      in
+      if e > !err then err := e)
+    oracle;
+  !err
+
+let pagerank ~verbose () =
+  let g = W.Graphs.erdos_renyi ~name:"pr" ~seed:41 ~n:500 ~m:3000 () in
+  let inputs = I.pagerank_inputs g in
+  let res, reports = I.run_fixpoint ~inputs (I.pagerank_source ()) in
+  let r = List.hd reports in
+  let out = find_output res "R" in
+  let oracle =
+    I.pagerank_reference
+      ~m:(List.assoc "M" inputs)
+      ~b:(List.assoc "B" inputs)
+      ~r0:(List.assoc "R" inputs)
+      ~iters:r.Fix.fr_iterations
+  in
+  summary "pagerank" ~n:g.W.Graphs.n r ~checksum:(I.checksum out)
+    ~oracle_err:(max_err_vec out oracle);
+  if verbose then iteration_detail r
+
+let bellman ~verbose () =
+  let g =
+    W.Graphs.symmetrize
+      (W.Graphs.power_law ~name:"bf" ~seed:42 ~n:400 ~m:1200 ~alpha:0.6 ())
+  in
+  let source = 0 in
+  let inputs = I.bellman_inputs g ~source in
+  let res, reports = I.run_fixpoint ~inputs (I.bellman_source ()) in
+  let r = List.hd reports in
+  let out = find_output res "D" in
+  let oracle =
+    I.bellman_reference
+      ~w:(List.assoc "W" inputs)
+      ~source ~iters:r.Fix.fr_iterations
+  in
+  summary "bellman_ford" ~n:g.W.Graphs.n r ~checksum:(I.checksum out)
+    ~oracle_err:(max_err_vec out oracle);
+  if verbose then iteration_detail r
+
+let gcn ~verbose () =
+  let g = W.Graphs.erdos_renyi ~name:"gcn" ~seed:43 ~n:300 ~m:2400 () in
+  let layers = 3 in
+  let inputs = I.gcn_inputs g ~features:16 in
+  let res, reports = I.run_fixpoint ~inputs (I.gcn_source ~layers ()) in
+  let r = List.hd reports in
+  let out = find_output res "H" in
+  let oracle =
+    I.gcn_reference
+      ~a:(List.assoc "A" inputs)
+      ~h0:(List.assoc "H" inputs)
+      ~w:(List.assoc "W" inputs)
+      ~layers
+  in
+  let err = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun f v ->
+          let e = Float.abs (T.get out [| i; f |] -. v) in
+          if e > !err then err := e)
+        row)
+    oracle;
+  summary "gcn" ~n:g.W.Graphs.n r ~checksum:(I.checksum out) ~oracle_err:!err;
+  if verbose then iteration_detail r
+
+let reach ~verbose () =
+  let g =
+    W.Graphs.symmetrize
+      (W.Graphs.power_law ~name:"reach" ~seed:44 ~n:4000 ~m:12000 ~alpha:0.7 ())
+  in
+  let source = 0 in
+  let adjacency = W.Graphs.adjacency g in
+  let inputs = I.reach_inputs g ~source in
+  let res, reports = I.run_fixpoint ~inputs (I.reach_source ()) in
+  let r = List.hd reports in
+  let out = find_output res "V" in
+  let visited = T.nnz out in
+  let reference = W.Bfs.reference_visited ~adjacency ~source in
+  summary "reach" ~n:g.W.Graphs.n r
+    ~checksum:(float_of_int visited)
+    ~oracle_err:(Float.abs (float_of_int (visited - reference)));
+  if verbose then iteration_detail r
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let verbose = Array.exists (fun a -> a = "--verbose") Sys.argv in
+  let all =
+    [
+      ("pagerank", pagerank); ("bellman", bellman); ("gcn", gcn);
+      ("reach", reach);
+    ]
+  in
+  match List.assoc_opt which all with
+  | Some f -> f ~verbose ()
+  | None ->
+      if which <> "all" then (
+        Format.eprintf "unknown workload %s (expected: all%s)@." which
+          (String.concat ""
+             (List.map (fun (n, _) -> ", " ^ n) all));
+        exit 2)
+      else List.iter (fun (_, f) -> f ~verbose ()) all

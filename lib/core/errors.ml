@@ -45,6 +45,13 @@ type t =
       invocation : int option;
       message : string;
     }  (** a kernel raised during execution (includes injected faults) *)
+  | Fixpoint_diverged of {
+      context : context;
+      iterations : int; (* iterations completed before giving up *)
+      message : string;
+    }
+      (** an [iterate ... until] loop hit its iteration cap or wall-clock
+          deadline without satisfying its convergence condition *)
 
 exception Galley_error of t
 
@@ -76,6 +83,9 @@ let to_string = function
         | None -> "")
         (context_to_string context)
         message
+  | Fixpoint_diverged { context; iterations; message } ->
+      Printf.sprintf "fixpoint did not converge after %d iterations (%s): %s"
+        iterations (context_to_string context) message
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 

@@ -15,8 +15,11 @@ type token =
   | RPAREN
   | LBRACKET
   | RBRACKET
+  | LBRACE
+  | RBRACE
   | COMMA
   | EQUALS
+  | COLONEQ
   | PLUS
   | MINUS
   | STAR
@@ -38,8 +41,11 @@ let token_to_string = function
   | RPAREN -> ")"
   | LBRACKET -> "["
   | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
   | COMMA -> ","
   | EQUALS -> "="
+  | COLONEQ -> ":="
   | PLUS -> "+"
   | MINUS -> "-"
   | STAR -> "*"
@@ -117,12 +123,15 @@ let tokenize_pos (src : string) : (token * int) list =
       | ">=" -> emit start GEQ; pos := !pos + 2
       | "==" -> emit start EQEQ; pos := !pos + 2
       | "!=" -> emit start NEQ; pos := !pos + 2
+      | ":=" -> emit start COLONEQ; pos := !pos + 2
       | _ -> (
           (match c with
           | '(' -> emit start LPAREN
           | ')' -> emit start RPAREN
           | '[' -> emit start LBRACKET
           | ']' -> emit start RBRACKET
+          | '{' -> emit start LBRACE
+          | '}' -> emit start RBRACE
           | ',' -> emit start COMMA
           | '=' -> emit start EQUALS
           | '+' -> emit start PLUS

@@ -1,9 +1,14 @@
 (* Recursive-descent parser for textual tensor index notation.
 
-   Grammar (one query per line; '#' comments):
+   Grammar (one statement per line; '#' comments):
 
-     program  := ( query NEWLINE* )*  (with * outside the parens)
+     program  := ( stmt NEWLINE* )*  (with * outside the parens)
+     stmt     := query | fixpoint
      query    := IDENT [ "[" idxs "]" ] "=" expr
+     fixpoint := IDENT "=" "iterate" iterspec "{" body "}"
+     iterspec := [ NUMBER | "max" NUMBER ] [ "until" expr ]
+     body     := ( bstmt NEWLINE+ )*
+     bstmt    := IDENT [ "[" idxs "]" ] ( "=" | ":=" ) expr
      expr     := cmp
      cmp      := additive (("<" | "<=" | ">" | ">=" | "==" | "!=") additive)?
      additive := mult (("+" | "-") mult)*
@@ -16,11 +21,24 @@
                | IDENT "[" idxs "]"                    tensor access
                | IDENT                                 scalar tensor
                | "(" expr ")"
-     agg      := "sum" | "prod" | "maxof" | "minof" | "orof" | "andof"
+     agg      := "sum" | "sumof" | "prod" | "prodof"
+               | "maxof" | "minof" | "orof" | "andof"
      func     := "sigmoid" | "relu" | "exp" | "log" | "sqrt" | "abs" | "sq"
+               | "sign"
+     atom also admits "min" "(" expr "," expr ")" and likewise "max"
+     (pointwise binary min/max)
 
    Accesses to names defined by earlier queries become [Alias]es when the
-   program is run (the driver resolves them). *)
+   program is run (the driver resolves them).
+
+   Inside a fixpoint body, ":=" marks a loop-carried update (the name is
+   rebound between iterations) while "=" defines an iteration-local
+   intermediate.  Updates are sequential (Gauss-Seidel): each ":=" takes
+   effect for the statements after it within the same iteration.  A
+   primed name like X' denotes the value X held at the start of the
+   iteration; the "until" condition is evaluated after the body over the
+   new bindings (nonzero = converged).  "iterate", "until", and "max"
+   are reserved in statement-head position. *)
 
 open Galley_plan
 
@@ -59,7 +77,9 @@ let expect (st : state) (t : Lexer.token) : unit =
 let agg_ops =
   [
     ("sum", Op.Add);
+    ("sumof", Op.Add);
     ("prod", Op.Mul);
+    ("prodof", Op.Mul);
     ("maxof", Op.Max);
     ("minof", Op.Min);
     ("orof", Op.Or);
@@ -77,6 +97,10 @@ let unary_funcs =
     ("sq", Op.Square);
     ("sign", Op.Sign);
   ]
+
+(* Pointwise binary min/max: min(a, b).  "max" only acts as a keyword
+   directly after "iterate", so the function form stays available. *)
+let binary_funcs = [ ("min", Op.Min); ("max", Op.Max) ]
 
 let parse_idx_list (st : state) : string list =
   expect st Lexer.LBRACKET;
@@ -181,9 +205,18 @@ and parse_atom (st : state) : Ir.expr =
               expect st Lexer.RPAREN;
               Ir.Map (op, [ arg ])
           | None -> (
-              match peek st with
-              | Lexer.LBRACKET -> Ir.Input (name, parse_idx_list st)
-              | _ -> Ir.Input (name, []))))
+              match List.assoc_opt name binary_funcs with
+              | Some op ->
+                  expect st Lexer.LPAREN;
+                  let a = parse_expr st in
+                  expect st Lexer.COMMA;
+                  let b = parse_expr st in
+                  expect st Lexer.RPAREN;
+                  Ir.Map (op, [ a; b ])
+              | None -> (
+                  match peek st with
+                  | Lexer.LBRACKET -> Ir.Input (name, parse_idx_list st)
+                  | _ -> Ir.Input (name, [])))))
   | t -> fail st ("unexpected token " ^ Lexer.token_to_string t)
 
 let parse_query (st : state) : Ir.query =
@@ -199,32 +232,166 @@ let parse_query (st : state) : Ir.query =
       Ir.query ?out_order name expr
   | t -> fail st ("expected query name, got " ^ Lexer.token_to_string t)
 
-(* Parse a whole program; outputs default to every query name (callers can
-   narrow). *)
-let parse_program (src : string) : Ir.program =
-  let st = state_of src in
-  let rec skip_newlines () =
+let skip_newlines (st : state) =
+  let rec go () =
     match peek st with
     | Lexer.NEWLINE ->
         ignore (advance st);
-        skip_newlines ()
+        go ()
     | _ -> ()
   in
+  go ()
+
+(* One fixpoint body statement: IDENT [idxs] (":=" | "=") expr. *)
+let parse_body_stmt (st : state) : Ir.body_stmt =
+  match advance st with
+  | Lexer.IDENT name ->
+      let out_order =
+        match peek st with
+        | Lexer.LBRACKET -> Some (parse_idx_list st)
+        | _ -> None
+      in
+      let u_carried =
+        match advance st with
+        | Lexer.COLONEQ -> true
+        | Lexer.EQUALS -> false
+        | t ->
+            fail st
+              ("expected = or := in iterate body, got "
+              ^ Lexer.token_to_string t)
+      in
+      let expr = parse_expr st in
+      { Ir.u_query = Ir.query ?out_order name expr; u_carried }
+  | t ->
+      fail st ("expected statement name in iterate body, got "
+              ^ Lexer.token_to_string t)
+
+(* The iterate construct; the "iterate" keyword has been consumed and the
+   result name is [name]:
+
+     name = iterate [N | max N] [until cond] { body } *)
+let parse_fixpoint (st : state) ~(name : string) : Ir.fixpoint =
+  let fix_max_iters =
+    match peek st with
+    | Lexer.NUMBER v ->
+        ignore (advance st);
+        Some (int_of_float v)
+    | Lexer.IDENT "max" ->
+        ignore (advance st);
+        (match advance st with
+        | Lexer.NUMBER v -> Some (int_of_float v)
+        | t ->
+            fail st
+              ("expected iteration count after max, got "
+              ^ Lexer.token_to_string t))
+    | _ -> None
+  in
+  (match fix_max_iters with
+  | Some n when n < 1 -> fail st "iterate needs a positive iteration count"
+  | _ -> ());
+  let fix_cond =
+    match peek st with
+    | Lexer.IDENT "until" ->
+        ignore (advance st);
+        Some (parse_expr st)
+    | _ -> None
+  in
+  if fix_max_iters = None && fix_cond = None then
+    fail st "iterate needs an iteration count, an until condition, or both";
+  expect st Lexer.LBRACE;
+  let rec body acc =
+    skip_newlines st;
+    match peek st with
+    | Lexer.RBRACE ->
+        ignore (advance st);
+        List.rev acc
+    | Lexer.EOF -> fail st "unterminated iterate body (missing })"
+    | _ ->
+        let u = parse_body_stmt st in
+        (match peek st with
+        | Lexer.NEWLINE | Lexer.RBRACE -> ()
+        | t ->
+            ignore (advance st);
+            fail st
+              ("expected end of statement in iterate body, got "
+              ^ Lexer.token_to_string t));
+        body (u :: acc)
+  in
+  let fix_body = body [] in
+  let f = { Ir.fix_name = name; fix_max_iters; fix_cond; fix_body } in
+  let carried = Ir.carried_names f in
+  if carried = [] then
+    fail st "iterate body needs at least one loop-carried := update";
+  if not (List.mem name carried) then
+    fail st
+      (Printf.sprintf
+         "iterate result %s must be updated with := in the body (carried: %s)"
+         name (String.concat ", " carried));
+  f
+
+(* One top-level statement: a query, or a fixpoint when the right-hand
+   side starts with the reserved word "iterate". *)
+let parse_stmt (st : state) : Ir.stmt =
+  match advance st with
+  | Lexer.IDENT name -> (
+      let out_order =
+        match peek st with
+        | Lexer.LBRACKET -> Some (parse_idx_list st)
+        | _ -> None
+      in
+      expect st Lexer.EQUALS;
+      match peek st with
+      | Lexer.IDENT "iterate" ->
+          ignore (advance st);
+          if out_order <> None then
+            fail st
+              "output order on an iterate result is not supported (it \
+               follows the loop-carried update)";
+          Ir.Fix_stmt (parse_fixpoint st ~name)
+      | _ ->
+          let expr = parse_expr st in
+          Ir.Query_stmt (Ir.query ?out_order name expr))
+  | t -> fail st ("expected statement name, got " ^ Lexer.token_to_string t)
+
+(* Parse a whole statement-level program; outputs default to every
+   top-level statement name (callers can narrow). *)
+let parse_xprogram (src : string) : Ir.xprogram =
+  let st = state_of src in
   let rec go acc =
-    skip_newlines ();
+    skip_newlines st;
     match peek st with
     | Lexer.EOF -> List.rev acc
     | _ ->
-        let q = parse_query st in
+        let s = parse_stmt st in
         (match peek st with
         | Lexer.NEWLINE | Lexer.EOF -> ()
         | t ->
             ignore (advance st);
-            fail st ("expected end of query, got " ^ Lexer.token_to_string t));
-        go (q :: acc)
+            fail st ("expected end of statement, got " ^ Lexer.token_to_string t));
+        go (s :: acc)
   in
-  let queries = go [] in
-  { Ir.queries; outputs = List.map (fun (q : Ir.query) -> q.Ir.name) queries }
+  let stmts = go [] in
+  let name_of = function
+    | Ir.Query_stmt q -> q.Ir.name
+    | Ir.Fix_stmt f -> f.Ir.fix_name
+  in
+  { Ir.stmts; xoutputs = List.map name_of stmts }
+
+(* Straight-line restriction (legacy entry point): programs containing
+   iterate statements must go through the fixpoint driver instead. *)
+let parse_program (src : string) : Ir.program =
+  let p = parse_xprogram src in
+  match Ir.program_of_xprogram p with
+  | Some p -> p
+  | None ->
+      raise
+        (Parse_error
+           {
+             message =
+               "program contains iterate statements; run it through the \
+                fixpoint driver";
+             pos = 0;
+           })
 
 let parse_expr_string (src : string) : Ir.expr =
   let st = state_of src in
@@ -240,6 +407,12 @@ let parse_expr_string (src : string) : Ir.expr =
    located [(message, position)] pair instead of exceptions. *)
 let parse_program_res (src : string) : (Ir.program, string * int) result =
   match parse_program src with
+  | p -> Ok p
+  | exception Parse_error { message; pos } -> Error (message, pos)
+  | exception Lexer.Lex_error (message, pos) -> Error (message, pos)
+
+let parse_xprogram_res (src : string) : (Ir.xprogram, string * int) result =
+  match parse_xprogram src with
   | p -> Ok p
   | exception Parse_error { message; pos } -> Error (message, pos)
   | exception Lexer.Lex_error (message, pos) -> Error (message, pos)

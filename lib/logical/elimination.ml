@@ -87,12 +87,16 @@ let rec extract ~(dims : int Ir.Idx_map.t) ~(fresh : unit -> string)
         let repl_without =
           List.map
             (fun a ->
-              if Op.is_idempotent agg_op then a
-              else
-                match agg_op with
-                | Op.Add -> Ir.Map (Op.Mul, [ a; Ir.Literal (float_of_int n_v) ])
-                | Op.Mul -> Ir.Map (Op.Pow, [ a; Ir.Literal (float_of_int n_v) ])
-                | _ -> Ir.Map (agg_op, [ a ]) (* unreachable for our algebra *))
+              (* g(x, n_v) via the shared expression-level repeated
+                 application; every commutative aggregate in the algebra
+                 has a closed form, so a miss is an internal error, not
+                 a silent identity rewrite. *)
+              match Ir.repeat_expr agg_op a n_v with
+              | Some e -> e
+              | None ->
+                  invalid_arg
+                    ("Elimination: no repeated-application form for "
+                    ^ Op.to_string agg_op))
             without_v
         in
         (queries, Ir.Map (op, repl_with @ repl_without))

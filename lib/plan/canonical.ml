@@ -101,12 +101,12 @@ let rec simplify_once (dims : int Ir.Idx_map.t) (e : Ir.expr) : Ir.expr =
           List.fold_left
             (fun e i ->
               let n = Schema.dim_of_idx dims i in
-              match op with
-              | Op.Add -> Ir.Map (Op.Mul, [ e; Ir.Literal (float_of_int n) ])
-              | Op.Mul -> Ir.Map (Op.Pow, [ e; Ir.Literal (float_of_int n) ])
-              | _ when Op.is_idempotent op -> e
-              | Op.Ident -> e
-              | _ -> Ir.Agg (op, [ i ], e) (* keep: no closed form *))
+              (* [Ir.repeat_expr] carries the per-aggregate algebra,
+                 including the 0/1 normalization Or/And need (they are
+                 idempotent only up to truthiness). *)
+              match Ir.repeat_expr op e n with
+              | Some e' -> e'
+              | None -> Ir.Agg (op, [ i ], e) (* keep: no closed form *))
             e absent
         in
         let core =

@@ -26,6 +26,63 @@ type query = { name : string; expr : expr; out_order : idx list option }
 type program = { queries : query list; outputs : string list }
 
 (* ------------------------------------------------------------------ *)
+(* Statement-level dialect: straight-line queries plus fixpoints.       *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixpoint construct (the `iterate` statement of the .gly language):
+   the body is an ordinary program fragment run once per iteration.
+   Body statements are either iteration-local definitions (`=`) or
+   loop-carried updates (`:=`, [u_carried] below).  Carried updates have
+   Gauss-Seidel semantics: each takes effect immediately for statements
+   after it in the same iteration (a statement's own right-hand side
+   still sees the previous value).  A primed name `X'` anywhere in the
+   body or condition denotes the value X held at the start of the
+   iteration.  The `until` condition, when present, is evaluated after
+   the body as a scalar Galley query over the new bindings; nonzero
+   means converged. *)
+type body_stmt = { u_query : query; u_carried : bool }
+
+type fixpoint = {
+  fix_name : string; (* result name; must be one of the carried names *)
+  fix_max_iters : int option; (* None = subsystem default *)
+  fix_cond : expr option; (* until-condition; None = run max_iters times *)
+  fix_body : body_stmt list;
+}
+
+type stmt = Query_stmt of query | Fix_stmt of fixpoint
+
+type xprogram = { stmts : stmt list; xoutputs : string list }
+
+let carried_names (f : fixpoint) : string list =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun u -> if u.u_carried then Some u.u_query.name else None)
+       f.fix_body)
+
+let has_fixpoint (p : xprogram) : bool =
+  List.exists (function Fix_stmt _ -> true | Query_stmt _ -> false) p.stmts
+
+(* The straight-line restriction of an xprogram, when it has no
+   fixpoints (legacy entry points). *)
+let program_of_xprogram (p : xprogram) : program option =
+  if has_fixpoint p then None
+  else
+    Some
+      {
+        queries =
+          List.filter_map
+            (function Query_stmt q -> Some q | Fix_stmt _ -> None)
+            p.stmts;
+        outputs = p.xoutputs;
+      }
+
+let xprogram_of_program (p : program) : xprogram =
+  {
+    stmts = List.map (fun q -> Query_stmt q) p.queries;
+    xoutputs = p.outputs;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Smart constructors.                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -130,6 +187,24 @@ let rec replace_subexpr ~(target : expr) ~(by : expr) (e : expr) : expr =
     | Map (op, args) -> Map (op, List.map (replace_subexpr ~target ~by) args)
     | Agg (op, idxs, body) -> Agg (op, idxs, replace_subexpr ~target ~by body)
 
+(* Repeated application of an aggregate over [n] copies of [e] — the
+   expression-level counterpart of [Op.repeat], shared by the logical
+   elimination and canonicalization rewrites so neither silently assumes
+   the (+,×) semiring.  [Max]/[Min] are genuinely idempotent on floats;
+   [Or]/[And] are idempotent only up to 0/1 truthiness normalization
+   (or(2,2) = 1 ≠ 2), so their closed form must normalize exactly as the
+   kernel accumulator does.  Returns [None] when no closed pointwise
+   form exists (callers must then keep an explicit aggregate). *)
+let repeat_expr (op : Op.t) (e : expr) (n : int) : expr option =
+  if n < 1 then None
+  else
+    match op with
+    | Op.Add -> Some (Map (Op.Mul, [ e; Literal (float_of_int n) ]))
+    | Op.Mul -> Some (Map (Op.Pow, [ e; Literal (float_of_int n) ]))
+    | Op.Max | Op.Min | Op.Ident -> Some e
+    | Op.Or | Op.And -> Some (Map (Op.Neq, [ e; Literal 0.0 ]))
+    | _ -> None
+
 let rec size (e : expr) : int =
   match e with
   | Input _ | Alias _ | Literal _ -> 1
@@ -167,6 +242,30 @@ let pp_program fmt (p : program) =
     p.queries
     (String.concat ", " p.outputs)
 
+let pp_stmt fmt (s : stmt) =
+  match s with
+  | Query_stmt q -> pp_query fmt q
+  | Fix_stmt f ->
+      Format.fprintf fmt "@[<v 2>Iterate(%s%s%s)@,%a@]" f.fix_name
+        (match f.fix_max_iters with
+        | Some n -> Printf.sprintf ", max=%d" n
+        | None -> "")
+        (match f.fix_cond with
+        | Some c -> ", until=" ^ Format.asprintf "%a" pp_expr c
+        | None -> "")
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt u ->
+             Format.fprintf fmt "%s%a"
+               (if u.u_carried then ":= " else "= ")
+               pp_query u.u_query))
+        f.fix_body
+
+let pp_xprogram fmt (p : xprogram) =
+  Format.fprintf fmt "@[<v>%a@,outputs: %s@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt)
+    p.stmts
+    (String.concat ", " p.xoutputs)
+
 let expr_to_string e = Format.asprintf "%a" pp_expr e
 let query_to_string q = Format.asprintf "%a" pp_query q
 let program_to_string p = Format.asprintf "%a" pp_program p
+let xprogram_to_string p = Format.asprintf "%a" pp_xprogram p

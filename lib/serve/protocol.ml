@@ -29,6 +29,7 @@ module Json = Galley_obs.Json
 module Metrics = Galley_obs.Metrics
 module T = Galley_tensor.Tensor
 module D = Galley.Driver
+module Fix = Galley_fixpoint.Fixpoint
 
 type bind_spec =
   | From_file of string
@@ -259,10 +260,42 @@ let error_of ?(id = None) (e : Galley.Errors.t) : string =
         ("budget_exceeded", Some (E.phase_to_string context.E.phase))
     | E.Kernel_failure { context; _ } ->
         ("kernel_failure", Some (E.phase_to_string context.E.phase))
+    | E.Fixpoint_diverged { context; _ } ->
+        ("fixpoint_diverged", Some (E.phase_to_string context.E.phase))
   in
   error_json ~id ~kind ?phase ~message:(E.to_string e) ()
 
-let result_json ?(id = None) ~want_values ~max_entries ?qos_tier
+(* Fixpoint execution summary (queries that used `iterate`): iteration
+   count, plan switches, and the per-iteration convergence deltas. *)
+let buf_fixpoints (b : Buffer.t) (reports : Fix.fix_report list) : unit =
+  Buffer.add_string b ",\"fixpoints\":[";
+  List.iteri
+    (fun i (fr : Fix.fix_report) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"name\":";
+      buf_str b fr.Fix.fr_name;
+      Buffer.add_string b
+        (Printf.sprintf ",\"iterations\":%d,\"converged\":%b,\"replans\":%d"
+           fr.Fix.fr_iterations fr.Fix.fr_converged fr.Fix.fr_replans);
+      Buffer.add_string b ",\"switch_iters\":[";
+      List.iteri
+        (fun j it ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int it))
+        fr.Fix.fr_switch_iters;
+      Buffer.add_string b "],\"deltas\":[";
+      List.iteri
+        (fun j (it : Fix.iter_stat) ->
+          if j > 0 then Buffer.add_char b ',';
+          match it.Fix.it_delta with
+          | Some d -> buf_float b d
+          | None -> Buffer.add_string b "null")
+        fr.Fix.fr_iters;
+      Buffer.add_string b "]}")
+    reports;
+  Buffer.add_char b ']'
+
+let result_json ?(id = None) ~want_values ~max_entries ?qos_tier ?fixpoints
     (r : D.result) : string =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\"ok\":true";
@@ -349,6 +382,9 @@ let result_json ?(id = None) ~want_values ~max_entries ?qos_tier
     (Printf.sprintf
        ",\"cache\":{\"compile_count\":%d,\"kernel_count\":%d,\"cse_hits\":%d}"
        tm.D.compile_count tm.D.kernel_count tm.D.cse_hits);
+  (match fixpoints with
+  | Some (_ :: _ as reports) -> buf_fixpoints b reports
+  | Some [] | None -> ());
   Buffer.add_string b (Printf.sprintf ",\"timed_out\":%b}" r.D.timed_out);
   Buffer.contents b
 

@@ -248,11 +248,11 @@ let handle_query t (job : job) ~src ~budget_ms ~want_values ~max_entries =
         ()
   | _ -> (
       let config, qos_tier = request_config t ~remaining_s in
-      match D.parse_checked src with
+      match Galley_fixpoint.Fixpoint.parse_checked src with
       | Error e ->
           Metrics.incr m_requests_failed;
           Protocol.error_of ~id e
-      | Ok program -> (
+      | Ok xprogram -> (
           (* serve-kill fires after parse, mid-request: the outer
              catch-all must turn it into a structured error and leave
              the daemon serving. *)
@@ -262,18 +262,39 @@ let handle_query t (job : job) ~src ~budget_ms ~want_values ~max_entries =
               Metrics.incr m_kill_faults;
               raise (Injected_kill ordinal)
           | _ -> ());
-          match D.Session.run_program_checked t.session ~config program with
-          | Ok res ->
-              Metrics.incr m_requests_ok;
-              let max_entries =
-                match max_entries with
-                | Some n -> min n t.cfg.max_response_entries
-                | None -> t.cfg.max_response_entries
-              in
-              Protocol.result_json ~id ~want_values ~max_entries ?qos_tier res
-          | Error e ->
-              Metrics.incr m_requests_failed;
-              Protocol.error_of ~id e))
+          let max_entries =
+            match max_entries with
+            | Some n -> min n t.cfg.max_response_entries
+            | None -> t.cfg.max_response_entries
+          in
+          (* Straight-line programs keep the established session path;
+             programs with iterate statements run the fixpoint driver
+             against the same resident session, so carried tensors,
+             statistics, and warm kernels persist across requests. *)
+          match Galley_plan.Ir.program_of_xprogram xprogram with
+          | Some program -> (
+              match
+                D.Session.run_program_checked t.session ~config program
+              with
+              | Ok res ->
+                  Metrics.incr m_requests_ok;
+                  Protocol.result_json ~id ~want_values ~max_entries ?qos_tier
+                    res
+              | Error e ->
+                  Metrics.incr m_requests_failed;
+                  Protocol.error_of ~id e)
+          | None -> (
+              match
+                Galley_fixpoint.Fixpoint.run_session_checked t.session ~config
+                  xprogram
+              with
+              | Ok (res, reports) ->
+                  Metrics.incr m_requests_ok;
+                  Protocol.result_json ~id ~want_values ~max_entries ?qos_tier
+                    ~fixpoints:reports res
+              | Error e ->
+                  Metrics.incr m_requests_failed;
+                  Protocol.error_of ~id e)))
 
 let handle_bind t (job : job) ~name ~spec =
   let id = job.j_parsed.Protocol.req_id in

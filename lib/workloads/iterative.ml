@@ -1,0 +1,281 @@
+(* Iterative graph/ML workloads expressed with the `iterate` construct
+   (DESIGN.md §13): PageRank, Bellman-Ford single-source shortest paths
+   over the (min,+) semiring, a GCN-style weight-tied forward pass, and
+   BFS-style reachability.  Each workload ships
+
+     - the textual `.gly` program (also committed under examples/),
+     - deterministic input builders over [Graphs.t],
+     - a brute-force oracle for end-to-end value checks, and
+     - a hand-unrolled Session loop (the straight-line reference the
+       fixpoint driver must match bit-for-bit).
+
+   Bellman-Ford is the min-plus stress test for the logical rules: the
+   weight matrix W has fill = +inf, so absent edges contribute the Min
+   identity to every relaxation and the engine's fill-correction path
+   (g(body_fill, n) with body_fill = +inf) must be exact. *)
+
+module T = Galley_tensor.Tensor
+module Prng = Galley_tensor.Prng
+module D = Galley.Driver
+module Fix = Galley_fixpoint.Fixpoint
+
+(* ------------------------------------------------------------------ *)
+(* PageRank                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let damping = 0.85
+
+(* R = iterate: R[j] := B[j] + d * sum_i M[i,j] R[i], with M the
+   out-degree-normalized adjacency and B the teleport vector.  Vertices
+   without out-edges leak mass (no dangling redistribution), which only
+   shrinks the iteration map — convergence is unaffected. *)
+let pagerank_source ?(eps = 1e-7) ?(max_iters = 100) () : string =
+  Printf.sprintf
+    "R = iterate max %d until sumof[j](abs(R[j] - R'[j])) < %.12f {\n\
+    \  R[j] := B[j] + %.2f * sumof[i](M[i,j] * R[i])\n\
+     }\n"
+    max_iters eps damping
+
+(* The loop body alone, as a straight-line query for the unrolled
+   reference (R_next plays the role of the rebound R). *)
+let pagerank_body : string = "R_next[j] = B[j] + 0.85 * sumof[i](M[i,j] * R[i])"
+
+let pagerank_inputs (g : Graphs.t) : (string * T.t) list =
+  let n = g.Graphs.n in
+  let outdeg = Array.make n 0 in
+  Array.iter
+    (fun (u, _) -> outdeg.(u) <- outdeg.(u) + 1)
+    g.Graphs.edges;
+  let m_entries =
+    Array.map
+      (fun (u, v) -> ([| u; v |], 1.0 /. float_of_int outdeg.(u)))
+      g.Graphs.edges
+  in
+  let m =
+    T.of_coo ~dims:[| n; n |] ~formats:[| T.Dense; T.Sparse_list |] m_entries
+  in
+  let b =
+    T.of_fun ~dims:[| n |] ~formats:[| T.Dense |] (fun _ ->
+        (1.0 -. damping) /. float_of_int n)
+  in
+  let r0 =
+    T.of_fun ~dims:[| n |] ~formats:[| T.Dense |] (fun _ ->
+        1.0 /. float_of_int n)
+  in
+  [ ("M", m); ("B", b); ("R", r0) ]
+
+(* Dense oracle: same recurrence, ascending-i accumulation (the engine's
+   order), so it agrees to rounding for any plan. *)
+let pagerank_reference ~(m : T.t) ~(b : T.t) ~(r0 : T.t) ~(iters : int) :
+    float array =
+  let n = (T.dims r0).(0) in
+  let r = Array.init n (fun j -> T.get r0 [| j |]) in
+  for _ = 1 to iters do
+    let r' =
+      Array.init n (fun j ->
+          let acc = ref 0.0 in
+          for i = 0 to n - 1 do
+            acc := !acc +. (T.get m [| i; j |] *. r.(i))
+          done;
+          T.get b [| j |] +. (damping *. !acc))
+    in
+    Array.blit r' 0 r 0 n
+  done;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Bellman-Ford (min-plus)                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* D[j] := min(D[j], min_i (D[i] + W[i,j])); converged when no distance
+   strictly improved this iteration (inf < inf is false, so unreachable
+   vertices never block convergence — unlike an abs-residual, where
+   inf - inf would poison the sum with a NaN). *)
+let bellman_source ?(max_iters = 100) () : string =
+  Printf.sprintf
+    "D = iterate max %d until sumof[j](D[j] < D'[j]) < 0.5 {\n\
+    \  D[j] := min(D[j], minof[i](D[i] + W[i,j]))\n\
+     }\n"
+    max_iters
+
+let bellman_body : string = "D_next[j] = min(D[j], minof[i](D[i] + W[i,j]))"
+
+(* Deterministic positive edge weights, shared by inputs and oracle. *)
+let bellman_weights ?(seed = 7) (g : Graphs.t) : T.t =
+  let prng = Prng.create seed in
+  let entries =
+    Array.map
+      (fun (u, v) -> ([| u; v |], Prng.float_range prng 1.0 10.0))
+      g.Graphs.edges
+  in
+  T.of_coo ~fill:infinity ~dims:[| g.Graphs.n; g.Graphs.n |]
+    ~formats:[| T.Dense; T.Sparse_list |] entries
+
+(* The distance vector is *sparse with fill = +inf*: it starts with one
+   stored entry (the source) and densifies as shortest paths settle, so
+   per-iteration statistics refresh drives real format/plan movement. *)
+let bellman_inputs ?seed (g : Graphs.t) ~(source : int) : (string * T.t) list
+    =
+  let d0 =
+    T.of_coo ~fill:infinity ~dims:[| g.Graphs.n |]
+      ~formats:[| T.Sparse_list |]
+      [| ([| source |], 0.0) |]
+  in
+  [ ("W", bellman_weights ?seed g); ("D", d0) ]
+
+let bellman_reference ~(w : T.t) ~(source : int) ~(iters : int) : float array
+    =
+  let n = (T.dims w).(0) in
+  let d = Array.make n infinity in
+  d.(source) <- 0.0;
+  for _ = 1 to iters do
+    let d' =
+      Array.init n (fun j ->
+          let acc = ref d.(j) in
+          for i = 0 to n - 1 do
+            let w_ij = T.get w [| i; j |] in
+            if d.(i) +. w_ij < !acc then acc := d.(i) +. w_ij
+          done;
+          !acc)
+    in
+    Array.blit d' 0 d 0 n
+  done;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* GCN-style forward pass (weight-tied propagation)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Each layer aggregates neighbour features through the normalized
+   adjacency and mixes them with a shared square weight matrix under a
+   ReLU: H := relu((A H) W).  Weight tying (one W for every layer) is
+   what lets a fixed-count iterate express the depth. *)
+let gcn_source ?(layers = 2) () : string =
+  Printf.sprintf
+    "H = iterate %d {\n\
+    \  Z[i,f] = sumof[j](A[i,j] * H[j,f])\n\
+    \  H[i,g] := relu(sumof[f](Z[i,f] * W[f,g]))\n\
+     }\n"
+    layers
+
+let gcn_body : string =
+  "Z[i,f] = sumof[j](A[i,j] * H[j,f])\n\
+   H_next[i,g] = relu(sumof[f](Z[i,f] * W[f,g]))"
+
+let gcn_inputs ?(seed = 11) (g : Graphs.t) ~(features : int) :
+    (string * T.t) list =
+  let n = g.Graphs.n in
+  let outdeg = Array.make n 0 in
+  Array.iter (fun (u, _) -> outdeg.(u) <- outdeg.(u) + 1) g.Graphs.edges;
+  let a_entries =
+    Array.map
+      (fun (u, v) -> ([| u; v |], 1.0 /. float_of_int outdeg.(u)))
+      g.Graphs.edges
+  in
+  let a =
+    T.of_coo ~dims:[| n; n |] ~formats:[| T.Dense; T.Sparse_list |] a_entries
+  in
+  let prng = Prng.create seed in
+  let h0 =
+    T.of_fun ~dims:[| n; features |] ~formats:[| T.Dense; T.Dense |] (fun _ ->
+        Prng.float_range prng 0.0 1.0)
+  in
+  let w =
+    T.of_fun ~dims:[| features; features |] ~formats:[| T.Dense; T.Dense |]
+      (fun _ -> Prng.float_range prng (-0.4) 0.4)
+  in
+  [ ("A", a); ("H", h0); ("W", w) ]
+
+let gcn_reference ~(a : T.t) ~(h0 : T.t) ~(w : T.t) ~(layers : int) :
+    float array array =
+  let n = (T.dims h0).(0) and d = (T.dims h0).(1) in
+  let h = Array.init n (fun i -> Array.init d (fun f -> T.get h0 [| i; f |])) in
+  for _ = 1 to layers do
+    let z =
+      Array.init n (fun i ->
+          Array.init d (fun f ->
+              let acc = ref 0.0 in
+              for j = 0 to n - 1 do
+                acc := !acc +. (T.get a [| i; j |] *. h.(j).(f))
+              done;
+              !acc))
+    in
+    for i = 0 to n - 1 do
+      h.(i) <-
+        Array.init d (fun g_ ->
+            let acc = ref 0.0 in
+            for f = 0 to d - 1 do
+              acc := !acc +. (z.(i).(f) *. T.get w [| f; g_ |])
+            done;
+            Float.max 0.0 !acc)
+    done
+  done;
+  h
+
+(* ------------------------------------------------------------------ *)
+(* BFS-style reachability                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The Fig. 10 shape as an iterate: the frontier F starts as one vertex
+   and fans out, V accumulates it.  F's statistics change by orders of
+   magnitude across iterations, so this is the workload where the
+   per-iteration re-optimization visibly switches plans. *)
+let reach_source ?(max_iters = 100) () : string =
+  Printf.sprintf
+    "V = iterate max %d until sumof[i](F[i]) < 0.5 {\n\
+    \  F[i] := orof[j](A[j,i] * F'[j]) * (1 - V'[i])\n\
+    \  V[i] := V'[i] + F[i]\n\
+     }\n"
+    max_iters
+
+let reach_inputs (g : Graphs.t) ~(source : int) : (string * T.t) list =
+  let n = g.Graphs.n in
+  let a = Graphs.adjacency g in
+  let one = [| ([| source |], 1.0) |] in
+  let f0 = T.of_coo ~dims:[| n |] ~formats:[| T.Sparse_list |] one in
+  let v0 = T.of_coo ~dims:[| n |] ~formats:[| T.Sparse_list |] one in
+  [ ("A", a); ("F", f0); ("V", v0) ]
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Order-independent checksum over the finite stored entries (Bellman
+   distances carry +inf fill, so non-finite values are skipped). *)
+let checksum (t : T.t) : float =
+  let acc = ref 0.0 in
+  T.iter_explicit t (fun _ v -> if Float.is_finite v then acc := !acc +. v);
+  !acc
+
+(* Hand-unrolled straight-line reference: run [body_src] (which must
+   define [X_next] for every carried name [X]) [iters] times against a
+   fresh Session, rebinding carried names by hand between runs.  Same
+   engine, same per-iteration JIT — but no iterate construct, no
+   internal condition queries, and explicit driver-level control flow.
+   The fixpoint runner must reproduce these tensors bit-for-bit. *)
+let unrolled_run ?(config = D.default_config) ~(inputs : (string * T.t) list)
+    ~(carried : string list) ~(body_src : string) ~(iters : int) () :
+    (string * T.t) list =
+  let s = D.Session.create ~config () in
+  List.iter (fun (n, t) -> D.Session.bind s n t) inputs;
+  let prog = Galley_lang.Parser.parse_program body_src in
+  for _ = 1 to iters do
+    let res = D.Session.run_program s prog in
+    List.iter
+      (fun x -> D.Session.bind s x (D.output_of res (x ^ "_next")))
+      carried
+  done;
+  List.map
+    (fun x ->
+      match D.Session.lookup s x with
+      | Some t -> (x, t)
+      | None -> invalid_arg ("unrolled_run: carried name unbound: " ^ x))
+    carried
+
+(* Parse + run a fixpoint workload in one call; raises on taxonomy
+   errors (callers wanting structured errors use Fix.run_checked). *)
+let run_fixpoint ?(config = D.default_config) ~(inputs : (string * T.t) list)
+    (src : string) : D.result * Fix.fix_report list =
+  match Fix.parse_checked src with
+  | Error e -> Galley.Errors.raise_error e
+  | Ok p -> Fix.run ~config ~inputs p
