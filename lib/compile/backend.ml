@@ -32,9 +32,11 @@
 
 open Galley_plan
 module T = Galley_tensor.Tensor
+module Bitset = Galley_tensor.Bitset
 module Builder = Galley_tensor.Builder
 module Vec = Galley_tensor.Vec
 module Pool = Galley_parallel.Pool
+module Morsel = Galley_parallel.Morsel
 module Obs = Galley_obs
 
 exception Timeout
@@ -48,6 +50,12 @@ exception Timeout
 let m_deadline_ticks = Obs.Metrics.counter "kernel.deadline_ticks"
 let m_chunks = Obs.Metrics.counter "kernel.chunks"
 let m_cancel_latency = Obs.Metrics.gauge "kernel.cancel_latency_ticks"
+
+(* Morsel-driven scheduling (DESIGN.md §14): total morsels dispensed,
+   and morsels a lane processed beyond its fair share of the batch —
+   the work stolen from slower lanes, so skew is observable. *)
+let m_morsels = Obs.Metrics.counter "kernel.morsels"
+let m_steals = Obs.Metrics.counter "kernel.steals"
 
 let domain_counter prefix =
   Obs.Metrics.counter
@@ -128,51 +136,156 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
     in
     (* The loop nest from [level] down, parameterized over the innermost
        sink so the same walker serves direct accumulation (serial) and
-       log recording (parallel chunks). *)
+       log recording (parallel chunks).
+
+       When the plan carries a [p_micro] shape, the innermost level runs
+       as a dense microkernel: each source is resolved once per level
+       visit to its unboxed [Leaf_dense] value array and the inner loop
+       reads floats straight out of those arrays — no per-element
+       binder-closure dispatch, no [find_value] option allocation.  The
+       tick cadence is identical to the generic level (one [check] per
+       candidate plus one per accumulation), and any visit whose sources
+       do not all resolve to long-enough dense leaves falls back to the
+       generic walker, so the execution trace is bit-identical. *)
     let make_go (st : Lowering.state) (check : unit -> unit)
         (sink : int array -> float -> unit) : int -> unit =
       let values = st.Lowering.st_values in
       let coords = st.Lowering.st_coords in
+      let micro = plan.Lowering.p_micro in
+      let has_micro = match micro with Some _ -> true | None -> false in
+      let micro_out =
+        match micro with Some m -> m.Lowering.mi_out | None -> None
+      in
+      let micro_srcs =
+        match micro with Some m -> m.Lowering.mi_srcs | None -> [||]
+      in
+      let micro_n_src = Array.length micro_srcs in
+      let micro_accs = Array.map fst micro_srcs in
+      let micro_arrs = Array.make micro_n_src [||] in
       let rec go (level : int) : unit =
         if level = n_levels then begin
           check ();
           sink coords (body values)
         end
-        else begin
-          let lv = levels.(level) in
-          let bind = lv.Lowering.lv_bind in
-          match lv.Lowering.lv_gen st with
-          | Lowering.G_full ->
-              let n = loop_dims.(level) in
-              for i = 0 to n - 1 do
+        else if has_micro && level = n_levels - 1 then begin
+          if not (try_micro ()) then generic level
+        end
+        else generic level
+      and generic (level : int) : unit =
+        let lv = levels.(level) in
+        let bind = lv.Lowering.lv_bind in
+        match lv.Lowering.lv_gen st with
+        | Lowering.G_full ->
+            let n = loop_dims.(level) in
+            for i = 0 to n - 1 do
+              check ();
+              bind st i;
+              go (level + 1)
+            done
+        | Lowering.G_arr arr ->
+            Array.iter
+              (fun i ->
                 check ();
                 bind st i;
-                go (level + 1)
-              done
-          | Lowering.G_arr arr ->
-              Array.iter
-                (fun i ->
+                go (level + 1))
+              arr
+        | Lowering.G_filter (arr, probe) ->
+            Array.iter
+              (fun i ->
+                if probe i then begin
                   check ();
                   bind st i;
-                  go (level + 1))
-                arr
-          | Lowering.G_filter (arr, probe) ->
-              Array.iter
-                (fun i ->
-                  if probe i then begin
-                    check ();
-                    bind st i;
-                    go (level + 1)
-                  end)
-                arr
-          | Lowering.G_cur c ->
-              while c.Cursors.key <> Cursors.exhausted do
+                  go (level + 1)
+                end)
+              arr
+        | Lowering.G_bits w ->
+            Bitset.iter_set w (fun i ->
                 check ();
-                bind st c.Cursors.key;
-                go (level + 1);
-                c.Cursors.next ()
-              done
-        end
+                bind st i;
+                go (level + 1))
+        | Lowering.G_cur c ->
+            while c.Cursors.key <> Cursors.exhausted do
+              check ();
+              bind st c.Cursors.key;
+              go (level + 1);
+              c.Cursors.next ()
+            done
+      and try_micro () : bool =
+        let n = loop_dims.(n_levels - 1) in
+        let ok = ref true in
+        for s = 0 to micro_n_src - 1 do
+          let a, j = micro_srcs.(s) in
+          match Lowering.prev st a j with
+          | Some (T.Leaf_dense vs) when Array.length vs >= n ->
+              micro_arrs.(s) <- vs
+          | _ -> ok := false
+        done;
+        !ok
+        &&
+        (* Specialized inner loops for the dominant shapes: one source
+           (axpy/scale rows) and two sources (dot-product/elementwise
+           rows), with and without an output coordinate at this level. *)
+        ((match (micro_out, micro_n_src) with
+         | Some p, 1 ->
+             let a0 = micro_accs.(0) and v0 = micro_arrs.(0) in
+             for i = 0 to n - 1 do
+               check ();
+               values.(a0) <- Array.unsafe_get v0 i;
+               coords.(p) <- i;
+               check ();
+               sink coords (body values)
+             done
+         | Some p, 2 ->
+             let a0 = micro_accs.(0) and v0 = micro_arrs.(0) in
+             let a1 = micro_accs.(1) and v1 = micro_arrs.(1) in
+             for i = 0 to n - 1 do
+               check ();
+               values.(a0) <- Array.unsafe_get v0 i;
+               values.(a1) <- Array.unsafe_get v1 i;
+               coords.(p) <- i;
+               check ();
+               sink coords (body values)
+             done
+         | Some p, _ ->
+             for i = 0 to n - 1 do
+               check ();
+               for s = 0 to micro_n_src - 1 do
+                 values.(micro_accs.(s)) <-
+                   Array.unsafe_get micro_arrs.(s) i
+               done;
+               coords.(p) <- i;
+               check ();
+               sink coords (body values)
+             done
+         | None, 1 ->
+             let a0 = micro_accs.(0) and v0 = micro_arrs.(0) in
+             for i = 0 to n - 1 do
+               check ();
+               values.(a0) <- Array.unsafe_get v0 i;
+               check ();
+               sink coords (body values)
+             done
+         | None, 2 ->
+             let a0 = micro_accs.(0) and v0 = micro_arrs.(0) in
+             let a1 = micro_accs.(1) and v1 = micro_arrs.(1) in
+             for i = 0 to n - 1 do
+               check ();
+               values.(a0) <- Array.unsafe_get v0 i;
+               values.(a1) <- Array.unsafe_get v1 i;
+               check ();
+               sink coords (body values)
+             done
+         | None, _ ->
+             for i = 0 to n - 1 do
+               check ();
+               for s = 0 to micro_n_src - 1 do
+                 values.(micro_accs.(s)) <-
+                   Array.unsafe_get micro_arrs.(s) i
+               done;
+               check ();
+               sink coords (body values)
+             done);
+         true)
       in
       go
     in
@@ -184,7 +297,19 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
       in
       go 0
     in
-    (* Chunk level 0 across the pool; false = not profitable, run serial. *)
+    (* Chunk level 0 across the pool; false = not profitable, run serial.
+
+       Two schedules share the same log-and-replay protocol.  The v1
+       path cuts the candidate range into 4×pool-size static chunks, one
+       task each.  The v2 path ([Kernel_v2.morsel]) cuts it into small
+       fixed-size morsels behind an atomic dispenser and runs one task
+       per lane, each pulling morsels until the dispenser is dry — a
+       lane stuck in a heavy fiber simply pulls fewer morsels, so
+       skewed fibers no longer leave lanes idle.  Either way, the
+       range→log mapping is a pure function of the chunk/morsel id, so
+       replaying logs in id order reproduces the serial accumulation
+       sequence exactly: same cells, same combine order, bit-identical
+       output at any domain count under any schedule. *)
     let parallel (pool : Pool.t) : bool =
       if n_levels = 0 then false
       else begin
@@ -192,12 +317,16 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
         let check0 = make_check () in
         (* Candidate base of the outermost level, computed once and shared
            read-only (level-0 generators and probes read only the root
-           nodes).  A cursor is stateful, so it is drained here first. *)
+           nodes).  A cursor is stateful, so it is drained here first; a
+           word-merged bitset is materialized the same way. *)
         let base, probe, n_cand =
           match levels.(0).Lowering.lv_gen st0 with
           | Lowering.G_full -> (None, None, loop_dims.(0))
           | Lowering.G_arr arr -> (Some arr, None, Array.length arr)
           | Lowering.G_filter (arr, pr) -> (Some arr, Some pr, Array.length arr)
+          | Lowering.G_bits w ->
+              let arr = Bitset.to_array w in
+              (Some arr, None, Array.length arr)
           | Lowering.G_cur c ->
               let buf = Vec.Int.create ~capacity:64 () in
               while c.Cursors.key <> Cursors.exhausted do
@@ -211,54 +340,118 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
         if n_cand < 2 then false
         else begin
           let bind0 = levels.(0).Lowering.lv_bind in
-          (* Over-decompose for load balance: sparse work per candidate is
-             skewed, so chunks outnumber lanes. *)
-          let n_chunks = min n_cand (4 * Pool.size pool) in
-          let logs =
-            Array.init n_chunks (fun _ ->
-                (Vec.Int.create ~capacity:64 (), Vec.Float.create ~capacity:64 ()))
+          (* One lane's walk over the candidate range [lo, hi). *)
+          let run_range st check go lo hi =
+            let visit i =
+              check ();
+              bind0 st i;
+              go 1
+            in
+            match (base, probe) with
+            | None, _ ->
+                for i = lo to hi - 1 do
+                  visit i
+                done
+            | Some arr, None ->
+                for p = lo to hi - 1 do
+                  visit arr.(p)
+                done
+            | Some arr, Some pr ->
+                for p = lo to hi - 1 do
+                  let i = arr.(p) in
+                  if pr i then visit i
+                done
           in
-          let chunk_task c : Pool.task =
-           fun () ->
-            try
-              Obs.Metrics.incr m_chunks;
-              Obs.Metrics.incr (domain_counter "kernel.chunks");
-              let lo = c * n_cand / n_chunks in
-              let hi = (c + 1) * n_cand / n_chunks in
-              let lc, lv = logs.(c) in
-              let st = Lowering.fresh_state plan tensors in
-              let check = make_check () in
-              let coords = st.Lowering.st_coords in
-              let go =
-                make_go st check (fun _ v ->
-                    for d = 0 to out_rank - 1 do
-                      Vec.Int.push lc coords.(d)
-                    done;
-                    Vec.Float.push lv v)
+          let log_sink (lc, lv) (coords : int array) : int array -> float -> unit
+              =
+           fun _ v ->
+            for d = 0 to out_rank - 1 do
+              Vec.Int.push lc coords.(d)
+            done;
+            Vec.Float.push lv v
+          in
+          let on_failure e =
+            if not (Atomic.exchange cancel true) then
+              Atomic.set cancel_mark (Obs.Metrics.value m_deadline_ticks);
+            raise e
+          in
+          let logs, tasks, sched, finish =
+            if !Kernel_v2.morsel then begin
+              let lanes = Pool.size pool in
+              (* ~32 morsels per lane: enough granularity to rebalance
+                 skew, few enough that per-morsel log bookkeeping stays
+                 negligible. *)
+              let msize = max 16 ((n_cand + (32 * lanes) - 1) / (32 * lanes)) in
+              let disp = Morsel.create ~n_items:n_cand ~size:msize in
+              let nm = Morsel.n_morsels disp in
+              let logs =
+                Array.init nm (fun _ ->
+                    ( Vec.Int.create ~capacity:16 (),
+                      Vec.Float.create ~capacity:16 () ))
               in
-              let visit i =
-                check ();
-                bind0 st i;
-                go 1
+              let n_tasks = max 1 (min lanes nm) in
+              let pulls = Array.make n_tasks 0 in
+              let lane_task lane : Pool.task =
+               fun () ->
+                try
+                  (* State and tick counter live per lane; every morsel
+                     rebinds from level 0 down, so residue between
+                     morsels is dead exactly as between candidates. *)
+                  let st = Lowering.fresh_state plan tensors in
+                  let check = make_check () in
+                  let coords = st.Lowering.st_coords in
+                  let rec drain () =
+                    match Morsel.take disp with
+                    | None -> ()
+                    | Some (mid, lo, hi) ->
+                        Obs.Metrics.incr m_morsels;
+                        Obs.Metrics.incr (domain_counter "kernel.morsels");
+                        pulls.(lane) <- pulls.(lane) + 1;
+                        let go =
+                          make_go st check (log_sink logs.(mid) coords)
+                        in
+                        run_range st check go lo hi;
+                        drain ()
+                  in
+                  drain ()
+                with e -> on_failure e
               in
-              (match (base, probe) with
-              | None, _ ->
-                  for i = lo to hi - 1 do
-                    visit i
-                  done
-              | Some arr, None ->
-                  for p = lo to hi - 1 do
-                    visit arr.(p)
-                  done
-              | Some arr, Some pr ->
-                  for p = lo to hi - 1 do
-                    let i = arr.(p) in
-                    if pr i then visit i
-                  done)
-            with e ->
-              if not (Atomic.exchange cancel true) then
-                Atomic.set cancel_mark (Obs.Metrics.value m_deadline_ticks);
-              raise e
+              let finish () =
+                (* Morsels a lane ran beyond its fair share = work it
+                   stole from slower lanes; zero means no skew. *)
+                let fair = nm / n_tasks in
+                Array.iter
+                  (fun c ->
+                    if c > fair then Obs.Metrics.add m_steals (c - fair))
+                  pulls
+              in
+              (logs, Array.init n_tasks lane_task, "morsel", finish)
+            end
+            else begin
+              (* Over-decompose for load balance: sparse work per
+                 candidate is skewed, so chunks outnumber lanes. *)
+              let n_chunks = min n_cand (4 * Pool.size pool) in
+              let logs =
+                Array.init n_chunks (fun _ ->
+                    ( Vec.Int.create ~capacity:64 (),
+                      Vec.Float.create ~capacity:64 () ))
+              in
+              let chunk_task c : Pool.task =
+               fun () ->
+                try
+                  Obs.Metrics.incr m_chunks;
+                  Obs.Metrics.incr (domain_counter "kernel.chunks");
+                  let lo = c * n_cand / n_chunks in
+                  let hi = (c + 1) * n_cand / n_chunks in
+                  let st = Lowering.fresh_state plan tensors in
+                  let check = make_check () in
+                  let coords = st.Lowering.st_coords in
+                  let go = make_go st check (log_sink logs.(c) coords) in
+                  run_range st check go lo hi
+                with e -> on_failure e
+              in
+              (logs, Array.init n_chunks chunk_task, "static", fun () -> ())
+            end
           in
           let record_cancel_latency () =
             let mark = Atomic.get cancel_mark in
@@ -266,19 +459,21 @@ let compile (k : Physical.kernel) ~(access_fills : float array)
               Obs.Metrics.set_gauge m_cancel_latency
                 (float_of_int (Obs.Metrics.value m_deadline_ticks - mark))
           in
-          (try Pool.run_all pool (Array.init n_chunks chunk_task)
+          (try Pool.run_all pool tasks
            with e ->
-             (* All chunks have drained by the time run_all re-raises, so
+             (* All lanes have drained by the time run_all re-raises, so
                 the coarse-tick delta is the cancel-to-last-exit latency. *)
              record_cancel_latency ();
              raise e);
           record_cancel_latency ();
-          (* Ordered replay: chunk logs concatenated in chunk order are
-             exactly the serial accumulation sequence. *)
+          finish ();
+          (* Ordered replay: logs concatenated in chunk/morsel id order
+             are exactly the serial accumulation sequence. *)
           Obs.span ~cat:"exec" ~name:"kernel.replay"
             ~attrs:(fun () ->
               [ ("kernel", k.Physical.name);
-                ("chunks", string_of_int n_chunks) ])
+                ("chunks", string_of_int (Array.length logs));
+                ("sched", sched) ])
             (fun () ->
               let coords = Array.make out_rank 0 in
               Array.iter

@@ -1,0 +1,31 @@
+(* Feature gates for the v2 kernel layer (DESIGN.md §14).
+
+   Three independent switches, all defaulting from one environment
+   variable so a whole process (CI job, serve daemon) flips together:
+
+   - [micro]: innermost-level dense microkernels — unboxed float-array
+     inner loops replacing per-element binder/cursor dispatch;
+   - [bits]: word-level bitset intersection/union for all-bytemap loop
+     levels, replacing byte-at-a-time mask probing;
+   - [morsel]: morsel-driven work distribution for parallel kernels,
+     replacing the static 4×pool-size outermost chunking.
+
+   [GALLEY_KERNEL_V2=0] (or off/false/no) selects the v1 paths; anything
+   else — including unset — selects v2.  The refs are read at kernel
+   *compile* time ([micro]/[bits]) or batch *launch* time ([morsel]), so
+   benchmarks toggle them directly around a fresh compile; every path is
+   bit-identical either way, the switch is purely about speed. *)
+
+let default_on =
+  match Sys.getenv_opt "GALLEY_KERNEL_V2" with
+  | Some ("0" | "off" | "false" | "no") -> false
+  | _ -> true
+
+let micro = ref default_on
+let bits = ref default_on
+let morsel = ref default_on
+
+let set_all (b : bool) : unit =
+  micro := b;
+  bits := b;
+  morsel := b

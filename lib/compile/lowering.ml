@@ -31,6 +31,7 @@
 
 open Galley_plan
 module T = Galley_tensor.Tensor
+module Bitset = Galley_tensor.Bitset
 module C = Galley_physical.Constraints
 
 (* Flat runtime state of one kernel invocation. *)
@@ -52,6 +53,11 @@ type gen =
          iterating member plus probes, streamed without materializing the
          interpreter's filtered candidate array *)
   | G_cur of Cursors.t  (* a composed co-iteration cursor *)
+  | G_bits of int array
+      (* a freshly word-merged presence bitset (v2 bytemap∧bytemap /
+         bytemap∨bytemap fast path): the backend walks its set bits —
+         ascending, duplicate-free, so the candidate sequence is exactly
+         the filtered/cursor sequence it replaces *)
 
 (* A constraint-tree access with its binding resolved at compile time. *)
 type source = { s_acc : int; s_slot : int; s_fmt : T.format }
@@ -68,35 +74,84 @@ type level = {
   lv_bind : state -> int -> unit;
 }
 
+(* v2 dense microkernel: compile-time shape of an innermost level whose
+   bindings are all last-index [Dense] accesses under an all-dense
+   constraint tree (statically [G_full] whenever every operand subtree
+   is present).  The backend may then run an unboxed float-array inner
+   loop over the level instead of per-element binder dispatch; the
+   runtime re-checks that each source resolves to a [Leaf_dense] of
+   sufficient length and otherwise runs the generic level, so candidate
+   and accumulation sequences stay bit-identical to the interpreter. *)
+type micro = {
+  mi_srcs : (int * int) array;
+      (* (access, slot) of every innermost value binding *)
+  mi_out : int option;  (* output-coordinate position bound here, if any *)
+}
+
 type plan = {
   p_levels : level array;
   p_acc_arity : int array;
   p_fills : float array;  (* fill value per access *)
   p_out_rank : int;
   p_n_acc : int;
+  p_micro : micro option;  (* v2 innermost dense microkernel, if eligible *)
   p_desc : string array;
       (* per-level merge-strategy descriptor, e.g. "inter(sparse&hash)";
          static attribution for the profiler's hot-kernel table *)
 }
 
+(* All members of an and/or are bare bytemap accesses — the shape the v2
+   word-level merge handles. *)
+let bytemap_sources (members : ltree list) : source array option =
+  let rec go acc = function
+    | [] -> Some (Array.of_list (List.rev acc))
+    | L_access ({ s_fmt = T.Bytemap; _ } as s) :: rest -> go (s :: acc) rest
+    | _ -> None
+  in
+  if List.compare_length_with members 2 < 0 then None else go [] members
+
 (* Static description of a level's merge strategy, mirroring gen_of's
    classification: bare accesses show their storage format, intersections
-   list members leader-first with '&', unions with '|'. *)
+   list members leader-first with '&', unions with '|'; the v2 word-level
+   bytemap merges name themselves bitand/bitor. *)
 let rec describe_ltree (t : ltree) : string =
+  let bits_name op members =
+    match bytemap_sources members with
+    | Some srcs when !Kernel_v2.bits ->
+        Some
+          (op ^ "("
+          ^ String.concat "&"
+              (List.map (fun _ -> "bytemap") (Array.to_list srcs))
+          ^ ")")
+    | _ -> None
+  in
   match t with
   | L_all -> "full"
   | L_empty -> "empty"
   | L_access { s_fmt; _ } -> T.format_to_string s_fmt
-  | L_and members ->
-      "inter(" ^ String.concat "&" (List.map describe_ltree members) ^ ")"
-  | L_or members ->
-      "union(" ^ String.concat "|" (List.map describe_ltree members) ^ ")"
+  | L_and members -> (
+      match bits_name "bitand" members with
+      | Some s -> s
+      | None ->
+          "inter(" ^ String.concat "&" (List.map describe_ltree members) ^ ")")
+  | L_or members -> (
+      match bits_name "bitor" members with
+      | Some s -> s
+      | None ->
+          "union(" ^ String.concat "|" (List.map describe_ltree members) ^ ")")
 
 let prev (st : state) (a : int) (j : int) : T.node option =
   if j = 0 then Some st.st_roots.(a) else st.st_nodes.(a).(j - 1)
 
-(* Compile an ltree into its candidate generator and membership probe. *)
+(* Compile an ltree into its candidate generator and membership probe.
+   [gen_of] first tries the v2 word-level bytemap merge ([bits_gen_of]);
+   [gen_of_base] is the v1 classification, kept both as the v2-off path
+   and as the runtime fallback when a word merge is not profitable for
+   the fibers actually bound at a visit. *)
 let rec gen_of (t : ltree) : state -> gen =
+  match bits_gen_of t with Some g -> g | None -> gen_of_base t
+
+and gen_of_base (t : ltree) : state -> gen =
   match t with
   | L_all -> fun _ -> G_full
   | L_empty -> fun _ -> G_arr [||]
@@ -123,6 +178,7 @@ let rec gen_of (t : ltree) : state -> gen =
         | G_full -> ( match g2 st with G_full -> G_full | g -> g)
         | G_arr a -> G_filter (a, fun i -> p2 st i)
         | G_filter (a, pr0) -> G_filter (a, fun i -> pr0 i && p2 st i)
+        | G_bits w -> G_filter (Bitset.to_array w, fun i -> p2 st i)
         | G_cur c -> G_cur (Cursors.inter [| c |] [| (fun i -> p2 st i) |]))
   | L_and [ m1; m2; m3 ] ->
       (* Three-way intersections (e.g. triangle-closing levels with a
@@ -136,10 +192,13 @@ let rec gen_of (t : ltree) : state -> gen =
             | G_full -> ( match g3 st with G_full -> G_full | g -> g)
             | G_arr a -> G_filter (a, fun i -> p3 st i)
             | G_filter (a, pr0) -> G_filter (a, fun i -> pr0 i && p3 st i)
+            | G_bits w -> G_filter (Bitset.to_array w, fun i -> p3 st i)
             | G_cur c -> G_cur (Cursors.inter [| c |] [| (fun i -> p3 st i) |]))
         | G_arr a -> G_filter (a, fun i -> p2 st i && p3 st i)
         | G_filter (a, pr0) ->
             G_filter (a, fun i -> pr0 i && p2 st i && p3 st i)
+        | G_bits w ->
+            G_filter (Bitset.to_array w, fun i -> p2 st i && p3 st i)
         | G_cur c ->
             G_cur
               (Cursors.inter [| c |]
@@ -180,6 +239,7 @@ let rec gen_of (t : ltree) : state -> gen =
                 (function
                   | G_cur c -> c
                   | G_arr a -> Cursors.of_sorted a
+                  | G_bits w -> Cursors.of_sorted (Bitset.to_array w)
                   | G_filter (a, pr) ->
                       ps := pr :: !ps;
                       Cursors.of_sorted a
@@ -202,6 +262,7 @@ let rec gen_of (t : ltree) : state -> gen =
                     (function
                       | G_cur c -> c
                       | G_arr a -> Cursors.of_sorted a
+                      | G_bits w -> Cursors.of_sorted (Bitset.to_array w)
                       | G_filter (a, pr) ->
                           Cursors.filter (Cursors.of_sorted a) pr
                       | G_full -> assert false)
@@ -215,6 +276,88 @@ let rec gen_of (t : ltree) : state -> gen =
             | g -> collect (g :: acc) (i + 1)
         in
         collect [] 0
+
+(* v2 word-level bytemap merge (DESIGN.md §14): an intersection or union
+   whose members are all bare bytemap accesses is computed by ANDing /
+   ORing their word-packed presence masks ([Tensor.Node.bitmap_words]),
+   skipping the per-candidate probe / cursor machinery entirely.  The
+   set-bit walk yields the same ascending duplicate-free sequence as the
+   v1 path, so results stay bit-identical.  Word merging loses when the
+   driving fibers hold fewer explicit indices than the level has words —
+   then each visit falls back to the precompiled v1 generator. *)
+and bits_gen_of (t : ltree) : (state -> gen) option =
+  if not !Kernel_v2.bits then None
+  else
+    match t with
+    | L_and members -> (
+        match bytemap_sources members with
+        | None -> None
+        | Some srcs ->
+            let fallback = gen_of_base t in
+            let n_src = Array.length srcs in
+            Some
+              (fun st ->
+                let nds = Array.map (fun s -> prev st s.s_acc s.s_slot) srcs in
+                if Array.exists (function None -> true | Some _ -> false) nds
+                then G_arr [||] (* an absent member empties the intersection *)
+                else
+                  let words_of k =
+                    match nds.(k) with
+                    | Some nd -> T.Node.bitmap_words nd
+                    | None -> None
+                  in
+                  let count_of k =
+                    match nds.(k) with
+                    | Some nd -> T.Node.explicit_count nd
+                    | None -> 0
+                  in
+                  match words_of 0 with
+                  | Some w0 when count_of 0 >= Array.length w0 ->
+                      let out = Array.copy w0 in
+                      let ok = ref true in
+                      for k = 1 to n_src - 1 do
+                        match words_of k with
+                        | Some w when Array.length w = Array.length out ->
+                            Bitset.inter_into out w
+                        | _ -> ok := false
+                      done;
+                      if !ok then G_bits out else fallback st
+                  | _ -> fallback st))
+    | L_or members -> (
+        match bytemap_sources members with
+        | None -> None
+        | Some srcs ->
+            let fallback = gen_of_base t in
+            let n_src = Array.length srcs in
+            Some
+              (fun st ->
+                let ws = Array.make n_src [||] in
+                let n_present = ref 0 in
+                let total = ref 0 and nw = ref (-1) and ok = ref true in
+                for k = 0 to n_src - 1 do
+                  match prev st srcs.(k).s_acc srcs.(k).s_slot with
+                  | None -> () (* absent members drop out of the union *)
+                  | Some nd -> (
+                      match T.Node.bitmap_words nd with
+                      | None -> ok := false
+                      | Some w ->
+                          if !nw = -1 then nw := Array.length w
+                          else if Array.length w <> !nw then ok := false;
+                          total := !total + T.Node.explicit_count nd;
+                          ws.(!n_present) <- w;
+                          incr n_present)
+                done;
+                if not !ok then fallback st
+                else if !n_present = 0 then G_arr [||]
+                else if !total < !nw then fallback st
+                else begin
+                  let out = Array.copy ws.(0) in
+                  for k = 1 to !n_present - 1 do
+                    Bitset.union_into out ws.(k)
+                  done;
+                  G_bits out
+                end))
+    | _ -> None
 
 and probe_of (t : ltree) : state -> int -> bool =
   match t with
@@ -353,13 +496,48 @@ let lower (k : Physical.kernel) ~(access_fills : float array)
     Array.init n_levels (fun l ->
         { lv_gen = gen_of ltrees.(l); lv_bind = bind_of l })
   in
+  let p_micro =
+    if (not !Kernel_v2.micro) || n_levels = 0 then None
+    else begin
+      let l = n_levels - 1 in
+      let rec all_dense = function
+        | L_all -> true
+        | L_access { s_fmt = T.Dense; _ } -> true
+        | L_and ms | L_or ms -> List.for_all all_dense ms
+        | L_access _ | L_empty -> false
+      in
+      (* Every binding must be a last-index Dense access: a non-last
+         binding (a repeated index, e.g. A[i,i]) descends the fiber tree
+         instead of loading a value and disqualifies the level. *)
+      if
+        all_dense ltrees.(l)
+        && List.for_all
+             (fun (a, j, is_last) ->
+               is_last && access_formats.(a).(j) = T.Dense)
+             bindings_per_level.(l)
+      then
+        Some
+          {
+            mi_srcs =
+              Array.of_list
+                (List.map (fun (a, j, _) -> (a, j)) bindings_per_level.(l));
+            mi_out = out_pos_of_level.(l);
+          }
+      else None
+    end
+  in
+  let p_desc = Array.map describe_ltree ltrees in
+  (match p_micro with
+  | Some _ -> p_desc.(n_levels - 1) <- "micro(" ^ p_desc.(n_levels - 1) ^ ")"
+  | None -> ());
   {
     p_levels = levels;
     p_acc_arity = acc_arity;
     p_fills = access_fills;
     p_out_rank = List.length k.Physical.output_idxs;
     p_n_acc = n_acc;
-    p_desc = Array.map describe_ltree ltrees;
+    p_micro;
+    p_desc;
   }
 
 let fresh_state (p : plan) (tensors : T.t array) : state =

@@ -274,9 +274,21 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
                           ~access_formats
                       in
                       let pool = t.pool in
+                      (* Scheduling attribution rides on the merge string
+                         the profiler's hot-kernel table joins: kernels
+                         that will distribute over the pool say which
+                         scheduler hands out their outermost ranges. *)
+                      let describe =
+                        if Pool.size pool > 1 then
+                          staged.Galley_compile.Backend.describe
+                          ^ (if !Galley_compile.Kernel_v2.morsel then
+                               " par:morsel"
+                             else " par:static")
+                        else staged.Galley_compile.Backend.describe
+                      in
                       {
                         Kernel_exec.signature;
-                        describe = staged.Galley_compile.Backend.describe;
+                        describe;
                         run =
                           (fun ?deadline kc ts ->
                             try

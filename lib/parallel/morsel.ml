@@ -1,0 +1,37 @@
+(* Morsel-driven work dispenser (DESIGN.md §14).
+
+   A batch of [n_items] candidates is cut into fixed-size ranges
+   ("morsels"); lanes pull the next unclaimed morsel from a single
+   atomic counter until the dispenser is dry.  Skewed per-candidate
+   work therefore rebalances itself — a lane stuck in a heavy fiber
+   simply pulls fewer morsels — without any static assignment.
+
+   The morsel→range mapping is a pure function of the morsel id, never
+   of which lane claimed it, so per-morsel result logs replayed in id
+   order reproduce the serial sequence exactly regardless of the
+   schedule (the backend's bit-identity argument). *)
+
+type t = {
+  size : int;  (* candidates per morsel (last one may be short) *)
+  n_items : int;
+  n_morsels : int;
+  next : int Atomic.t;
+}
+
+let create ~(n_items : int) ~(size : int) : t =
+  let size = max 1 size in
+  {
+    size;
+    n_items;
+    n_morsels = (n_items + size - 1) / size;
+    next = Atomic.make 0;
+  }
+
+let n_morsels (t : t) : int = t.n_morsels
+
+(* Claim the next morsel: [Some (id, lo, hi)] with the candidate range
+   [lo, hi), or [None] once drained. *)
+let take (t : t) : (int * int * int) option =
+  let m = Atomic.fetch_and_add t.next 1 in
+  if m >= t.n_morsels then None
+  else Some (m, m * t.size, min t.n_items ((m + 1) * t.size))

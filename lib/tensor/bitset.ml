@@ -1,0 +1,109 @@
+(* Word-level presence bitsets over native ints.
+
+   Bytemap levels keep a byte-per-index mask for O(1) single-index
+   probes; this module packs the same presence information into native
+   integer words ([Sys.int_size] bits each, 63 on 64-bit platforms) so
+   set algebra over whole levels — the intersections and unions the
+   kernel backend performs at every bytemap∧bytemap loop level — runs
+   one word (not one byte) at a time.
+
+   Invariants, relied on by the backend's candidate generators:
+
+   - a bitset for a dimension of size [len] has exactly
+     [n_words len] words;
+   - bits at positions >= [len] are always zero (tail hygiene), so
+     [inter]/[union] of same-dimension sets never manufacture
+     out-of-range candidates;
+   - [iter_set]/[to_array] visit set bits in strictly ascending order,
+     exactly the sequence a sorted coordinate list produces — which is
+     what keeps word-merged levels bit-identical to the cursor paths
+     they replace. *)
+
+let word_bits = Sys.int_size
+let n_words (len : int) : int = (len + word_bits - 1) / word_bits
+
+(* Build from a sorted (or merely in-range) coordinate list. *)
+let of_sorted (crd : int array) ~(len : int) : int array =
+  let w = Array.make (n_words len) 0 in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= len then invalid_arg "Bitset.of_sorted: index out of range";
+      w.(i / word_bits) <- w.(i / word_bits) lor (1 lsl (i mod word_bits)))
+    crd;
+  w
+
+let mem (w : int array) (i : int) : bool =
+  let q = i / word_bits in
+  q >= 0 && q < Array.length w && w.(q) land (1 lsl (i mod word_bits)) <> 0
+
+(* In-place accumulation; [dst] and [src] must be same-dimension sets. *)
+let inter_into (dst : int array) (src : int array) : unit =
+  if Array.length dst <> Array.length src then
+    invalid_arg "Bitset.inter_into: length mismatch";
+  for q = 0 to Array.length dst - 1 do
+    Array.unsafe_set dst q
+      (Array.unsafe_get dst q land Array.unsafe_get src q)
+  done
+
+let union_into (dst : int array) (src : int array) : unit =
+  if Array.length dst <> Array.length src then
+    invalid_arg "Bitset.union_into: length mismatch";
+  for q = 0 to Array.length dst - 1 do
+    Array.unsafe_set dst q
+      (Array.unsafe_get dst q lor Array.unsafe_get src q)
+  done
+
+let inter (a : int array) (b : int array) : int array =
+  let out = Array.copy a in
+  inter_into out b;
+  out
+
+let union (a : int array) (b : int array) : int array =
+  let out = Array.copy a in
+  union_into out b;
+  out
+
+(* Number of trailing zeros of a one-bit word (an isolated lowest bit),
+   by shift-halving; no hardware ctz is reachable from vanilla OCaml. *)
+let ntz (b : int) : int =
+  let n = ref 0 and b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin n := !n + 32; b := !b lsr 32 end;
+  if !b land 0xFFFF = 0 then begin n := !n + 16; b := !b lsr 16 end;
+  if !b land 0xFF = 0 then begin n := !n + 8; b := !b lsr 8 end;
+  if !b land 0xF = 0 then begin n := !n + 4; b := !b lsr 4 end;
+  if !b land 0x3 = 0 then begin n := !n + 2; b := !b lsr 2 end;
+  if !b land 0x1 = 0 then n := !n + 1;
+  !n
+
+(* Visit set bits in ascending order: per word, repeatedly isolate and
+   clear the lowest set bit. *)
+let iter_set (w : int array) (f : int -> unit) : unit =
+  for q = 0 to Array.length w - 1 do
+    let bits = ref (Array.unsafe_get w q) in
+    let base = q * word_bits in
+    while !bits <> 0 do
+      let b = !bits land - !bits in
+      f (base + ntz b);
+      bits := !bits lxor b
+    done
+  done
+
+let count (w : int array) : int =
+  let n = ref 0 in
+  Array.iter
+    (fun word ->
+      let bits = ref word in
+      while !bits <> 0 do
+        incr n;
+        bits := !bits land (!bits - 1)
+      done)
+    w;
+  !n
+
+let to_array (w : int array) : int array =
+  let out = Array.make (count w) 0 in
+  let p = ref 0 in
+  iter_set w (fun i ->
+      out.(!p) <- i;
+      incr p);
+  out

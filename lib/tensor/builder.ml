@@ -203,6 +203,7 @@ let freeze (b : t) ~(finalize : float -> int -> float) ~(fill : float) :
         Tensor.Leaf_bytemap
           {
             mask;
+            words = Bitset.of_sorted crd ~len:(Bytes.length mask);
             crd;
             vals =
               Array.map
@@ -233,6 +234,7 @@ let freeze (b : t) ~(finalize : float -> int -> float) ~(fill : float) :
         Tensor.Inner_bytemap
           {
             mask;
+            words = Bitset.of_sorted crd ~len:(Bytes.length mask);
             crd;
             children = Array.map (fun i -> go (Hashtbl.find tbl i) (depth + 1)) crd;
           }

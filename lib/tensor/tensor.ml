@@ -21,14 +21,24 @@ let pp_format fmt f = Format.pp_print_string fmt (format_to_string f)
 type node =
   | Inner_dense of node array
   | Inner_sparse of { crd : int array; children : node array }
-  | Inner_bytemap of { mask : Bytes.t; crd : int array; children : node array }
+  | Inner_bytemap of {
+      mask : Bytes.t;
+      words : int array;  (* Bitset.of_sorted crd: mask packed word-wise *)
+      crd : int array;
+      children : node array;
+    }
   | Inner_hash of {
       tbl : (int, node) Hashtbl.t;
       mutable sorted : int array option;
     }
   | Leaf_dense of float array
   | Leaf_sparse of { crd : int array; vals : float array }
-  | Leaf_bytemap of { mask : Bytes.t; crd : int array; vals : float array }
+  | Leaf_bytemap of {
+      mask : Bytes.t;
+      words : int array;
+      crd : int array;
+      vals : float array;
+    }
   | Leaf_hash of {
       tbl : (int, float) Hashtbl.t;
       mutable sorted : int array option;
@@ -131,7 +141,7 @@ module Node = struct
     | Inner_dense cs -> if i >= 0 && i < Array.length cs then Some cs.(i) else None
     | Inner_sparse { crd; children } -> (
         match bsearch crd i with Some p -> Some children.(p) | None -> None)
-    | Inner_bytemap { mask; crd; children } ->
+    | Inner_bytemap { mask; crd; children; _ } ->
         if i >= 0 && i < Bytes.length mask && Bytes.get mask i <> '\000' then
           match bsearch crd i with
           | Some p -> Some children.(p)
@@ -147,7 +157,7 @@ module Node = struct
     | Leaf_dense vs -> if i >= 0 && i < Array.length vs then Some vs.(i) else None
     | Leaf_sparse { crd; vals } -> (
         match bsearch crd i with Some p -> Some vals.(p) | None -> None)
-    | Leaf_bytemap { mask; crd; vals } ->
+    | Leaf_bytemap { mask; crd; vals; _ } ->
         if i >= 0 && i < Bytes.length mask && Bytes.get mask i <> '\000' then
           match bsearch crd i with Some p -> Some vals.(p) | None -> None
         else None
@@ -174,6 +184,15 @@ module Node = struct
     | Inner_hash { tbl; _ } -> Hashtbl.mem tbl i
     | Leaf_hash { tbl; _ } -> Hashtbl.mem tbl i
     | Scalar _ -> invalid_arg "Node.mem: scalar"
+
+  (* Word-packed presence mask of a bytemap level ([Bitset] words over
+     the level's dimension); [None] for every other format.  The kernel
+     backend intersects/unions these word arrays directly instead of
+     probing byte-at-a-time. *)
+  let bitmap_words (n : node) : int array option =
+    match n with
+    | Inner_bytemap { words; _ } | Leaf_bytemap { words; _ } -> Some words
+    | _ -> None
 
   (* Iterate children of an inner level in ascending index order. *)
   let iter_sorted (n : node) (f : int -> node -> unit) : unit =
@@ -231,10 +250,12 @@ let rec empty_node (formats : format array) (dims : int array) (depth : int)
       else Inner_sparse { crd = [||]; children = [||] }
   | Bytemap ->
       let n = dims.(depth) in
+      let words = Array.make (Bitset.n_words n) 0 in
       if leaf then
-        Leaf_bytemap { mask = Bytes.make n '\000'; crd = [||]; vals = [||] }
+        Leaf_bytemap { mask = Bytes.make n '\000'; words; crd = [||]; vals = [||] }
       else
-        Inner_bytemap { mask = Bytes.make n '\000'; crd = [||]; children = [||] }
+        Inner_bytemap
+          { mask = Bytes.make n '\000'; words; crd = [||]; children = [||] }
   | Hash ->
       if leaf then Leaf_hash { tbl = Hashtbl.create 4; sorted = Some [||] }
       else Inner_hash { tbl = Hashtbl.create 4; sorted = Some [||] }
@@ -296,7 +317,7 @@ let rec build_node (formats : format array) (dims : int array) (fill : float)
           crd.(r) <- c;
           vals.(r) <- snd entries.(rlo)
         done;
-        Leaf_bytemap { mask; crd; vals }
+        Leaf_bytemap { mask; words = Bitset.of_sorted crd ~len:n; crd; vals }
     | Hash ->
         let tbl = Hashtbl.create (max 4 (2 * nruns)) in
         for r = 0 to nruns - 1 do
@@ -337,7 +358,7 @@ let rec build_node (formats : format array) (dims : int array) (fill : float)
           Bytes.set mask c '\001';
           crd.(r) <- c
         done;
-        Inner_bytemap { mask; crd; children }
+        Inner_bytemap { mask; words = Bitset.of_sorted crd ~len:n; crd; children }
     | Hash ->
         let tbl = Hashtbl.create (max 4 (2 * nruns)) in
         for r = 0 to nruns - 1 do

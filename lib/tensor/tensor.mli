@@ -23,14 +23,25 @@ val pp_format : Format.formatter -> format -> unit
 type node =
   | Inner_dense of node array
   | Inner_sparse of { crd : int array; children : node array }
-  | Inner_bytemap of { mask : Bytes.t; crd : int array; children : node array }
+  | Inner_bytemap of {
+      mask : Bytes.t;
+      words : int array;
+          (** {!Bitset} word-packing of [mask], for word-level merges *)
+      crd : int array;
+      children : node array;
+    }
   | Inner_hash of {
       tbl : (int, node) Hashtbl.t;
       mutable sorted : int array option;
     }
   | Leaf_dense of float array
   | Leaf_sparse of { crd : int array; vals : float array }
-  | Leaf_bytemap of { mask : Bytes.t; crd : int array; vals : float array }
+  | Leaf_bytemap of {
+      mask : Bytes.t;
+      words : int array;
+      crd : int array;
+      vals : float array;
+    }
   | Leaf_hash of {
       tbl : (int, float) Hashtbl.t;
       mutable sorted : int array option;
@@ -72,6 +83,10 @@ module Node : sig
   (** Membership probe: is index [i] explicitly stored at this level?
       Cheaper than {!find}/{!find_value} when only presence matters. *)
   val mem : t -> int -> bool
+
+  (** Word-packed presence mask of a bytemap level; [None] for other
+      formats.  Enables word-at-a-time set algebra ({!Bitset}). *)
+  val bitmap_words : t -> int array option
 
   (** Iterate children / values in ascending index order. *)
   val iter_sorted : t -> (int -> t -> unit) -> unit

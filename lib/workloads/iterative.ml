@@ -212,6 +212,32 @@ let gcn_reference ~(a : T.t) ~(h0 : T.t) ~(w : T.t) ~(layers : int) :
   done;
   h
 
+(* Sparse-weight GCN (ROADMAP item 1 tail, after the related repo's
+   gcn_sparse_weights_example.jl): the same weight-tied forward pass,
+   but W is sparsified (pruned-network shape) and stored with bytemap
+   levels instead of dense.  The program text is unchanged — only the
+   stored formats and density of W move — so this variant stresses the
+   optimizer's format choice and the v2 kernel paths (dense microkernel
+   rows against sparse weight columns) harder than the dense W above.
+   [gcn_reference] is format-agnostic (it reads through [T.get]) and
+   remains the oracle. *)
+let gcn_sparse_source = gcn_source
+
+let gcn_sparse_inputs ?(seed = 11) ?(weight_density = 0.25) (g : Graphs.t)
+    ~(features : int) : (string * T.t) list =
+  let base = gcn_inputs ~seed g ~features in
+  (* Distinct stream from the dense-variant values so the two variants
+     are independent fixtures, not one tensor reformatted. *)
+  let prng = Prng.create (seed + 7919) in
+  let w =
+    T.of_fun ~dims:[| features; features |]
+      ~formats:[| T.Bytemap; T.Bytemap |] (fun _ ->
+        if Prng.float prng < weight_density then
+          Prng.float_range prng (-0.4) 0.4
+        else 0.0)
+  in
+  List.map (fun (name, t) -> if name = "W" then (name, w) else (name, t)) base
+
 (* ------------------------------------------------------------------ *)
 (* BFS-style reachability                                               *)
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,648 @@
+(* v2 kernel layer (DESIGN.md §14): word-level bitset algebra unit
+   tests (tail words, empty and all-set masks, randomized vs naive),
+   the morsel dispenser protocol, and the bit-for-bit equivalence
+   matrix for all three new fast paths — dense microkernels, bytemap
+   word merges, morsel scheduling — against the interpreter oracle and
+   the brute-force reference, across v2 on/off and domains {1, 4}.
+   Also checks the observability surfacing (merge-strategy strings,
+   par:morsel suffix, kernel.morsels metric) and the sparse-weight GCN
+   workload against its dense reference. *)
+
+module T = Galley_tensor.Tensor
+module Prng = Galley_tensor.Prng
+module Bitset = Galley_tensor.Bitset
+module Ir = Galley_plan.Ir
+module Op = Galley_plan.Op
+module Schema = Galley_plan.Schema
+module LQ = Galley_plan.Logical_query
+module Popt = Galley_physical.Optimizer
+module Exec = Galley_engine.Exec
+module Ctx = Galley_stats.Ctx
+module V2 = Galley_compile.Kernel_v2
+module Morsel = Galley_parallel.Morsel
+module Obs = Galley_obs
+module Trace = Galley_obs.Trace
+module Metrics = Galley_obs.Metrics
+module Fix = Galley_fixpoint.Fixpoint
+module D = Galley.Driver
+module E = Galley.Errors
+module I = Galley_workloads.Iterative
+module G = Galley_workloads.Graphs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+(* -------------------------------------------------------------- *)
+(* Bitset unit tests.                                               *)
+(* -------------------------------------------------------------- *)
+
+let wb = Bitset.word_bits
+
+let test_bitset_shapes () =
+  (* Word-count accounting, including exact word boundaries. *)
+  check_int "one word" 1 (Bitset.n_words 1);
+  check_int "full word" 1 (Bitset.n_words wb);
+  check_int "one past a word" 2 (Bitset.n_words (wb + 1));
+  check_int "two full words" 2 (Bitset.n_words (2 * wb));
+  let w = Bitset.of_sorted [| 0; 5; wb - 1; wb; (2 * wb) - 1 |] ~len:(2 * wb) in
+  check_int "words allocated" 2 (Array.length w);
+  check_ints "cross-word round trip"
+    [ 0; 5; wb - 1; wb; (2 * wb) - 1 ]
+    (Array.to_list (Bitset.to_array w));
+  check_bool "mem hit" true (Bitset.mem w wb);
+  check_bool "mem miss" false (Bitset.mem w 1);
+  check_bool "mem out of range" false (Bitset.mem w (10 * wb));
+  Alcotest.check_raises "out-of-range coordinate"
+    (Invalid_argument "Bitset.of_sorted: index out of range") (fun () ->
+      ignore (Bitset.of_sorted [| 7 |] ~len:7));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Bitset.inter_into: length mismatch") (fun () ->
+      Bitset.inter_into (Array.make 1 0) (Array.make 2 0))
+
+let test_bitset_empty_mask () =
+  let len = wb + 7 in
+  let e = Bitset.of_sorted [||] ~len in
+  check_int "empty count" 0 (Bitset.count e);
+  check_ints "empty drain" [] (Array.to_list (Bitset.to_array e));
+  Bitset.iter_set e (fun _ -> Alcotest.fail "iter_set visited an empty mask");
+  let full = Bitset.of_sorted (Array.init len Fun.id) ~len in
+  check_ints "empty kills intersection" []
+    (Array.to_list (Bitset.to_array (Bitset.inter full e)));
+  check_int "empty is union identity" len (Bitset.count (Bitset.union e full))
+
+let test_bitset_all_set_tail () =
+  (* A fully-set mask whose length is not a word multiple: the tail
+     word must stay clean so algebra never manufactures out-of-range
+     coordinates. *)
+  List.iter
+    (fun len ->
+      let full = Bitset.of_sorted (Array.init len Fun.id) ~len in
+      check_int "count = len" len (Bitset.count full);
+      check_bool "identity round trip" true
+        (Bitset.to_array full = Array.init len Fun.id);
+      check_int "self-intersection" len (Bitset.count (Bitset.inter full full));
+      check_int "self-union" len (Bitset.count (Bitset.union full full));
+      (* Tail bits beyond [len] are zero in every word. *)
+      let last = Array.length full - 1 in
+      let used = len - (last * wb) in
+      check_bool "tail hygiene" true
+        (used = wb || full.(last) lsr used = 0))
+    [ 1; wb - 1; wb; wb + 1; (2 * wb) + 13; 100 ]
+
+let test_bitset_iter_ascending () =
+  let prng = Prng.create 17 in
+  for _ = 1 to 20 do
+    let len = 1 + Prng.int prng 300 in
+    let crd =
+      Array.of_seq
+        (Hashtbl.to_seq_keys
+           (let tbl = Hashtbl.create 16 in
+            for _ = 1 to Prng.int prng 80 do
+              Hashtbl.replace tbl (Prng.int prng len) ()
+            done;
+            tbl))
+    in
+    let w = Bitset.of_sorted crd ~len in
+    let prev = ref (-1) in
+    Bitset.iter_set w (fun i ->
+        check_bool "strictly ascending" true (i > !prev);
+        check_bool "was inserted" true (Array.exists (( = ) i) crd);
+        prev := i);
+    check_int "visit count" (Array.length crd) (Bitset.count w)
+  done
+
+let test_bitset_algebra_vs_naive () =
+  let prng = Prng.create 23 in
+  for _ = 1 to 40 do
+    let len = 1 + Prng.int prng 250 in
+    let rand_set () =
+      let tbl = Hashtbl.create 16 in
+      for _ = 1 to Prng.int prng 120 do
+        Hashtbl.replace tbl (Prng.int prng len) ()
+      done;
+      tbl
+    in
+    let ta = rand_set () and tb = rand_set () in
+    let wa = Bitset.of_sorted (Array.of_seq (Hashtbl.to_seq_keys ta)) ~len in
+    let wb_ = Bitset.of_sorted (Array.of_seq (Hashtbl.to_seq_keys tb)) ~len in
+    let naive p = List.filter p (List.init len Fun.id) in
+    check_ints "inter = naive"
+      (naive (fun i -> Hashtbl.mem ta i && Hashtbl.mem tb i))
+      (Array.to_list (Bitset.to_array (Bitset.inter wa wb_)));
+    check_ints "union = naive"
+      (naive (fun i -> Hashtbl.mem ta i || Hashtbl.mem tb i))
+      (Array.to_list (Bitset.to_array (Bitset.union wa wb_)))
+  done
+
+(* -------------------------------------------------------------- *)
+(* Morsel dispenser.                                                *)
+(* -------------------------------------------------------------- *)
+
+let test_morsel_ranges () =
+  let d = Morsel.create ~n_items:10 ~size:3 in
+  check_int "morsel count" 4 (Morsel.n_morsels d);
+  let take () = Morsel.take d in
+  check_bool "first" true (take () = Some (0, 0, 3));
+  check_bool "second" true (take () = Some (1, 3, 6));
+  check_bool "third" true (take () = Some (2, 6, 9));
+  check_bool "short tail" true (take () = Some (3, 9, 10));
+  check_bool "drained" true (take () = None);
+  check_bool "stays drained" true (take () = None);
+  (* Degenerate sizes are clamped, empty batches are dry at once. *)
+  check_int "size clamp" 5 (Morsel.n_morsels (Morsel.create ~n_items:5 ~size:0));
+  let e = Morsel.create ~n_items:0 ~size:4 in
+  check_int "empty batch" 0 (Morsel.n_morsels e);
+  check_bool "empty is dry" true (Morsel.take e = None)
+
+let test_morsel_disjoint_cover () =
+  (* Concurrent pulls partition [0, n): every item claimed exactly once. *)
+  let n = 997 in
+  let d = Morsel.create ~n_items:n ~size:16 in
+  let claimed = Array.make n 0 in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Morsel.take d with
+              | None -> ()
+              | Some (_, lo, hi) ->
+                  for i = lo to hi - 1 do
+                    (* Each index lives in exactly one morsel, and each
+                       morsel is claimed by exactly one lane, so these
+                       writes never race. *)
+                    claimed.(i) <- claimed.(i) + 1
+                  done;
+                  loop ()
+            in
+            loop ()))
+  in
+  Array.iter Domain.join domains;
+  check_bool "each item exactly once" true (Array.for_all (( = ) 1) claimed)
+
+(* -------------------------------------------------------------- *)
+(* Differential matrix: v2 on/off x domains {1,4} x backends.       *)
+(* -------------------------------------------------------------- *)
+
+let fresh_gen () =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    Printf.sprintf "#v%d" !c
+
+let plan_for ?(popt_config = Popt.default_config) inputs (q : LQ.t) =
+  let schema = Schema.create () in
+  List.iter (fun (n, t) -> Schema.declare_tensor schema n t) inputs;
+  let ctx = Ctx.create schema in
+  List.iter (fun (n, t) -> ctx.Ctx.register_input n t) inputs;
+  Popt.plan_query ~config:popt_config ctx ~fresh:(fresh_gen ()) q
+
+let run_plan_with backend domains inputs plan name =
+  let exec = Exec.create ~backend ~domains () in
+  Fun.protect
+    ~finally:(fun () -> Exec.shutdown exec)
+    (fun () ->
+      List.iter (fun (n, t) -> Exec.bind exec n t) inputs;
+      Exec.run_plan exec plan;
+      Exec.lookup exec name)
+
+(* Bit-for-bit equality of the dense images (and of fills/dims). *)
+let bits_equal (a : T.t) (b : T.t) : bool =
+  T.dims a = T.dims b
+  && Int64.bits_of_float (T.fill a) = Int64.bits_of_float (T.fill b)
+  &&
+  let fa = T.to_flat_dense a and fb = T.to_flat_dense b in
+  Array.for_all2
+    (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+    fa fb
+
+let reference inputs (q : LQ.t) =
+  List.assoc q.LQ.name
+    (Galley.Reference.eval_program inputs
+       { Ir.queries = [ LQ.to_query q ]; outputs = [ q.LQ.name ] })
+
+(* Run [f] with all three v2 switches forced to [on], restoring the
+   ambient setting afterwards (tests must not leak gate state). *)
+let with_v2 on f =
+  let micro = !V2.micro and bits = !V2.bits and morsel = !V2.morsel in
+  V2.set_all on;
+  Fun.protect
+    ~finally:(fun () ->
+      V2.micro := micro;
+      V2.bits := bits;
+      V2.morsel := morsel)
+    f
+
+(* Plan once; the interp oracle (v2 irrelevant there) fixes the
+   expected bits, and every staged configuration — v2 on/off, domains
+   1/4, so micro, bitset merges and the morsel scheduler all engage —
+   must reproduce them exactly.  The brute-force reference sums in a
+   different order, so it gets a tolerance. *)
+let check_v2_matrix ?popt_config name inputs (q : LQ.t) =
+  let plan = plan_for ?popt_config inputs q in
+  let run ~v2 ~domains backend =
+    with_v2 v2 (fun () -> run_plan_with backend domains inputs plan q.LQ.name)
+  in
+  let oracle = run ~v2:false ~domains:1 Exec.Interp in
+  List.iter
+    (fun (v2, domains) ->
+      let got = run ~v2 ~domains Exec.Staged in
+      if not (bits_equal got oracle) then
+        Alcotest.failf
+          "%s: staged (v2=%b, domains=%d) diverges from the interp oracle:\n\
+           %s\nvs\n%s"
+          name v2 domains (T.to_string got) (T.to_string oracle))
+    [ (true, 1); (true, 4); (false, 1); (false, 4) ];
+  let want = reference inputs q in
+  if not (T.equal_approx ~eps:1e-6 oracle want) then
+    Alcotest.failf "%s: disagrees with reference:\ngot  %s\nwant %s" name
+      (T.to_string oracle) (T.to_string want)
+
+let all_dense dims = Array.map (fun _ -> T.Dense) dims
+let all_bytemap dims = Array.map (fun _ -> T.Bytemap) dims
+
+let matvec =
+  LQ.make ~output_idxs:[ "i" ] ~name:"out" ~agg_op:Op.Add ~agg_idxs:[ "j" ]
+    ~body:(Ir.mul [ Ir.input "A" [ "i"; "j" ]; Ir.input "v" [ "j" ] ])
+    ()
+
+let test_micro_dense_matvec () =
+  let prng = Prng.create 41 in
+  let a =
+    T.random ~prng ~dims:[| 150; 40 |] ~formats:(all_dense [| 0; 0 |])
+      ~density:0.9 ()
+  in
+  let v =
+    T.random ~prng ~dims:[| 40 |] ~formats:(all_dense [| 0 |]) ~density:0.9 ()
+  in
+  check_v2_matrix "dense matvec" [ ("A", a); ("v", v) ] matvec;
+  (* Scalar reduction: no output coordinate to write in the inner loop. *)
+  let dot =
+    LQ.make ~output_idxs:[] ~name:"out" ~agg_op:Op.Add ~agg_idxs:[ "j" ]
+      ~body:(Ir.mul [ Ir.input "v" [ "j" ]; Ir.input "w" [ "j" ] ])
+      ()
+  in
+  let w =
+    T.random ~prng ~dims:[| 40 |] ~formats:(all_dense [| 0 |]) ~density:0.9 ()
+  in
+  check_v2_matrix "dense dot" [ ("v", v); ("w", w) ] dot;
+  (* Three dense operands + a map op in the body. *)
+  let saxpy =
+    LQ.make ~output_idxs:[ "j" ] ~name:"out" ~agg_op:Op.Ident ~agg_idxs:[]
+      ~body:
+        (Ir.add
+           [
+             Ir.mul [ Ir.lit 2.5; Ir.input "v" [ "j" ] ]; Ir.input "w" [ "j" ];
+           ])
+      ()
+  in
+  check_v2_matrix "dense axpy" [ ("v", v); ("w", w) ] saxpy
+
+let test_micro_absent_rows () =
+  (* Sparse outer level over a dense inner level: rows absent from A
+     must make the microkernel fall back per-visit (an absent operand
+     contributes nothing, which the generic generators express by
+     iterating an empty candidate set — the micro loop must not run). *)
+  let prng = Prng.create 43 in
+  let a =
+    T.random ~prng ~dims:[| 25; 30 |]
+      ~formats:[| T.Sparse_list; T.Dense |]
+      ~density:0.08 ()
+  in
+  let v =
+    T.random ~prng ~dims:[| 30 |] ~formats:(all_dense [| 0 |]) ~density:0.9 ()
+  in
+  check_v2_matrix "absent-row matvec" [ ("A", a); ("v", v) ] matvec
+
+let test_micro_nonzero_fill () =
+  (* Fill-1 dense operands: the innermost constraint tree is a union of
+     dense accesses, still micro-eligible, and the freeze-time fill
+     correction must agree across every configuration. *)
+  let a =
+    T.of_coo ~fill:1.0 ~dims:[| 6; 70 |] ~formats:[| T.Dense; T.Dense |]
+      [| ([| 0; 1 |], 3.0); ([| 2; 64 |], 0.5); ([| 5; 69 |], -2.0) |]
+  in
+  let v =
+    T.of_coo ~fill:1.0 ~dims:[| 70 |] ~formats:[| T.Dense |]
+      [| ([| 2 |], 2.0); ([| 64 |], 4.0) |]
+  in
+  check_v2_matrix "fill-1 matvec" [ ("A", a); ("v", v) ] matvec
+
+let test_bitand_bytemap () =
+  let prng = Prng.create 47 in
+  let mk density =
+    T.random ~prng ~dims:[| 200 |] ~formats:(all_bytemap [| 0 |]) ~density ()
+  in
+  let q3 =
+    LQ.make ~output_idxs:[] ~name:"out" ~agg_op:Op.Add ~agg_idxs:[ "i" ]
+      ~body:
+        (Ir.mul
+           [ Ir.input "x" [ "i" ]; Ir.input "y" [ "i" ]; Ir.input "z" [ "i" ] ])
+      ()
+  in
+  (* Dense enough that the word-merge heuristic fires... *)
+  check_v2_matrix "bytemap 3-way and"
+    [ ("x", mk 0.5); ("y", mk 0.6); ("z", mk 0.5) ]
+    q3;
+  (* ...and sparse enough that it declines and takes the cursor path. *)
+  check_v2_matrix "bytemap sparse and"
+    [ ("x", mk 0.01); ("y", mk 0.5); ("z", mk 0.02) ]
+    q3;
+  (* An all-fill operand annihilates the whole intersection. *)
+  let empty = T.of_coo ~dims:[| 200 |] ~formats:[| T.Bytemap |] [||] in
+  check_v2_matrix "bytemap and with empty operand"
+    [ ("x", mk 0.5); ("y", empty); ("z", mk 0.5) ]
+    q3
+
+let test_bitor_bytemap () =
+  let prng = Prng.create 53 in
+  let mk density =
+    T.random ~prng ~dims:[| 200 |] ~formats:(all_bytemap [| 0 |]) ~density ()
+  in
+  let q =
+    LQ.make ~output_idxs:[ "i" ] ~name:"out" ~agg_op:Op.Ident ~agg_idxs:[]
+      ~body:(Ir.add [ Ir.input "x" [ "i" ]; Ir.input "y" [ "i" ] ])
+      ()
+  in
+  check_v2_matrix "bytemap union" [ ("x", mk 0.4); ("y", mk 0.5) ] q;
+  let empty = T.of_coo ~dims:[| 200 |] ~formats:[| T.Bytemap |] [||] in
+  check_v2_matrix "bytemap union, one empty" [ ("x", empty); ("y", mk 0.5) ] q;
+  check_v2_matrix "bytemap union, both empty" [ ("x", empty); ("y", empty) ] q
+
+let test_bytemap_matrix_levels () =
+  (* Two bytemap x bytemap matrices: both loop levels carry all-bytemap
+     constraint trees, so the word merge nests under the outer one. *)
+  let prng = Prng.create 59 in
+  let mk () =
+    T.random ~prng ~dims:[| 50; 80 |]
+      ~formats:[| T.Bytemap; T.Bytemap |]
+      ~density:0.4 ()
+  in
+  let q =
+    LQ.make ~output_idxs:[ "i" ] ~name:"out" ~agg_op:Op.Add ~agg_idxs:[ "j" ]
+      ~body:(Ir.mul [ Ir.input "A" [ "i"; "j" ]; Ir.input "B" [ "i"; "j" ] ])
+      ()
+  in
+  check_v2_matrix "bytemap matrix hadamard-sum" [ ("A", mk ()); ("B", mk ()) ] q
+
+let test_morsel_vs_static () =
+  (* Same plan, same inputs: the morsel scheduler and the static
+     chunker must both replay to the serial accumulation sequence. *)
+  let prng = Prng.create 61 in
+  let a =
+    T.random ~prng ~dims:[| 500; 300 |]
+      ~formats:[| T.Dense; T.Sparse_list |]
+      ~density:0.05 ()
+  in
+  let v =
+    T.random ~prng ~dims:[| 300 |] ~formats:[| T.Dense |] ~density:0.8 ()
+  in
+  let inputs = [ ("A", a); ("v", v) ] in
+  let plan = plan_for inputs matvec in
+  let serial =
+    with_v2 true (fun () -> run_plan_with Exec.Staged 1 inputs plan "out")
+  in
+  List.iter
+    (fun morsel ->
+      let par =
+        with_v2 true (fun () ->
+            V2.morsel := morsel;
+            run_plan_with Exec.Staged 4 inputs plan "out")
+      in
+      if not (bits_equal serial par) then
+        Alcotest.failf "morsel=%b: domains=4 diverges from domains=1" morsel)
+    [ true; false ]
+
+(* -------------------------------------------------------------- *)
+(* Surfacing: merge-strategy strings and scheduler metrics.         *)
+(* -------------------------------------------------------------- *)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Run [plan] under tracing and return the "merge" attr of the first
+   kernel span. *)
+let merge_attr_of ~domains inputs plan name =
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () -> Trace.disable ())
+    (fun () ->
+      ignore (run_plan_with Exec.Staged domains inputs plan name);
+      let evs = Trace.drain () in
+      let is_kernel e =
+        String.length e.Trace.ev_name >= 7
+        && String.sub e.Trace.ev_name 0 7 = "kernel:"
+      in
+      match List.find_opt is_kernel evs with
+      | None -> Alcotest.fail "no kernel span traced"
+      | Some e -> (
+          match List.assoc_opt "merge" e.Trace.ev_args with
+          | None -> Alcotest.fail "kernel span lost its merge attr"
+          | Some m -> m))
+
+let test_surfacing_strategies () =
+  let prng = Prng.create 67 in
+  let a =
+    T.random ~prng ~dims:[| 60; 40 |] ~formats:(all_dense [| 0; 0 |])
+      ~density:0.9 ()
+  in
+  let v =
+    T.random ~prng ~dims:[| 40 |] ~formats:(all_dense [| 0 |]) ~density:0.9 ()
+  in
+  let dense_inputs = [ ("A", a); ("v", v) ] in
+  let dense_plan = plan_for dense_inputs matvec in
+  with_v2 true (fun () ->
+      let m = merge_attr_of ~domains:1 dense_inputs dense_plan "out" in
+      check_bool "micro named in explain" true (contains ~needle:"micro(" m);
+      let m4 = merge_attr_of ~domains:4 dense_inputs dense_plan "out" in
+      check_bool "morsel scheduler named" true
+        (contains ~needle:" par:morsel" m4);
+      V2.morsel := false;
+      let ms = merge_attr_of ~domains:4 dense_inputs dense_plan "out" in
+      check_bool "static scheduler named" true
+        (contains ~needle:" par:static" ms));
+  with_v2 false (fun () ->
+      let m = merge_attr_of ~domains:1 dense_inputs dense_plan "out" in
+      check_bool "v1 compile drops micro" false (contains ~needle:"micro(" m));
+  let mkb d =
+    T.random ~prng ~dims:[| 200 |] ~formats:(all_bytemap [| 0 |]) ~density:d ()
+  in
+  let band =
+    LQ.make ~output_idxs:[] ~name:"out" ~agg_op:Op.Add ~agg_idxs:[ "i" ]
+      ~body:(Ir.mul [ Ir.input "x" [ "i" ]; Ir.input "y" [ "i" ] ])
+      ()
+  in
+  let b_inputs = [ ("x", mkb 0.5); ("y", mkb 0.5) ] in
+  let b_plan = plan_for b_inputs band in
+  with_v2 true (fun () ->
+      let m = merge_attr_of ~domains:1 b_inputs b_plan "out" in
+      check_bool "bitand named in explain" true (contains ~needle:"bitand(" m))
+
+let test_morsel_metrics () =
+  let prng = Prng.create 71 in
+  let a =
+    T.random ~prng ~dims:[| 400; 50 |]
+      ~formats:[| T.Dense; T.Sparse_list |]
+      ~density:0.1 ()
+  in
+  let v =
+    T.random ~prng ~dims:[| 50 |] ~formats:[| T.Dense |] ~density:0.9 ()
+  in
+  let inputs = [ ("A", a); ("v", v) ] in
+  let plan = plan_for inputs matvec in
+  let morsels = Metrics.counter "kernel.morsels" in
+  let before = Metrics.value morsels in
+  with_v2 true (fun () ->
+      ignore (run_plan_with Exec.Staged 4 inputs plan "out"));
+  check_bool "kernel.morsels advanced" true (Metrics.value morsels > before);
+  (* The steals counter exists (its value is schedule-dependent). *)
+  check_bool "kernel.steals registered" true
+    (Metrics.value (Metrics.counter "kernel.steals") >= 0)
+
+(* -------------------------------------------------------------- *)
+(* Sparse-weight GCN workload.                                      *)
+(* -------------------------------------------------------------- *)
+
+let test_gcn_sparse_weights () =
+  let g = G.erdos_renyi ~seed:13 ~n:60 ~m:300 () in
+  let inputs = I.gcn_sparse_inputs ~seed:5 ~weight_density:0.25 g ~features:8 in
+  let w = List.assoc "W" inputs in
+  check_bool "W actually pruned" true (T.nnz w < 8 * 8);
+  match Fix.run_source_checked ~inputs (I.gcn_sparse_source ~layers:2 ()) with
+  | Error e -> Alcotest.failf "gcn_sparse: %s" (E.to_string e)
+  | Ok (res, _) ->
+      let h = D.output_of res "H" in
+      let want =
+        I.gcn_reference ~a:(List.assoc "A" inputs) ~h0:(List.assoc "H" inputs)
+          ~w ~layers:2
+      in
+      check_bool "dims" true (T.dims h = [| 60; 8 |]);
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun f want_v ->
+              let got = T.get h [| i; f |] in
+              if abs_float (got -. want_v) > 1e-6 then
+                Alcotest.failf "H[%d,%d] = %g, want %g" i f got want_v)
+            row)
+        want
+
+(* -------------------------------------------------------------- *)
+(* Property: random kernels through the full matrix.                *)
+(* -------------------------------------------------------------- *)
+
+let prop_v2_matrix =
+  QCheck.Test.make ~name:"v2 on/off x domains 1/4: bit-identical" ~count:30
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let prng = Prng.create seed in
+      (* Biased toward Dense and Bytemap so the micro and word-merge
+         paths fire often; Sparse_list/Hash keep the fallbacks hot. *)
+      let fmt () =
+        match Prng.int prng 6 with
+        | 0 | 1 -> T.Dense
+        | 2 | 3 -> T.Bytemap
+        | 4 -> T.Sparse_list
+        | _ -> T.Hash
+      in
+      let fill () =
+        match Prng.int prng 4 with 0 | 1 | 2 -> 0.0 | _ -> 1.0
+      in
+      let n1 = 10 + Prng.int prng 50 and n2 = 10 + Prng.int prng 50 in
+      let rand dims =
+        T.random ~fill:(fill ()) ~prng ~dims
+          ~formats:(Array.init (Array.length dims) (fun _ -> fmt ()))
+          ~density:(Prng.float_range prng 0.1 0.7)
+          ()
+      in
+      let a = rand [| n1; n2 |] in
+      let b = rand [| n2 |] in
+      let c = rand [| n1 |] in
+      let inputs = [ ("A", a); ("b", b); ("c", c) ] in
+      let leaf () =
+        match Prng.int prng 4 with
+        | 0 -> Ir.input "A" [ "i"; "j" ]
+        | 1 -> Ir.input "b" [ "j" ]
+        | 2 -> Ir.input "c" [ "i" ]
+        | _ -> Ir.lit (Prng.float_range prng (-1.0) 2.0)
+      in
+      let rec gen depth =
+        if depth = 0 || Prng.int prng 3 = 0 then leaf ()
+        else
+          match Prng.int prng 6 with
+          | 0 -> Ir.add [ gen (depth - 1); gen (depth - 1) ]
+          | 1 | 2 -> Ir.mul [ gen (depth - 1); gen (depth - 1) ]
+          | 3 -> Ir.Map (Op.Max, [ gen (depth - 1); gen (depth - 1) ])
+          | 4 -> Ir.map Op.Relu [ gen (depth - 1) ]
+          | _ -> Ir.Map (Op.Sub, [ gen (depth - 1); gen (depth - 1) ])
+      in
+      let body = gen 3 in
+      let free = Ir.Idx_set.elements (Ir.free_indices body) in
+      let agg_op =
+        match Prng.int prng 3 with 0 | 1 -> Op.Add | _ -> Op.Max
+      in
+      let agg_idxs = List.filter (fun _ -> Prng.bool prng) free in
+      let output_idxs = List.filter (fun i -> not (List.mem i agg_idxs)) free in
+      let agg_op = if agg_idxs = [] then Op.Ident else agg_op in
+      let out_fmts = Array.init (List.length output_idxs) (fun _ -> fmt ()) in
+      let popt_config =
+        {
+          Popt.default_config with
+          format_override = (fun n -> if n = "out" then Some out_fmts else None);
+        }
+      in
+      let q = LQ.make ~output_idxs ~name:"out" ~agg_op ~agg_idxs ~body () in
+      check_v2_matrix ~popt_config "random kernel" inputs q;
+      true)
+
+let () =
+  Alcotest.run "kernels_v2"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "shapes and membership" `Quick test_bitset_shapes;
+          Alcotest.test_case "empty masks" `Quick test_bitset_empty_mask;
+          Alcotest.test_case "all-set masks and tail words" `Quick
+            test_bitset_all_set_tail;
+          Alcotest.test_case "iter_set ascending" `Quick
+            test_bitset_iter_ascending;
+          Alcotest.test_case "algebra vs naive" `Quick
+            test_bitset_algebra_vs_naive;
+        ] );
+      ( "morsel",
+        [
+          Alcotest.test_case "range protocol" `Quick test_morsel_ranges;
+          Alcotest.test_case "disjoint cover under contention" `Quick
+            test_morsel_disjoint_cover;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "dense microkernels" `Quick test_micro_dense_matvec;
+          Alcotest.test_case "micro absent-row fallback" `Quick
+            test_micro_absent_rows;
+          Alcotest.test_case "micro non-annihilating fill" `Quick
+            test_micro_nonzero_fill;
+          Alcotest.test_case "bytemap word intersection" `Quick
+            test_bitand_bytemap;
+          Alcotest.test_case "bytemap word union" `Quick test_bitor_bytemap;
+          Alcotest.test_case "nested bytemap levels" `Quick
+            test_bytemap_matrix_levels;
+          Alcotest.test_case "morsel vs static scheduling" `Quick
+            test_morsel_vs_static;
+        ] );
+      ( "surfacing",
+        [
+          Alcotest.test_case "merge-strategy strings" `Quick
+            test_surfacing_strategies;
+          Alcotest.test_case "scheduler metrics" `Quick test_morsel_metrics;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "sparse-weight gcn" `Quick test_gcn_sparse_weights;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_v2_matrix ] );
+    ]
