@@ -1219,6 +1219,58 @@ let observability () =
   else begin
     p "tracing disabled-overhead check: FAIL (>= 5%%)\n%!";
     exit 1
+  end;
+  (* Recorder + sampler on-path overhead: serve leaves the flight
+     recorder and tail sampler enabled for every request, so the full
+     bracket — begin_request (trace on), the run, end_request (drain +
+     retention decision), flight note — must stay within 5% of a bare
+     run.  Same best-of-N + retry discipline as the tracing check. *)
+  let fl = Galley_obs.Flight.create ~capacity:256 () in
+  let sm = Galley_obs.Sampler.create () in
+  let best_of_rec n =
+    let best = ref infinity in
+    for _ = 1 to n do
+      Galley_obs.Sampler.begin_request sm;
+      let t0 = Unix.gettimeofday () in
+      run_once ();
+      let dt = Unix.gettimeofday () -. t0 in
+      ignore
+        (Galley_obs.Sampler.end_request sm ~id:"bench"
+           ~duration_us:(int_of_float (dt *. 1e6))
+           ~triggers:[]);
+      ignore
+        (Galley_obs.Flight.note fl
+           (Galley_obs.Flight.empty_record ~id:"bench" ~op:"query"));
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let measure_rec () =
+    Galley_obs.Trace.disable ();
+    Galley_obs.Trace.reset ();
+    let bare = best_of 5 in
+    let bracketed = best_of_rec 5 in
+    Galley_obs.Trace.disable ();
+    Galley_obs.Trace.reset ();
+    (bare, bracketed)
+  in
+  let rec check_rec attempt =
+    let bare, bracketed = measure_rec () in
+    let ratio = bracketed /. bare in
+    if ratio < 1.05 || attempt >= 3 then (bare, bracketed, ratio)
+    else check_rec (attempt + 1)
+  in
+  let bare, bracketed, rec_ratio = check_rec 1 in
+  record1 ~section:"observability" ~series:"recorder-off" "fig6 linreg" bare;
+  record1 ~section:"observability" ~series:"recorder-on" "fig6 linreg"
+    bracketed;
+  p "recorder+sampler overhead: bare=%s bracketed=%s (ratio = %.3f)\n"
+    (fmt_time bare) (fmt_time bracketed) rec_ratio;
+  if rec_ratio < 1.05 then
+    p "recorder on-path overhead check: PASS (< 5%%)\n%!"
+  else begin
+    p "recorder on-path overhead check: FAIL (>= 5%%)\n%!";
+    exit 1
   end
 
 (* ------------------------------------------------------------------ *)

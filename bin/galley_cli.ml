@@ -411,6 +411,7 @@ let profile_cmd program_file inputs randoms outputs greedy uniform no_jit
 let serve_cmd socket inputs randoms queue_capacity drain_timeout
     default_budget naive_below greedy_below max_entries faults_spec greedy
     uniform no_cse kernel_backend domains kernel_cache_cap cse_cache_cap
+    telemetry_dir telemetry_interval flight_cap sample_percentile audit
     trace metrics =
   if trace <> None then Galley_obs.Trace.enable ();
   if metrics then Galley_obs.Metrics.set_detailed true;
@@ -447,6 +448,15 @@ let serve_cmd socket inputs randoms queue_capacity drain_timeout
       greedy_below_ms = greedy_below;
       max_response_entries = max_entries;
       driver;
+      flight_capacity = flight_cap;
+      sampler_percentile = sample_percentile;
+      telemetry_dir;
+      telemetry_interval;
+      audit_requests = audit;
+      (* --trace FILE keeps every request's spans instead of only the
+         tail-sampled ones; the sampler accumulates them for the dump
+         below. *)
+      trace_all = trace <> None;
     }
   in
   match
@@ -456,7 +466,15 @@ let serve_cmd socket inputs randoms queue_capacity drain_timeout
       (fun (name, t) -> Galley.Driver.Session.bind session name t)
       (List.map parse_input_spec inputs @ List.map parse_random_spec randoms);
     Galley_serve.Server.run server;
-    finish_obs ~trace ~metrics
+    (match trace with
+    | Some path ->
+        let n =
+          Galley_obs.Sampler.write_all (Galley_serve.Server.sampler server)
+            path
+        in
+        Format.printf "trace: %d events written to %s@." n path
+    | None -> ());
+    finish_obs ~trace:None ~metrics
   with
   | () -> 0
   | exception Unix.Unix_error (e, fn, arg) ->
@@ -469,12 +487,13 @@ let serve_cmd socket inputs randoms queue_capacity drain_timeout
 (* client: one request against a running daemon; prints the raw JSON
    response line and exits 0 iff the server answered ok:true. *)
 let client_cmd socket command src program_file budget values max_entries
-    binds bind_randoms retries backoff req_id =
+    binds bind_randoms retries backoff req_id prometheus last =
   let id = req_id in
   let line =
     match command with
     | "health" -> Ok (Galley_serve.Protocol.encode_health ?id ())
-    | "metrics" -> Ok (Galley_serve.Protocol.encode_metrics ?id ())
+    | "metrics" -> Ok (Galley_serve.Protocol.encode_metrics ?id ~prometheus ())
+    | "debug" -> Ok (Galley_serve.Protocol.encode_debug ?id ?last ())
     | "shutdown" -> Ok (Galley_serve.Protocol.encode_shutdown ?id ())
     | "query" -> (
         match (src, program_file) with
@@ -518,13 +537,82 @@ let client_cmd socket command src program_file budget values max_entries
           Format.eprintf "galley client: %s@." msg;
           1
       | Ok resp -> (
-          print_endline resp;
+          (* --prometheus: print the exposition text itself, not the JSON
+             envelope, so the output pipes straight into a scraper. *)
+          let raw_metrics =
+            if not prometheus then None
+            else
+              match Galley_obs.Json.parse resp with
+              | Ok j ->
+                  Option.bind
+                    (Galley_obs.Json.member "metrics" j)
+                    Galley_obs.Json.to_string
+              | Error _ -> None
+          in
+          (match raw_metrics with
+          | Some text -> print_string text
+          | None -> print_endline resp);
           match Galley_serve.Client.decode resp with
           | Ok (true, _) -> 0
           | Ok (false, _) -> 1
           | Error msg ->
               Format.eprintf "galley client: malformed response: %s@." msg;
               1))
+
+(* debug: dump the daemon's flight recorder as a human-readable table
+   (use `client debug` for the raw JSON). *)
+let debug_cmd socket last retries backoff =
+  let module Json = Galley_obs.Json in
+  let line = Galley_serve.Protocol.encode_debug ?last () in
+  match Galley_serve.Client.rpc ~retries ~backoff ~socket line with
+  | Error msg ->
+      Format.eprintf "galley debug: %s@." msg;
+      1
+  | Ok resp -> (
+      match Json.parse resp with
+      | Error msg ->
+          Format.eprintf "galley debug: malformed response: %s@." msg;
+          1
+      | Ok j -> (
+          match Option.bind (Json.member "records" j) Json.to_list with
+          | None ->
+              (* server answered ok:false (or an old server): show it raw *)
+              print_endline resp;
+              1
+          | Some records ->
+              let num k r =
+                match Option.bind (Json.member k r) Json.to_float with
+                | Some f -> int_of_float f
+                | None -> 0
+              in
+              let str k r =
+                match Option.bind (Json.member k r) Json.to_string with
+                | Some s -> s
+                | None -> ""
+              in
+              let total =
+                match Option.bind (Json.member "total" j) Json.to_float with
+                | Some f -> int_of_float f
+                | None -> List.length records
+              in
+              Format.printf "flight recorder: %d total requests, %d retained@."
+                total (List.length records);
+              Format.printf "%-5s %-10s %-6s %-22s %-12s %9s %8s %5s %5s %s@."
+                "seq" "id" "op" "outcome" "qos->rung" "total_ms" "queue_ms"
+                "iters" "repl" "trace";
+              List.iter
+                (fun r ->
+                  let qos = str "qos" r and rung = str "rung" r in
+                  Format.printf
+                    "%-5d %-10s %-6s %-22s %-12s %9.2f %8.2f %5d %5d %s@."
+                    (num "seq" r) (str "id" r) (str "op" r) (str "outcome" r)
+                    (qos ^ "->" ^ if rung = "" then "-" else rung)
+                    (float_of_int (num "total_us" r) /. 1000.0)
+                    (float_of_int (num "queue_us" r) /. 1000.0)
+                    (num "iterations" r) (num "replans" r)
+                    (match str "trace" r with "" -> "-" | t -> t))
+                records;
+              0))
 
 let demo_cmd () =
   Format.printf "Triangle counting demo: 200-vertex random graph@.";
@@ -793,13 +881,56 @@ let cse_cache_cap_arg =
     & info [ "cse-cache-cap" ] ~docv:"N"
         ~doc:"LRU bound on the resident CSE result cache (entries)")
 
+let telemetry_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-dir" ] ~docv:"DIR"
+        ~doc:
+          "Continuous telemetry directory: rotating JSONL metrics \
+           snapshots and estimator-audit series, retained (tail-sampled) \
+           Chrome traces, and incident/drain flight-recorder dumps")
+
+let telemetry_interval_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "telemetry-interval" ] ~docv:"SECONDS"
+        ~doc:"Seconds between metrics snapshots in the telemetry journal")
+
+let flight_cap_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "flight-cap" ] ~docv:"N"
+        ~doc:"Flight-recorder ring capacity (per-request records)")
+
+let sample_percentile_arg =
+  Arg.(
+    value & opt float 0.90
+    & info [ "sample-percentile" ] ~docv:"P"
+        ~doc:
+          "Tail-sampling slow trigger: keep a request's trace when its \
+           latency exceeds this rolling percentile of recent requests \
+           (errors, shedding, tier degradation, and replans are always \
+           kept)")
+
+let serve_audit_arg =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Run the estimator-accuracy audit on every request: per-query \
+           q-errors land in flight records and (with --telemetry-dir) \
+           the audit journal")
+
 let serve_term =
   Term.(
     const serve_cmd $ socket_arg $ inputs_arg $ randoms_arg $ queue_arg
     $ drain_timeout_arg $ default_budget_arg $ qos_naive_arg $ qos_greedy_arg
     $ max_entries_serve_arg $ serve_faults_arg $ greedy_arg $ uniform_arg
     $ no_cse_arg $ kernel_backend_arg $ domains_arg $ kernel_cache_cap_arg
-    $ cse_cache_cap_arg $ trace_arg $ metrics_arg)
+    $ cse_cache_cap_arg $ telemetry_dir_arg $ telemetry_interval_arg
+    $ flight_cap_arg $ sample_percentile_arg $ serve_audit_arg $ trace_arg
+    $ metrics_arg)
 
 let serve_info =
   Cmd.info "serve"
@@ -816,7 +947,7 @@ let client_command_arg =
     required
     & pos 0 (some string) None
     & info [] ~docv:"COMMAND"
-        ~doc:"One of: query, bind, health, metrics, shutdown")
+        ~doc:"One of: query, bind, health, metrics, debug, shutdown")
 
 let client_src_arg =
   Arg.(
@@ -876,18 +1007,47 @@ let client_id_arg =
     & opt (some string) None
     & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed in the response")
 
+let client_prometheus_arg =
+  Arg.(
+    value & flag
+    & info [ "prometheus" ]
+        ~doc:
+          "With the metrics command: print the registry in Prometheus \
+           text exposition format instead of JSON")
+
+let client_last_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "last" ] ~docv:"N"
+        ~doc:"With the debug command: only the newest N flight records")
+
 let client_term =
   Term.(
     const client_cmd $ socket_arg $ client_command_arg $ client_src_arg
     $ client_program_arg $ client_budget_arg $ client_values_arg
     $ client_max_entries_arg $ client_bind_arg $ client_bind_random_arg
-    $ client_retries_arg $ client_backoff_arg $ client_id_arg)
+    $ client_retries_arg $ client_backoff_arg $ client_id_arg
+    $ client_prometheus_arg $ client_last_arg)
 
 let client_info =
   Cmd.info "client"
     ~doc:
       "Send one request to a running galley serve daemon and print the \
        JSON response; exits 0 iff the server answered ok"
+
+let debug_term =
+  Term.(
+    const debug_cmd $ socket_arg $ client_last_arg $ client_retries_arg
+    $ client_backoff_arg)
+
+let debug_info =
+  Cmd.info "debug"
+    ~doc:
+      "Dump a running daemon's flight recorder — the last N requests \
+       with outcome, QoS tier and served rung, plan digest, per-phase \
+       latency, fixpoint iterations/replans, and retained trace names — \
+       as a table"
 
 let main =
   Cmd.group
@@ -899,6 +1059,7 @@ let main =
       Cmd.v profile_info profile_term;
       Cmd.v serve_info serve_term;
       Cmd.v client_info client_term;
+      Cmd.v debug_info debug_term;
       Cmd.v demo_info demo_term;
     ]
 

@@ -760,6 +760,25 @@ module Session = struct
     validate_logical ~config
       ~known:(fun n -> Galley_engine.Exec.lookup_opt exec n <> None)
       ~outputs logical_plan;
+    let audit =
+      if config.audit then begin
+        (* The shadow contexts need every tensor this plan can reference:
+           session inputs plus residents materialized by earlier queries
+           (whose [Alias] leaves resolve exactly like inputs). *)
+        let resident =
+          Hashtbl.fold
+            (fun n () acc ->
+              match Galley_engine.Exec.lookup_opt exec n with
+              | Some t when not (List.mem_assoc n s.s_inputs) -> (n, t) :: acc
+              | _ -> acc)
+            s.s_defined []
+        in
+        Some
+          (Obs.span ~cat:"phase" ~name:"audit_predict" (fun () ->
+               audit_predict (s.s_inputs @ resident) logical_plan))
+      end
+      else None
+    in
     let t_before = exec.Galley_engine.Exec.timings in
     let compile0 = t_before.Galley_engine.Exec.compile_time in
     let exec0 = t_before.Galley_engine.Exec.exec_time in
@@ -776,6 +795,7 @@ module Session = struct
       execute_queries ~config ~ctx ~exec ~fresh:(fresh s)
         ~before_plan:(register_query s) ~logical_plan ~outputs
     in
+    Option.iter (fun a -> audit_observe a exec logical_plan) audit;
     let t_after = exec.Galley_engine.Exec.timings in
     {
       outputs;
@@ -800,7 +820,7 @@ module Session = struct
         };
       timed_out;
       nnz_guard_retries;
-      audit = None;
+      audit;
     }
 
   (* Run a hand-written logical plan against the session state. *)

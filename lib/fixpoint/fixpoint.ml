@@ -227,58 +227,79 @@ let run_fixpoint (s : D.Session.session) ~(config : D.config)
       while (not !converged) && !iters < max_iters do
         let i = !iters + 1 in
         let timeout = remaining ~deadline ~name ~iterations:!iters in
-        let res =
-          Obs.span ~cat:"phase"
-            ~name:("fixpoint_iter:" ^ name)
-            ~attrs:(fun () -> [ ("iter", string_of_int i) ])
-            (fun () ->
-              D.Session.run_program s ~config:{ config with timeout } prog)
-        in
-        if res.D.timed_out then
-          diverged ~query:name ~iterations:!iters
-            "wall-clock deadline reached before convergence";
-        let fp = Physical.plan_to_string res.D.physical_plan in
-        let replanned =
-          match !fingerprint with Some p -> p <> fp | None -> false
-        in
-        fingerprint := Some fp;
-        let updates =
-          List.map (fun n -> (n, D.output_of res (next_name n))) carried_list
-        in
-        let conv, delta =
-          match f.Ir.fix_cond with
-          | None -> (false, None)
-          | Some _ ->
-              ( T.scalar_value (D.output_of res cond_name) <> 0.0,
-                if has_delta then
-                  Some (T.scalar_value (D.output_of res delta_name))
-                else None )
-        in
-        (* The iteration's updates take effect regardless of the
-           condition: rebinding recomputes measured statistics, so the
-           next re-optimization sees the data as it now is. *)
-        List.iter (fun (n, t) -> D.Session.bind s n t) updates;
-        iters := i;
-        converged := conv;
-        Metrics.incr_named "fixpoint.iterations";
-        if replanned then begin
-          Metrics.incr_named "fixpoint.replans";
-          switches := i :: !switches;
-          Obs.Log.info "fixpoint %s: plan switched at iteration %d" name i
-        end;
-        results := res :: !results;
-        stats :=
-          {
-            it_seconds = res.D.timings.D.total_seconds;
-            it_compile_count = res.D.timings.D.compile_count;
-            it_cse_hits = res.D.timings.D.cse_hits;
-            it_delta = delta;
-            it_converged = conv;
-            it_replanned = replanned;
-            it_nnz = List.map (fun (n, t) -> (n, T.nnz t)) updates;
-            it_formats = List.map (fun (n, t) -> (n, formats_string t)) updates;
-          }
-          :: !stats
+        (* Filled in by the iteration body below; the attrs thunk is only
+           forced when the span is emitted, i.e. after the body returns,
+           so each fixpoint_iter span reports what the iteration did. *)
+        let at_delta = ref None in
+        let at_replanned = ref false in
+        let at_compiles = ref 0 in
+        Obs.span ~cat:"phase"
+          ~name:("fixpoint_iter:" ^ name)
+          ~attrs:(fun () ->
+            [
+              ("iter", string_of_int i);
+              ( "delta",
+                match !at_delta with
+                | Some d -> Printf.sprintf "%.6g" d
+                | None -> "-" );
+              ("replanned", string_of_bool !at_replanned);
+              ("compiles", string_of_int !at_compiles);
+            ])
+          (fun () ->
+            let res =
+              D.Session.run_program s ~config:{ config with timeout } prog
+            in
+            if res.D.timed_out then
+              diverged ~query:name ~iterations:!iters
+                "wall-clock deadline reached before convergence";
+            let fp = Physical.plan_to_string res.D.physical_plan in
+            let replanned =
+              match !fingerprint with Some p -> p <> fp | None -> false
+            in
+            fingerprint := Some fp;
+            let updates =
+              List.map
+                (fun n -> (n, D.output_of res (next_name n)))
+                carried_list
+            in
+            let conv, delta =
+              match f.Ir.fix_cond with
+              | None -> (false, None)
+              | Some _ ->
+                  ( T.scalar_value (D.output_of res cond_name) <> 0.0,
+                    if has_delta then
+                      Some (T.scalar_value (D.output_of res delta_name))
+                    else None )
+            in
+            (* The iteration's updates take effect regardless of the
+               condition: rebinding recomputes measured statistics, so the
+               next re-optimization sees the data as it now is. *)
+            List.iter (fun (n, t) -> D.Session.bind s n t) updates;
+            iters := i;
+            converged := conv;
+            at_delta := delta;
+            at_replanned := replanned;
+            at_compiles := res.D.timings.D.compile_count;
+            Metrics.incr_named "fixpoint.iterations";
+            if replanned then begin
+              Metrics.incr_named "fixpoint.replans";
+              switches := i :: !switches;
+              Obs.Log.info "fixpoint %s: plan switched at iteration %d" name i
+            end;
+            results := res :: !results;
+            stats :=
+              {
+                it_seconds = res.D.timings.D.total_seconds;
+                it_compile_count = res.D.timings.D.compile_count;
+                it_cse_hits = res.D.timings.D.cse_hits;
+                it_delta = delta;
+                it_converged = conv;
+                it_replanned = replanned;
+                it_nnz = List.map (fun (n, t) -> (n, T.nnz t)) updates;
+                it_formats =
+                  List.map (fun (n, t) -> (n, formats_string t)) updates;
+              }
+              :: !stats)
       done;
       if (not !converged) && f.Ir.fix_cond <> None then
         diverged ~query:name ~iterations:!iters

@@ -9,6 +9,9 @@ module Audit = Audit
 module Perfstats = Perfstats
 module Profile = Profile
 module Json = Json
+module Flight = Flight
+module Sampler = Sampler
+module Journal = Journal
 
 let span = Trace.span
 let instant = Trace.instant

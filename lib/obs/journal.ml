@@ -1,0 +1,74 @@
+(* Rotating JSONL telemetry journal.
+
+   `galley serve --telemetry-dir DIR` appends periodic metrics snapshots
+   to [DIR/metrics.jsonl] and the per-tensor estimator audit series to
+   [DIR/audit.jsonl] (the persisted calibration input for the estimator
+   feedback loop, ROADMAP item 2).  Files rotate by size: when a file
+   would exceed [max_bytes] it is renamed to [<file>.1] (replacing any
+   previous rotation), so a long-running daemon holds at most two
+   generations of each stream. *)
+
+type t = { dir : string; max_bytes : int; mutex : Mutex.t }
+
+let mkdir_p dir =
+  let rec go d =
+    if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+    else begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let create ~dir ?(max_bytes = 4 * 1024 * 1024) () : t =
+  mkdir_p dir;
+  { dir; max_bytes = Stdlib.max 4096 max_bytes; mutex = Mutex.create () }
+
+let dir (t : t) = t.dir
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let file_size path = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+
+(* Append one JSONL line to [dir/file], rotating first if the file is
+   already at the size cap. *)
+let append (t : t) ~file (line : string) : unit =
+  locked t (fun () ->
+      let path = Filename.concat t.dir file in
+      if file_size path + String.length line + 1 > t.max_bytes then begin
+        (try Sys.remove (path ^ ".1") with Sys_error _ -> ());
+        try Sys.rename path (path ^ ".1") with Sys_error _ -> ()
+      end;
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc line;
+          output_char oc '\n'))
+
+(* One full metrics-registry snapshot. *)
+let snapshot (t : t) : unit =
+  append t ~file:"metrics.jsonl"
+    (Printf.sprintf {|{"ts_us":%d,"metrics":%s}|} (Clock.now_us ())
+       (Metrics.dump_json ()))
+
+(* Append the audit's per-query predicted/actual/q-error rows, tagged
+   with the request id they came from. *)
+let audit_rows (t : t) ~id (rows : Audit.row list) : unit =
+  List.iter
+    (fun (r : Audit.row) ->
+      let num v =
+        if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+      in
+      let opt = function Some v -> num v | None -> "null" in
+      append t ~file:"audit.jsonl"
+        (Printf.sprintf
+           {|{"ts_us":%d,"id":"%s","query":"%s","estimator":"%s","predicted":%s,"actual":%s,"q_error":%s}|}
+           (Clock.now_us ()) (Metrics.json_escape id)
+           (Metrics.json_escape r.Audit.r_query)
+           (Metrics.json_escape r.Audit.r_estimator)
+           (num r.Audit.r_predicted) (opt r.Audit.r_actual)
+           (opt r.Audit.r_q_error)))
+    rows

@@ -45,10 +45,23 @@ let reset_counts () = Array.iter (fun c -> Atomic.set c 0) emitted
 let sink : (level -> string -> unit) option ref = ref None
 let set_sink f = sink := f
 
+(* Request-id context: when set, every emitted line is prefixed with
+   [rid] so log output can be correlated with flight records and span
+   attrs.  Global, not thread-local — serve's single executor thread
+   sets it around each request, which covers the lines that matter. *)
+let context : string option Atomic.t = Atomic.make None
+let set_context c = Atomic.set context c
+let get_context () = Atomic.get context
+
 let emit_mutex = Mutex.create ()
 
 let emit l msg =
   Atomic.incr emitted.(level_index l);
+  let msg =
+    match Atomic.get context with
+    | Some rid -> Printf.sprintf "[%s] %s" rid msg
+    | None -> msg
+  in
   match !sink with
   | Some f -> f l msg
   | None ->

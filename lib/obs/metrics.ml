@@ -209,6 +209,62 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Prometheus text exposition format (version 0.0.4).
+
+   Metric names are sanitized ([a-zA-Z0-9_:] only) and prefixed with
+   [galley_]; counters keep their monotonic semantics, gauges map
+   directly, and power-of-two histograms are rendered as cumulative
+   [_bucket{le="2^(i+1)-1"}] series plus [+Inf]/[_sum]/[_count].  Empty
+   histogram buckets above the highest observation are elided to keep
+   the payload small. *)
+let prom_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "galley_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let dump_prometheus () : string =
+  let b = Buffer.create 2048 in
+  List.iter
+    (function
+      | Counter c ->
+          let n = prom_name c.c_name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n (value c))
+      | Gauge g ->
+          let n = prom_name g.g_name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %.17g\n" n (gauge_value g))
+      | Histogram h ->
+          let n = prom_name h.h_name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+          let nb = Array.length h.h_buckets in
+          (* highest bucket with any observations (the 62 overflow
+             bucket folds into +Inf below) *)
+          let hi = ref (-1) in
+          for i = 0 to nb - 2 do
+            if Atomic.get h.h_buckets.(i) > 0 then hi := i
+          done;
+          let cum = ref 0 in
+          for i = 0 to !hi do
+            cum := !cum + Atomic.get h.h_buckets.(i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n
+                 ((1 lsl (i + 1)) - 1) !cum)
+          done;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (histogram_count h));
+          Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n (histogram_sum h));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count %d\n" n (histogram_count h)))
+    (sorted_metrics ());
+  Buffer.contents b
+
 let dump_json () : string =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{";

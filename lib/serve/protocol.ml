@@ -16,7 +16,8 @@
      {"op":"bind","name":"E","random":"100x100:0.01:42"}         — or —
      {"op":"bind","name":"E","path":"data.coo"}                  — or —
      {"op":"bind","name":"E","dims":[2,2],"fill"?,"entries":[[i,j,v],..]}
-     {"op":"health"} | {"op":"metrics"} | {"op":"shutdown"}
+     {"op":"health"} | {"op":"metrics","prometheus"?} | {"op":"shutdown"}
+     {"op":"debug","last"?}   — flight-recorder dump (newest [last] records)
 
    Responses always carry "ok" plus the echoed "id" (when sent), and on
    failure an "error" object {"kind","message","phase"?} whose kinds
@@ -49,7 +50,8 @@ type request =
     }
   | Bind of { name : string; spec : bind_spec }
   | Health
-  | Metrics_req
+  | Metrics_req of { prometheus : bool }
+  | Debug_req of { last : int option }
   | Shutdown
 
 type parsed = { req_id : string option; req : request }
@@ -165,7 +167,12 @@ let decode_request (line : string) : (parsed, string) result =
              })
     | "bind" -> decode_bind json
     | "health" -> Ok Health
-    | "metrics" -> Ok Metrics_req
+    | "metrics" ->
+        let* prometheus = opt_member "prometheus" json Json.to_bool in
+        Ok (Metrics_req { prometheus = Option.value ~default:false prometheus })
+    | "debug" ->
+        let* last = opt_member "last" json Json.to_float in
+        Ok (Debug_req { last = Option.map int_of_float last })
     | "shutdown" -> Ok Shutdown
     | other -> Error (Printf.sprintf "unknown op %S" other)
   in
@@ -246,24 +253,28 @@ let error_json ?(id = None) ~kind ?phase ~message () : string =
   Buffer.contents b
 
 (* Map the driver taxonomy onto wire error kinds: the client can branch
-   on "kind" without parsing prose. *)
-let error_of ?(id = None) (e : Galley.Errors.t) : string =
+   on "kind" without parsing prose.  [kind_of_error] is also the flight
+   recorder's "error:<kind>" outcome tag. *)
+let kind_and_phase (e : Galley.Errors.t) : string * string option =
   let module E = Galley.Errors in
-  let kind, phase =
-    match e with
-    | E.Parse_error _ -> ("parse_error", Some "parse")
-    | E.Plan_invalid { context; _ } ->
-        ("plan_invalid", Some (E.phase_to_string context.E.phase))
-    | E.Optimizer_deadline { context; _ } ->
-        ("optimizer_deadline", Some (E.phase_to_string context.E.phase))
-    | E.Budget_exceeded { context; _ } ->
-        ("budget_exceeded", Some (E.phase_to_string context.E.phase))
-    | E.Kernel_failure { context; _ } ->
-        ("kernel_failure", Some (E.phase_to_string context.E.phase))
-    | E.Fixpoint_diverged { context; _ } ->
-        ("fixpoint_diverged", Some (E.phase_to_string context.E.phase))
-  in
-  error_json ~id ~kind ?phase ~message:(E.to_string e) ()
+  match e with
+  | E.Parse_error _ -> ("parse_error", Some "parse")
+  | E.Plan_invalid { context; _ } ->
+      ("plan_invalid", Some (E.phase_to_string context.E.phase))
+  | E.Optimizer_deadline { context; _ } ->
+      ("optimizer_deadline", Some (E.phase_to_string context.E.phase))
+  | E.Budget_exceeded { context; _ } ->
+      ("budget_exceeded", Some (E.phase_to_string context.E.phase))
+  | E.Kernel_failure { context; _ } ->
+      ("kernel_failure", Some (E.phase_to_string context.E.phase))
+  | E.Fixpoint_diverged { context; _ } ->
+      ("fixpoint_diverged", Some (E.phase_to_string context.E.phase))
+
+let kind_of_error (e : Galley.Errors.t) : string = fst (kind_and_phase e)
+
+let error_of ?(id = None) (e : Galley.Errors.t) : string =
+  let kind, phase = kind_and_phase e in
+  error_json ~id ~kind ?phase ~message:(Galley.Errors.to_string e) ()
 
 (* Fixpoint execution summary (queries that used `iterate`): iteration
    count, plan switches, and the per-iteration convergence deltas. *)
@@ -508,5 +519,23 @@ let encode_simple ?id (op : string) : string =
   Buffer.contents b
 
 let encode_health ?id () = encode_simple ?id "health"
-let encode_metrics ?id () = encode_simple ?id "metrics"
+
+let encode_metrics ?id ?(prometheus = false) () =
+  if not prometheus then encode_simple ?id "metrics"
+  else begin
+    let b = Buffer.create 48 in
+    enc_common b ~op:"metrics" ~id;
+    Buffer.add_string b ",\"prometheus\":true}";
+    Buffer.contents b
+  end
+
+let encode_debug ?id ?last () =
+  let b = Buffer.create 48 in
+  enc_common b ~op:"debug" ~id;
+  (match last with
+  | Some n -> Buffer.add_string b (Printf.sprintf ",\"last\":%d" n)
+  | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
 let encode_shutdown ?id () = encode_simple ?id "shutdown"

@@ -56,6 +56,20 @@ type config = {
   max_response_entries : int;
       (** per-output cap on entries serialized into a response *)
   driver : D.config;  (** base pipeline config (faults ride in here) *)
+  flight_capacity : int;  (** flight-recorder ring size (records) *)
+  sampler_percentile : float;
+      (** tail-sampling slow trigger: retain traces above this rolling
+          percentile of recent request latencies *)
+  telemetry_dir : string option;
+      (** when set: rotating JSONL metrics/audit journal, retained
+          traces, and incident/drain flight dumps land here *)
+  telemetry_interval : float;  (** seconds between journal snapshots *)
+  audit_requests : bool;
+      (** run the estimator audit per request (q-errors in flight
+          records and the audit journal) *)
+  trace_all : bool;
+      (** keep every request's spans (serve --trace FILE), not just the
+          tail-sampled ones *)
 }
 
 let default_config ~socket_path =
@@ -68,6 +82,12 @@ let default_config ~socket_path =
     greedy_below_ms = 1000.0;
     max_response_entries = 100_000;
     driver = D.default_config;
+    flight_capacity = 256;
+    sampler_percentile = 0.90;
+    telemetry_dir = None;
+    telemetry_interval = 60.0;
+    audit_requests = false;
+    trace_all = false;
   }
 
 (* -- metrics ------------------------------------------------------- *)
@@ -83,6 +103,11 @@ let m_connections = Metrics.counter "serve.connections"
 let m_active = Metrics.gauge "serve.active_connections"
 let m_queue_depth = Metrics.gauge "serve.queue_depth"
 let m_latency = Metrics.histogram "serve.request_latency_us"
+
+(* Shed and deadline-rejected requests get their own histogram so the
+   admitted-request latency series isn't survivorship-biased (and the
+   rejection path's own latency — which should be ~0 — is visible). *)
+let m_rejection_latency = Metrics.histogram "serve.rejection_latency_us"
 let m_queue_wait = Metrics.histogram "serve.queue_wait_us"
 let m_accept_faults = Metrics.counter "faults.serve_accept_injected"
 let m_kill_faults = Metrics.counter "faults.serve_kill_injected"
@@ -120,6 +145,13 @@ type t = {
   started : float;
   accept_seq : int Atomic.t; (* accepted-connection ordinal (faults) *)
   query_seq : int Atomic.t; (* admitted-query ordinal (faults) *)
+  (* continuous telemetry (DESIGN.md §15) *)
+  flight : Obs.Flight.t;
+  sampler : Obs.Sampler.t;
+  journal : Obs.Journal.t option;
+  rid_seq : int Atomic.t; (* server-assigned request ids (r1, r2, ...) *)
+  mutable last_snapshot : float; (* executor thread only *)
+  mutable incident_seq : int; (* executor thread only *)
 }
 
 let state_of t =
@@ -167,6 +199,15 @@ let create (cfg : config) : t =
     started = Unix.gettimeofday ();
     accept_seq = Atomic.make 0;
     query_seq = Atomic.make 0;
+    flight = Obs.Flight.create ~capacity:cfg.flight_capacity ();
+    sampler =
+      Obs.Sampler.create ?dir:cfg.telemetry_dir
+        ~percentile:cfg.sampler_percentile ~keep_all:cfg.trace_all ();
+    journal =
+      Option.map (fun dir -> Obs.Journal.create ~dir ()) cfg.telemetry_dir;
+    rid_seq = Atomic.make 0;
+    last_snapshot = Unix.gettimeofday ();
+    incident_seq = 0;
   }
 
 let initiate_drain t =
@@ -183,6 +224,130 @@ let request_drain t = Atomic.set t.drain_requested true
 (* -- per-request processing (executor thread) ---------------------- *)
 
 exception Injected_kill of int
+
+(* Per-request observability scratch: the handlers fill it in as the
+   request progresses; [process_job] consumes it to route the latency
+   observation, decide the sampling triggers, and build the flight
+   record. *)
+type req_info = {
+  mutable ri_outcome : string;  (* "ok" | "error:<kind>" | "shed:<kind>" *)
+  mutable ri_program : string;  (* program digest *)
+  mutable ri_plan : string;  (* physical plan digest *)
+  mutable ri_req_tier : Tier.t option;  (* QoS tier the budget requested *)
+  mutable ri_rung_tier : Tier.t option;  (* worst tier actually served *)
+  mutable ri_queue_us : int;
+  mutable ri_timings : D.timings option;
+  mutable ri_replans : int;
+  mutable ri_iterations : int;
+  mutable ri_audit : Obs.Audit.t option;
+}
+
+let new_req_info () =
+  {
+    ri_outcome = "ok";
+    ri_program = "";
+    ri_plan = "";
+    ri_req_tier = None;
+    ri_rung_tier = None;
+    ri_queue_us = 0;
+    ri_timings = None;
+    ri_replans = 0;
+    ri_iterations = 0;
+    ri_audit = None;
+  }
+
+let outcome_is_shed o = String.length o >= 5 && String.sub o 0 5 = "shed:"
+let outcome_is_error o = String.length o >= 6 && String.sub o 0 6 = "error:"
+
+(* A batch request implicitly asks for the exact tier, so any ladder
+   degradation on it counts as degraded too. *)
+let degraded (info : req_info) : bool =
+  match info.ri_rung_tier with
+  | None -> false
+  | Some rung ->
+      let req =
+        match info.ri_req_tier with Some t -> t | None -> Tier.Exact
+      in
+      Tier.rank rung < Tier.rank req
+
+let worst_tier (res : D.result) : Tier.t option =
+  List.fold_left
+    (fun acc (_, tier) ->
+      match acc with
+      | None -> Some tier
+      | Some w -> if Tier.rank tier < Tier.rank w then Some tier else acc)
+    None
+    (res.D.logical_tiers @ res.D.physical_tiers)
+
+(* Fold one successful driver result (plus any fixpoint reports) into
+   the request's scratch record. *)
+let note_result (info : req_info)
+    ?(reports : Galley_fixpoint.Fixpoint.fix_report list = [])
+    (res : D.result) : unit =
+  info.ri_plan <-
+    Obs.Flight.digest (Galley_plan.Physical.plan_to_string res.D.physical_plan);
+  info.ri_rung_tier <- worst_tier res;
+  info.ri_timings <- Some res.D.timings;
+  info.ri_audit <- res.D.audit;
+  info.ri_replans <-
+    List.fold_left
+      (fun a (r : Galley_fixpoint.Fixpoint.fix_report) ->
+        a + r.Galley_fixpoint.Fixpoint.fr_replans)
+      0 reports;
+  info.ri_iterations <-
+    List.fold_left
+      (fun a (r : Galley_fixpoint.Fixpoint.fix_report) ->
+        a + r.Galley_fixpoint.Fixpoint.fr_iterations)
+      0 reports
+
+let flight_record_of ~rid ~op ~total_us (info : req_info) ~trace :
+    Obs.Flight.record =
+  let base = Obs.Flight.empty_record ~id:rid ~op in
+  let s2us s = int_of_float (s *. 1e6) in
+  let lus, pus, cus, eus, compiles, kernels, cse =
+    match info.ri_timings with
+    | Some tm ->
+        ( s2us tm.D.logical_seconds,
+          s2us tm.D.physical_seconds,
+          s2us tm.D.compile_seconds,
+          s2us tm.D.execute_seconds,
+          tm.D.compile_count,
+          tm.D.kernel_count,
+          tm.D.cse_hits )
+    | None -> (0, 0, 0, 0, 0, 0, 0)
+  in
+  {
+    base with
+    Obs.Flight.fl_outcome = info.ri_outcome;
+    fl_program = info.ri_program;
+    fl_plan = info.ri_plan;
+    fl_qos =
+      (match info.ri_req_tier with
+      | Some t -> Tier.to_string t
+      | None -> "batch");
+    fl_rung =
+      (match info.ri_rung_tier with Some t -> Tier.to_string t | None -> "");
+    fl_queue_us = info.ri_queue_us;
+    fl_logical_us = lus;
+    fl_physical_us = pus;
+    fl_compile_us = cus;
+    fl_execute_us = eus;
+    fl_total_us = total_us;
+    fl_compiles = compiles;
+    fl_kernels = kernels;
+    fl_cse_hits = cse;
+    fl_replans = info.ri_replans;
+    fl_iterations = info.ri_iterations;
+    fl_qerrors =
+      (match info.ri_audit with
+      | Some a ->
+          List.map
+            (fun (s : Obs.Audit.summary) ->
+              (s.Obs.Audit.s_estimator, s.Obs.Audit.s_mean_q))
+            (Obs.Audit.summaries a)
+      | None -> []);
+    fl_trace = trace;
+  }
 
 (* Derive the per-request driver config from the deadline budget: tier
    selection via Tier.of_budget, the remaining budget as both the
@@ -227,19 +392,23 @@ let request_config t ~(remaining_s : float option) : D.config * Tier.t option
         },
         Some tier )
 
-let handle_query t (job : job) ~src ~budget_ms ~want_values ~max_entries =
+let handle_query t (job : job) (info : req_info) ~src ~budget_ms ~want_values
+    ~max_entries =
   let id = job.j_parsed.Protocol.req_id in
   let budget_ms =
     match budget_ms with Some b -> Some b | None -> t.cfg.default_budget_ms
   in
   let waited = Unix.gettimeofday () -. job.j_arrival in
   Metrics.observe m_queue_wait (int_of_float (waited *. 1e6));
+  info.ri_queue_us <- int_of_float (waited *. 1e6);
+  info.ri_program <- Obs.Flight.digest src;
   let remaining_s =
     Option.map (fun b -> (b /. 1000.0) -. waited) budget_ms
   in
   match remaining_s with
   | Some rem when rem <= 0.0 ->
       Metrics.incr m_rejected_deadline;
+      info.ri_outcome <- "shed:deadline";
       Protocol.error_json ~id ~kind:"deadline"
         ~message:
           (Printf.sprintf
@@ -248,9 +417,14 @@ let handle_query t (job : job) ~src ~budget_ms ~want_values ~max_entries =
         ()
   | _ -> (
       let config, qos_tier = request_config t ~remaining_s in
+      let config =
+        if t.cfg.audit_requests then { config with D.audit = true } else config
+      in
+      info.ri_req_tier <- qos_tier;
       match Galley_fixpoint.Fixpoint.parse_checked src with
       | Error e ->
           Metrics.incr m_requests_failed;
+          info.ri_outcome <- "error:" ^ Protocol.kind_of_error e;
           Protocol.error_of ~id e
       | Ok xprogram -> (
           (* serve-kill fires after parse, mid-request: the outer
@@ -278,10 +452,12 @@ let handle_query t (job : job) ~src ~budget_ms ~want_values ~max_entries =
               with
               | Ok res ->
                   Metrics.incr m_requests_ok;
+                  note_result info res;
                   Protocol.result_json ~id ~want_values ~max_entries ?qos_tier
                     res
               | Error e ->
                   Metrics.incr m_requests_failed;
+                  info.ri_outcome <- "error:" ^ Protocol.kind_of_error e;
                   Protocol.error_of ~id e)
           | None -> (
               match
@@ -290,17 +466,23 @@ let handle_query t (job : job) ~src ~budget_ms ~want_values ~max_entries =
               with
               | Ok (res, reports) ->
                   Metrics.incr m_requests_ok;
+                  note_result info ~reports res;
                   Protocol.result_json ~id ~want_values ~max_entries ?qos_tier
                     ~fixpoints:reports res
               | Error e ->
                   Metrics.incr m_requests_failed;
+                  info.ri_outcome <- "error:" ^ Protocol.kind_of_error e;
                   Protocol.error_of ~id e)))
 
-let handle_bind t (job : job) ~name ~spec =
+let handle_bind t (job : job) (info : req_info) ~name ~spec =
   let id = job.j_parsed.Protocol.req_id in
+  info.ri_program <- Obs.Flight.digest name;
+  info.ri_queue_us <-
+    int_of_float ((Unix.gettimeofday () -. job.j_arrival) *. 1e6);
   match Protocol.tensor_of_bind spec with
   | Error msg ->
       Metrics.incr m_bad_requests;
+      info.ri_outcome <- "error:bad_request";
       Protocol.error_json ~id ~kind:"bad_request" ~message:msg ()
   | Ok tensor -> (
       match D.Session.bind t.session name tensor with
@@ -309,14 +491,16 @@ let handle_bind t (job : job) ~name ~spec =
           Protocol.bound_json ~id ~name tensor
       | exception (Invalid_argument m | Failure m) ->
           Metrics.incr m_requests_failed;
+          info.ri_outcome <- "error:bad_request";
           Protocol.error_json ~id ~kind:"bad_request" ~message:m ())
 
-let handle_admitted t (job : job) : string =
+let handle_admitted t (job : job) (info : req_info) : string =
   match job.j_parsed.Protocol.req with
   | Protocol.Query { src; budget_ms; want_values; max_entries } ->
-      handle_query t job ~src ~budget_ms ~want_values ~max_entries
-  | Protocol.Bind { name; spec } -> handle_bind t job ~name ~spec
-  | Protocol.Health | Protocol.Metrics_req | Protocol.Shutdown ->
+      handle_query t job info ~src ~budget_ms ~want_values ~max_entries
+  | Protocol.Bind { name; spec } -> handle_bind t job info ~name ~spec
+  | Protocol.Health | Protocol.Metrics_req _ | Protocol.Debug_req _
+  | Protocol.Shutdown ->
       (* Handled inline by the connection thread; never queued. *)
       assert false
 
@@ -327,12 +511,34 @@ let deliver (job : job) (resp : string) =
   Mutex.unlock job.j_mutex
 
 (* The per-request isolation boundary: no exception escaping a request
-   may kill the executor thread or leak to another request. *)
+   may kill the executor thread or leak to another request.
+
+   Telemetry sequencing: the request id is stamped on the log context
+   and span attrs before any work; after delivery the latency lands in
+   the admitted or rejection histogram (never both), the sampler decides
+   trace retention (so the flight record can name the retained trace),
+   the flight recorder notes the record, and crash-shaped outcomes dump
+   the whole ring to an incident file while the state is fresh. *)
 let process_job t (job : job) =
   let id = job.j_parsed.Protocol.req_id in
+  let rid =
+    match id with
+    | Some i -> i
+    | None -> Printf.sprintf "r%d" (Atomic.fetch_and_add t.rid_seq 1 + 1)
+  in
+  let op =
+    match job.j_parsed.Protocol.req with
+    | Protocol.Query _ -> "query"
+    | Protocol.Bind _ -> "bind"
+    | _ -> "other"
+  in
+  let info = new_req_info () in
+  Obs.Log.set_context (Some rid);
+  Obs.Sampler.begin_request t.sampler;
   let resp =
     if Atomic.get t.force_stop then begin
       Metrics.incr m_rejected_draining;
+      info.ri_outcome <- "shed:draining";
       Protocol.error_json ~id ~kind:"draining"
         ~message:"server drain deadline passed; request not executed" ()
     end
@@ -340,32 +546,70 @@ let process_job t (job : job) =
       try
         Obs.span ~cat:"serve" ~name:"serve.request"
           ~attrs:(fun () ->
-            [
-              ("id", Option.value ~default:"-" id);
-              ( "op",
-                match job.j_parsed.Protocol.req with
-                | Protocol.Query _ -> "query"
-                | Protocol.Bind _ -> "bind"
-                | _ -> "other" );
-            ])
-          (fun () -> handle_admitted t job)
+            (* forced at emission, after the handler: outcome is final *)
+            [ ("rid", rid); ("op", op); ("outcome", info.ri_outcome) ])
+          (fun () -> handle_admitted t job info)
       with
       | Injected_kill n ->
           Metrics.incr m_requests_failed;
+          info.ri_outcome <- "error:injected_fault";
           Protocol.error_json ~id ~kind:"injected_fault"
             ~message:
               (Printf.sprintf "injected mid-request kill (query %d)" n)
             ()
       | exn ->
           Metrics.incr m_requests_failed;
+          info.ri_outcome <- "error:internal";
           Obs.Log.error "serve: request failed uncaught: %s"
             (Printexc.to_string exn);
           Protocol.error_json ~id ~kind:"internal"
             ~message:(Printexc.to_string exn) ()
   in
   deliver job resp;
-  Metrics.observe m_latency
-    (int_of_float ((Unix.gettimeofday () -. job.j_arrival) *. 1e6))
+  let total_us =
+    int_of_float ((Unix.gettimeofday () -. job.j_arrival) *. 1e6)
+  in
+  if outcome_is_shed info.ri_outcome then
+    Metrics.observe m_rejection_latency total_us
+  else Metrics.observe m_latency total_us;
+  let triggers =
+    (if outcome_is_error info.ri_outcome then [ info.ri_outcome ] else [])
+    @ (if outcome_is_shed info.ri_outcome then [ info.ri_outcome ] else [])
+    @ (if degraded info then [ "degraded" ] else [])
+    @ if info.ri_replans > 0 then [ "replanned" ] else []
+  in
+  let decision =
+    Obs.Sampler.end_request t.sampler ~id:rid ~duration_us:total_us ~triggers
+  in
+  let record =
+    Obs.Flight.note t.flight
+      (flight_record_of ~rid ~op ~total_us info
+         ~trace:decision.Obs.Sampler.trace_name)
+  in
+  (match t.journal with
+  | Some j ->
+      (match info.ri_audit with
+      | Some a -> Obs.Journal.audit_rows j ~id:rid (Obs.Audit.rows a)
+      | None -> ());
+      let now = Unix.gettimeofday () in
+      if now -. t.last_snapshot >= t.cfg.telemetry_interval then begin
+        Obs.Journal.snapshot j;
+        t.last_snapshot <- now
+      end
+  | None -> ());
+  (match (t.cfg.telemetry_dir, info.ri_outcome) with
+  | Some dir, ("error:injected_fault" | "error:internal") ->
+      t.incident_seq <- t.incident_seq + 1;
+      let file =
+        Printf.sprintf "incident-%03d-%s.jsonl" t.incident_seq
+          (Obs.Sampler.sanitize rid)
+      in
+      let n = Obs.Flight.write_jsonl t.flight (Filename.concat dir file) in
+      Obs.Log.info "serve: incident dump %s (%d records, trace %s)" file n
+        (if record.Obs.Flight.fl_trace = "" then "-"
+         else record.Obs.Flight.fl_trace)
+  | _ -> ());
+  Obs.Log.set_context None
 
 let executor_loop t =
   let rec loop () =
@@ -388,6 +632,36 @@ let executor_loop t =
   Atomic.set t.exec_done true
 
 (* -- admission (connection threads) -------------------------------- *)
+
+(* Requests rejected at admission never reach the executor; record them
+   here so shedding is visible in both the rejection histogram and the
+   flight ring (which is mutex-guarded, so connection threads may note
+   records directly).  The sampler is executor-owned and stays out of
+   this path — an unadmitted request has no spans to retain. *)
+let note_rejection t (parsed : Protocol.parsed) ~(kind : string)
+    ~(arrival : float) : unit =
+  let rid =
+    match parsed.Protocol.req_id with
+    | Some i -> i
+    | None -> Printf.sprintf "r%d" (Atomic.fetch_and_add t.rid_seq 1 + 1)
+  in
+  let op, program =
+    match parsed.Protocol.req with
+    | Protocol.Query { src; _ } -> ("query", Obs.Flight.digest src)
+    | Protocol.Bind { name; _ } -> ("bind", Obs.Flight.digest name)
+    | _ -> ("other", "")
+  in
+  let total_us = int_of_float ((Unix.gettimeofday () -. arrival) *. 1e6) in
+  Metrics.observe m_rejection_latency total_us;
+  let base = Obs.Flight.empty_record ~id:rid ~op in
+  ignore
+    (Obs.Flight.note t.flight
+       {
+         base with
+         Obs.Flight.fl_outcome = "shed:" ^ kind;
+         fl_program = program;
+         fl_total_us = total_us;
+       })
 
 let submit t (parsed : Protocol.parsed) : string =
   let id = parsed.Protocol.req_id in
@@ -415,10 +689,12 @@ let submit t (parsed : Protocol.parsed) : string =
   match verdict with
   | `Draining ->
       Metrics.incr m_rejected_draining;
+      note_rejection t parsed ~kind:"draining" ~arrival:job.j_arrival;
       Protocol.error_json ~id ~kind:"draining"
         ~message:"server is draining; no new requests admitted" ()
   | `Full ->
       Metrics.incr m_rejected_full;
+      note_rejection t parsed ~kind:"queue_full" ~arrival:job.j_arrival;
       Protocol.error_json ~id ~kind:"queue_full"
         ~message:
           (Printf.sprintf
@@ -461,8 +737,34 @@ let health_json t id =
       ("cse_cache", Printf.sprintf "{\"entries\":%d,\"evictions\":%d}" cc ce);
     ]
 
-let metrics_json id =
-  Protocol.ok_json ~id [ ("op", "\"metrics\""); ("metrics", Metrics.dump_json ()) ]
+let metrics_json id ~prometheus =
+  if prometheus then
+    Protocol.ok_json ~id
+      [
+        ("op", "\"metrics\"");
+        ("format", "\"prometheus\"");
+        ( "metrics",
+          "\"" ^ Metrics.json_escape (Metrics.dump_prometheus ()) ^ "\"" );
+      ]
+  else
+    Protocol.ok_json ~id
+      [ ("op", "\"metrics\""); ("metrics", Metrics.dump_json ()) ]
+
+(* Flight-recorder dump: the newest [last] records (default: the whole
+   ring), newest record last. *)
+let debug_json t id ~last =
+  let rs = Obs.Flight.records t.flight in
+  let n = List.length rs in
+  let keep = match last with Some k when k >= 0 && k < n -> k | _ -> n in
+  let rs = List.filteri (fun i _ -> i >= n - keep) rs in
+  Protocol.ok_json ~id
+    [
+      ("op", "\"debug\"");
+      ("total", string_of_int (Obs.Flight.total t.flight));
+      ("capacity", string_of_int (Obs.Flight.capacity t.flight));
+      ( "records",
+        "[" ^ String.concat "," (List.map Obs.Flight.to_json rs) ^ "]" );
+    ]
 
 let handle_line t (line : string) : string option =
   if String.trim line = "" then None
@@ -476,7 +778,9 @@ let handle_line t (line : string) : string option =
         let id = parsed.Protocol.req_id in
         match parsed.Protocol.req with
         | Protocol.Health -> Some (health_json t id)
-        | Protocol.Metrics_req -> Some (metrics_json id)
+        | Protocol.Metrics_req { prometheus } ->
+            Some (metrics_json id ~prometheus)
+        | Protocol.Debug_req { last } -> Some (debug_json t id ~last)
         | Protocol.Shutdown ->
             request_drain t;
             Some (Protocol.ok_json ~id [ ("op", "\"shutdown\""); ("status", "\"draining\"") ])
@@ -613,6 +917,20 @@ let wait t =
   Mutex.lock t.q_mutex;
   t.state <- Stopped;
   Mutex.unlock t.q_mutex;
+  (* Telemetry drain dump: the flight ring and a final metrics snapshot
+     always land on disk when a telemetry dir is configured, so even a
+     clean shutdown leaves the last N requests inspectable. *)
+  (match t.cfg.telemetry_dir with
+  | Some dir ->
+      (try
+         let n =
+           Obs.Flight.write_jsonl t.flight (Filename.concat dir "flight.jsonl")
+         in
+         (match t.journal with Some j -> Obs.Journal.snapshot j | None -> ());
+         Obs.Log.info "serve: telemetry drain dump (%d flight records to %s)"
+           n dir
+       with Sys_error e -> Obs.Log.warn "serve: telemetry dump failed: %s" e)
+  | None -> ());
   Obs.Log.info "serve: drained clean (%d requests served)"
     (Metrics.value m_requests)
 
@@ -630,3 +948,8 @@ let run ?(install_signals = true) (t : t) : unit =
 (* Test/bench hook: the resident session (e.g. to preload tensors
    in-process before starting the listener). *)
 let session t = t.session
+
+(* Telemetry accessors: the CLI writes the keep-all trace on exit; tests
+   inspect the ring directly. *)
+let sampler t = t.sampler
+let flight t = t.flight

@@ -458,6 +458,150 @@ let test_health_and_metrics () =
             (Json.member "serve.request_latency_us.p99" metrics <> None)
       | None -> Alcotest.fail "metrics response has no registry dump")
 
+(* ------------------------------------------------------------------ *)
+(* Observability over the wire (PR 9)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus_over_wire () =
+  with_server (fun sock _ ->
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"E" spec_e));
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"x" spec_x));
+      ignore (rpc_ok sock (P.encode_query ~id:"warm" soak_src));
+      let m = rpc_ok sock (P.encode_metrics ~prometheus:true ()) in
+      check_bool "prometheus metrics ok" true (is_ok m);
+      check_string "format tagged" "prometheus"
+        (Option.value ~default:"?"
+           (Option.bind (Json.member "format" m) Json.to_string));
+      let text =
+        match Option.bind (Json.member "metrics" m) Json.to_string with
+        | Some t -> t
+        | None -> Alcotest.fail "metrics field is not a string"
+      in
+      let has needle =
+        let n = String.length needle and l = String.length text in
+        let rec go i =
+          i + n <= l && (String.sub text i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      check_bool "latency histogram exported" true
+        (has "# TYPE galley_serve_request_latency_us histogram");
+      check_bool "cumulative +Inf bucket present" true
+        (has "galley_serve_request_latency_us_bucket{le=\"+Inf\"}");
+      check_bool "flight records counter exported" true
+        (has "galley_flight_records");
+      (* exposition text, not JSON: no unescaped braces-as-objects *)
+      check_bool "nonempty" true (String.length text > 100))
+
+let test_shed_requests_not_in_latency () =
+  let module M = Galley_obs.Metrics in
+  with_server
+    ~cfg:(fun c ->
+      {
+        c with
+        driver =
+          {
+            D.default_config with
+            faults =
+              Result.get_ok (Galley.Faults.of_spec "opt-delay=0.02");
+          };
+      })
+    (fun sock _ ->
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"E" spec_e));
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"x" spec_x));
+      let h_ok = M.histogram "serve.request_latency_us" in
+      let h_rej = M.histogram "serve.rejection_latency_us" in
+      let ok_before = M.histogram_count h_ok in
+      let rej_before = M.histogram_count h_rej in
+      (* occupy the executor, then submit a request whose 1ms budget is
+         certain to be spent queueing *)
+      let slow =
+        Thread.create
+          (fun () -> ignore (rpc_ok sock (P.encode_query ~id:"long" soak_src)))
+          ()
+      in
+      Thread.delay 0.005;
+      let json =
+        rpc_ok sock (P.encode_query ~id:"tight" ~budget_ms:1.0 soak_src)
+      in
+      Thread.join slow;
+      check_bool "tight rejected" true (not (is_ok json));
+      (* survivorship: the shed request lands in the rejection
+         histogram, and only the served one in request_latency *)
+      check_int "one rejection recorded" (rej_before + 1)
+        (M.histogram_count h_rej);
+      check_int "shed request absent from request_latency" (ok_before + 1)
+        (M.histogram_count h_ok);
+      (* the flight recorder kept the shed outcome, visible via debug *)
+      let dbg = rpc_ok sock (P.encode_debug ()) in
+      check_bool "debug ok" true (is_ok dbg);
+      let records =
+        Option.value ~default:[]
+          (Option.bind (Json.member "records" dbg) Json.to_list)
+      in
+      let outcome_of id =
+        List.find_map
+          (fun r ->
+            if Option.bind (Json.member "id" r) Json.to_string = Some id then
+              Option.bind (Json.member "outcome" r) Json.to_string
+            else None)
+          records
+      in
+      check_bool "shed outcome recorded" true
+        (outcome_of "tight" = Some "shed:deadline");
+      check_bool "served outcome recorded" true (outcome_of "long" = Some "ok"))
+
+let test_debug_fixpoint_over_wire () =
+  with_server (fun sock _ ->
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"E" spec_e));
+      ignore (rpc_ok sock (P.encode_bind_random ~name:"p" spec_x));
+      let q =
+        rpc_ok sock
+          (P.encode_query ~id:"fx" ~values:false
+             "p = iterate 3 { p[i] := sum[j](E[i,j] * p[j]) }")
+      in
+      check_bool "fixpoint query ok" true (is_ok q);
+      let dbg = rpc_ok sock (P.encode_debug ~last:2 ()) in
+      check_bool "debug ok" true (is_ok dbg);
+      let records =
+        Option.value ~default:[]
+          (Option.bind (Json.member "records" dbg) Json.to_list)
+      in
+      check_int "last=2 limits the dump" 2 (List.length records);
+      let fx =
+        match
+          List.find_opt
+            (fun r ->
+              Option.bind (Json.member "id" r) Json.to_string = Some "fx")
+            records
+        with
+        | Some r -> r
+        | None -> Alcotest.fail "debug dump has no record for id fx"
+      in
+      let num k =
+        Option.map int_of_float (Option.bind (Json.member k fx) Json.to_float)
+      in
+      let str k =
+        Option.value ~default:"?"
+          (Option.bind (Json.member k fx) Json.to_string)
+      in
+      check_bool "iterations captured" true (num "iterations" = Some 3);
+      check_bool "no replans for a fixed-count loop" true
+        (num "replans" = Some 0);
+      check_string "outcome" "ok" (str "outcome");
+      check_int "program digest present" 12 (String.length (str "program"));
+      check_int "plan digest present" 12 (String.length (str "plan"));
+      check_bool "total latency positive" true
+        (match num "total_us" with Some t -> t > 0 | None -> false);
+      (* the total lifetime count is also reported *)
+      check_bool "total >= 3 requests" true
+        (match
+           Option.map int_of_float
+             (Option.bind (Json.member "total" dbg) Json.to_float)
+         with
+        | Some t -> t >= 3
+        | None -> false))
+
 let () =
   Alcotest.run "serve"
     [
@@ -492,5 +636,14 @@ let () =
             test_shutdown_request_drains;
           Alcotest.test_case "health and metrics commands" `Quick
             test_health_and_metrics;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "prometheus exposition over the wire" `Quick
+            test_prometheus_over_wire;
+          Alcotest.test_case "shed requests use the rejection histogram"
+            `Quick test_shed_requests_not_in_latency;
+          Alcotest.test_case "debug op reports fixpoint flight records"
+            `Quick test_debug_fixpoint_over_wire;
         ] );
     ]
