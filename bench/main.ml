@@ -1271,6 +1271,42 @@ let observability () =
   else begin
     p "recorder on-path overhead check: FAIL (>= 5%%)\n%!";
     exit 1
+  end;
+  (* Provenance recorder off-path overhead: the search recorder hooks in
+     both optimizer rungs compile down to one atomic load when disabled,
+     so a run with provenance off must stay within 5% of a run taken
+     before the recorder was ever touched.  Same best-of-N + retry
+     discipline as the tracing check. *)
+  let measure_prov () =
+    Galley_plan.Provenance.disable ();
+    Galley_plan.Provenance.reset ();
+    let off = best_of 5 in
+    Galley_plan.Provenance.enable ();
+    let on = best_of 3 in
+    ignore (Galley_plan.Provenance.drain ());
+    Galley_plan.Provenance.disable ();
+    Galley_plan.Provenance.reset ();
+    let off_after = best_of 5 in
+    (off, on, off_after)
+  in
+  let rec check_prov attempt =
+    let off, on, off_after = measure_prov () in
+    let ratio = off_after /. off in
+    if ratio < 1.05 || attempt >= 3 then (off, on, off_after, ratio)
+    else check_prov (attempt + 1)
+  in
+  let poff, pon, poff2, prov_ratio = check_prov 1 in
+  record1 ~section:"observability" ~series:"provenance-off" "fig6 linreg" poff;
+  record1 ~section:"observability" ~series:"provenance-on" "fig6 linreg" pon;
+  record1 ~section:"observability" ~series:"provenance-off-after"
+    "fig6 linreg" poff2;
+  p "provenance overhead: off=%s on=%s off-after=%s (off-after/off = %.3f)\n"
+    (fmt_time poff) (fmt_time pon) (fmt_time poff2) prov_ratio;
+  if prov_ratio < 1.05 then
+    p "provenance disabled-overhead check: PASS (< 5%%)\n%!"
+  else begin
+    p "provenance disabled-overhead check: FAIL (>= 5%%)\n%!";
+    exit 1
   end
 
 (* ------------------------------------------------------------------ *)

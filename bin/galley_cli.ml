@@ -121,7 +121,10 @@ let print_fixpoint_reports ~timings (reports : Galley_fixpoint.Fixpoint.fix_repo
                   " nnz="
                   ^ String.concat ","
                       (List.map (fun (n, z) -> Printf.sprintf "%s:%d" n z) l))
-              (if it.it_replanned then " [replanned]" else ""))
+              (match (it.it_replanned, it.it_switch) with
+              | true, Some s -> Printf.sprintf " [replanned: %s]" s
+              | true, None -> " [replanned]"
+              | false, _ -> ""))
           fr.fr_iters)
     reports
 
@@ -235,8 +238,152 @@ let print_explain (config : Galley.Driver.config) (res : Galley.Driver.result) =
       | [] -> "none"
       | inc -> String.concat ", " inc)
 
+(* The recorded search trace, in recording order: one line per ladder
+   rung, indented lines for the candidates each rung scored and the
+   prune tallies of the branch-and-bound searches. *)
+let print_search_trace (evs : Galley_plan.Provenance.event list) =
+  let open Galley_plan.Provenance in
+  match evs with
+  | [] ->
+      Format.printf
+        "== optimizer search trace: no events recorded ==@."
+  | _ ->
+      Format.printf "== optimizer search trace ==@.";
+      List.iter
+        (fun ev ->
+          let cost =
+            if Float.is_finite ev.pv_cost then
+              Printf.sprintf " cost=%.4g" ev.pv_cost
+            else ""
+          in
+          match ev.pv_kind with
+          | "rung" ->
+              Format.printf "%s %s: rung %s -> %s%s%s@." ev.pv_phase
+                ev.pv_query ev.pv_tier ev.pv_label cost
+                (match List.assoc_opt "nodes" ev.pv_attrs with
+                | Some n when n <> "0" -> " nodes=" ^ n
+                | _ -> "")
+          | "candidate" ->
+              Format.printf "  %s %s [%s] %s%s%s@." ev.pv_phase ev.pv_query
+                ev.pv_tier ev.pv_label cost
+                (if ev.pv_chosen then "  <-- chosen" else "")
+          | "prune" ->
+              Format.printf "  %s %s [%s] pruned %s: %s@." ev.pv_phase
+                ev.pv_query ev.pv_tier
+                (match List.assoc_opt "count" ev.pv_attrs with
+                | Some c -> c
+                | None -> "?")
+                ev.pv_label
+          | _ -> ())
+        evs
+
+(* Per-operator cost attribution: the optimizer's predicted loop cost
+   for each chosen kernel (provenance "operator" events) joined by
+   kernel name with the measured spans of the same run, and the audit's
+   per-query nnz prediction (under the active estimator) joined with
+   the measured output nnz.  Predicted cost is in abstract estimator
+   units, so its q-error is computed after scaling by the run-wide
+   us-per-cost-unit ratio. *)
+let print_operator_analysis ~(estimator : string)
+    (audit : Galley_obs.Audit.t option)
+    (evs : Galley_plan.Provenance.event list)
+    (forest : Galley_obs.Profile.node list) =
+  let open Galley_plan.Provenance in
+  let ops = List.filter (fun ev -> ev.pv_kind = "operator") evs in
+  match ops with
+  | [] ->
+      Format.printf "== per-operator attribution: no operator events ==@."
+  | _ ->
+      let ks = Galley_obs.Profile.kernels forest in
+      let find_k name =
+        List.find_opt
+          (fun (k : Galley_obs.Profile.kernel_row) -> k.k_kernel = name)
+          ks
+      in
+      let audit_rows =
+        match audit with Some a -> Galley_obs.Audit.rows a | None -> []
+      in
+      let find_audit query =
+        List.find_opt
+          (fun (r : Galley_obs.Audit.row) ->
+            r.r_query = query && r.r_estimator = estimator)
+          audit_rows
+      in
+      let tot_cost = ref 0.0 and tot_us = ref 0 in
+      List.iter
+        (fun ev ->
+          match find_k ev.pv_label with
+          | Some k when Float.is_finite ev.pv_cost ->
+              tot_cost := !tot_cost +. ev.pv_cost;
+              tot_us := !tot_us + k.k_excl_us
+          | _ -> ())
+        ops;
+      let scale =
+        if !tot_cost > 0.0 && !tot_us > 0 then
+          float_of_int !tot_us /. !tot_cost
+        else Float.nan
+      in
+      Format.printf
+        "== per-operator attribution (predicted vs. measured) ==@.";
+      Format.printf "%-14s %-8s %12s %10s %10s %10s %7s %7s@." "kernel"
+        "tier" "pred-cost" "pred-nnz" "meas-ms" "meas-nnz" "nnz-q" "cost-q";
+      List.iter
+        (fun ev ->
+          let fmt_f = function
+            | Some f when Float.is_finite f -> Printf.sprintf "%.4g" f
+            | _ -> "-"
+          in
+          let pred_nnz =
+            Option.map
+              (fun (r : Galley_obs.Audit.row) -> r.r_predicted)
+              (find_audit ev.pv_query)
+          in
+          let tier =
+            Option.value ~default:"?" (List.assoc_opt "tier" ev.pv_attrs)
+          in
+          let meas = find_k ev.pv_label in
+          let meas_ms =
+            match meas with
+            | Some k ->
+                Printf.sprintf "%.3f" (float_of_int k.k_excl_us /. 1000.0)
+            | None -> "-"
+          in
+          let meas_nnz =
+            match meas with
+            | Some k when k.k_out_nnz >= 0 -> Some (float_of_int k.k_out_nnz)
+            | _ -> None
+          in
+          let nnz_q =
+            match (pred_nnz, meas_nnz) with
+            | Some p, Some a ->
+                Some (Galley_obs.Audit.q_error ~predicted:p ~actual:a)
+            | _ -> None
+          in
+          let cost_q =
+            match meas with
+            | Some k
+              when Float.is_finite ev.pv_cost
+                   && Float.is_finite scale && k.k_excl_us > 0 ->
+                Some
+                  (Galley_obs.Audit.q_error
+                     ~predicted:(ev.pv_cost *. scale)
+                     ~actual:(float_of_int k.k_excl_us))
+            | _ -> None
+          in
+          Format.printf "%-14s %-8s %12s %10s %10s %10s %7s %7s@."
+            ev.pv_label tier
+            (fmt_f
+               (if Float.is_finite ev.pv_cost then Some ev.pv_cost else None))
+            (fmt_f pred_nnz) meas_ms (fmt_f meas_nnz) (fmt_f nnz_q)
+            (fmt_f cost_q))
+        ops;
+      if Float.is_finite scale then
+        Format.printf
+          "(cost q-errors use the run-wide scale of %.4g us per cost unit)@."
+          scale
+
 let explain_cmd program_file inputs randoms outputs greedy uniform no_jit
-    no_cse opt_timeout kernel_backend domains =
+    no_cse opt_timeout kernel_backend domains analyze =
   let src = read_file program_file in
   let config =
     {
@@ -254,22 +401,74 @@ let explain_cmd program_file inputs randoms outputs greedy uniform no_jit
       audit = true;
     }
   in
-  match Galley.Driver.parse_checked src with
+  if analyze then begin
+    Galley_obs.Trace.enable ();
+    Galley_obs.Trace.reset ();
+    Galley_plan.Provenance.enable ();
+    Galley_plan.Provenance.reset ()
+  end;
+  (* Parsed through the fixpoint front end so `iterate` blocks explain
+     too; a straight-line program is the one-loop degenerate case. *)
+  match Galley_fixpoint.Fixpoint.parse_checked src with
   | Error e -> report_error e
-  | Ok program -> (
-      let program =
+  | Ok xprogram -> (
+      let xprogram =
         match outputs with
-        | [] -> program
-        | outs -> { program with Galley_plan.Ir.outputs = outs }
+        | [] -> xprogram
+        | outs -> { xprogram with Galley_plan.Ir.xoutputs = outs }
       in
       let bound =
         List.map parse_input_spec inputs @ List.map parse_random_spec randoms
       in
-      match Galley.Driver.run_checked ~config ~inputs:bound program with
-      | Ok res ->
+      match
+        Galley_fixpoint.Fixpoint.run_checked ~config ~inputs:bound xprogram
+      with
+      | Ok (res, reports) ->
           print_explain config res;
+          print_fixpoint_reports ~timings:true reports;
+          if analyze then begin
+            let evs = Galley_plan.Provenance.drain () in
+            let forest =
+              Galley_obs.Profile.build (Galley_obs.Trace.drain ())
+            in
+            print_search_trace evs;
+            print_operator_analysis
+              ~estimator:(Galley_stats.Ctx.kind_to_string config.estimator)
+              res.Galley.Driver.audit evs forest
+          end;
           0
       | Error e -> report_error e)
+
+(* audit-report: offline estimator calibration over a serve telemetry
+   directory (rotating audit.jsonl / metrics.jsonl journals). *)
+let audit_report_cmd dir json_out =
+  let module AR = Galley_obs.Audit_report in
+  let samples = AR.load_dir dir in
+  let metrics = AR.load_metrics dir in
+  if samples = [] && metrics = None then begin
+    Format.eprintf
+      "galley audit-report: no audit.jsonl or metrics.jsonl under %s (run \
+       serve with --audit --telemetry-dir)@."
+      dir;
+    1
+  end
+  else begin
+    let gs = AR.groups samples in
+    if json_out then print_endline (AR.to_json ?metrics gs)
+    else begin
+      print_string (AR.render gs);
+      match metrics with
+      | None -> ()
+      | Some m ->
+          Format.printf "metrics journal: %d snapshot(s) spanning %.1fs@."
+            m.AR.ms_snapshots
+            (float_of_int (m.AR.ms_last_ts - m.AR.ms_first_ts) /. 1e6);
+          List.iter
+            (fun (k, v) -> Format.printf "  %-40s +%g@." k v)
+            m.AR.ms_deltas
+    end;
+    0
+  end
 
 (* profile: run a program with span tracing forced on, rebuild the call
    tree, and print per-phase rollups plus the hot-kernel table that joins
@@ -412,7 +611,7 @@ let serve_cmd socket inputs randoms queue_capacity drain_timeout
     default_budget naive_below greedy_below max_entries faults_spec greedy
     uniform no_cse kernel_backend domains kernel_cache_cap cse_cache_cap
     telemetry_dir telemetry_interval flight_cap sample_percentile audit
-    trace metrics =
+    provenance trace metrics =
   if trace <> None then Galley_obs.Trace.enable ();
   if metrics then Galley_obs.Metrics.set_detailed true;
   let faults =
@@ -453,6 +652,7 @@ let serve_cmd socket inputs randoms queue_capacity drain_timeout
       telemetry_dir;
       telemetry_interval;
       audit_requests = audit;
+      provenance;
       (* --trace FILE keeps every request's spans instead of only the
          tail-sampled ones; the sampler accumulates them for the dump
          below. *)
@@ -486,7 +686,7 @@ let serve_cmd socket inputs randoms queue_capacity drain_timeout
 
 (* client: one request against a running daemon; prints the raw JSON
    response line and exits 0 iff the server answered ok:true. *)
-let client_cmd socket command src program_file budget values max_entries
+let client_cmd socket command arg1 src program_file budget values max_entries
     binds bind_randoms retries backoff req_id prometheus last =
   let id = req_id in
   let line =
@@ -494,6 +694,14 @@ let client_cmd socket command src program_file budget values max_entries
     | "health" -> Ok (Galley_serve.Protocol.encode_health ?id ())
     | "metrics" -> Ok (Galley_serve.Protocol.encode_metrics ?id ~prometheus ())
     | "debug" -> Ok (Galley_serve.Protocol.encode_debug ?id ?last ())
+    | "explain" -> (
+        match arg1 with
+        | Some digest ->
+            Ok (Galley_serve.Protocol.encode_explain ?id ~digest ())
+        | None ->
+            Error
+              "explain needs a plan digest argument (see the plan column of \
+               `galley debug`)")
     | "shutdown" -> Ok (Galley_serve.Protocol.encode_shutdown ?id ())
     | "query" -> (
         match (src, program_file) with
@@ -760,11 +968,45 @@ let run_term =
 
 let run_info = Cmd.info "run" ~doc:"Optimize and execute a tensor program"
 
+let analyze_arg =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Also record the optimizer's search trace (candidates, costs, \
+           prune tallies per ladder rung) and print a per-operator table \
+           joining each kernel's predicted cost and output nnz with its \
+           measured runtime and nnz as q-errors")
+
 let explain_term =
   Term.(
     const explain_cmd $ program_arg $ inputs_arg $ randoms_arg $ outputs_arg
     $ greedy_arg $ uniform_arg $ no_jit_arg $ no_cse_arg $ opt_timeout_arg
-    $ kernel_backend_arg $ domains_arg)
+    $ kernel_backend_arg $ domains_arg $ analyze_arg)
+
+let audit_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some dir) None
+    & info [] ~docv:"DIR"
+        ~doc:"Telemetry directory (the --telemetry-dir of a serve run)")
+
+let audit_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the report as a single JSON object")
+
+let audit_report_term =
+  Term.(const audit_report_cmd $ audit_dir_arg $ audit_json_arg)
+
+let audit_report_info =
+  Cmd.info "audit-report"
+    ~doc:
+      "Summarize a telemetry directory's estimator-audit journal \
+       (audit.jsonl and its rotation): per-tensor geometric-mean and \
+       worst-case q-errors, early-vs-late drift, and suggested \
+       correction factors, plus serve counter deltas from the metrics \
+       journal"
 
 let profile_domains_arg =
   Arg.(
@@ -802,9 +1044,12 @@ let profile_info =
 let explain_info =
   Cmd.info "explain"
     ~doc:
-      "Run a program with the estimator audit enabled and print the chosen \
-       plans, loop orders and formats, and predicted vs. actual \
-       cardinalities with q-errors under both estimators"
+      "Run a program (including iterate blocks, with a per-iteration \
+       plan-switch summary) with the estimator audit enabled and print \
+       the chosen plans, loop orders and formats, and predicted vs. \
+       actual cardinalities with q-errors; with $(b,--analyze), also the \
+       recorded optimizer search trace and a per-operator \
+       predicted-vs-measured cost attribution table"
 
 let demo_term = Term.(const demo_cmd $ const ())
 let demo_info = Cmd.info "demo" ~doc:"Run a built-in triangle-counting demo"
@@ -922,6 +1167,15 @@ let serve_audit_arg =
            q-errors land in flight records and (with --telemetry-dir) \
            the audit journal")
 
+let serve_provenance_arg =
+  Arg.(
+    value & flag
+    & info [ "provenance" ]
+        ~doc:
+          "Record the optimizer's search trace for every planned request \
+           and retain it in a bounded store keyed by plan digest; fetch \
+           with $(b,galley client explain DIGEST)")
+
 let serve_term =
   Term.(
     const serve_cmd $ socket_arg $ inputs_arg $ randoms_arg $ queue_arg
@@ -929,8 +1183,8 @@ let serve_term =
     $ max_entries_serve_arg $ serve_faults_arg $ greedy_arg $ uniform_arg
     $ no_cse_arg $ kernel_backend_arg $ domains_arg $ kernel_cache_cap_arg
     $ cse_cache_cap_arg $ telemetry_dir_arg $ telemetry_interval_arg
-    $ flight_cap_arg $ sample_percentile_arg $ serve_audit_arg $ trace_arg
-    $ metrics_arg)
+    $ flight_cap_arg $ sample_percentile_arg $ serve_audit_arg
+    $ serve_provenance_arg $ trace_arg $ metrics_arg)
 
 let serve_info =
   Cmd.info "serve"
@@ -947,7 +1201,16 @@ let client_command_arg =
     required
     & pos 0 (some string) None
     & info [] ~docv:"COMMAND"
-        ~doc:"One of: query, bind, health, metrics, debug, shutdown")
+        ~doc:"One of: query, bind, health, metrics, debug, explain, shutdown")
+
+let client_arg1 =
+  Arg.(
+    value
+    & pos 1 (some string) None
+    & info [] ~docv:"ARG"
+        ~doc:
+          "Command argument; for explain, the plan digest to look up (the \
+           plan column of $(b,galley debug))")
 
 let client_src_arg =
   Arg.(
@@ -1024,7 +1287,8 @@ let client_last_arg =
 
 let client_term =
   Term.(
-    const client_cmd $ socket_arg $ client_command_arg $ client_src_arg
+    const client_cmd $ socket_arg $ client_command_arg $ client_arg1
+    $ client_src_arg
     $ client_program_arg $ client_budget_arg $ client_values_arg
     $ client_max_entries_arg $ client_bind_arg $ client_bind_random_arg
     $ client_retries_arg $ client_backoff_arg $ client_id_arg
@@ -1056,6 +1320,7 @@ let main =
     [
       Cmd.v run_info run_term;
       Cmd.v explain_info explain_term;
+      Cmd.v audit_report_info audit_report_term;
       Cmd.v profile_info profile_term;
       Cmd.v serve_info serve_term;
       Cmd.v client_info client_term;

@@ -309,11 +309,16 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
       | None -> ());
       Obs.Metrics.incr m_kernels_run;
       let t0 = now () in
+      (* Measured output cardinality for the span: the attrs thunk runs
+         after [f] returns, so a ref bridges the result out.  -1 = the
+         kernel raised before producing a tensor. *)
+      let out_nnz = ref (-1) in
       let result =
         Obs.span ~cat:"exec"
           ~name:("kernel:" ^ k.Physical.name)
           ~attrs:(fun () ->
             [
+              ("out_nnz", string_of_int !out_nnz);
               ("backend", backend_to_string t.backend);
               ("accesses", string_of_int (Array.length k.Physical.accesses));
               (* Attribution attrs joined by the profiler's hot-kernel
@@ -337,7 +342,10 @@ let run_kernel (t : t) (k : Physical.kernel) : T.t =
                                  a.Physical.protocols))
                         k.Physical.accesses)) );
             ])
-          (fun () -> compiled.Kernel_exec.run ?deadline:t.deadline k tensors)
+          (fun () ->
+            let r = compiled.Kernel_exec.run ?deadline:t.deadline k tensors in
+            out_nnz := T.nnz r;
+            r)
       in
       if Obs.Metrics.detailed () then begin
         Array.iter (fun src -> Obs.Metrics.add m_nnz_read (T.nnz src)) tensors;

@@ -51,6 +51,9 @@ type iter_stat = {
          natural "per-iteration delta" (residual, frontier size, ...) *)
   it_converged : bool; (* until condition value after this iteration *)
   it_replanned : bool; (* physical plan differs from previous iteration *)
+  it_switch : string option;
+      (* when replanned: the structural plan diff plus the refreshed
+         carried-tensor statistics that flipped the decision *)
   it_nnz : (string * int) list; (* carried name -> nnz after update *)
   it_formats : (string * string) list; (* carried name -> chosen formats *)
 }
@@ -215,6 +218,18 @@ let run_fixpoint (s : D.Session.session) ~(config : D.config)
   let stats = ref [] in
   let switches = ref [] in
   let fingerprint = ref None in
+  let prev_plan : Physical.plan option ref = ref None in
+  (* Carried-tensor nnz as seen by the optimizer: [feed_cur] fed this
+     iteration's plan, [feed_prev] the previous one's — their delta is
+     the refreshed statistic a plan switch is attributed to. *)
+  let initial_nnz =
+    List.map
+      (fun n ->
+        (n, match D.Session.lookup s n with Some t -> T.nnz t | None -> 0))
+      carried_list
+  in
+  let feed_cur = ref initial_nnz in
+  let feed_prev = ref initial_nnz in
   let converged = ref false in
   let iters = ref 0 in
   Obs.span ~cat:"phase" ~name:("fixpoint:" ^ name)
@@ -257,6 +272,31 @@ let run_fixpoint (s : D.Session.session) ~(config : D.config)
               match !fingerprint with Some p -> p <> fp | None -> false
             in
             fingerprint := Some fp;
+            (* Structural diff + statistic attribution for a switch. *)
+            let switch_detail =
+              if not replanned then None
+              else
+                match !prev_plan with
+                | None -> None
+                | Some pp ->
+                    let changes = Plan_diff.diff pp res.D.physical_plan in
+                    let stat_deltas =
+                      List.filter_map
+                        (fun (n, cur) ->
+                          match List.assoc_opt n !feed_prev with
+                          | Some old when old <> cur ->
+                              Some (Printf.sprintf "%s nnz %d->%d" n old cur)
+                          | _ -> None)
+                        !feed_cur
+                    in
+                    Some
+                      (Plan_diff.summary changes
+                      ^
+                      match stat_deltas with
+                      | [] -> ""
+                      | ds -> " [stats: " ^ String.concat ", " ds ^ "]")
+            in
+            prev_plan := Some res.D.physical_plan;
             let updates =
               List.map
                 (fun n -> (n, D.output_of res (next_name n)))
@@ -284,9 +324,18 @@ let run_fixpoint (s : D.Session.session) ~(config : D.config)
             if replanned then begin
               Metrics.incr_named "fixpoint.replans";
               switches := i :: !switches;
-              Obs.Log.info "fixpoint %s: plan switched at iteration %d" name i
+              match switch_detail with
+              | Some d ->
+                  Obs.Log.info "fixpoint %s: plan switched at iteration %d: %s"
+                    name i d
+              | None ->
+                  Obs.Log.info "fixpoint %s: plan switched at iteration %d"
+                    name i
             end;
             results := res :: !results;
+            let new_nnz = List.map (fun (n, t) -> (n, T.nnz t)) updates in
+            feed_prev := !feed_cur;
+            feed_cur := new_nnz;
             stats :=
               {
                 it_seconds = res.D.timings.D.total_seconds;
@@ -295,7 +344,8 @@ let run_fixpoint (s : D.Session.session) ~(config : D.config)
                 it_delta = delta;
                 it_converged = conv;
                 it_replanned = replanned;
-                it_nnz = List.map (fun (n, t) -> (n, T.nnz t)) updates;
+                it_switch = switch_detail;
+                it_nnz = new_nnz;
                 it_formats =
                   List.map (fun (n, t) -> (n, formats_string t)) updates;
               }
@@ -372,7 +422,11 @@ let merge_results ~(outputs : (string * Ir.idx list * T.t) list)
     timings;
     timed_out = List.exists (fun r -> r.D.timed_out) all;
     nnz_guard_retries = sumi (fun r -> r.D.nnz_guard_retries);
-    audit = None;
+    audit =
+      (match List.filter_map (fun r -> r.D.audit) reps with
+      | [] -> None
+      | [ a ] -> Some a
+      | many -> Some (Obs.Audit.concat many));
   }
 
 (* Run a statement-level program (straight-line queries + fixpoints)

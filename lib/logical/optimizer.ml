@@ -123,13 +123,19 @@ let greedy ?(budget : Tier.budget option) (cfg : config)
               (v, ext, cost))
             avail
         in
-        let _, best_ext, best_cost =
+        let best_v, best_ext, best_cost =
           List.fold_left
             (fun (bv, be, bc) (v, e, c) ->
               if c < bc then (v, e, c) else (bv, be, bc))
             (List.hd scored |> fun (v, e, c) -> (v, e, c))
             (List.tl scored)
         in
+        if Provenance.enabled () then
+          List.iter
+            (fun (v, _, c) ->
+              Provenance.candidate ~phase:"logical" ~query:name ~tier:"greedy"
+                ~descr:("eliminate " ^ v) ~cost:c ~chosen:(v = best_v) ())
+            scored;
         List.iter (register_alias ctx) best_ext.Elimination.queries;
         loop best_ext.Elimination.rewritten
           (queries @ best_ext.Elimination.queries)
@@ -165,6 +171,12 @@ let branch_and_bound ?(budget : Tier.budget option) (cfg : config)
     greedy ?budget cfg ctx ~fresh ~name ~out_order expr
   end
   else begin
+    let pv = Provenance.enabled () in
+    if pv then
+      Provenance.candidate ~phase:"logical" ~query:name ~tier:"exact"
+        ~descr:"greedy upper bound" ~cost:greedy_result.cost ~chosen:false ();
+    let pruned_bound = ref 0 and pruned_dominated = ref 0 in
+    let improvements = ref 0 in
     let bound = ref greedy_result.cost in
     let dims = Schema.index_dims ctx.Galley_stats.Ctx.schema expr in
     let key (eliminated : Ir.Idx_set.t) : string =
@@ -187,7 +199,8 @@ let branch_and_bound ?(budget : Tier.budget option) (cfg : config)
       let next = Hashtbl.create 32 in
       List.iter
         (fun (eliminated, entry) ->
-          if entry.dp_cost <= !bound then
+          if entry.dp_cost > !bound then incr pruned_bound
+          else
             List.iter
               (fun v ->
                 Tier.tick_opt budget;
@@ -204,7 +217,8 @@ let branch_and_bound ?(budget : Tier.budget option) (cfg : config)
                     0.0 ext.Elimination.queries
                 in
                 let cost = entry.dp_cost +. step_cost in
-                if cost <= !bound then begin
+                if cost > !bound then incr pruned_bound
+                else begin
                   let eliminated' = Ir.Idx_set.add v eliminated in
                   let k' = key eliminated' in
                   let better =
@@ -212,6 +226,7 @@ let branch_and_bound ?(budget : Tier.budget option) (cfg : config)
                     | Some old -> cost < old.dp_cost
                     | None -> true
                   in
+                  if not better then incr pruned_dominated;
                   if better then begin
                     let trial_ctx = entry.dp_ctx.Galley_stats.Ctx.clone () in
                     List.iter (register_alias trial_ctx) ext.Elimination.queries;
@@ -226,7 +241,8 @@ let branch_and_bound ?(budget : Tier.budget option) (cfg : config)
                     Hashtbl.replace next k' entry';
                     if Ir.Idx_set.cardinal eliminated' = k then begin
                       best_final := Some entry';
-                      bound := cost
+                      bound := cost;
+                      incr improvements
                     end
                   end
                 end)
@@ -241,6 +257,19 @@ let branch_and_bound ?(budget : Tier.budget option) (cfg : config)
             :: acc)
           next []
     done;
+    if pv then begin
+      Provenance.prune ~phase:"logical" ~query:name ~tier:"exact"
+        ~reason:"cost above bound" ~count:!pruned_bound ();
+      Provenance.prune ~phase:"logical" ~query:name ~tier:"exact"
+        ~reason:"dominated dp cell" ~count:!pruned_dominated ();
+      Provenance.candidate ~phase:"logical" ~query:name ~tier:"exact"
+        ~descr:
+          (Printf.sprintf "dp best (bound improved %d time%s)" !improvements
+             (if !improvements = 1 then "" else "s"))
+        ~cost:!bound
+        ~chosen:(Option.is_some !best_final)
+        ()
+    end;
     match !best_final with
     | None ->
         (* Greedy was optimal; replay it against the real context. *)
@@ -325,6 +354,16 @@ let optimize_expr ?(budget : Tier.budget option) (cfg : config)
       (fun (bv, bc) (v, c) -> if c < bc then (v, c) else (bv, bc))
       (List.hd scored) (List.tl scored)
   in
+  if Provenance.enabled () then
+    List.iteri
+      (fun i (v, c) ->
+        Provenance.candidate ~phase:"logical" ~query:name
+          ~tier:(match cfg.search with Greedy -> "greedy" | Branch_and_bound -> "exact")
+          ~descr:(if i = 0 then "variant canonical" else "variant distributed")
+          ~cost:c
+          ~chosen:(v == best_variant)
+          ())
+      scored;
   run ctx best_variant
 
 (* Degradation ladder: run the configured search under a budget, falling
@@ -341,8 +380,13 @@ let optimize_expr_tiered ?(deadline : float option) ?(degrade = true)
     | None, None -> None
     | _ -> Some (Tier.budget ?deadline ?max_nodes:cfg.max_nodes ())
   in
+  let last_budget : Tier.budget option ref = ref None in
+  let rung_nodes () =
+    match !last_budget with Some b -> b.Tier.nodes | None -> 0
+  in
   let attempt search =
     let budget = budget_for () in
+    last_budget := budget;
     (* Charge rung entry so trivial (tick-free) searches still respect an
        already-expired deadline. *)
     Tier.tick_opt budget;
@@ -356,7 +400,11 @@ let optimize_expr_tiered ?(deadline : float option) ?(degrade = true)
   let rec go = function
     | [] ->
         let canon = Canonical.canonicalize ctx.Galley_stats.Ctx.schema expr in
-        (naive ctx ~fresh ~name ~out_order canon, Tier.Naive)
+        let r = (naive ctx ~fresh ~name ~out_order canon, Tier.Naive) in
+        if Provenance.enabled () then
+          Provenance.rung ~phase:"logical" ~query:name ~tier:"naive"
+            ~outcome:"served" ();
+        r
     | (s, t) :: rest -> (
         try
           let r =
@@ -365,10 +413,18 @@ let optimize_expr_tiered ?(deadline : float option) ?(degrade = true)
               ~attrs:(fun () -> [ ("query", name) ])
               (fun () -> attempt s)
           in
+          if Provenance.enabled () then
+            Provenance.rung ~phase:"logical" ~query:name
+              ~tier:(Tier.to_string t) ~outcome:"served" ~nodes:(rung_nodes ())
+              ~cost:r.cost ();
           (r, t)
         with Tier.Exhausted ->
           if degrade then begin
             Galley_obs.Metrics.incr_named "optimizer.logical.rung_exhausted";
+            if Provenance.enabled () then
+              Provenance.rung ~phase:"logical" ~query:name
+                ~tier:(Tier.to_string t) ~outcome:"exhausted"
+                ~nodes:(rung_nodes ()) ();
             go rest
           end
           else raise Tier.Exhausted)

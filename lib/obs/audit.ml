@@ -38,6 +38,16 @@ let observe t ~query actual =
       let e = find_or_add t query in
       e.a_actual <- Some actual)
 
+(* Combine several audits (e.g. per-segment results of a statement
+   program) into one read-only view: rows appear in audit order, each
+   audit's entries in their own registration order. *)
+let concat (ts : t list) : t =
+  {
+    entries =
+      List.concat_map (fun t -> locked t (fun () -> t.entries)) (List.rev ts);
+    mutex = Mutex.create ();
+  }
+
 (* q-error: max(pred/actual, actual/pred) after clamping both to >= 1,
    so empty results don't divide by zero and the result is always a
    finite value >= 1 (for finite inputs). *)

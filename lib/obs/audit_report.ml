@@ -1,0 +1,275 @@
+(* Offline analysis of the rotating telemetry journals (DESIGN.md §16).
+
+   `galley audit-report DIR` ingests the [audit.jsonl] /
+   [metrics.jsonl] files (and their [.1] rotations) that
+   `galley serve --telemetry-dir` writes, and reduces the per-tensor
+   estimator audit series to the calibration table ROADMAP item 2
+   needs: per (tensor, estimator) sample counts, geo-mean and max
+   q-error, an early-half vs late-half trend, and a candidate
+   multiplicative correction factor — the geometric mean of
+   actual/predicted, i.e. the constant the estimator's output should be
+   scaled by to remove its systematic bias.  Lines that fail to parse
+   (e.g. a rotation truncated mid-line) are skipped, not fatal. *)
+
+type sample = {
+  sm_ts : int;
+  sm_query : string;
+  sm_estimator : string;
+  sm_predicted : float;
+  sm_actual : float option;
+  sm_q : float option;
+}
+
+type group = {
+  ar_query : string;
+  ar_estimator : string;
+  ar_count : int;
+  ar_geo_q : float;  (* geo-mean q-error over all samples *)
+  ar_max_q : float;
+  ar_early_q : float;  (* geo-mean over the older half (0 when empty) *)
+  ar_late_q : float;  (* geo-mean over the newer half *)
+  ar_correction : float;  (* geo-mean of actual/predicted *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Loading.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_of_json (j : Json.t) : sample option =
+  let str k = Option.bind (Json.member k j) Json.to_string in
+  let num k = Option.bind (Json.member k j) Json.to_float in
+  match (str "query", str "estimator", num "predicted") with
+  | Some q, Some e, Some p ->
+      Some
+        {
+          sm_ts = (match num "ts_us" with Some t -> int_of_float t | None -> 0);
+          sm_query = q;
+          sm_estimator = e;
+          sm_predicted = p;
+          sm_actual = num "actual";
+          sm_q = num "q_error";
+        }
+  | _ -> None
+
+(* Parse one JSONL file of audit rows; missing file or bad lines -> []. *)
+let load_file (path : string) : sample list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let out = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then
+              match Json.parse line with
+              | Ok j -> (
+                  match sample_of_json j with
+                  | Some s -> out := s :: !out
+                  | None -> ())
+              | Error _ -> ()
+          done
+        with End_of_file -> ());
+    List.rev !out
+  end
+
+(* All audit samples under [dir], rotated generation first so the list
+   is in (approximate) chronological order. *)
+let load_dir (dir : string) : sample list =
+  let audit = Filename.concat dir "audit.jsonl" in
+  load_file (audit ^ ".1") @ load_file audit
+
+(* ------------------------------------------------------------------ *)
+(* Reduction.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let geo_mean (xs : float list) : float =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let n = List.length xs in
+      let log_sum =
+        List.fold_left (fun acc x -> acc +. Float.log (Float.max x 1e-300)) 0.0 xs
+      in
+      Float.exp (log_sum /. float_of_int n)
+
+(* Reduce samples to one row per (query, estimator), sorted by query
+   then estimator.  The q-error recorded in the journal is preferred;
+   rows that predate the q_error field fall back to recomputing it. *)
+let groups (samples : sample list) : group list =
+  let table : (string * string, sample list) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let k = (s.sm_query, s.sm_estimator) in
+      if not (Hashtbl.mem table k) then order := k :: !order;
+      Hashtbl.replace table k
+        (s :: (try Hashtbl.find table k with Not_found -> [])))
+    samples;
+  let row (q, e) =
+    let ss = List.rev (Hashtbl.find table (q, e)) in
+    let ss = List.sort (fun a b -> compare a.sm_ts b.sm_ts) ss in
+    let qerr s =
+      match s.sm_q with
+      | Some v -> Some v
+      | None ->
+          Option.map
+            (fun a -> Audit.q_error ~predicted:s.sm_predicted ~actual:a)
+            s.sm_actual
+    in
+    let qs = List.filter_map qerr ss in
+    let corrections =
+      List.filter_map
+        (fun s ->
+          Option.map
+            (fun a -> Float.max 1.0 a /. Float.max 1.0 s.sm_predicted)
+            s.sm_actual)
+        ss
+    in
+    let n = List.length qs in
+    let half = n / 2 in
+    let early = List.filteri (fun i _ -> i < half) qs in
+    let late = List.filteri (fun i _ -> i >= half) qs in
+    {
+      ar_query = q;
+      ar_estimator = e;
+      ar_count = n;
+      ar_geo_q = geo_mean qs;
+      ar_max_q = List.fold_left Float.max 1.0 qs;
+      ar_early_q = geo_mean early;
+      ar_late_q = geo_mean late;
+      ar_correction = geo_mean corrections;
+    }
+  in
+  !order
+  |> List.rev_map row
+  |> List.filter (fun g -> g.ar_count > 0)
+  |> List.sort (fun a b ->
+         compare (a.ar_query, a.ar_estimator) (b.ar_query, b.ar_estimator))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics journal summary: snapshot count, time span, and the deltas   *)
+(* of the serve request counters between the first and last snapshot.   *)
+(* ------------------------------------------------------------------ *)
+
+type metrics_summary = {
+  ms_snapshots : int;
+  ms_first_ts : int;
+  ms_last_ts : int;
+  ms_deltas : (string * float) list;  (* "serve.*" counters, first->last *)
+}
+
+let load_metrics (dir : string) : metrics_summary option =
+  let parse path =
+    if not (Sys.file_exists path) then []
+    else begin
+      let ic = open_in path in
+      let out = ref [] in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          try
+            while true do
+              let line = input_line ic in
+              if String.trim line <> "" then
+                match Json.parse line with
+                | Ok j -> out := j :: !out
+                | Error _ -> ()
+            done
+          with End_of_file -> ());
+      List.rev !out
+    end
+  in
+  let metrics = Filename.concat dir "metrics.jsonl" in
+  let snaps = parse (metrics ^ ".1") @ parse metrics in
+  match snaps with
+  | [] -> None
+  | first :: _ ->
+      let last = List.nth snaps (List.length snaps - 1) in
+      let ts j =
+        match Option.bind (Json.member "ts_us" j) Json.to_float with
+        | Some t -> int_of_float t
+        | None -> 0
+      in
+      let serve_counters j =
+        match Json.member "metrics" j with
+        | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (k, v) ->
+                if String.length k >= 6 && String.sub k 0 6 = "serve." then
+                  Option.map (fun f -> (k, f)) (Json.to_float v)
+                else None)
+              fields
+        | _ -> []
+      in
+      let base = serve_counters first in
+      let deltas =
+        List.filter_map
+          (fun (k, v1) ->
+            match List.assoc_opt k base with
+            | Some v0 when v1 >= v0 -> Some (k, v1 -. v0)
+            | _ -> None)
+          (serve_counters last)
+      in
+      Some
+        {
+          ms_snapshots = List.length snaps;
+          ms_first_ts = ts first;
+          ms_last_ts = ts last;
+          ms_deltas = deltas;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render (gs : group list) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-20s %-10s %6s %10s %10s %10s %10s %12s\n" "tensor"
+       "estimator" "n" "geo-q" "max-q" "early-q" "late-q" "correction");
+  List.iter
+    (fun g ->
+      Buffer.add_string b
+        (Printf.sprintf "%-20s %-10s %6d %10.3f %10.3f %10.3f %10.3f %12.4g\n"
+           g.ar_query g.ar_estimator g.ar_count g.ar_geo_q g.ar_max_q
+           g.ar_early_q g.ar_late_q g.ar_correction))
+    gs;
+  Buffer.contents b
+
+let group_to_json (g : group) : string =
+  let num v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null" in
+  Printf.sprintf
+    {|{"tensor":"%s","estimator":"%s","count":%d,"geo_q":%s,"max_q":%s,"early_q":%s,"late_q":%s,"correction":%s}|}
+    (Metrics.json_escape g.ar_query)
+    (Metrics.json_escape g.ar_estimator)
+    g.ar_count (num g.ar_geo_q) (num g.ar_max_q) (num g.ar_early_q)
+    (num g.ar_late_q) (num g.ar_correction)
+
+let to_json ?(metrics : metrics_summary option) (gs : group list) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"groups\":[";
+  List.iteri
+    (fun i g ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (group_to_json g))
+    gs;
+  Buffer.add_string b "]";
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"metrics\":{\"snapshots\":%d,\"first_ts_us\":%d,\"last_ts_us\":%d,\"deltas\":{"
+           m.ms_snapshots m.ms_first_ts m.ms_last_ts);
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":%.6g" (Metrics.json_escape k) v))
+        m.ms_deltas;
+      Buffer.add_string b "}}");
+  Buffer.add_string b "}";
+  Buffer.contents b

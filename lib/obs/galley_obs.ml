@@ -12,6 +12,7 @@ module Json = Json
 module Flight = Flight
 module Sampler = Sampler
 module Journal = Journal
+module Audit_report = Audit_report
 
 let span = Trace.span
 let instant = Trace.instant

@@ -37,8 +37,19 @@ let with_registry f =
   Mutex.lock registry_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
-let counter name : counter =
+(* Optional help strings for the Prometheus exposition ([# HELP] lines):
+   declared with the metric ([?help] below) or registered after the fact
+   with [describe]; everything else gets a generated default naming the
+   source metric. *)
+let help_registry : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let note_help name = function
+  | Some h -> Hashtbl.replace help_registry name h
+  | None -> ()
+
+let counter ?help name : counter =
   with_registry (fun () ->
+      note_help name help;
       match Hashtbl.find_opt registry name with
       | Some (Counter c) -> c
       | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
@@ -47,8 +58,9 @@ let counter name : counter =
           Hashtbl.replace registry name (Counter c);
           c)
 
-let gauge name : gauge =
+let gauge ?help name : gauge =
   with_registry (fun () ->
+      note_help name help;
       match Hashtbl.find_opt registry name with
       | Some (Gauge g) -> g
       | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
@@ -57,8 +69,9 @@ let gauge name : gauge =
           Hashtbl.replace registry name (Gauge g);
           g)
 
-let histogram name : histogram =
+let histogram ?help name : histogram =
   with_registry (fun () ->
+      note_help name help;
       match Hashtbl.find_opt registry name with
       | Some (Histogram h) -> h
       | Some _ ->
@@ -172,6 +185,7 @@ let snapshot () : (string * float) list =
             (h.h_name ^ ".p50", percentile h 0.50);
             (h.h_name ^ ".p90", percentile h 0.90);
             (h.h_name ^ ".p99", percentile h 0.99);
+            (h.h_name ^ ".p999", percentile h 0.999);
           ])
     (sorted_metrics ())
 
@@ -191,8 +205,10 @@ let dump () : string =
             (Printf.sprintf "%-42s count=%d sum=%d mean=%.1f\n" h.h_name n s mean);
           if n > 0 then
             Buffer.add_string b
-              (Printf.sprintf "%-42s   p50<=%.0f p90<=%.0f p99<=%.0f\n" ""
-                 (percentile h 0.50) (percentile h 0.90) (percentile h 0.99)))
+              (Printf.sprintf
+                 "%-42s   p50<=%.0f p90<=%.0f p99<=%.0f p99.9<=%.0f\n" ""
+                 (percentile h 0.50) (percentile h 0.90) (percentile h 0.99)
+                 (percentile h 0.999)))
     (sorted_metrics ());
   Buffer.contents b
 
@@ -228,20 +244,50 @@ let prom_name name =
     name;
   Buffer.contents b
 
+let describe name help =
+  with_registry (fun () -> Hashtbl.replace help_registry name help)
+
+(* [fallback] is the sanitized exposition name: the default text must
+   not leak raw dotted metric names into the exposition. *)
+let help_of ?fallback name =
+  match with_registry (fun () -> Hashtbl.find_opt help_registry name) with
+  | Some h -> h
+  | None ->
+      "Galley metric " ^ (match fallback with Some f -> f | None -> name) ^ "."
+
+(* HELP text escaping per the exposition format: backslash and newline. *)
+let prom_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let dump_prometheus () : string =
   let b = Buffer.create 2048 in
+  let help n orig =
+    Buffer.add_string b
+      (Printf.sprintf "# HELP %s %s\n" n (prom_escape (help_of ~fallback:n orig)))
+  in
   List.iter
     (function
       | Counter c ->
           let n = prom_name c.c_name in
+          help n c.c_name;
           Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
           Buffer.add_string b (Printf.sprintf "%s %d\n" n (value c))
       | Gauge g ->
           let n = prom_name g.g_name in
+          help n g.g_name;
           Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
           Buffer.add_string b (Printf.sprintf "%s %.17g\n" n (gauge_value g))
       | Histogram h ->
           let n = prom_name h.h_name in
+          help n h.h_name;
           Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
           let nb = Array.length h.h_buckets in
           (* highest bucket with any observations (the 62 overflow

@@ -204,6 +204,7 @@ type kernel_row = {
   k_merge : string;  (* per-level merge/iteration strategy *)
   k_formats : string;  (* output formats *)
   k_backend : string;
+  k_out_nnz : int;  (* last observed output nnz, -1 if never recorded *)
 }
 
 let arg ?(default = "?") (key : string) (n : node) : string =
@@ -240,6 +241,7 @@ let kernels (forest : node list) : kernel_row list =
                     k_merge = merge;
                     k_formats = arg "out_formats" n;
                     k_backend = arg "backend" n;
+                    k_out_nnz = -1;
                   }
               in
               Hashtbl.replace tbl key r;
@@ -251,6 +253,10 @@ let kernels (forest : node list) : kernel_row list =
             k_count = !r.k_count + 1;
             k_incl_us = !r.k_incl_us + n.p_incl_us;
             k_excl_us = !r.k_excl_us + exclusive_us n;
+            k_out_nnz =
+              (match int_of_string_opt (arg ~default:"" "out_nnz" n) with
+              | Some z when z >= 0 -> z
+              | _ -> !r.k_out_nnz);
           }
       end)
     forest;

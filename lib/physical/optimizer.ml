@@ -152,9 +152,9 @@ let order_step (cfg : config) (ctx : Ctx.t) (flat : flat) (iters : Ir.Idx_set.t 
     os_cost = Tier.finite (st.os_cost +. iters set' +. transpose_cost);
   }
 
-let greedy_order ?(budget : Tier.budget option) (cfg : config) (ctx : Ctx.t)
-    (flat : flat) (iters : Ir.Idx_set.t -> float) (all : Ir.idx list) :
-    order_state =
+let greedy_order ?(budget : Tier.budget option) ?(query = "") (cfg : config)
+    (ctx : Ctx.t) (flat : flat) (iters : Ir.Idx_set.t -> float)
+    (all : Ir.idx list) : order_state =
   let init =
     { os_order = []; os_set = Ir.Idx_set.empty; os_broken = []; os_cost = 0.0 }
   in
@@ -162,28 +162,43 @@ let greedy_order ?(budget : Tier.budget option) (cfg : config) (ctx : Ctx.t)
     match remaining with
     | [] -> st
     | _ ->
-        let best =
-          List.fold_left
-            (fun acc v ->
+        let scored =
+          List.map
+            (fun v ->
               Tier.tick_opt budget;
-              let st' = order_step cfg ctx flat iters st v in
-              match acc with
-              | Some (bv, b) when b.os_cost <= st'.os_cost -> Some (bv, b)
-              | _ -> Some (v, st'))
-            None remaining
+              (v, order_step cfg ctx flat iters st v))
+            remaining
         in
-        let v, st' = Option.get best in
+        let v, st' =
+          List.fold_left
+            (fun (bv, b) (v, s) ->
+              if s.os_cost < b.os_cost then (v, s) else (bv, b))
+            (List.hd scored) (List.tl scored)
+        in
+        if Provenance.enabled () then
+          List.iter
+            (fun (cv, cs) ->
+              Provenance.candidate ~phase:"physical" ~query ~tier:"greedy"
+                ~descr:("loop " ^ String.concat "," (List.rev cs.os_order))
+                ~cost:cs.os_cost ~chosen:(cv = v) ())
+            scored;
         loop st' (List.filter (fun i -> i <> v) remaining)
   in
   loop init all
 
-let dp_order ?(budget : Tier.budget option) (cfg : config) (ctx : Ctx.t)
-    (flat : flat) (iters : Ir.Idx_set.t -> float) (all : Ir.idx list) :
-    order_state =
-  let greedy = greedy_order ?budget cfg ctx flat iters all in
+let dp_order ?(budget : Tier.budget option) ?(query = "") (cfg : config)
+    (ctx : Ctx.t) (flat : flat) (iters : Ir.Idx_set.t -> float)
+    (all : Ir.idx list) : order_state =
+  let greedy = greedy_order ?budget ~query cfg ctx flat iters all in
   let k = List.length all in
   if (not cfg.exact) || k > cfg.max_dp_indices || k <= 1 then greedy
   else begin
+    let pv = Provenance.enabled () in
+    if pv then
+      Provenance.candidate ~phase:"physical" ~query ~tier:"exact"
+        ~descr:"greedy order bound" ~cost:greedy.os_cost ~chosen:false ();
+    let pruned_bound = ref 0 and pruned_dominated = ref 0 in
+    let improvements = ref 0 in
     let bound = ref greedy.os_cost in
     let best = ref greedy in
     let key st =
@@ -199,26 +214,30 @@ let dp_order ?(budget : Tier.budget option) (cfg : config) (ctx : Ctx.t)
       let next : (string, order_state) Hashtbl.t = Hashtbl.create 64 in
       List.iter
         (fun st ->
-          if st.os_cost <= !bound then
+          if st.os_cost > !bound then incr pruned_bound
+          else
             List.iter
               (fun v ->
                 if not (Ir.Idx_set.mem v st.os_set) then begin
                   Tier.tick_opt budget;
                   let st' = order_step cfg ctx flat iters st v in
-                  if st'.os_cost <= !bound then begin
+                  if st'.os_cost > !bound then incr pruned_bound
+                  else begin
                     let kk = key st' in
                     let better =
                       match Hashtbl.find_opt next kk with
                       | Some old -> st'.os_cost < old.os_cost
                       | None -> true
                     in
+                    if not better then incr pruned_dominated;
                     if better then begin
                       Hashtbl.replace next kk st';
                       if Ir.Idx_set.cardinal st'.os_set = k
                          && st'.os_cost <= !bound
                       then begin
                         bound := st'.os_cost;
-                        best := st'
+                        best := st';
+                        incr improvements
                       end
                     end
                   end
@@ -227,6 +246,19 @@ let dp_order ?(budget : Tier.budget option) (cfg : config) (ctx : Ctx.t)
         !current;
       current := Hashtbl.fold (fun _ st acc -> st :: acc) next []
     done;
+    if pv then begin
+      Provenance.prune ~phase:"physical" ~query ~tier:"exact"
+        ~reason:"cost above bound" ~count:!pruned_bound ();
+      Provenance.prune ~phase:"physical" ~query ~tier:"exact"
+        ~reason:"dominated dp cell" ~count:!pruned_dominated ();
+      Provenance.candidate ~phase:"physical" ~query ~tier:"exact"
+        ~descr:
+          (Printf.sprintf "dp order [%s] (bound improved %d time%s)"
+             (String.concat "," (List.rev !best.os_order))
+             !improvements
+             (if !improvements = 1 then "" else "s"))
+        ~cost:!best.os_cost ~chosen:true ()
+    end;
     !best
   end
 
@@ -379,11 +411,23 @@ let plan_query_rung ~(tier : Tier.t) ?(budget : Tier.budget option)
   let memo = Hashtbl.create 64 in
   let iters = level_iters ctx body all memo in
   (* (1) Loop order. *)
+  let order_cost = ref Float.nan in
   let loop_order =
     match tier with
-    | Tier.Exact -> List.rev (dp_order ?budget config ctx flat iters all_list).os_order
+    | Tier.Exact ->
+        let st =
+          dp_order ?budget ~query:q.Logical_query.name config ctx flat iters
+            all_list
+        in
+        order_cost := st.os_cost;
+        List.rev st.os_order
     | Tier.Greedy ->
-        List.rev (greedy_order ?budget config ctx flat iters all_list).os_order
+        let st =
+          greedy_order ?budget ~query:q.Logical_query.name config ctx flat
+            iters all_list
+        in
+        order_cost := st.os_cost;
+        List.rev st.os_order
     | Tier.Naive ->
         q.Logical_query.output_idxs
         @ List.filter
@@ -522,6 +566,23 @@ let plan_query_rung ~(tier : Tier.t) ?(budget : Tier.budget option)
     }
   in
   Physical.validate_kernel kernel;
+  (* Record the chosen operator's predictions — only values the search
+     already computed (order cost, kernel fills), never a fresh
+     estimator call, so provenance cannot perturb the plan. *)
+  if Provenance.enabled () then
+    Provenance.operator ~query:q.Logical_query.name ~kernel:kernel_name
+      ~cost:!order_cost
+      ~attrs:
+        [
+          ("loop", String.concat "," loop_order);
+          ( "formats",
+            String.concat ","
+              (Array.to_list
+                 (Array.map Galley_tensor.Tensor.format_to_string
+                    output_formats)) );
+          ("tier", Tier.to_string tier);
+        ]
+      ();
   let final_steps =
     if needs_final_transpose then begin
       Schema.declare schema kernel_name ~dims:output_dims ~fill:output_fill;
@@ -580,8 +641,17 @@ let plan_query_tiered ?(deadline : float option) ?(degrade = true)
     | _ -> Some (Tier.budget ?deadline ?max_nodes:config.max_nodes ())
   in
   let rungs = if config.exact then [ Tier.Exact; Tier.Greedy ] else [ Tier.Greedy ] in
+  let last_budget : Tier.budget option ref = ref None in
+  let rung_nodes () =
+    match !last_budget with Some b -> b.Tier.nodes | None -> 0
+  in
   let rec go = function
-    | [] -> (plan_query_rung ~tier:Tier.Naive ~config ctx ~fresh q, Tier.Naive)
+    | [] ->
+        let r = (plan_query_rung ~tier:Tier.Naive ~config ctx ~fresh q, Tier.Naive) in
+        if Provenance.enabled () then
+          Provenance.rung ~phase:"physical" ~query:q.Logical_query.name
+            ~tier:"naive" ~outcome:"served" ();
+        r
     | tier :: rest -> (
         try
           let plan =
@@ -590,15 +660,24 @@ let plan_query_tiered ?(deadline : float option) ?(degrade = true)
               ~attrs:(fun () -> [ ("query", q.Logical_query.name) ])
               (fun () ->
                 let budget = budget_for () in
+                last_budget := budget;
                 (* Charge rung entry so trivial (tick-free) plans still
                    respect an already-expired deadline. *)
                 Tier.tick_opt budget;
                 plan_query_rung ~tier ?budget ~config ctx ~fresh q)
           in
+          if Provenance.enabled () then
+            Provenance.rung ~phase:"physical" ~query:q.Logical_query.name
+              ~tier:(Tier.to_string tier) ~outcome:"served"
+              ~nodes:(rung_nodes ()) ();
           (plan, tier)
         with Tier.Exhausted ->
           if degrade then begin
             Galley_obs.Metrics.incr_named "optimizer.physical.rung_exhausted";
+            if Provenance.enabled () then
+              Provenance.rung ~phase:"physical" ~query:q.Logical_query.name
+                ~tier:(Tier.to_string tier) ~outcome:"exhausted"
+                ~nodes:(rung_nodes ()) ();
             go rest
           end
           else raise Tier.Exhausted)

@@ -1,0 +1,123 @@
+(* Structural diffing of physical plans (DESIGN.md §16).
+
+   The fixpoint runner re-optimizes between iterations; when the plan
+   switches, a raw string inequality only says *that* it changed.  This
+   module says *what* changed: steps are joined by result name (stable
+   across replans of the same program) and compared field by field, so
+   a switch report can name the kernel whose loop order flipped or the
+   tensor whose output format changed — which, combined with the
+   refreshed carried-tensor statistics, explains *why* the optimizer
+   moved. *)
+
+type change =
+  | Step_added of string  (* step name present only in the new plan *)
+  | Step_removed of string  (* step name present only in the old plan *)
+  | Loop_order of { kernel : string; before : string; after : string }
+  | Formats of { name : string; before : string; after : string }
+  | Protocols of { kernel : string; before : string; after : string }
+  | Transpose_perm of { name : string; before : string; after : string }
+  | Kind_changed of string  (* kernel on one side, transpose on the other *)
+  | Body_changed of string  (* same name, differing body/aggregate shape *)
+
+let step_name (s : Physical.step) : string =
+  match s with Physical.Kernel k -> k.Physical.name | Physical.Transpose t -> t.name
+
+let formats_str fs =
+  String.concat ","
+    (Array.to_list (Array.map Galley_tensor.Tensor.format_to_string fs))
+
+let protocols_str (k : Physical.kernel) =
+  String.concat ";"
+    (Array.to_list
+       (Array.map
+          (fun (a : Physical.access) ->
+            a.tensor ^ ":"
+            ^ String.concat ","
+                (List.map Physical.protocol_to_string a.protocols))
+          k.accesses))
+
+let perm_str p = String.concat "," (Array.to_list (Array.map string_of_int p))
+
+let diff_step (a : Physical.step) (b : Physical.step) : change list =
+  match (a, b) with
+  | Physical.Kernel ka, Physical.Kernel kb ->
+      let changes = ref [] in
+      let la = String.concat "," ka.loop_order
+      and lb = String.concat "," kb.loop_order in
+      if la <> lb then
+        changes :=
+          Loop_order { kernel = ka.name; before = la; after = lb } :: !changes;
+      let fa = formats_str ka.output_formats
+      and fb = formats_str kb.output_formats in
+      if fa <> fb then
+        changes :=
+          Formats { name = ka.name; before = fa; after = fb } :: !changes;
+      let pa = protocols_str ka and pb = protocols_str kb in
+      if pa <> pb then
+        changes :=
+          Protocols { kernel = ka.name; before = pa; after = pb } :: !changes;
+      (* Catch-all for shape changes the field checks above don't cover
+         (aggregate, body expression, access index lists). *)
+      if
+        !changes = []
+        && Physical.plan_to_string [ a ] <> Physical.plan_to_string [ b ]
+      then changes := [ Body_changed ka.name ];
+      List.rev !changes
+  | Physical.Transpose ta, Physical.Transpose tb ->
+      let changes = ref [] in
+      let pa = perm_str ta.perm and pb = perm_str tb.perm in
+      if pa <> pb then
+        changes :=
+          Transpose_perm { name = ta.name; before = pa; after = pb } :: !changes;
+      let fa = formats_str ta.formats and fb = formats_str tb.formats in
+      if fa <> fb then
+        changes :=
+          Formats { name = ta.name; before = fa; after = fb } :: !changes;
+      List.rev !changes
+  | _ -> [ Kind_changed (step_name a) ]
+
+(* Changes from [before] to [after], in [after]'s step order, with
+   removals last.  An empty list means the plans are structurally
+   identical (equal up to pretty-printing). *)
+let diff (before : Physical.plan) (after : Physical.plan) : change list =
+  let old_by_name = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace old_by_name (step_name s) s) before;
+  let seen = Hashtbl.create 16 in
+  let fwd =
+    List.concat_map
+      (fun s ->
+        let n = step_name s in
+        Hashtbl.replace seen n ();
+        match Hashtbl.find_opt old_by_name n with
+        | None -> [ Step_added n ]
+        | Some old -> diff_step old s)
+      after
+  in
+  let removed =
+    List.filter_map
+      (fun s ->
+        let n = step_name s in
+        if Hashtbl.mem seen n then None else Some (Step_removed n))
+      before
+  in
+  fwd @ removed
+
+let change_to_string = function
+  | Step_added n -> Printf.sprintf "+step %s" n
+  | Step_removed n -> Printf.sprintf "-step %s" n
+  | Loop_order { kernel; before; after } ->
+      Printf.sprintf "%s loops [%s]->[%s]" kernel before after
+  | Formats { name; before; after } ->
+      Printf.sprintf "%s formats [%s]->[%s]" name before after
+  | Protocols { kernel; before; after } ->
+      Printf.sprintf "%s protocols [%s]->[%s]" kernel before after
+  | Transpose_perm { name; before; after } ->
+      Printf.sprintf "%s perm [%s]->[%s]" name before after
+  | Kind_changed n -> Printf.sprintf "%s changed step kind" n
+  | Body_changed n -> Printf.sprintf "%s body changed" n
+
+(* One short line, e.g. for a per-iteration fixpoint log. *)
+let summary (cs : change list) : string =
+  match cs with
+  | [] -> "identical"
+  | _ -> String.concat "; " (List.map change_to_string cs)

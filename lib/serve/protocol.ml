@@ -52,6 +52,7 @@ type request =
   | Health
   | Metrics_req of { prometheus : bool }
   | Debug_req of { last : int option }
+  | Explain_req of { digest : string }
   | Shutdown
 
 type parsed = { req_id : string option; req : request }
@@ -173,6 +174,9 @@ let decode_request (line : string) : (parsed, string) result =
     | "debug" ->
         let* last = opt_member "last" json Json.to_float in
         Ok (Debug_req { last = Option.map int_of_float last })
+    | "explain" ->
+        let* digest = req_member "digest" json Json.to_string in
+        Ok (Explain_req { digest })
     | "shutdown" -> Ok Shutdown
     | other -> Error (Printf.sprintf "unknown op %S" other)
   in
@@ -301,6 +305,20 @@ let buf_fixpoints (b : Buffer.t) (reports : Fix.fix_report list) : unit =
           match it.Fix.it_delta with
           | Some d -> buf_float b d
           | None -> Buffer.add_string b "null")
+        fr.Fix.fr_iters;
+      Buffer.add_string b "],\"switches\":[";
+      let first = ref true in
+      List.iteri
+        (fun j (it : Fix.iter_stat) ->
+          match it.Fix.it_switch with
+          | None -> ()
+          | Some s ->
+              if not !first then Buffer.add_char b ',';
+              first := false;
+              Buffer.add_string b
+                (Printf.sprintf "{\"iter\":%d,\"detail\":" (j + 1));
+              buf_str b s;
+              Buffer.add_char b '}')
         fr.Fix.fr_iters;
       Buffer.add_string b "]}")
     reports;
@@ -535,6 +553,14 @@ let encode_debug ?id ?last () =
   (match last with
   | Some n -> Buffer.add_string b (Printf.sprintf ",\"last\":%d" n)
   | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let encode_explain ?id ~digest () =
+  let b = Buffer.create 64 in
+  enc_common b ~op:"explain" ~id;
+  Buffer.add_string b ",\"digest\":";
+  buf_str b digest;
   Buffer.add_char b '}';
   Buffer.contents b
 

@@ -70,6 +70,9 @@ type config = {
   trace_all : bool;
       (** keep every request's spans (serve --trace FILE), not just the
           tail-sampled ones *)
+  provenance : bool;
+      (** record optimizer search provenance per request and retain it
+          keyed by plan digest for `client explain <digest>` *)
 }
 
 let default_config ~socket_path =
@@ -88,29 +91,69 @@ let default_config ~socket_path =
     telemetry_interval = 60.0;
     audit_requests = false;
     trace_all = false;
+    provenance = false;
   }
 
 (* -- metrics ------------------------------------------------------- *)
 
-let m_requests = Metrics.counter "serve.requests"
-let m_requests_ok = Metrics.counter "serve.requests_ok"
-let m_requests_failed = Metrics.counter "serve.requests_failed"
-let m_rejected_full = Metrics.counter "serve.rejected_queue_full"
-let m_rejected_draining = Metrics.counter "serve.rejected_draining"
-let m_rejected_deadline = Metrics.counter "serve.rejected_deadline"
-let m_bad_requests = Metrics.counter "serve.bad_requests"
-let m_connections = Metrics.counter "serve.connections"
-let m_active = Metrics.gauge "serve.active_connections"
-let m_queue_depth = Metrics.gauge "serve.queue_depth"
-let m_latency = Metrics.histogram "serve.request_latency_us"
+let m_requests =
+  Metrics.counter "serve.requests" ~help:"Requests admitted to the daemon."
+
+let m_requests_ok =
+  Metrics.counter "serve.requests_ok" ~help:"Requests answered ok:true."
+
+let m_requests_failed =
+  Metrics.counter "serve.requests_failed"
+    ~help:"Requests answered with a structured error."
+
+let m_rejected_full =
+  Metrics.counter "serve.rejected_queue_full"
+    ~help:"Requests shed because the admission queue was full."
+
+let m_rejected_draining =
+  Metrics.counter "serve.rejected_draining"
+    ~help:"Requests rejected while the daemon was draining."
+
+let m_rejected_deadline =
+  Metrics.counter "serve.rejected_deadline"
+    ~help:"Requests whose deadline budget expired before execution."
+
+let m_bad_requests =
+  Metrics.counter "serve.bad_requests"
+    ~help:"Lines that failed protocol decoding."
+
+let m_connections =
+  Metrics.counter "serve.connections" ~help:"Client connections accepted."
+
+let m_active =
+  Metrics.gauge "serve.active_connections"
+    ~help:"Currently open client connections."
+
+let m_queue_depth =
+  Metrics.gauge "serve.queue_depth" ~help:"Admitted requests waiting to run."
+
+let m_latency =
+  Metrics.histogram "serve.request_latency_us"
+    ~help:"End-to-end latency of admitted requests, microseconds."
 
 (* Shed and deadline-rejected requests get their own histogram so the
    admitted-request latency series isn't survivorship-biased (and the
    rejection path's own latency — which should be ~0 — is visible). *)
-let m_rejection_latency = Metrics.histogram "serve.rejection_latency_us"
-let m_queue_wait = Metrics.histogram "serve.queue_wait_us"
-let m_accept_faults = Metrics.counter "faults.serve_accept_injected"
-let m_kill_faults = Metrics.counter "faults.serve_kill_injected"
+let m_rejection_latency =
+  Metrics.histogram "serve.rejection_latency_us"
+    ~help:"Latency of rejected/shed requests, microseconds."
+
+let m_queue_wait =
+  Metrics.histogram "serve.queue_wait_us"
+    ~help:"Time admitted requests spent queued, microseconds."
+
+let m_accept_faults =
+  Metrics.counter "faults.serve_accept_injected"
+    ~help:"Injected accept-path faults (test harness)."
+
+let m_kill_faults =
+  Metrics.counter "faults.serve_kill_injected"
+    ~help:"Injected executor-kill faults (test harness)."
 
 (* -- server state -------------------------------------------------- *)
 
@@ -152,6 +195,9 @@ type t = {
   rid_seq : int Atomic.t; (* server-assigned request ids (r1, r2, ...) *)
   mutable last_snapshot : float; (* executor thread only *)
   mutable incident_seq : int; (* executor thread only *)
+  (* optimizer provenance retained per plan digest (DESIGN.md §16);
+     written by the executor, read inline by connection threads *)
+  prov_store : Galley_plan.Provenance.Store.t;
 }
 
 let state_of t =
@@ -169,6 +215,7 @@ let queue_depth t =
 (* -- lifecycle ----------------------------------------------------- *)
 
 let create (cfg : config) : t =
+  if cfg.provenance then Galley_plan.Provenance.enable ();
   let session = D.Session.create ~config:cfg.driver () in
   (* A stale socket file from an unclean previous shutdown would make
      bind fail; serving sockets are single-owner here, so unlink it. *)
@@ -208,6 +255,8 @@ let create (cfg : config) : t =
     rid_seq = Atomic.make 0;
     last_snapshot = Unix.gettimeofday ();
     incident_seq = 0;
+    prov_store =
+      Galley_plan.Provenance.Store.create ~capacity:cfg.flight_capacity ();
   }
 
 let initiate_drain t =
@@ -500,7 +549,7 @@ let handle_admitted t (job : job) (info : req_info) : string =
       handle_query t job info ~src ~budget_ms ~want_values ~max_entries
   | Protocol.Bind { name; spec } -> handle_bind t job info ~name ~spec
   | Protocol.Health | Protocol.Metrics_req _ | Protocol.Debug_req _
-  | Protocol.Shutdown ->
+  | Protocol.Explain_req _ | Protocol.Shutdown ->
       (* Handled inline by the connection thread; never queued. *)
       assert false
 
@@ -566,6 +615,18 @@ let process_job t (job : job) =
             ~message:(Printexc.to_string exn) ()
   in
   deliver job resp;
+  (* Retain this request's optimizer provenance under its plan digest.
+     The executor is the only thread that plans, so the drain returns
+     exactly this request's events; draining even without a digest
+     keeps the recorder buffer bounded across failed requests. *)
+  if Galley_plan.Provenance.enabled () then begin
+    let evs = Galley_plan.Provenance.drain () in
+    if info.ri_plan <> "" && evs <> [] then
+      Galley_plan.Provenance.Store.put t.prov_store ~digest:info.ri_plan
+        (Printf.sprintf {|{"plan":"%s","rid":"%s","events":%s}|} info.ri_plan
+           (Metrics.json_escape rid)
+           (Galley_plan.Provenance.events_to_json evs))
+  end;
   let total_us =
     int_of_float ((Unix.gettimeofday () -. job.j_arrival) *. 1e6)
   in
@@ -766,6 +827,24 @@ let debug_json t id ~last =
         "[" ^ String.concat "," (List.map Obs.Flight.to_json rs) ^ "]" );
     ]
 
+(* Resident provenance lookup: the retained search trace for a plan
+   digest (as stamped in flight records and `galley debug` output). *)
+let explain_json t id ~digest =
+  match Galley_plan.Provenance.Store.get t.prov_store digest with
+  | Some json ->
+      Protocol.ok_json ~id [ ("op", "\"explain\""); ("provenance", json) ]
+  | None ->
+      let message =
+        if not (Galley_plan.Provenance.enabled ()) then
+          "provenance recording is off; start the daemon with --provenance"
+        else
+          Printf.sprintf
+            "no provenance retained for plan digest %s (evicted or never \
+             planned here)"
+            digest
+      in
+      Protocol.error_json ~id ~kind:"not_found" ~message ()
+
 let handle_line t (line : string) : string option =
   if String.trim line = "" then None
   else begin
@@ -781,6 +860,7 @@ let handle_line t (line : string) : string option =
         | Protocol.Metrics_req { prometheus } ->
             Some (metrics_json id ~prometheus)
         | Protocol.Debug_req { last } -> Some (debug_json t id ~last)
+        | Protocol.Explain_req { digest } -> Some (explain_json t id ~digest)
         | Protocol.Shutdown ->
             request_drain t;
             Some (Protocol.ok_json ~id [ ("op", "\"shutdown\""); ("status", "\"draining\"") ])
